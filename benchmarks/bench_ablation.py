@@ -1,0 +1,62 @@
+"""E8 — ablation benches over the design choices DESIGN.md calls out:
+guards, import insertion, standardization, and ruleset size."""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.evaluation.ablation import (
+    guards_ablation,
+    import_insertion_ablation,
+    ruleset_size_ablation,
+    standardization_ablation,
+)
+
+
+def test_guards_ablation(artifact_dir, benchmark):
+    result = benchmark.pedantic(guards_ablation, rounds=1, iterations=1)
+    lines = ["Guard ablation (veto conditions on detection rules):"]
+    for label, matrix in result.items():
+        lines.append(
+            f"  {label:15s} P={matrix.precision:.3f} R={matrix.recall:.3f} F1={matrix.f1:.3f}"
+        )
+    write_artifact(artifact_dir, "ablation_guards.txt", "\n".join(lines))
+    assert result["with-guards"].precision > result["without-guards"].precision
+
+
+def test_import_insertion_ablation(artifact_dir, benchmark):
+    result = benchmark.pedantic(import_insertion_ablation, rounds=1, iterations=1)
+    text = (
+        "Import-insertion ablation:\n"
+        f"  patched samples needing new imports : {result.patched_samples}\n"
+        f"  dangling imports WITHOUT insertion  : {result.missing_import_samples_without_insertion}\n"
+        f"  dangling imports WITH insertion     : {result.missing_import_samples_with_insertion}"
+    )
+    write_artifact(artifact_dir, "ablation_imports.txt", text)
+    assert (
+        result.missing_import_samples_without_insertion
+        > result.missing_import_samples_with_insertion
+    )
+
+
+def test_standardization_ablation(artifact_dir, benchmark):
+    result = benchmark.pedantic(standardization_ablation, rounds=1, iterations=1)
+    text = (
+        "Standardization ablation (mean LCS coverage of seed pairs):\n"
+        f"  with var# standardization : {result.mean_lcs_ratio_standardized:.3f}\n"
+        f"  raw identifiers           : {result.mean_lcs_ratio_raw:.3f}\n"
+        f"  improvement               : x{result.improvement:.2f} over {result.pairs} pairs"
+    )
+    write_artifact(artifact_dir, "ablation_standardization.txt", text)
+    assert result.improvement > 1.0
+
+
+def test_ruleset_size_ablation(artifact_dir, benchmark):
+    result = benchmark.pedantic(ruleset_size_ablation, rounds=1, iterations=1)
+    lines = ["Ruleset-size ablation (default 85 rules vs extended catalog):"]
+    for label, matrix in result.items():
+        lines.append(
+            f"  {label:11s} P={matrix.precision:.3f} R={matrix.recall:.3f} F1={matrix.f1:.3f}"
+        )
+    write_artifact(artifact_dir, "ablation_ruleset.txt", "\n".join(lines))
+    assert result["extended"].recall >= result["default-85"].recall

@@ -1,0 +1,30 @@
+"""Inter-tool agreement analysis — where the seven tools agree/disagree."""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.evaluation.agreement import agreement_matrix, render_agreement
+from repro.evaluation.harness import default_tools
+
+
+def test_agreement_matrix(flat_samples, artifact_dir, benchmark):
+    tools = default_tools()
+
+    def measure():
+        verdicts = {
+            name: {s.sample_id: tool.is_vulnerable(s) for s in flat_samples}
+            for name, tool in tools.items()
+        }
+        return agreement_matrix(verdicts, [s.sample_id for s in flat_samples])
+
+    matrix = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_artifact(artifact_dir, "tool_agreement.txt", render_agreement(matrix))
+
+    def kappa(a, b):
+        return matrix[(min(a, b), max(a, b))].kappa
+
+    # the static analyzers share error modes (parse failures, similar
+    # rules); LLM reviewers behave more like each other than like them
+    assert kappa("bandit", "codeql") > kappa("bandit", "claude-3.7")
+    assert kappa("chatgpt-4o", "gemini-2.0") > kappa("chatgpt-4o", "bandit")

@@ -1,0 +1,136 @@
+"""E10 — engine performance: throughput scaling with rule count and
+corpus size (the 'lightweight' claim of §II-B)."""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.core import PatchitPy
+from repro.core.rules import RuleSet, default_ruleset, extended_ruleset
+
+
+def _subset(rules, count):
+    return RuleSet(list(rules)[:count])
+
+
+def test_detection_throughput_85_rules(flat_samples, benchmark):
+    engine = PatchitPy()
+    subset = flat_samples[:100]
+
+    def run():
+        return sum(1 for s in subset if engine.is_vulnerable(s.source))
+
+    benchmark(run)
+
+
+def test_detection_throughput_20_rules(flat_samples, benchmark):
+    engine = PatchitPy(rules=_subset(default_ruleset(), 20))
+    subset = flat_samples[:100]
+    benchmark(lambda: sum(1 for s in subset if engine.is_vulnerable(s.source)))
+
+
+def test_detection_throughput_extended_rules(flat_samples, benchmark):
+    engine = PatchitPy(rules=extended_ruleset())
+    subset = flat_samples[:100]
+    benchmark(lambda: sum(1 for s in subset if engine.is_vulnerable(s.source)))
+
+
+def test_patch_throughput(flat_samples, benchmark):
+    engine = PatchitPy()
+    vulnerable = [s for s in flat_samples if s.is_vulnerable][:50]
+    benchmark(lambda: [engine.patch(s.source).patched for s in vulnerable])
+
+
+def test_scaling_artifact(flat_samples, artifact_dir, benchmark):
+    import time
+
+    def measure():
+        rows = []
+        for label, rules in (
+            ("20 rules", _subset(default_ruleset(), 20)),
+            ("85 rules (default)", default_ruleset()),
+            ("109 rules (extended)", extended_ruleset()),
+        ):
+            engine = PatchitPy(rules=rules)
+            started = time.perf_counter()
+            for sample in flat_samples:
+                engine.is_vulnerable(sample.source)
+            elapsed = time.perf_counter() - started
+            rows.append((label, len(flat_samples) / elapsed))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Engine throughput (samples/second, single thread):"]
+    for label, rate in rows:
+        lines.append(f"  {label:22s} {rate:8.0f} samples/s")
+    write_artifact(artifact_dir, "engine_throughput.txt", "\n".join(lines))
+
+
+def test_lsp_interactive_latency(benchmark):
+    """Latency of one didChange→diagnostics cycle (the IDE loop)."""
+    from repro.ide.protocol import LanguageServer
+
+    server = LanguageServer()
+    uri = "file:///bench.py"
+    source = (
+        "import pickle\nfrom flask import Flask, request\n\napp = Flask(__name__)\n\n"
+        '@app.route("/x", methods=["POST"])\ndef x():\n'
+        "    state = pickle.loads(request.data)\n"
+        '    return f"<p>{state}</p>"\n'
+    )
+    server.did_open(uri, source)
+    benchmark(lambda: server.did_change(uri, source))
+
+
+def test_extension_selection_latency(benchmark):
+    """Latency of one selection assessment in the VS Code-style flow."""
+    from repro.ide import PatchitPyExtension, TextDocument
+
+    source = "import hashlib\n\n" + "\n".join(
+        f"def f{i}(x):\n    return hashlib.sha256(x)" for i in range(40)
+    ) + "\nweak = hashlib.md5(data)\n"
+
+    def run():
+        document = TextDocument(source)
+        return PatchitPyExtension().assess_selection(document)
+
+    session = benchmark(run)
+    assert session.findings
+
+
+def test_prefilter_ablation(flat_samples, artifact_dir, benchmark):
+    """Literal prefiltering on/off (the production-scanner optimization)."""
+    import time
+
+    from repro.core import PatchitPy, matching
+
+    engine = PatchitPy()
+
+    def measure():
+        for sample in flat_samples[:10]:
+            engine.is_vulnerable(sample.source)  # warm caches
+        t0 = time.perf_counter()
+        for sample in flat_samples:
+            engine.is_vulnerable(sample.source)
+        with_prefilter = time.perf_counter() - t0
+
+        original = matching._prefilter_for
+        matching._prefilter_for = lambda rule: None
+        try:
+            t0 = time.perf_counter()
+            for sample in flat_samples:
+                engine.is_vulnerable(sample.source)
+            without_prefilter = time.perf_counter() - t0
+        finally:
+            matching._prefilter_for = original
+        return with_prefilter, without_prefilter
+
+    with_pf, without_pf = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = (
+        "Literal-prefilter ablation (609-sample detection sweep):\n"
+        f"  with prefilter    : {with_pf:.3f}s\n"
+        f"  without prefilter : {without_pf:.3f}s\n"
+        f"  speedup           : x{without_pf / with_pf:.2f}"
+    )
+    write_artifact(artifact_dir, "prefilter_ablation.txt", text)
+    assert with_pf < without_pf

@@ -1,0 +1,43 @@
+"""E11 (extension) — how much of the tool does the mining pipeline
+recover? Runs Fig. 2 end-to-end over the seed corpus and compares the
+mined rule set's detection metrics against the curated 85-rule catalog."""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.mining import evaluate_mined_ruleset, mine_ruleset
+
+
+def test_mined_vs_curated(artifact_dir, benchmark):
+    result, report = benchmark.pedantic(
+        evaluate_mined_ruleset, rounds=1, iterations=1
+    )
+    text = "\n".join(
+        [
+            "Mined vs curated rule set (E11):",
+            f"  pairs considered      : {report.pairs_considered}",
+            f"  rules synthesized     : {report.rules_synthesized} "
+            f"({report.rules_kept} kept after dedup/specificity filter)",
+            f"  mined   ({result.mined_rules:3d} rules): "
+            f"P={result.mined_precision:.2f} R={result.mined_recall:.2f}",
+            f"  curated ({result.curated_rules:3d} rules): "
+            f"P={result.curated_precision:.2f} R={result.curated_recall:.2f}",
+            f"  recall recovered automatically: {result.recall_recovered:.0%}",
+            "",
+            "Reading: the Fig. 2 pipeline alone recovers about half of the",
+            "curated catalog's recall; the guards and manual refinement the",
+            "paper describes ('improvement of reg. expressions') account for",
+            "the rest of the detection power and the precision gap.",
+        ]
+    )
+    write_artifact(artifact_dir, "mined_vs_curated.txt", text)
+
+    assert result.mined_rules >= 15
+    assert result.recall_recovered >= 0.35
+    assert result.curated_precision > result.mined_precision
+
+
+def test_mining_speed(benchmark):
+    rules = benchmark.pedantic(mine_ruleset, rounds=2, iterations=1)
+    assert len(rules) >= 15

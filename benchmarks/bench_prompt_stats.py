@@ -1,0 +1,32 @@
+"""E2 — §III-A prompt statistics: 203 prompts with the reported token
+distribution (mean ≈ 21, median 15, min 3, max 63, 75 % < 35)."""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.corpus import load_prompts, prompt_token_stats
+
+
+def test_prompt_stats_artifact(artifact_dir, benchmark):
+    stats = benchmark(prompt_token_stats)
+
+    lines = [
+        "Prompt token statistics (§III-A)",
+        f"  prompts       : {stats['count']} (paper: 203)",
+        f"  mean tokens   : {stats['mean']:.1f} (paper: 21)",
+        f"  median tokens : {stats['median']:.0f} (paper: 15)",
+        f"  min / max     : {stats['min']} / {stats['max']} (paper: 3 / 63)",
+        f"  share < 35    : {stats['share_below_35']:.0%} (paper: 75%)",
+    ]
+    write_artifact(artifact_dir, "prompt_stats.txt", "\n".join(lines))
+
+    assert stats["count"] == 203
+    assert stats["min"] == 3 and stats["max"] == 63
+    assert 19 <= stats["mean"] <= 23
+    assert stats["share_below_35"] >= 0.75
+
+
+def test_prompt_loading_speed(benchmark):
+    prompts = benchmark(load_prompts)
+    assert len(prompts) == 203

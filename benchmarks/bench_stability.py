@@ -1,0 +1,18 @@
+"""E13 — seed stability of the headline detection metrics."""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.evaluation.stability import seed_stability
+
+
+def test_seed_stability(artifact_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: seed_stability(seeds=(2025, 7, 1234)), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "seed_stability.txt", result.summary())
+    # conclusions are seed-robust: tight spreads around the paper's values
+    assert result.f1.std < 0.03
+    assert result.precision.minimum > 0.90
+    assert result.recall.minimum > 0.80

@@ -1,0 +1,80 @@
+"""E1 — Table I: standardization, LCS extraction, and rule synthesis."""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.mining import build_seed_corpus, extract_pattern, synthesize_rules
+from repro.standardize import standardize
+
+V1 = '''from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    name = request.args.get("name", "")
+    return f"<p>{name}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+'''
+
+V2 = '''from flask import Flask, request, make_response
+appl = Flask(__name__)
+
+@appl.route("/showName")
+def name():
+    username = request.args.get("username")
+    return make_response(f"Hello {username}")
+
+if __name__ == "__main__":
+    appl.run(debug=True)
+'''
+
+S1 = V1.replace("{name}", "{escape(name)}").replace(
+    "import Flask, request", "import Flask, request, escape"
+).replace("debug=True", "debug=False, use_reloader=False")
+
+S2 = V2.replace("{username}", "{escape(username)}").replace(
+    "request, make_response", "request, make_response, escape"
+).replace("debug=True", "debug=False, use_debugger=False, use_reloader=False")
+
+
+def test_table1_artifact(artifact_dir, benchmark):
+    pattern = benchmark(lambda: extract_pattern(V1, V2, S1, S2))
+
+    std = standardize(V1)
+    additions = [
+        f"  {f.kind}: {' '.join(f.vulnerable_tokens) or '∅'} -> {' '.join(f.safe_tokens)}"
+        for f in pattern.fragments
+        if f.safe_tokens
+    ]
+    rules = synthesize_rules(pattern, "CWE-209")
+    text = "\n".join(
+        [
+            "TABLE I — standardization + LCS + diff (reproduction)",
+            "",
+            "Standardized v1 (dictionary: %s):" % std.mapping,
+            std.text.rstrip(),
+            "",
+            "LCS_v (common vulnerable pattern):",
+            "  " + pattern.lcs_vulnerable_text.replace("\n", " ⏎ "),
+            "",
+            "LCS_s (common safe pattern):",
+            "  " + pattern.lcs_safe_text.replace("\n", " ⏎ "),
+            "",
+            "Safe additions (blue fragments):",
+            *additions,
+            "",
+            f"Synthesized rules: {[r.rule_id for r in rules]}",
+        ]
+    )
+    write_artifact(artifact_dir, "table1_mining.txt", text)
+
+    assert "escape" in {t for f in pattern.fragments for t in f.safe_tokens}
+    assert rules
+
+
+def test_seed_corpus_build_speed(benchmark):
+    pairs = benchmark.pedantic(build_seed_corpus, rounds=2, iterations=1)
+    assert len(pairs) >= 200

@@ -1,0 +1,62 @@
+"""E5 — Table III: repair rates for PatchitPy and the LLM patchers.
+
+Also reports the paper's side observation that Semgrep and Bandit only
+*suggest* fixes (≈19 % / 17 % of their detections) without modifying code.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.baselines import MiniBandit, MiniSemgrep
+from repro.core import PatchitPy
+from repro.evaluation.tables import table3_patching
+
+
+def test_table3_artifact(case_study, artifact_dir, benchmark):
+    engine = PatchitPy()
+    vulnerable = [s for s in case_study.flat_samples() if s.is_vulnerable][:120]
+
+    def patch_batch():
+        return sum(1 for s in vulnerable if engine.patch(s.source).applied)
+
+    patched = benchmark(patch_batch)
+    assert patched > 60
+
+    ours = case_study.patching["patchitpy"]["all"]
+    summary = (
+        f"\nPatchitPy (all models): Patched[Det.]={ours.patched_detected:.2f} "
+        f"Patched[Tot.]={ours.patched_total:.2f}\n"
+        "Paper reference:        Patched[Det.]=0.80 Patched[Tot.]=0.70"
+    )
+    write_artifact(
+        artifact_dir, "table3_patching.txt", table3_patching(case_study) + summary
+    )
+
+
+def test_suggestion_only_rates(case_study, artifact_dir, benchmark):
+    samples = case_study.flat_samples()
+    semgrep, bandit = MiniSemgrep(), MiniBandit()
+
+    def measure():
+        rows = {}
+        for name, tool in (("semgrep", semgrep), ("bandit", bandit)):
+            detected = suggested = 0
+            for sample in samples:
+                report = tool.analyze(sample)
+                if report.is_vulnerable:
+                    detected += 1
+                    if report.suggestions:
+                        suggested += 1
+            rows[name] = suggested / detected if detected else 0.0
+        return rows
+
+    rates = benchmark.pedantic(measure, rounds=2, iterations=1)
+    text = (
+        "Fix-suggestion-only rates (no code modification):\n"
+        f"  semgrep: {rates['semgrep']:.0%} of detections (paper: 19%)\n"
+        f"  bandit : {rates['bandit']:.0%} of detections (paper: 17%)"
+    )
+    write_artifact(artifact_dir, "suggestion_rates.txt", text)
+    assert 0.10 <= rates["semgrep"] <= 0.30
+    assert 0.10 <= rates["bandit"] <= 0.25

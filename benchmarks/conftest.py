@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+The full case study is executed once per benchmark session; each benchmark
+module times its own slice of the pipeline and writes the regenerated
+table/figure to ``benchmarks/output/`` so the artifacts survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    from repro.evaluation import run_case_study
+
+    return run_case_study()
+
+
+@pytest.fixture(scope="session")
+def flat_samples(case_study):
+    return case_study.flat_samples()
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artifact(directory: Path, name: str, text: str) -> None:
+    path = directory / name
+    path.write_text(text + "\n")
+    print(f"\n[artifact written: {path}]")
+    print(text)

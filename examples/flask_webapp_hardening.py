@@ -1,0 +1,97 @@
+"""Harden a multi-endpoint Flask application, selection by selection.
+
+Demonstrates the IDE integration layer (§II-B): the app is loaded into an
+editor document, each route is assessed as a *selection* (the workflow a
+developer follows after accepting an AI completion), pop-ups report the
+findings, and accepted fixes are applied through the TextEdit API with
+imports placed at the top of the file.
+
+Run with::
+
+    python examples/flask_webapp_hardening.py
+"""
+
+from repro.ide import PatchitPyExtension, TextDocument
+
+WEB_APP = '''\
+import sqlite3
+
+from flask import Flask, request, redirect, make_response, send_file
+
+app = Flask(__name__)
+
+@app.route("/search")
+def search():
+    term = request.args.get("q", "")
+    conn = sqlite3.connect("shop.db")
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM products WHERE name LIKE '%" + term + "%'")
+    return str(cur.fetchall())
+
+@app.route("/go")
+def go():
+    return redirect(request.args.get("next", "/"))
+
+@app.route("/docs")
+def docs():
+    return send_file(request.args.get("file", ""))
+
+@app.route("/login", methods=["POST"])
+def login():
+    resp = make_response("welcome")
+    resp.set_cookie("session_id", "abc123")
+    return resp
+
+if __name__ == "__main__":
+    app.run(debug=True, host="0.0.0.0")
+'''
+
+
+def main() -> None:
+    document = TextDocument(WEB_APP, uri="file:///webapp.py")
+    extension = PatchitPyExtension()
+
+    # The developer assesses each route right after generating it.
+    route_ranges = _route_line_ranges(document)
+    for name, (first, last) in route_ranges.items():
+        selection = document.range_of_lines(first, last)
+        session = extension.assess_selection(document, selection)
+        print(f"--- {name}: {len(session.findings)} finding(s), "
+              f"{session.applied_edit_count} edit(s) applied")
+        for popup in session.popups:
+            print("   popup:", popup.title)
+
+    # Finally assess the whole file until clean (overlapping fixes land on
+    # the next pass, exactly as a developer re-running the command would).
+    for round_number in range(1, 4):
+        session = extension.assess_selection(document)
+        print(f"--- whole file, round {round_number}: {len(session.findings)} finding(s), "
+              f"{session.applied_edit_count} edit(s) applied")
+        if session.applied_edit_count == 0:
+            break
+
+    print()
+    print("=== hardened application ===")
+    print(document.get_text())
+
+
+def _route_line_ranges(document: TextDocument) -> dict:
+    """Map each @app.route block to its (first, last) line index."""
+    ranges = {}
+    lines = document.get_text().splitlines()
+    start = None
+    name = None
+    for index, line in enumerate(lines):
+        if line.startswith("@app.route"):
+            if start is not None:
+                ranges[name] = (start, index - 1)
+            start = index
+            name = line.split('"')[1]
+        elif line.startswith("if __name__") and start is not None:
+            ranges[name] = (start, index - 1)
+            start = None
+    return ranges
+
+
+if __name__ == "__main__":
+    main()

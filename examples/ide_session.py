@@ -1,0 +1,59 @@
+"""A scripted IDE session with interactive-style fix decisions.
+
+Shows the popup workflow of the VS Code extension (§II-B): the handler
+answers "Yes" only for high-severity findings, so some patches are applied
+and others are declined — and the document reflects exactly that.
+
+Run with::
+
+    python examples/ide_session.py
+"""
+
+from repro.ide import PatchitPyExtension, Popup, TextDocument
+from repro.types import Severity
+
+GENERATED_SNIPPET = '''\
+import hashlib
+import random
+import string
+
+def make_reset_token(length=24):
+    alphabet = string.ascii_letters + string.digits
+    return "".join(random.choice(alphabet) for _ in range(length))
+
+def hash_password(password):
+    return hashlib.md5(password.encode()).hexdigest()
+
+def check_password(password, stored):
+    return hash_password(password) == stored
+'''
+
+ANSWERED = []
+
+
+def security_team_policy(popup: Popup) -> bool:
+    """Accept only the fixes our (fictional) policy treats as blocking."""
+    accept = "CWE-328" in popup.title or "CWE-916" in popup.title or "CWE-338" in popup.title
+    ANSWERED.append((popup.title, "Yes" if accept else "No"))
+    return accept
+
+
+def main() -> None:
+    document = TextDocument(GENERATED_SNIPPET, uri="file:///auth_helpers.py")
+    extension = PatchitPyExtension(popup_handler=security_team_policy)
+
+    session = extension.assess_selection(document)
+    print(f"findings: {len(session.findings)}; accepted: {len(session.accepted)}; "
+          f"edits applied: {session.applied_edit_count}")
+    for title, answer in ANSWERED:
+        print(f"  {answer:>3s} -> {title}")
+    if session.imports_added:
+        print("imports added:", ", ".join(session.imports_added))
+
+    print()
+    print("=== document after the session ===")
+    print(document.get_text())
+
+
+if __name__ == "__main__":
+    main()

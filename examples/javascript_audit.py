@@ -1,0 +1,57 @@
+"""Audit a Node.js/Express file with the JavaScript rule pack.
+
+The paper lists support for other programming languages as future work;
+because the engine is AST-free, a new language is just a rule pack.  This
+demo hardens a small Express application.
+
+Run with::
+
+    python examples/javascript_audit.py
+"""
+
+from repro.core import PatchitPy
+from repro.core.rules.javascript import javascript_ruleset
+
+EXPRESS_APP = """\
+const express = require('express');
+const crypto = require('crypto');
+const app = express();
+
+const apiToken = "sk-live-9f8e7d6c5b4a";
+
+app.get('/user', (req, res) => {
+  db.query(`SELECT * FROM users WHERE id = ${req.query.id}`)
+    .then(rows => {
+      panel.innerHTML = rows[0].bio;
+      res.cookie('sid', Math.random().toString(36));
+      res.send(rows[0]);
+    });
+});
+
+app.get('/go', (req, res) => res.redirect(req.query.next));
+
+app.post('/login', (req, res) => {
+  const digest = crypto.createHash('md5').update(req.body.password).digest('hex');
+  res.send(digest);
+});
+"""
+
+
+def main() -> None:
+    engine = PatchitPy(rules=javascript_ruleset(), prune_imports=False)
+
+    findings = engine.detect(EXPRESS_APP)
+    print(f"findings: {len(findings)}")
+    for finding in findings:
+        line = EXPRESS_APP.count("\n", 0, finding.span.start) + 1
+        print(f"  L{line:>2} [{finding.cwe_id}] {finding.message}")
+
+    result = engine.patch(EXPRESS_APP)
+    print(f"\npatches applied: {len(result.applied)}; "
+          f"detection-only findings left: {len(result.unpatchable)}")
+    print("\n=== hardened application ===")
+    print(result.patched)
+
+
+if __name__ == "__main__":
+    main()

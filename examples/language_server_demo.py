@@ -1,0 +1,63 @@
+"""Drive the LSP-style language server end to end.
+
+The paper's future work names integration beyond VS Code; this demo shows
+the portable route: open a document, receive LSP diagnostics, request
+quick-fix code actions, apply their workspace edits, and iterate until
+the diagnostics list is empty.
+
+Run with::
+
+    python examples/language_server_demo.py
+"""
+
+import json
+
+from repro.ide import LanguageServer
+
+GENERATED = '''\
+import pickle
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/restore", methods=["POST"])
+def restore():
+    state = pickle.loads(request.data)
+    return f"<p>{state}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+'''
+
+URI = "file:///workspace/service.py"
+
+
+def main() -> None:
+    server = LanguageServer()
+    print("server capabilities:")
+    print(json.dumps(server.initialize()["capabilities"], indent=2))
+
+    published = server.did_open(URI, GENERATED)
+    print(f"\ndidOpen -> {len(published['diagnostics'])} diagnostic(s):")
+    for diagnostic in published["diagnostics"]:
+        line = diagnostic["range"]["start"]["line"] + 1
+        print(f"  L{line} [{diagnostic['code']}] {diagnostic['message']}")
+
+    round_number = 0
+    while True:
+        actions = server.code_actions(URI)
+        if not actions:
+            break
+        round_number += 1
+        action = actions[0]
+        print(f"\nround {round_number}: applying {action['title']!r}")
+        outcome = server.apply_workspace_edit(action["edit"])
+        remaining = outcome["diagnostics"][URI]["diagnostics"]
+        print(f"  diagnostics remaining: {len(remaining)}")
+
+    print("\n=== document after quick fixes ===")
+    print(server.document_text(URI))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Scan a project tree and produce a shareable HTML report.
+
+Builds a small demo project on the fly, scans it (in parallel), patches
+it in place, and writes before/after HTML reports next to this script.
+
+Run with::
+
+    python examples/project_scan_report.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.htmlreport import write_html_report
+from repro.core.project import ProjectScanner
+
+FILES = {
+    "app/db.py": (
+        "import sqlite3\n\n"
+        "def find_user(uid):\n"
+        "    conn = sqlite3.connect('app.db')\n"
+        "    cur = conn.cursor()\n"
+        "    cur.execute(f\"SELECT * FROM users WHERE id = {uid}\")\n"
+        "    return cur.fetchone()\n"
+    ),
+    "app/auth.py": (
+        "import hashlib\n\n"
+        "admin_password = 'hunter2!'\n\n"
+        "def verify(password):\n"
+        "    return hashlib.md5(password.encode()).hexdigest()\n"
+    ),
+    "app/util.py": "def add(a, b):\n    return a + b\n",
+    "tasks/jobs.py": (
+        "import pickle\n\n"
+        "def load_job(blob):\n"
+        "    return pickle.loads(blob)\n"
+    ),
+}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        for relative, content in FILES.items():
+            target = root / relative
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content)
+
+        scanner = ProjectScanner()
+        before = scanner.scan(root, jobs=4)
+        print(before.summary())
+        report_dir = Path(__file__).parent
+        write_html_report(before, str(report_dir / "scan_before.html"), "Before patching")
+
+        patched = scanner.patch_tree(root, backup=False)
+        changed = [f.path.name for f in patched.files if f.patched]
+        print(f"\npatched files: {', '.join(changed)}")
+
+        after = scanner.scan(root, jobs=4)
+        print(after.summary())
+        write_html_report(after, str(report_dir / "scan_after.html"), "After patching")
+        print(f"\nHTML reports: {report_dir / 'scan_before.html'}, "
+              f"{report_dir / 'scan_after.html'}")
+
+
+if __name__ == "__main__":
+    main()

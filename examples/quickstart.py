@@ -1,0 +1,55 @@
+"""Quickstart: detect and patch vulnerabilities in a Python snippet.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import PatchitPy
+from repro.core.report import format_finding
+
+VULNERABLE_APP = '''\
+from flask import Flask, request
+import sqlite3, os, pickle
+
+app = Flask(__name__)
+
+@app.route("/user")
+def show_user():
+    uid = request.args.get("id", "")
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute(f"SELECT * FROM users WHERE id = {uid}")
+    row = cur.fetchone()
+    os.system("logger user-lookup " + uid)
+    profile = pickle.loads(request.data) if request.data else {}
+    return f"<p>{row} {profile}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+'''
+
+
+def main() -> None:
+    engine = PatchitPy()
+
+    print("=== Phase 1: detection ===")
+    findings = engine.detect(VULNERABLE_APP)
+    for finding in findings:
+        print(" ", format_finding(finding, VULNERABLE_APP))
+
+    print()
+    print("=== Phase 2: patching ===")
+    result = engine.patch(VULNERABLE_APP)
+    print(f"applied {len(result.applied)} patch(es):")
+    for patch in result.applied:
+        print(f"  {patch.rule_id}: {patch.description}")
+    print()
+    print(result.patched)
+
+    remaining = engine.detect(result.patched)
+    print(f"findings remaining after patching: {len(remaining)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Reproduce Table I: mine a patching rule from two (vulnerable, safe) pairs.
+
+Walks the full Fig. 2 pipeline on the paper's running example — a Flask
+greeting page vulnerable to XSS (CWE-079) and debug-mode information
+exposure (CWE-209):
+
+1. standardization with the named entity tagger (``var#`` placeholders);
+2. token-level LCS of the vulnerable pair and of the safe pair;
+3. SequenceMatcher diff → the additional safe fragments;
+4. rule synthesis → a regex + patch template applied to unseen code.
+
+Run with::
+
+    python examples/rule_mining_demo.py
+"""
+
+from repro.core import PatchitPy
+from repro.core.rules import RuleSet
+from repro.mining import extract_pattern, synthesize_rules
+from repro.standardize import standardize
+
+V1 = '''\
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    name = request.args.get("name", "")
+    return f"<p>{name}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+'''
+
+V2 = '''\
+from flask import Flask, request, make_response
+appl = Flask(__name__)
+
+@appl.route("/showName")
+def name():
+    username = request.args.get("username")
+    return make_response(f"Hello {username}")
+
+if __name__ == "__main__":
+    appl.run(debug=True)
+'''
+
+S1 = '''\
+from flask import Flask, request, escape
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    name = request.args.get("name", "")
+    return f"<p>{escape(name)}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+'''
+
+S2 = '''\
+from flask import Flask, request, make_response, escape
+appl = Flask(__name__)
+
+@appl.route("/showName")
+def name():
+    username = request.args.get("username")
+    return make_response(f"Hello {escape(username)}")
+
+if __name__ == "__main__":
+    appl.run(debug=False, use_debugger=False, use_reloader=False)
+'''
+
+UNSEEN = '''\
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/hello")
+def hello():
+    visitor = request.args.get("visitor", "")
+    return f"<b>{visitor}</b>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+'''
+
+
+def main() -> None:
+    print("=== Step 1: standardization (Table I columns) ===")
+    for label, code in (("v1", V1), ("s1", S1)):
+        result = standardize(code)
+        print(f"--- standardized {label} (dictionary: {result.mapping})")
+        print(result.text)
+
+    print("=== Step 2+3: LCS + SequenceMatcher diff ===")
+    pattern = extract_pattern(V1, V2, S1, S2)
+    print("LCS_v:", pattern.lcs_vulnerable_text.strip())
+    print()
+    print("LCS_s:", pattern.lcs_safe_text.strip())
+    print()
+    print("safe additions (the blue fragments of Table I):")
+    for fragment in pattern.fragments:
+        if fragment.safe_tokens:
+            print(f"  {fragment.kind}: {fragment.vulnerable_tokens} -> {fragment.safe_tokens}")
+
+    print()
+    print("=== Step 4: rule synthesis and application to unseen code ===")
+    rules = synthesize_rules(pattern, "CWE-209", rule_prefix="MINED-XSS-DEBUG")
+    engine = PatchitPy(rules=RuleSet(rules), prune_imports=False)
+    findings = engine.detect(UNSEEN)
+    print(f"mined rules: {[r.rule_id for r in rules]}")
+    print(f"findings on unseen sample: {[f.rule_id for f in findings]}")
+    print()
+    print(engine.patch(UNSEEN).patched)
+
+
+if __name__ == "__main__":
+    main()

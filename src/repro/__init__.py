@@ -1,0 +1,62 @@
+"""Reproduction of *Securing AI Code Generation Through Automated
+Pattern-Based Patching* (PatchitPy, DSN 2025).
+
+The library implements the paper's pattern-based vulnerability detection
+and patching engine for Python, the rule-mining pipeline that derives
+rules from (vulnerable, safe) sample pairs, an IDE integration layer, and
+the full evaluation substrate: a 203-prompt security corpus, three
+simulated AI code generators, six baseline tools, and the metrics suite
+needed to regenerate every table and figure of the paper.
+
+Quickstart::
+
+    from repro import PatchitPy
+
+    engine = PatchitPy()
+    findings = engine.detect(source_code)
+    result = engine.patch(source_code)
+    print(result.patched)
+"""
+
+from repro.core import PatchitPy, PatchResult, default_ruleset
+from repro.core.project import ProjectReport, ProjectScanner
+from repro.ide import LanguageServer
+from repro.core.rules import DetectionRule, PatchTemplate, RuleSet, extended_ruleset
+from repro.types import (
+    AnalysisReport,
+    CodeSample,
+    Confidence,
+    Finding,
+    GeneratorName,
+    Patch,
+    Prompt,
+    PromptSource,
+    Severity,
+    Span,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport",
+    "CodeSample",
+    "Confidence",
+    "DetectionRule",
+    "Finding",
+    "GeneratorName",
+    "LanguageServer",
+    "Patch",
+    "PatchResult",
+    "ProjectReport",
+    "ProjectScanner",
+    "PatchTemplate",
+    "PatchitPy",
+    "Prompt",
+    "PromptSource",
+    "RuleSet",
+    "Severity",
+    "Span",
+    "__version__",
+    "default_ruleset",
+    "extended_ruleset",
+]

@@ -1,0 +1,21 @@
+"""Baseline tools: mini-Bandit, mini-Semgrep, mini-CodeQL, simulated LLMs."""
+
+from repro.baselines.base import DetectionTool, PatchitPyTool
+from repro.baselines.devaic import DevAIC, devaic_ruleset
+from repro.baselines.llm import make_chatgpt, make_claude_llm, make_gemini
+from repro.baselines.minibandit import MiniBandit
+from repro.baselines.minicodeql import MiniCodeQL
+from repro.baselines.minisemgrep import MiniSemgrep
+
+__all__ = [
+    "DetectionTool",
+    "DevAIC",
+    "devaic_ruleset",
+    "MiniBandit",
+    "MiniCodeQL",
+    "MiniSemgrep",
+    "PatchitPyTool",
+    "make_chatgpt",
+    "make_claude_llm",
+    "make_gemini",
+]

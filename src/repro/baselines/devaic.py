@@ -1,0 +1,64 @@
+"""DevAIC — the detection-only predecessor PatchitPy extends (§II).
+
+The paper builds on "a previous work [35] exclusively focused on
+vulnerability detection via rules based on regular expressions, without
+relying on AST modeling" (DevAIC, Cotroneo et al.).  This reconstruction
+models that predecessor as the same pattern rules *before* the PatchitPy
+improvements: no patch templates, no veto guards, and no file-scope
+prerequisites — the raw regexes.  Comparing it against PatchitPy isolates
+what the paper's §II-A "improvement of the regular expressions"
+contributed (precision) on top of the inherited recall.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import DetectionTool
+from repro.core.engine import PatchitPy
+from repro.core.rules import RuleSet, default_ruleset
+from repro.core.rules.base import DetectionRule
+from repro.types import AnalysisReport, CodeSample
+
+
+def devaic_ruleset(base: Optional[RuleSet] = None) -> RuleSet:
+    """The predecessor's rule set: raw patterns without refinements."""
+    if base is None:
+        base = default_ruleset()
+    stripped = []
+    for rule in base:
+        stripped.append(
+            DetectionRule(
+                rule_id=rule.rule_id.replace("PIT-", "DEVAIC-"),
+                cwe_id=rule.cwe_id,
+                description=rule.description,
+                pattern=rule.pattern,
+                severity=rule.severity,
+                confidence=rule.confidence,
+                patch=None,  # detection-only
+                guards=(),  # no mitigation-aware vetoes yet
+                prerequisites=(),  # no file-scope context conditions yet
+                message=rule.message,
+            )
+        )
+    return RuleSet(stripped)
+
+
+class DevAIC(DetectionTool):
+    """The detection-only predecessor tool."""
+
+    name = "devaic"
+    can_patch = False
+
+    def __init__(self) -> None:
+        self._engine = PatchitPy(rules=devaic_ruleset())
+
+    def analyze(self, sample: CodeSample) -> AnalysisReport:
+        """Analyze one sample with the predecessor's raw rules."""
+        return self.analyze_source(sample.source)
+
+    def analyze_source(self, source: str) -> AnalysisReport:
+        """Analyze raw source text (detection only)."""
+        return AnalysisReport(
+            tool=self.name, source=source, findings=self._engine.detect(source)
+        )

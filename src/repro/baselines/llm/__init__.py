@@ -1,0 +1,22 @@
+"""Simulated LLM baselines (ChatGPT-4o / Claude-3.7 / Gemini-2.0)."""
+
+from repro.baselines.llm.models import (
+    CHATGPT_4O,
+    CLAUDE_37,
+    GEMINI_20,
+    make_chatgpt,
+    make_claude_llm,
+    make_gemini,
+)
+from repro.baselines.llm.simulator import LLMProfile, SimulatedLLM
+
+__all__ = [
+    "CHATGPT_4O",
+    "CLAUDE_37",
+    "GEMINI_20",
+    "LLMProfile",
+    "SimulatedLLM",
+    "make_chatgpt",
+    "make_claude_llm",
+    "make_gemini",
+]

@@ -1,0 +1,60 @@
+"""Profiles of the three simulated LLM baselines.
+
+Thresholds and noise are calibrated so the Table II signature holds:
+recall close to PatchitPy's, precision well below it (over-flagging of
+security-themed safe code), with Claude-3.7 the most aggressive flagger.
+Patch-behaviour parameters reproduce the Fig. 3 complexity ordering
+(Claude-3.7 > Gemini-2.0 > ChatGPT-4o > generated).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.llm.simulator import LLMProfile, SimulatedLLM
+
+CHATGPT_4O = LLMProfile(
+    name="chatgpt-4o",
+    threshold=-0.1,
+    noise_sigma=1.4,
+    rule_knowledge=0.75,
+    patch_skill=0.80,
+    try_except_rate=0.45,
+    validation_rate=0.35,
+    completion_rate=0.20,
+)
+
+CLAUDE_37 = LLMProfile(
+    name="claude-3.7",
+    threshold=-0.7,
+    noise_sigma=1.5,
+    rule_knowledge=0.80,
+    patch_skill=0.82,
+    try_except_rate=0.65,
+    validation_rate=0.55,
+    completion_rate=0.35,
+)
+
+GEMINI_20 = LLMProfile(
+    name="gemini-2.0",
+    threshold=-0.4,
+    noise_sigma=1.6,
+    rule_knowledge=0.70,
+    patch_skill=0.75,
+    try_except_rate=0.55,
+    validation_rate=0.45,
+    completion_rate=0.25,
+)
+
+
+def make_chatgpt(seed: int = 2025) -> SimulatedLLM:
+    """ChatGPT-4o reviewer simulator."""
+    return SimulatedLLM(CHATGPT_4O, seed=seed)
+
+
+def make_claude_llm(seed: int = 2025) -> SimulatedLLM:
+    """Claude-3.7-Sonnet reviewer simulator."""
+    return SimulatedLLM(CLAUDE_37, seed=seed)
+
+
+def make_gemini(seed: int = 2025) -> SimulatedLLM:
+    """Gemini-2.0-Flash reviewer simulator."""
+    return SimulatedLLM(GEMINI_20, seed=seed)

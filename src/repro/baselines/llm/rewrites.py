@@ -1,0 +1,118 @@
+"""LLM-style code rewrites used by the simulated model patchers.
+
+The paper observes (Fig. 3 discussion) that LLM patches "modify the code
+structure ... primarily due to function completions beyond the original
+signatures, introducing additional logic not present in the generated
+code".  These transforms reproduce that behaviour textually, so they also
+apply to incomplete snippets: wrapping a function body in try/except and
+prepending input-validation guards, both of which raise cyclomatic
+complexity without changing intent.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import List, Optional, Tuple
+
+_DEF_RE = re.compile(r"^(?P<indent>[ \t]*)def\s+\w+\((?P<params>[^)]*)\)\s*(?:->[^:]+)?:\s*$")
+
+
+def _find_first_function(lines: List[str]) -> Optional[Tuple[int, str, List[str]]]:
+    """Locate the first def: returns (line index, indent, param names)."""
+    for index, line in enumerate(lines):
+        match = _DEF_RE.match(line)
+        if match:
+            params = [
+                p.split("=")[0].split(":")[0].strip()
+                for p in match.group("params").split(",")
+                if p.strip() and not p.strip().startswith("*")
+            ]
+            params = [p for p in params if p not in ("self", "cls")]
+            return index, match.group("indent"), params
+    return None
+
+
+def _body_range(lines: List[str], def_index: int, def_indent: str) -> Tuple[int, int]:
+    """Index range (start, end) of the function body lines."""
+    body_indent_len = len(def_indent) + 1
+    start = def_index + 1
+    end = start
+    for index in range(start, len(lines)):
+        line = lines[index]
+        if not line.strip():
+            end = index + 1
+            continue
+        indent_len = len(line) - len(line.lstrip())
+        if indent_len < body_indent_len:
+            break
+        end = index + 1
+    while end > start and not lines[end - 1].strip():
+        end -= 1
+    return start, end
+
+
+def wrap_body_in_try_except(source: str) -> str:
+    """Wrap the first function's body in a try/except (CC +1)."""
+    lines = source.splitlines()
+    located = _find_first_function(lines)
+    if located is None:
+        return source
+    def_index, def_indent, _ = located
+    start, end = _body_range(lines, def_index, def_indent)
+    if start >= end:
+        return source
+    body = lines[start:end]
+    inner = def_indent + "    "
+    wrapped = [inner + "try:"]
+    wrapped += ["    " + line if line.strip() else line for line in body]
+    wrapped += [
+        inner + "except Exception as exc:",
+        inner + "    raise RuntimeError(\"operation failed\") from exc",
+    ]
+    return "\n".join(lines[:start] + wrapped + lines[end:]) + _trailing_newline(source)
+
+
+def add_validation_guard(source: str, rng: random.Random) -> str:
+    """Insert a parameter-validation branch at the top of the body (CC +2)."""
+    lines = source.splitlines()
+    located = _find_first_function(lines)
+    if located is None:
+        return source
+    def_index, def_indent, params = located
+    if not params:
+        return source
+    param = rng.choice(params)
+    inner = def_indent + "    "
+    guard = [
+        inner + f"if {param} is None or {param} == \"\":",
+        inner + f"    raise ValueError(\"invalid {param}\")",
+    ]
+    insert_at = def_index + 1
+    # skip a docstring if present
+    if insert_at < len(lines) and lines[insert_at].lstrip().startswith(('"""', "'''")):
+        quote = lines[insert_at].lstrip()[:3]
+        if lines[insert_at].rstrip().endswith(quote) and len(lines[insert_at].strip()) > 3:
+            insert_at += 1
+        else:
+            for scan in range(insert_at + 1, len(lines)):
+                if lines[scan].rstrip().endswith(quote):
+                    insert_at = scan + 1
+                    break
+    return "\n".join(lines[:insert_at] + guard + lines[insert_at:]) + _trailing_newline(source)
+
+
+def add_logging_completion(source: str) -> str:
+    """Append a small status-logging helper (the 'completion' habit)."""
+    helper = (
+        "\n\ndef _log_status(message, ok=True):\n"
+        "    if ok:\n"
+        "        print(f\"[ok] {message}\")\n"
+        "    else:\n"
+        "        print(f\"[error] {message}\")\n"
+    )
+    return source.rstrip("\n") + helper
+
+
+def _trailing_newline(source: str) -> str:
+    return "\n" if source.endswith("\n") else ""

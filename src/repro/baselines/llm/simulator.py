@@ -1,0 +1,175 @@
+"""Simulated LLM reviewers (ZS-RO prompt substitute).
+
+The paper queries ChatGPT-4o, Claude-3.7-Sonnet, and Gemini-2.0-Flash with
+a Zero-Shot Role-Oriented prompt ("Act as a security expert ... Is this
+code vulnerable? ... If it is vulnerable, patch the code.").  The
+simulators reproduce the *measured behaviour* of that setup:
+
+- detection by suspicion scoring: security-relevant surface features raise
+  a score; a per-model threshold plus seeded Gaussian noise decides the
+  yes/no verdict.  Because security-themed *safe* code also scores, the
+  models over-flag — the low-precision signature of Table II;
+- patching by fixing the vulnerable idioms the model "knows" (a per-model
+  subset of safe substitutions) and then *completing* the code with extra
+  validation and error handling, which inflates cyclomatic complexity —
+  the Fig. 3 signature.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.baselines.base import DetectionTool
+from repro.baselines.llm.rewrites import (
+    add_logging_completion,
+    add_validation_guard,
+    wrap_body_in_try_except,
+)
+from repro.core import PatchitPy
+from repro.core.rules import default_ruleset
+from repro.types import AnalysisReport, CodeSample, Confidence, Finding, Severity, Span
+
+# (regex, weight) — surface features a reviewer reads as risk signals.
+_INDICATORS: Tuple[Tuple[str, float], ...] = (
+    (r"os\.system\(|os\.popen\(|shell\s*=\s*True", 3.0),
+    (r"(?<![\w.])eval\(|(?<![\w.])exec\(", 3.0),
+    (r"pickle\.loads?\(|marshal\.loads?\(|jsonpickle|yaml\.load\(|full_load|Unpickler", 3.0),
+    (r"execute(?:many|script)?\(\s*f?['\"]", 2.5),
+    (r"\.format\(|%s", 1.0),
+    (r"hashlib\.(?:md5|sha1)\(|MODE_ECB|DES\.new|ARC4", 2.5),
+    (r"verify\s*=\s*False|_create_unverified_context|check_hostname\s*=\s*False|CERT_NONE", 3.0),
+    (r"debug\s*=\s*True", 2.5),
+    (r"tempfile\.mktemp|/tmp/", 2.0),
+    (r"password|passwd|secret|api_key|token", 1.5),
+    (r"request\.(?:args|form|files|data|json|headers|cookies)", 1.5),
+    (r"open\(|send_file\(|extractall\(", 1.2),
+    (r"redirect\(|set_cookie\(|render_template_string\(", 1.5),
+    (r"random\.(?:choice|randint|random|getrandbits)", 1.5),
+    (r"subprocess|telnetlib|ftplib", 1.5),
+    (r"chmod|umask", 1.5),
+    (r"etree\.|xml\.", 1.2),
+    (r"PROTOCOL_(?:SSLv|TLSv1)", 2.5),
+    (r"logging\.\w+\(\s*f['\"]", 1.0),
+    (r"requests\.(?:get|post)\(", 1.0),
+    (r"http://", 1.5),
+    (r"ldap|xpath", 1.5),
+)
+
+_COMPILED_INDICATORS = tuple((re.compile(p), w) for p, w in _INDICATORS)
+
+# Mitigation features that make a reviewer relax.
+_MITIGATIONS: Tuple[Tuple[str, float], ...] = (
+    (r"escape\(|secure_filename\(|basename\(|safe_load|safe_join", 1.5),
+    (r"compare_digest|pbkdf2|secrets\.", 1.5),
+    (r"os\.environ|getenv", 1.0),
+    (r"execute\([^)]*,\s*\(", 1.5),  # parameterized query
+    (r"urlparse\(|ALLOWED_", 1.2),
+    (r"login_required|samesite|httponly", 1.0),
+)
+
+_COMPILED_MITIGATIONS = tuple((re.compile(p), w) for p, w in _MITIGATIONS)
+
+
+@dataclass(frozen=True)
+class LLMProfile:
+    """Behavioural parameters of one simulated model."""
+
+    name: str
+    threshold: float
+    noise_sigma: float
+    rule_knowledge: float  # fraction of safe substitutions the model knows
+    patch_skill: float  # per-finding probability of applying a known fix
+    try_except_rate: float
+    validation_rate: float
+    completion_rate: float
+    seed_salt: str = "zsro"
+
+
+class SimulatedLLM(DetectionTool):
+    """One simulated LLM reviewer/patcher."""
+
+    can_patch = True
+
+    def __init__(self, profile: LLMProfile, seed: int = 2025) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.name = profile.name
+        self._engine = PatchitPy(rules=self._known_rules())
+
+    # ----------------------------------------------------------- detection
+
+    def suspicion_score(self, source: str) -> float:
+        """Surface-feature risk score of the source text."""
+        score = 0.0
+        for pattern, weight in _COMPILED_INDICATORS:
+            if pattern.search(source):
+                score += weight
+        for pattern, weight in _COMPILED_MITIGATIONS:
+            if pattern.search(source):
+                score -= weight
+        return score
+
+    def analyze(self, sample: CodeSample) -> AnalysisReport:
+        """The model's yes/no vulnerability verdict as a report."""
+        report = AnalysisReport(tool=self.name, source=sample.source)
+        rng = self._rng(sample.sample_id, "detect")
+        score = self.suspicion_score(sample.source) + rng.gauss(0.0, self.profile.noise_sigma)
+        if score > self.profile.threshold:
+            report.findings.append(
+                Finding(
+                    rule_id=f"{self.name}:zs-ro",
+                    cwe_id="CWE-020",
+                    message="Model verdict: Yes, this code is vulnerable.",
+                    span=Span(0, min(len(sample.source), 1)),
+                    snippet=sample.source[:80],
+                    severity=Severity.MEDIUM,
+                    confidence=Confidence.LOW,
+                    fixable=True,
+                )
+            )
+        return report
+
+    # ------------------------------------------------------------ patching
+
+    def patch(self, sample: CodeSample) -> Optional[str]:
+        """The model's rewritten code (only when it answered "Yes")."""
+        if not self.is_vulnerable(sample):
+            return None
+        rng = self._rng(sample.sample_id, "patch")
+        source = sample.source
+
+        findings = self._engine.detect(source)
+        kept: List[Finding] = [f for f in findings if rng.random() < self.profile.patch_skill]
+        if kept:
+            source = self._engine.patch(source, kept).patched
+
+        if rng.random() < self.profile.try_except_rate:
+            source = wrap_body_in_try_except(source)
+        if rng.random() < self.profile.validation_rate:
+            source = add_validation_guard(source, rng)
+        if rng.random() < self.profile.completion_rate:
+            source = add_logging_completion(source)
+        return source
+
+    # ------------------------------------------------------------ internal
+
+    def _rng(self, *context: object) -> random.Random:
+        return random.Random(
+            f"{self.seed}:{self.profile.seed_salt}:{self.name}:" + ":".join(map(str, context))
+        )
+
+    def _known_rules(self):
+        """Deterministic per-model subset of the safe substitutions."""
+        rules = default_ruleset()
+
+        def knows(rule) -> bool:
+            digest = hashlib.sha256(
+                f"{self.profile.name}:{rule.rule_id}".encode()
+            ).digest()
+            return digest[0] / 255.0 < self.profile.rule_knowledge
+
+        return rules.subset(knows)

@@ -1,0 +1,6 @@
+"""mini-Bandit: Bandit-style AST plugin scanner (detection + comments)."""
+
+from repro.baselines.minibandit.core import MiniBandit
+from repro.baselines.minibandit.plugins import PLUGINS, Plugin, PluginContext, call_name
+
+__all__ = ["MiniBandit", "PLUGINS", "Plugin", "PluginContext", "call_name"]

@@ -1,0 +1,87 @@
+"""mini-Bandit: an AST-plugin security linter in the style of Bandit.
+
+Like the real tool, it parses the target with :mod:`ast` and walks the
+tree, dispatching each node to registered test plugins (B1xx–B6xx ids).
+Consequently it *cannot analyze incomplete snippets*: when ``ast.parse``
+fails the report is empty with ``parse_failed=True`` — exactly the
+behaviour that costs AST-based tools recall on AI-generated code (§III-C).
+
+Remediation is delivered only as suggestion comments (the paper measures
+~17 % of Bandit detections carrying one), never as modified code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.baselines.base import DetectionTool
+from repro.baselines.minibandit.plugins import PLUGINS, PluginContext
+from repro.types import AnalysisReport, CodeSample, SuggestionComment
+
+
+class MiniBandit(DetectionTool):
+    """Bandit-style AST security scanner."""
+
+    name = "bandit"
+    can_patch = False
+
+    def __init__(self, plugins=None) -> None:
+        self.plugins = list(plugins) if plugins is not None else list(PLUGINS)
+
+    def analyze(self, sample: CodeSample) -> AnalysisReport:
+        """Analyze one sample (AST build + plugin sweep)."""
+        return self.analyze_source(sample.source)
+
+    def analyze_source(self, source: str) -> AnalysisReport:
+        """Analyze raw source text; parse failures yield empty reports."""
+        report = AnalysisReport(tool=self.name, source=source)
+        try:
+            tree = ast.parse(source)
+        except (SyntaxError, ValueError):
+            report.parse_failed = True
+            return report
+
+        context = PluginContext(source=source, tree=tree)
+        for node in ast.walk(tree):
+            for plugin in self.plugins:
+                if not isinstance(node, plugin.node_types):
+                    continue
+                finding = plugin.check(node, context)
+                if finding is None:
+                    continue
+                report.findings.append(finding)
+                if plugin.suggestion:
+                    report.suggestions.append(
+                        SuggestionComment(
+                            rule_id=plugin.plugin_id,
+                            cwe_id=plugin.cwe_id,
+                            line=getattr(node, "lineno", 1),
+                            comment=f"# bandit[{plugin.plugin_id}]: {plugin.suggestion}",
+                        )
+                    )
+        report.findings = _dedupe(report.findings)
+        return report
+
+    def annotated_source(self, sample: CodeSample) -> Optional[str]:
+        """Source with suggestion comments inserted (never a code change)."""
+        report = self.analyze(sample)
+        if not report.suggestions:
+            return None
+        lines = sample.source.splitlines()
+        for suggestion in sorted(report.suggestions, key=lambda s: -s.line):
+            index = min(max(suggestion.line - 1, 0), len(lines) - 1)
+            indent = lines[index][: len(lines[index]) - len(lines[index].lstrip())]
+            lines.insert(index, indent + suggestion.comment)
+        return "\n".join(lines) + "\n"
+
+
+def _dedupe(findings: List) -> List:
+    seen = set()
+    out = []
+    for finding in findings:
+        key = (finding.rule_id, finding.span.start)
+        if key not in seen:
+            seen.add(key)
+            out.append(finding)
+    return out

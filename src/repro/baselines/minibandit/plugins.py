@@ -1,0 +1,344 @@
+"""Bandit-style test plugins.
+
+Each plugin inspects one AST node kind and reports a finding when its
+check matches, mirroring the real tool's plugin families: blacklisted
+calls/imports (B3xx/B4xx), application misconfiguration (B1xx/B2xx/B5xx),
+and injection heuristics (B6xx).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.types import Confidence, Finding, Severity, Span
+
+
+@dataclass
+class PluginContext:
+    """Shared analysis context handed to every plugin."""
+
+    source: str
+    tree: ast.AST
+
+    def span(self, node: ast.AST) -> Span:
+        """Character span of an AST node within the source."""
+        start = _offset(self.source, node.lineno, node.col_offset)
+        end_line = getattr(node, "end_lineno", node.lineno)
+        end_col = getattr(node, "end_col_offset", node.col_offset + 1)
+        return Span(start, _offset(self.source, end_line, end_col))
+
+
+def _offset(source: str, line: int, col: int) -> int:
+    current = 0
+    for _ in range(line - 1):
+        nl = source.find("\n", current)
+        if nl == -1:
+            return len(source)
+        current = nl + 1
+    return min(current + col, len(source))
+
+
+@dataclass
+class Plugin:
+    """One Bandit test."""
+
+    plugin_id: str
+    cwe_id: str
+    message: str
+    node_types: tuple
+    matcher: Callable[[ast.AST, PluginContext], bool]
+    severity: Severity = Severity.MEDIUM
+    confidence: Confidence = Confidence.MEDIUM
+    suggestion: str = ""
+
+    def check(self, node: ast.AST, context: PluginContext) -> Optional[Finding]:
+        """Run the plugin on one node; a Finding or None."""
+        if not self.matcher(node, context):
+            return None
+        return Finding(
+            rule_id=self.plugin_id,
+            cwe_id=self.cwe_id,
+            message=self.message,
+            span=context.span(node),
+            snippet=ast.get_source_segment(context.source, node) or "",
+            severity=self.severity,
+            confidence=self.confidence,
+            fixable=False,
+        )
+
+
+# --------------------------------------------------------------------- util
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted name of the called function, e.g. ``os.system``."""
+    parts = []
+    target = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+    return ".".join(reversed(parts))
+
+
+def _kwarg(node: ast.Call, name: str) -> Optional[ast.expr]:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _is_const(node: Optional[ast.expr], value: object) -> bool:
+    return isinstance(node, ast.Constant) and node.value == value
+
+
+def _const_str(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _sql_text(text: str) -> bool:
+    upper = text.upper()
+    return any(k in upper for k in ("SELECT ", "INSERT ", "UPDATE ", "DELETE ", "DROP "))
+
+
+# ------------------------------------------------------------------ matchers
+
+
+def _exec_used(node: ast.Call, ctx: PluginContext) -> bool:
+    return isinstance(node.func, ast.Name) and node.func.id == "exec"
+
+
+def _eval_used(node: ast.Call, ctx: PluginContext) -> bool:
+    return isinstance(node.func, ast.Name) and node.func.id == "eval"
+
+
+def _bad_permissions(node: ast.Call, ctx: PluginContext) -> bool:
+    if call_name(node) != "os.chmod" or len(node.args) < 2:
+        return False
+    mode = node.args[1]
+    return isinstance(mode, ast.Constant) and isinstance(mode.value, int) and (
+        mode.value & 0o077
+    ) in (0o066, 0o077, 0o007, 0o006) or (
+        isinstance(mode, ast.Constant) and mode.value in (0o777, 0o666)
+    )
+
+
+def _bind_all(node: ast.Constant, ctx: PluginContext) -> bool:
+    return node.value == "0.0.0.0"
+
+
+def _hardcoded_password_assign(node: ast.Assign, ctx: PluginContext) -> bool:
+    if not isinstance(node.value, ast.Constant) or not isinstance(node.value.value, str):
+        return False
+    if len(node.value.value) < 3:
+        return False
+    names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+    names += [t.attr for t in node.targets if isinstance(t, ast.Attribute)]
+    return any(
+        any(token in name.lower() for token in ("password", "passwd", "pwd", "secret_key", "api_key", "token"))
+        for name in names
+    )
+
+
+def _hardcoded_password_compare(node: ast.Compare, ctx: PluginContext) -> bool:
+    if not isinstance(node.left, ast.Name):
+        return False
+    if not any(t in node.left.id.lower() for t in ("password", "passwd", "pwd")):
+        return False
+    return any(
+        isinstance(op, ast.Eq) and isinstance(comp, ast.Constant) and isinstance(comp.value, str)
+        for op, comp in zip(node.ops, node.comparators)
+    )
+
+
+def _hardcoded_tmp(node: ast.Constant, ctx: PluginContext) -> bool:
+    return isinstance(node.value, str) and node.value.startswith("/tmp/")
+
+
+def _try_except_pass(node: ast.ExceptHandler, ctx: PluginContext) -> bool:
+    return len(node.body) == 1 and isinstance(node.body[0], ast.Pass)
+
+
+def _request_no_timeout(node: ast.Call, ctx: PluginContext) -> bool:
+    name = call_name(node)
+    if name not in {f"requests.{m}" for m in ("get", "post", "put", "delete", "head", "patch")}:
+        return False
+    return _kwarg(node, "timeout") is None
+
+
+def _pickle_usage(node: ast.Call, ctx: PluginContext) -> bool:
+    return call_name(node) in (
+        "pickle.load",
+        "pickle.loads",
+        "pickle.Unpickler",
+        "cPickle.load",
+        "cPickle.loads",
+        "_pickle.load",
+        "_pickle.loads",
+        "dill.load",
+        "dill.loads",
+        "jsonpickle.decode",
+        "shelve.open",
+    )
+
+
+def _marshal_usage(node: ast.Call, ctx: PluginContext) -> bool:
+    return call_name(node) in ("marshal.load", "marshal.loads")
+
+
+def _weak_hash(node: ast.Call, ctx: PluginContext) -> bool:
+    name = call_name(node)
+    if name in ("hashlib.md5", "hashlib.sha1"):
+        return not _is_const(_kwarg(node, "usedforsecurity"), False)
+    if name == "hashlib.new" and node.args:
+        requested = _const_str(node.args[0])
+        return requested in ("md5", "md4", "sha", "sha1")
+    return False
+
+
+def _weak_cipher(node: ast.Call, ctx: PluginContext) -> bool:
+    return call_name(node) in ("DES.new", "DES3.new", "ARC4.new", "ARC2.new", "Blowfish.new")
+
+
+def _ecb_mode(node: ast.Attribute, ctx: PluginContext) -> bool:
+    return node.attr == "MODE_ECB"
+
+
+def _mktemp_used(node: ast.Call, ctx: PluginContext) -> bool:
+    return call_name(node) in ("tempfile.mktemp", "os.tempnam", "os.tmpnam")
+
+
+def _weak_random(node: ast.Call, ctx: PluginContext) -> bool:
+    return call_name(node) in (
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.getrandbits",
+        "random.randbytes",
+    )
+
+
+def _xml_parse(node: ast.Call, ctx: PluginContext) -> bool:
+    if "defusedxml" in ctx.source:
+        return False
+    return call_name(node) in (
+        "etree.parse",
+        "etree.fromstring",
+        "etree.XML",
+        "ElementTree.parse",
+        "ElementTree.fromstring",
+        "ET.parse",
+        "ET.fromstring",
+        "minidom.parse",
+        "minidom.parseString",
+    )
+
+
+def _ftp_usage(node: ast.Call, ctx: PluginContext) -> bool:
+    return call_name(node) == "ftplib.FTP"
+
+
+def _telnet_import(node: ast.Import, ctx: PluginContext) -> bool:
+    return any(alias.name == "telnetlib" for alias in node.names)
+
+
+def _no_cert_validation(node: ast.Call, ctx: PluginContext) -> bool:
+    return call_name(node).startswith("requests.") and _is_const(_kwarg(node, "verify"), False)
+
+
+def _bad_ssl_version(node: ast.Attribute, ctx: PluginContext) -> bool:
+    return node.attr in ("PROTOCOL_SSLv2", "PROTOCOL_SSLv3", "PROTOCOL_SSLv23", "PROTOCOL_TLSv1", "PROTOCOL_TLSv1_1")
+
+
+def _unverified_context(node: ast.Call, ctx: PluginContext) -> bool:
+    return call_name(node) in ("ssl._create_unverified_context", "ssl.wrap_socket")
+
+
+def _yaml_load(node: ast.Call, ctx: PluginContext) -> bool:
+    name = call_name(node)
+    if name in ("yaml.full_load", "yaml.unsafe_load"):
+        return True
+    if name != "yaml.load":
+        return False
+    loader = _kwarg(node, "Loader")
+    if loader is None:
+        return len(node.args) < 2
+    return not (isinstance(loader, ast.Attribute) and "Safe" in loader.attr)
+
+
+def _subprocess_shell(node: ast.Call, ctx: PluginContext) -> bool:
+    return call_name(node).startswith("subprocess.") and _is_const(_kwarg(node, "shell"), True)
+
+
+def _os_system(node: ast.Call, ctx: PluginContext) -> bool:
+    return call_name(node) in ("os.system", "os.popen")
+
+
+def _sql_injection(node: ast.Call, ctx: PluginContext) -> bool:
+    name = call_name(node)
+    if not name.endswith((".execute", ".executemany", ".executescript")):
+        return False
+    if not node.args:
+        return False
+    query = node.args[0]
+    if isinstance(query, ast.JoinedStr):
+        return any(isinstance(part, ast.FormattedValue) for part in query.values)
+    if isinstance(query, ast.BinOp) and isinstance(query.op, (ast.Add, ast.Mod)):
+        text = ast.get_source_segment(ctx.source, query) or ""
+        return _sql_text(text)
+    if (
+        isinstance(query, ast.Call)
+        and isinstance(query.func, ast.Attribute)
+        and query.func.attr == "format"
+    ):
+        inner = _const_str(query.func.value)
+        return inner is not None and _sql_text(inner)
+    return False
+
+
+def _flask_debug(node: ast.Call, ctx: PluginContext) -> bool:
+    return call_name(node).endswith(".run") and _is_const(_kwarg(node, "debug"), True)
+
+
+_CALL = (ast.Call,)
+
+PLUGINS: Tuple[Plugin, ...] = (
+    Plugin("B102", "CWE-094", "Use of exec detected.", _CALL, _exec_used, Severity.MEDIUM, Confidence.HIGH),
+    Plugin("B103", "CWE-732", "Permissive file permissions set.", _CALL, _bad_permissions, Severity.HIGH, Confidence.HIGH,
+           suggestion="chmod with owner-only permissions such as 0o600"),
+    Plugin("B104", "CWE-016", "Binding to all network interfaces.", (ast.Constant,), _bind_all),
+    Plugin("B105", "CWE-798", "Possible hardcoded password (assignment).", (ast.Assign,), _hardcoded_password_assign, Severity.LOW),
+    Plugin("B105C", "CWE-798", "Possible hardcoded password (comparison).", (ast.Compare,), _hardcoded_password_compare, Severity.LOW),
+    Plugin("B108", "CWE-377", "Probable insecure usage of temp file/directory.", (ast.Constant,), _hardcoded_tmp, Severity.MEDIUM),
+    Plugin("B110", "CWE-703", "Try, Except, Pass detected.", (ast.ExceptHandler,), _try_except_pass, Severity.LOW),
+    Plugin("B113", "CWE-400", "Requests call without timeout.", _CALL, _request_no_timeout, Severity.LOW),
+    Plugin("B201", "CWE-209", "Flask app run with debug=True.", _CALL, _flask_debug, Severity.HIGH, Confidence.HIGH),
+    Plugin("B301", "CWE-502", "Pickle-family deserialization of possibly untrusted data.", _CALL, _pickle_usage, Severity.HIGH),
+    Plugin("B302", "CWE-502", "Deserialization with marshal.", _CALL, _marshal_usage, Severity.HIGH),
+    Plugin("B303", "CWE-328", "Use of insecure MD2/MD5/SHA1 hash function.", _CALL, _weak_hash, Severity.MEDIUM, Confidence.HIGH),
+    Plugin("B304", "CWE-327", "Use of insecure cipher.", _CALL, _weak_cipher, Severity.HIGH, Confidence.HIGH),
+    Plugin("B305", "CWE-327", "Use of insecure cipher mode ECB.", (ast.Attribute,), _ecb_mode, Severity.MEDIUM),
+    Plugin("B306", "CWE-377", "Use of insecure and deprecated mktemp.", _CALL, _mktemp_used, Severity.MEDIUM, Confidence.HIGH,
+           suggestion="use tempfile.mkstemp or NamedTemporaryFile"),
+    Plugin("B311", "CWE-330", "Standard pseudo-random generators are not suitable for security.", _CALL, _weak_random, Severity.LOW),
+    Plugin("B314", "CWE-611", "XML parsing vulnerable to external entities.", _CALL, _xml_parse, Severity.MEDIUM,
+           suggestion="parse XML through defusedxml"),
+    Plugin("B321", "CWE-319", "FTP-related functions are being called.", _CALL, _ftp_usage, Severity.HIGH),
+    Plugin("B401", "CWE-319", "Import of telnetlib.", (ast.Import,), _telnet_import, Severity.HIGH, Confidence.HIGH),
+    Plugin("B501", "CWE-295", "Requests call with verify=False.", _CALL, _no_cert_validation, Severity.HIGH, Confidence.HIGH),
+    Plugin("B502", "CWE-326", "Use of insecure SSL/TLS protocol version.", (ast.Attribute,), _bad_ssl_version, Severity.HIGH, Confidence.HIGH),
+    Plugin("B504", "CWE-295", "SSL context without certificate validation.", _CALL, _unverified_context, Severity.HIGH),
+    Plugin("B506", "CWE-502", "Use of unsafe yaml load.", _CALL, _yaml_load, Severity.MEDIUM, Confidence.HIGH,
+           suggestion="use yaml.safe_load"),
+    Plugin("B602", "CWE-078", "subprocess call with shell=True.", _CALL, _subprocess_shell, Severity.HIGH, Confidence.HIGH,
+           suggestion="pass an argv list and shell=False"),
+    Plugin("B605", "CWE-078", "Starting a process with a shell.", _CALL, _os_system, Severity.HIGH, Confidence.HIGH),
+    Plugin("B607", "CWE-095", "Use of eval detected.", _CALL, _eval_used, Severity.MEDIUM, Confidence.HIGH),
+    Plugin("B608", "CWE-089", "Possible SQL injection through string construction.", _CALL, _sql_injection, Severity.MEDIUM),
+)

@@ -1,0 +1,8 @@
+"""mini-CodeQL: AST→relational extraction plus a security query suite."""
+
+from repro.baselines.minicodeql.astdb import AstDatabase, extract
+from repro.baselines.minicodeql.core import MiniCodeQL
+from repro.baselines.minicodeql.qlang import Query, QuerySuite
+from repro.baselines.minicodeql.queries import default_suite
+
+__all__ = ["AstDatabase", "MiniCodeQL", "Query", "QuerySuite", "default_suite", "extract"]

@@ -1,0 +1,209 @@
+"""mini-CodeQL extractor: Python AST → relational fact database.
+
+CodeQL works by extracting source into a relational database and running
+queries over it.  This extractor builds the relations the security queries
+need — calls, assignments, string literals, imports, decorators — plus a
+lightweight taint relation seeded at request/user-input expressions and
+propagated through simple assignments (a miniature of CodeQL's dataflow).
+
+Extraction requires a parseable module; on a SyntaxError the database is
+marked failed, and every query returns no results (the recall penalty on
+incomplete AI-generated snippets the paper exploits).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.types import Span
+
+
+@dataclass(frozen=True)
+class CallFact:
+    """One call site."""
+
+    name: str  # dotted callee, e.g. "os.system"
+    node: ast.Call
+    span: Span
+    arg_sources: Tuple[str, ...]  # source text of positional args
+    kwargs: Tuple[Tuple[str, str], ...]  # (name, source text)
+
+
+@dataclass(frozen=True)
+class AssignFact:
+    """One simple assignment ``name = <expr>``."""
+
+    target: str
+    value_source: str
+    node: ast.Assign
+    span: Span
+
+
+@dataclass
+class AstDatabase:
+    """Extracted relations for one module."""
+
+    source: str = ""
+    ok: bool = False
+    calls: List[CallFact] = field(default_factory=list)
+    assigns: List[AssignFact] = field(default_factory=list)
+    strings: List[Tuple[str, Span]] = field(default_factory=list)
+    imports: Set[str] = field(default_factory=set)
+    attributes: List[Tuple[str, Span]] = field(default_factory=list)
+    compares: List[Tuple[str, str, Span]] = field(default_factory=list)
+    decorators: List[Tuple[str, str, Span]] = field(default_factory=list)  # (decorator src, function name)
+    returns: List[Tuple[ast.Return, Span]] = field(default_factory=list)
+    tainted_names: Set[str] = field(default_factory=set)
+    tree: Optional[ast.AST] = None
+
+    # ------------------------------------------------------------- helpers
+
+    def calls_named(self, *names: str) -> List[CallFact]:
+        """Call facts whose dotted name is one of ``names``."""
+        wanted = set(names)
+        return [c for c in self.calls if c.name in wanted]
+
+    def calls_ending(self, suffix: str) -> List[CallFact]:
+        """Call facts whose dotted name ends with ``suffix``."""
+        return [c for c in self.calls if c.name.endswith(suffix)]
+
+    def has_import(self, module: str) -> bool:
+        """True when the module was imported."""
+        return module in self.imports
+
+    def is_tainted_expr(self, text: str) -> bool:
+        """Taint check for an expression's source text."""
+        if "request." in text or "input(" in text:
+            return True
+        return any(_name_in_expr(name, text) for name in self.tainted_names)
+
+    def assigned_value(self, name: str) -> Optional[str]:
+        """Source text of the latest assignment to ``name``."""
+        for assign in reversed(self.assigns):
+            if assign.target == name:
+                return assign.value_source
+        return None
+
+
+def _dotted_name(node: ast.expr) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif isinstance(node, ast.Call):
+        inner = _dotted_name(node.func)
+        if inner:
+            parts.append(inner + "()")
+    return ".".join(reversed(parts))
+
+
+def _name_in_expr(name: str, text: str) -> bool:
+    import re
+
+    return bool(re.search(rf"(?<![\w.]){re.escape(name)}(?!\w)", text))
+
+
+def _segment(source: str, node: ast.AST) -> str:
+    return ast.get_source_segment(source, node) or ""
+
+
+def _span(source: str, node: ast.AST) -> Span:
+    start = _line_col_offset(source, node.lineno, node.col_offset)
+    end = _line_col_offset(
+        source, getattr(node, "end_lineno", node.lineno), getattr(node, "end_col_offset", node.col_offset + 1)
+    )
+    return Span(start, max(start, end))
+
+
+def _line_col_offset(source: str, line: int, col: int) -> int:
+    current = 0
+    for _ in range(line - 1):
+        newline = source.find("\n", current)
+        if newline == -1:
+            return len(source)
+        current = newline + 1
+    return min(current + col, len(source))
+
+
+def extract(source: str) -> AstDatabase:
+    """Build the fact database for ``source``."""
+    db = AstDatabase(source=source)
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError):
+        return db
+
+    db.ok = True
+    db.tree = tree
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            db.calls.append(
+                CallFact(
+                    name=_dotted_name(node.func),
+                    node=node,
+                    span=_span(source, node),
+                    arg_sources=tuple(_segment(source, a) for a in node.args),
+                    kwargs=tuple(
+                        (k.arg or "**", _segment(source, k.value)) for k in node.keywords
+                    ),
+                )
+            )
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    db.assigns.append(
+                        AssignFact(
+                            target=target.id,
+                            value_source=_segment(source, node.value),
+                            node=node,
+                            span=_span(source, node),
+                        )
+                    )
+                elif isinstance(target, ast.Attribute):
+                    db.assigns.append(
+                        AssignFact(
+                            target=_dotted_name(target),
+                            value_source=_segment(source, node.value),
+                            node=node,
+                            span=_span(source, node),
+                        )
+                    )
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            db.strings.append((node.value, _span(source, node)))
+        elif isinstance(node, ast.Import):
+            db.imports.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            db.imports.add(node.module)
+            db.imports.update(f"{node.module}.{alias.name}" for alias in node.names)
+        elif isinstance(node, ast.Attribute):
+            db.attributes.append((_dotted_name(node), _span(source, node)))
+        elif isinstance(node, ast.Compare):
+            left = _segment(source, node.left)
+            for comparator in node.comparators:
+                db.compares.append((left, _segment(source, comparator), _span(source, node)))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                db.decorators.append((_segment(source, decorator), node.name, _span(source, node)))
+        elif isinstance(node, ast.Return) and node.value is not None:
+            db.returns.append((node, _span(source, node)))
+
+    _propagate_taint(db)
+    return db
+
+
+def _propagate_taint(db: AstDatabase, max_rounds: int = 4) -> None:
+    """Fixed-point taint propagation through simple assignments."""
+    for _ in range(max_rounds):
+        changed = False
+        for assign in db.assigns:
+            if assign.target in db.tainted_names:
+                continue
+            if db.is_tainted_expr(assign.value_source):
+                db.tainted_names.add(assign.target)
+                changed = True
+        if not changed:
+            return

@@ -1,0 +1,41 @@
+"""mini-CodeQL scanner: extract → query.
+
+Detection-only, as in the paper: "CodeQL analyzes source code by
+transforming it into a relational database via its AST representation and
+uses a query-based approach for detection; however, its ruleset does not
+support code patching."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import DetectionTool
+from repro.baselines.minicodeql.astdb import extract
+from repro.baselines.minicodeql.qlang import QuerySuite
+from repro.baselines.minicodeql.queries import default_suite
+from repro.types import AnalysisReport, CodeSample
+
+
+class MiniCodeQL(DetectionTool):
+    """CodeQL-style extract-and-query scanner."""
+
+    name = "codeql"
+    can_patch = False
+
+    def __init__(self, suite: Optional[QuerySuite] = None) -> None:
+        self.suite = suite if suite is not None else default_suite()
+
+    def analyze(self, sample: CodeSample) -> AnalysisReport:
+        """Extract one sample and run the query suite."""
+        return self.analyze_source(sample.source)
+
+    def analyze_source(self, source: str) -> AnalysisReport:
+        """Extract raw source text and run the query suite."""
+        db = extract(source)
+        report = AnalysisReport(tool=self.name, source=source)
+        if not db.ok:
+            report.parse_failed = True
+            return report
+        report.findings = self.suite.run(db)
+        return report

@@ -1,0 +1,79 @@
+"""mini-CodeQL query model.
+
+A query is a named predicate over the extracted :class:`AstDatabase` that
+yields result tuples ``(message, span)``; the suite runner turns those
+into findings.  This mirrors CodeQL's select-from-where shape in plain
+Python, keeping the database/query separation that defines the tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Tuple
+
+from repro.baselines.minicodeql.astdb import AstDatabase
+from repro.exceptions import QueryError
+from repro.types import Confidence, Finding, Severity, Span
+
+QueryBody = Callable[[AstDatabase], Iterable[Tuple[str, Span]]]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One security query (``py/...`` id, CWE tag, and body)."""
+
+    query_id: str
+    cwe_id: str
+    description: str
+    body: QueryBody
+    severity: Severity = Severity.MEDIUM
+
+    def run(self, db: AstDatabase) -> List[Finding]:
+        """Execute against a database, returning findings."""
+        if not db.ok:
+            return []
+        results: List[Finding] = []
+        for message, span in self.body(db):
+            results.append(
+                Finding(
+                    rule_id=self.query_id,
+                    cwe_id=self.cwe_id,
+                    message=message,
+                    span=span,
+                    snippet=" ".join(db.source[span.start : span.end].split())[:160],
+                    severity=self.severity,
+                    confidence=Confidence.HIGH,
+                    fixable=False,
+                )
+            )
+        return results
+
+
+class QuerySuite:
+    """An ordered, id-unique collection of queries."""
+
+    def __init__(self, queries: Iterable[Query] = ()) -> None:
+        self._queries: List[Query] = []
+        self._ids = set()
+        for query in queries:
+            self.add(query)
+
+    def add(self, query: Query) -> None:
+        """Register a query (duplicate ids raise QueryError)."""
+        if query.query_id in self._ids:
+            raise QueryError(f"duplicate query id: {query.query_id}")
+        self._ids.add(query.query_id)
+        self._queries.append(query)
+
+    def run(self, db: AstDatabase) -> List[Finding]:
+        findings: List[Finding] = []
+        for query in self._queries:
+            findings.extend(query.run(db))
+        findings.sort(key=lambda f: (f.span.start, f.rule_id))
+        return findings
+
+    def __iter__(self):
+        return iter(self._queries)
+
+    def __len__(self) -> int:
+        return len(self._queries)

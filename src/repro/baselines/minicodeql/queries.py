@@ -1,0 +1,241 @@
+"""mini-CodeQL security query suite (the ``py/*`` Security pack).
+
+The queries lean on the database's taint relation, which lets mini-CodeQL
+catch some *flow-based* variants the pattern engines miss (a query built
+on its own line and executed later) — on code it can parse.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Tuple
+
+from repro.baselines.minicodeql.astdb import AstDatabase
+from repro.baselines.minicodeql.qlang import Query, QuerySuite
+from repro.types import Severity, Span
+
+_SQL_RE = re.compile(r"\b(?:SELECT|INSERT|UPDATE|DELETE|DROP)\b", re.IGNORECASE)
+_INTERPOLATED = re.compile(r"(?:^f['\"]|\{[^{}]+\}|%\s|\.format\(|['\"]\s*\+)")
+
+
+def _sql_injection(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for call in db.calls_ending(".execute") + db.calls_ending(".executemany") + db.calls_ending(".executescript"):
+        if not call.arg_sources:
+            continue
+        query_arg = call.arg_sources[0]
+        if _SQL_RE.search(query_arg) and _INTERPOLATED.search(query_arg):
+            yield "SQL query built from interpolated data.", call.span
+            continue
+        # flow step: execute(name) where name was assigned interpolated SQL
+        if re.fullmatch(r"\w+", query_arg):
+            value = db.assigned_value(query_arg)
+            if value and _SQL_RE.search(value) and _INTERPOLATED.search(value):
+                yield "SQL query flows from an interpolated string.", call.span
+
+
+def _command_injection(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for call in db.calls_named("os.system", "os.popen"):
+        if call.arg_sources and (
+            _INTERPOLATED.search(call.arg_sources[0])
+            or db.is_tainted_expr(call.arg_sources[0])
+            or re.fullmatch(r"\w+", call.arg_sources[0])
+        ):
+            yield "Shell command built from dynamic data.", call.span
+    for call in db.calls:
+        if call.name.startswith("subprocess.") and ("shell", "True") in call.kwargs:
+            yield "subprocess invoked with shell=True.", call.span
+
+
+def _code_injection(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for call in db.calls_named("eval", "exec"):
+        if call.arg_sources and not re.fullmatch(r"['\"][^'\"]*['\"]", call.arg_sources[0]):
+            yield f"{call.name}() of dynamic content.", call.span
+    for call in db.calls_named("render_template_string"):
+        if call.arg_sources and not call.arg_sources[0].startswith(("'", '"')):
+            yield "Template rendered from dynamic content.", call.span
+
+
+def _unsafe_deserialization(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for call in db.calls_named(
+        "pickle.load", "pickle.loads", "pickle.Unpickler", "_pickle.loads", "cPickle.loads",
+        "dill.loads", "marshal.load", "marshal.loads", "jsonpickle.decode",
+    ):
+        yield "Deserialization of potentially untrusted data.", call.span
+    for call in db.calls_named("yaml.load"):
+        if not any(name == "Loader" and "Safe" in value for name, value in call.kwargs):
+            yield "yaml.load without a safe loader.", call.span
+    for call in db.calls_named("yaml.full_load", "yaml.unsafe_load"):
+        yield "Unsafe YAML loader.", call.span
+
+
+def _reflected_xss(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    if not (db.has_import("flask") or any("flask" in i for i in db.imports)):
+        return
+    if "escape" in db.source:
+        return
+    for node, span in db.returns:
+        text = db.source[span.start : span.end]
+        if re.search(r"f['\"]", text) and "{" in text and db.is_tainted_expr(text):
+            yield "Tainted value reflected into an HTML response.", span
+        elif "+" in text and db.is_tainted_expr(text) and "<" in text:
+            yield "Tainted value concatenated into an HTML response.", span
+    for call in db.calls_named("make_response"):
+        if call.arg_sources and db.is_tainted_expr(call.arg_sources[0]) and call.arg_sources[0].startswith("f"):
+            yield "Tainted value reflected through make_response.", call.span
+
+
+def _path_injection(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    if "basename(" in db.source or "secure_filename(" in db.source or "send_from_directory" in db.source:
+        return
+    for call in db.calls_named("open", "send_file"):
+        if call.arg_sources and db.is_tainted_expr(call.arg_sources[0]):
+            yield "File access path influenced by user input.", call.span
+
+
+def _url_redirection(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    if "urlparse(" in db.source:
+        return
+    for call in db.calls_named("redirect"):
+        if call.arg_sources and db.is_tainted_expr(call.arg_sources[0]):
+            yield "Redirect target influenced by user input.", call.span
+
+
+def _flask_debug(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for call in db.calls_ending(".run"):
+        if ("debug", "True") in call.kwargs:
+            yield "Flask application run in debug mode.", call.span
+
+
+def _stack_trace_exposure(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for node, span in db.returns:
+        text = db.source[span.start : span.end]
+        if "format_exc()" in text or re.search(r"str\(\s*(?:e|err|error|exc)\s*\)", text):
+            yield "Exception details returned to the client.", span
+
+
+def _weak_crypto(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for call in db.calls_named("DES.new", "DES3.new", "ARC4.new", "Blowfish.new"):
+        yield "Broken cipher algorithm.", call.span
+    for name, span in db.attributes:
+        if name.endswith("MODE_ECB"):
+            yield "ECB cipher mode.", span
+
+
+def _weak_hashing(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    context = re.search(r"password|passwd|pwd|credential|token|verify", db.source, re.IGNORECASE)
+    for call in db.calls_named("hashlib.md5", "hashlib.sha1"):
+        if context:
+            yield "Weak hash used on sensitive data.", call.span
+    for call in db.calls_named("hashlib.new"):
+        if call.arg_sources and call.arg_sources[0].strip("'\"") in ("md5", "sha1") and context:
+            yield "Weak hash requested via hashlib.new.", call.span
+
+
+def _insecure_protocol(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for name, span in db.attributes:
+        if re.search(r"PROTOCOL_(?:SSLv2|SSLv3|SSLv23|TLSv1(?:_1)?)$", name):
+            yield "Obsolete TLS/SSL protocol version.", span
+
+
+def _cert_validation(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for call in db.calls:
+        if call.name.startswith("requests.") and ("verify", "False") in call.kwargs:
+            yield "Certificate verification disabled.", call.span
+    for call in db.calls_named("ssl._create_unverified_context"):
+        yield "Unverified SSL context.", call.span
+    for assign in db.assigns:
+        if assign.target.endswith("check_hostname") and assign.value_source == "False":
+            yield "Hostname checking disabled.", assign.span
+
+
+def _hardcoded_credentials(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for assign in db.assigns:
+        name = assign.target.lower()
+        if "os.environ" in assign.value_source or "getenv" in assign.value_source:
+            continue
+        if re.search(r"password|passwd|pwd|api_key|secret_key|auth_token", name) and re.fullmatch(
+            r"['\"][^'\"]{3,}['\"]", assign.value_source
+        ):
+            yield "Hardcoded credential.", assign.span
+    for left, right, span in db.compares:
+        if re.search(r"password|passwd|pwd", left) and re.fullmatch(r"['\"][^'\"]+['\"]", right):
+            yield "Credential compared against a literal.", span
+
+
+def _insecure_temp(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for call in db.calls_named("tempfile.mktemp", "os.tempnam", "os.tmpnam"):
+        yield "Insecure temporary file creation.", call.span
+
+
+def _sensitive_logging(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for call in db.calls:
+        if not re.search(r"(?:^|\.)(?:logging|logger|log)\.(?:info|warning|error|debug|critical)$", call.name):
+            continue
+        if call.arg_sources and re.search(
+            r"\{\s*\w*(?:password|passwd|secret|token|api_key)", call.arg_sources[0]
+        ):
+            yield "Sensitive data written to log.", call.span
+
+
+def _xxe(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    if any("defusedxml" in imported for imported in db.imports):
+        return
+    for call in db.calls_named("etree.parse", "etree.fromstring", "etree.XML"):
+        if not any(name == "parser" for name, _ in call.kwargs):
+            yield "XML parsing with entity expansion enabled.", call.span
+    for call in db.calls_ending(".setFeature"):
+        if len(call.arg_sources) >= 2 and "feature_external_ges" in call.arg_sources[0] and call.arg_sources[1] == "True":
+            yield "External general entities enabled.", call.span
+
+
+def _bind_all_interfaces(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    for call in db.calls:
+        for name, value in call.kwargs:
+            if name == "host" and value.strip("'\"") == "0.0.0.0":
+                yield "Service bound to all interfaces.", call.span
+
+
+def _insecure_randomness(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    if not re.search(r"token|session|secret|reset|identifier", db.source):
+        return
+    for call in db.calls_named(
+        "random.random", "random.randint", "random.choice", "random.getrandbits", "random.randrange"
+    ):
+        yield "Standard PRNG used for a security value.", call.span
+
+
+def _ssrf(db: AstDatabase) -> Iterable[Tuple[str, Span]]:
+    if "ALLOWED_HOSTS" in db.source:
+        return
+    for call in db.calls:
+        if call.name in ("requests.get", "requests.post", "urllib.request.urlopen"):
+            if call.arg_sources and db.is_tainted_expr(call.arg_sources[0]):
+                yield "Outbound request to a user-controlled URL.", call.span
+
+
+def default_suite() -> QuerySuite:
+    """The Security pack used in the evaluation."""
+    return QuerySuite(
+        (
+            Query("py/sql-injection", "CWE-089", "SQL injection", _sql_injection, Severity.HIGH),
+            Query("py/command-line-injection", "CWE-078", "Command injection", _command_injection, Severity.CRITICAL),
+            Query("py/code-injection", "CWE-094", "Code injection", _code_injection, Severity.CRITICAL),
+            Query("py/unsafe-deserialization", "CWE-502", "Unsafe deserialization", _unsafe_deserialization, Severity.HIGH),
+            Query("py/reflected-xss", "CWE-079", "Reflected XSS", _reflected_xss, Severity.HIGH),
+            Query("py/path-injection", "CWE-022", "Path injection", _path_injection, Severity.HIGH),
+            Query("py/url-redirection", "CWE-601", "Open redirect", _url_redirection, Severity.MEDIUM),
+            Query("py/flask-debug", "CWE-209", "Flask debug mode", _flask_debug, Severity.HIGH),
+            Query("py/stack-trace-exposure", "CWE-209", "Stack trace exposure", _stack_trace_exposure, Severity.MEDIUM),
+            Query("py/weak-cryptographic-algorithm", "CWE-327", "Weak cipher", _weak_crypto, Severity.HIGH),
+            Query("py/weak-sensitive-data-hashing", "CWE-328", "Weak hashing", _weak_hashing, Severity.MEDIUM),
+            Query("py/insecure-protocol", "CWE-326", "Insecure protocol", _insecure_protocol, Severity.HIGH),
+            Query("py/request-without-cert-validation", "CWE-295", "Missing certificate validation", _cert_validation, Severity.HIGH),
+            Query("py/hardcoded-credentials", "CWE-798", "Hardcoded credentials", _hardcoded_credentials, Severity.HIGH),
+            Query("py/insecure-temporary-file", "CWE-377", "Insecure temporary file", _insecure_temp, Severity.MEDIUM),
+            Query("py/clear-text-logging-sensitive-data", "CWE-532", "Sensitive logging", _sensitive_logging, Severity.MEDIUM),
+            Query("py/xxe", "CWE-611", "XML external entities", _xxe, Severity.MEDIUM),
+            Query("py/bind-socket-all-network-interfaces", "CWE-016", "Bind to all interfaces", _bind_all_interfaces, Severity.MEDIUM),
+            Query("py/insecure-randomness", "CWE-330", "Insecure randomness", _insecure_randomness, Severity.LOW),
+            Query("py/full-ssrf", "CWE-918", "Server-side request forgery", _ssrf, Severity.HIGH),
+        )
+    )

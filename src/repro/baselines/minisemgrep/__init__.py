@@ -1,0 +1,7 @@
+"""mini-Semgrep: pattern-language scanner with fix suggestions."""
+
+from repro.baselines.minisemgrep.core import MiniSemgrep
+from repro.baselines.minisemgrep.matcher import compile_pattern
+from repro.baselines.minisemgrep.rules import RULES, SemgrepRule
+
+__all__ = ["MiniSemgrep", "RULES", "SemgrepRule", "compile_pattern"]

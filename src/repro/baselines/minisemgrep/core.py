@@ -1,0 +1,77 @@
+"""mini-Semgrep scanner: registry rules × pattern matcher.
+
+Matching is textual and error-tolerant (patterns fire inside incomplete
+snippets), like Semgrep's tree-sitter-based engine; coverage is bounded by
+the registry rules.  ``fix`` output is emitted as suggestion comments —
+the public registry's Python security rules annotate rather than rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import DetectionTool
+from repro.baselines.minisemgrep.matcher import compile_pattern
+from repro.baselines.minisemgrep.rules import RULES, SemgrepRule
+from repro.types import AnalysisReport, CodeSample, Confidence, Finding, Span, SuggestionComment, line_of_offset
+
+
+class MiniSemgrep(DetectionTool):
+    """Semgrep-style pattern scanner with fix suggestions."""
+
+    name = "semgrep"
+    can_patch = False
+
+    def __init__(self, rules: Optional[Tuple[SemgrepRule, ...]] = None) -> None:
+        self.rules = tuple(rules) if rules is not None else RULES
+        self._compiled: Dict[str, List] = {
+            rule.rule_id: [compile_pattern(p) for p in rule.patterns] for rule in self.rules
+        }
+
+    def analyze(self, sample: CodeSample) -> AnalysisReport:
+        """Analyze one sample with the registry rules."""
+        return self.analyze_source(sample.source)
+
+    def analyze_source(self, source: str) -> AnalysisReport:
+        """Pattern-scan raw source text (error tolerant)."""
+        report = AnalysisReport(tool=self.name, source=source)
+        for rule in self.rules:
+            if rule.requires and rule.requires not in source:
+                continue
+            for compiled in self._compiled[rule.rule_id]:
+                for match in compiled.finditer(source):
+                    finding = Finding(
+                        rule_id=rule.rule_id,
+                        cwe_id=rule.cwe_id,
+                        message=rule.message,
+                        span=Span(match.start(), match.end()),
+                        snippet=" ".join(match.group(0).split())[:160],
+                        severity=rule.severity,
+                        confidence=Confidence.MEDIUM,
+                        fixable=False,
+                    )
+                    report.findings.append(finding)
+                    if rule.fix_note:
+                        report.suggestions.append(
+                            SuggestionComment(
+                                rule_id=rule.rule_id,
+                                cwe_id=rule.cwe_id,
+                                line=line_of_offset(source, match.start()),
+                                comment=f"# semgrep fix: {rule.fix_note}",
+                            )
+                        )
+        report.findings = _dedupe_overlaps(report.findings)
+        return report
+
+
+def _dedupe_overlaps(findings: List[Finding]) -> List[Finding]:
+    findings = sorted(findings, key=lambda f: (f.span.start, f.span.end, f.rule_id))
+    kept: List[Finding] = []
+    for finding in findings:
+        if any(
+            other.rule_id == finding.rule_id and other.span.overlaps(finding.span)
+            for other in kept
+        ):
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,211 @@
+"""mini-Semgrep rule registry (python.lang.security-style rules).
+
+Each rule carries one or more patterns in the mini pattern language, a CWE
+label, and — for a subset, as in the public registry — a ``fix_note``
+delivered as a *suggestion comment* rather than a code rewrite (the paper
+measures ~19 % of Semgrep detections carrying a fix hint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.types import Severity
+
+
+@dataclass(frozen=True)
+class SemgrepRule:
+    """One registry rule."""
+
+    rule_id: str
+    cwe_id: str
+    message: str
+    patterns: Tuple[str, ...]
+    severity: Severity = Severity.MEDIUM
+    fix_note: Optional[str] = None
+    # secondary text that must also appear somewhere in the file
+    requires: Optional[str] = None
+
+
+RULES: Tuple[SemgrepRule, ...] = (
+    SemgrepRule(
+        "python.flask.debug-enabled",
+        "CWE-209",
+        "Flask app appears to be run with debug=True, exposing the Werkzeug debugger.",
+        (".run(..., debug=True", ".run(debug=True",),
+        Severity.HIGH,
+        fix_note="set debug=False before deploying",
+    ),
+    SemgrepRule(
+        "python.lang.security.dangerous-system-call",
+        "CWE-078",
+        "os.system() called with dynamic input can lead to command injection.",
+        ("os.system(f\"", "os.system(f'", "os.system($CMD)", "os.popen("),
+        Severity.CRITICAL,
+    ),
+    SemgrepRule(
+        "python.lang.security.subprocess-shell-true",
+        "CWE-078",
+        "subprocess with shell=True is vulnerable to shell injection.",
+        ("subprocess.run(..., shell=True", "subprocess.call(..., shell=True",
+         "subprocess.Popen(..., shell=True", "subprocess.check_output(..., shell=True"),
+        Severity.CRITICAL,
+        fix_note="use an argv list with shell=False",
+    ),
+    SemgrepRule(
+        "python.lang.security.eval-detected",
+        "CWE-095",
+        "eval() of dynamic content is code injection.",
+        ("eval($EXPR)",),
+        Severity.CRITICAL,
+    ),
+    SemgrepRule(
+        "python.lang.security.exec-detected",
+        "CWE-094",
+        "exec() of dynamic content is code injection.",
+        ("exec(",),
+        Severity.CRITICAL,
+    ),
+    SemgrepRule(
+        "python.lang.security.pickle-load",
+        "CWE-502",
+        "Deserialization of untrusted data with pickle.",
+        ("pickle.load(", "pickle.loads(", "_pickle.loads(", "dill.loads(", "jsonpickle.decode("),
+        Severity.HIGH,
+    ),
+    SemgrepRule(
+        "python.lang.security.marshal-usage",
+        "CWE-502",
+        "Deserialization of untrusted data with marshal.",
+        ("marshal.load(", "marshal.loads("),
+        Severity.HIGH,
+    ),
+    SemgrepRule(
+        "python.lang.security.unsafe-yaml",
+        "CWE-502",
+        "yaml.load without SafeLoader allows arbitrary object construction.",
+        ("yaml.load($F)", "yaml.load($F, Loader=yaml.FullLoader)",
+         "yaml.load($F, Loader=yaml.UnsafeLoader)", "yaml.full_load(", "yaml.unsafe_load("),
+        Severity.HIGH,
+        fix_note="use yaml.safe_load",
+    ),
+    SemgrepRule(
+        "python.lang.security.insecure-hash",
+        "CWE-328",
+        "MD5/SHA1 are cryptographically broken.",
+        ("hashlib.md5(", "hashlib.sha1(", 'hashlib.new("md5"', "hashlib.new('md5'"),
+        Severity.MEDIUM,
+    ),
+    SemgrepRule(
+        "python.cryptography.insecure-cipher",
+        "CWE-327",
+        "DES/RC4/Blowfish and ECB mode are insecure.",
+        ("DES.new(", "ARC4.new(", "Blowfish.new(", "AES.MODE_ECB"),
+        Severity.HIGH,
+    ),
+    SemgrepRule(
+        "python.requests.no-verify",
+        "CWE-295",
+        "TLS verification disabled in requests call.",
+        ("verify=False",),
+        Severity.HIGH,
+        fix_note="remove verify=False",
+    ),
+    SemgrepRule(
+        "python.ssl.unverified-context",
+        "CWE-295",
+        "Unverified SSL context.",
+        ("ssl._create_unverified_context(",),
+        Severity.HIGH,
+    ),
+    SemgrepRule(
+        "python.ssl.insecure-protocol",
+        "CWE-326",
+        "Obsolete SSL/TLS protocol version.",
+        ("ssl.PROTOCOL_SSLv3", "ssl.PROTOCOL_SSLv23", "ssl.PROTOCOL_TLSv1"),
+        Severity.HIGH,
+    ),
+    SemgrepRule(
+        "python.tempfile.mktemp",
+        "CWE-377",
+        "tempfile.mktemp is racy; the path can be hijacked.",
+        ("tempfile.mktemp(",),
+        Severity.MEDIUM,
+        fix_note="use tempfile.mkstemp or NamedTemporaryFile",
+    ),
+    SemgrepRule(
+        "python.sqlalchemy.sqli-fstring",
+        "CWE-089",
+        "SQL query built with an f-string.",
+        ('$CUR.execute(f"', "$CUR.execute(f'"),
+        Severity.HIGH,
+    ),
+    SemgrepRule(
+        "python.lang.security.sqli-str-format",
+        "CWE-089",
+        "SQL query built with str.format or % interpolation.",
+        ('.execute("...".format(', ".execute('...'.format(",
+         '.execute("..." % ', ".execute('...' % "),
+        Severity.HIGH,
+    ),
+    SemgrepRule(
+        "python.flask.render-template-string",
+        "CWE-094",
+        "render_template_string on dynamic content enables SSTI.",
+        ("render_template_string($T)",),
+        Severity.HIGH,
+    ),
+    SemgrepRule(
+        "python.flask.directly-returned-fstring",
+        "CWE-079",
+        "Request data rendered into an HTML response without escaping.",
+        ('return f"<', "return f'<"),
+        Severity.HIGH,
+        requires="request.",
+    ),
+    SemgrepRule(
+        "python.flask.open-redirect",
+        "CWE-601",
+        "Redirect target taken directly from the request.",
+        ("redirect(request.args.get(",),
+        Severity.MEDIUM,
+    ),
+    SemgrepRule(
+        "python.lang.security.insecure-random",
+        "CWE-330",
+        "Standard PRNG used where unpredictability is required.",
+        ("random.choice(", "random.getrandbits(", "random.randint("),
+        Severity.LOW,
+        requires="token",
+    ),
+    SemgrepRule(
+        "python.lang.security.hardcoded-password",
+        "CWE-798",
+        "Possible hardcoded credential.",
+        ('password = "', "password = '", 'api_key = "', "secret_key = '", 'secret_key = "'),
+        Severity.MEDIUM,
+    ),
+    SemgrepRule(
+        "python.lxml.xxe",
+        "CWE-611",
+        "XML parsed with entity resolution enabled.",
+        ("etree.parse($SRC)", "etree.fromstring($SRC)"),
+        Severity.MEDIUM,
+    ),
+    SemgrepRule(
+        "python.flask.upload-filename",
+        "CWE-434",
+        "Uploaded file stored under its client-controlled filename.",
+        (".save(os.path.join($DIR, $F.filename))",),
+        Severity.HIGH,
+        fix_note="sanitize with werkzeug.utils.secure_filename",
+    ),
+    SemgrepRule(
+        "python.ftplib.cleartext",
+        "CWE-319",
+        "FTP transmits credentials in cleartext.",
+        ("ftplib.FTP(",),
+        Severity.MEDIUM,
+    ),
+)

@@ -1,0 +1,153 @@
+"""Command-line interface: ``patchitpy`` — detect and patch Python files.
+
+Mirrors the workflow the VS Code extension drives (§II-B): analyze a file
+(or a selected line range), report findings, and optionally apply patches
+in place or to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import PatchitPy
+from repro.core.report import format_finding
+from repro.core.rules import extended_ruleset
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the patchitpy argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="patchitpy",
+        description="Pattern-based vulnerability detection and patching for Python.",
+    )
+    parser.add_argument(
+        "path", type=Path, help="Python file or project directory to analyze"
+    )
+    parser.add_argument(
+        "--patch",
+        action="store_true",
+        help="apply safe patches and print the patched file to stdout",
+    )
+    parser.add_argument(
+        "--in-place",
+        action="store_true",
+        help="with --patch, rewrite the file instead of printing",
+    )
+    parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="use the extended rule catalog instead of the paper's 85 rules",
+    )
+    parser.add_argument(
+        "--lines",
+        metavar="START:END",
+        help="restrict analysis to a 1-based inclusive line range (selection mode)",
+    )
+    parser.add_argument(
+        "--html",
+        metavar="FILE",
+        help="directory mode: also write a standalone HTML report to FILE",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (text findings, plain JSON, or SARIF 2.1.0)",
+    )
+    return parser
+
+
+def _select_lines(source: str, spec: str) -> str:
+    start_text, _, end_text = spec.partition(":")
+    try:
+        start = int(start_text)
+        end = int(end_text) if end_text else start
+    except ValueError:
+        raise SystemExit(f"invalid --lines value: {spec!r}")
+    lines = source.splitlines(keepends=True)
+    if not (1 <= start <= end <= len(lines)):
+        raise SystemExit(f"--lines {spec} out of range (file has {len(lines)} lines)")
+    return "".join(lines[start - 1 : end])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.path.is_dir():
+        return _scan_directory(args)
+
+    try:
+        source = args.path.read_text()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    analyzed = _select_lines(source, args.lines) if args.lines else source
+    engine = PatchitPy(rules=extended_ruleset() if args.extended else None)
+    findings = engine.detect(analyzed)
+
+    if args.format != "text":
+        from repro.core.sarif import dumps_plain, dumps_sarif
+        from repro.types import AnalysisReport
+
+        report = AnalysisReport(tool="patchitpy", source=analyzed, findings=findings)
+        renderer = dumps_sarif if args.format == "sarif" else dumps_plain
+        print(renderer(report, artifact_uri=str(args.path)))
+        return 1 if findings else 0
+
+    if not findings:
+        print("no vulnerable patterns detected")
+        return 0
+
+    for finding in findings:
+        print(format_finding(finding, analyzed))
+
+    if args.patch:
+        result = engine.patch(analyzed, findings)
+        if args.in_place and not args.lines:
+            args.path.write_text(result.patched)
+            print(f"patched {len(result.applied)} finding(s) in {args.path}")
+        else:
+            print("--- patched ---")
+            print(result.patched, end="")
+        if result.unpatchable:
+            print(
+                f"note: {len(result.unpatchable)} finding(s) have no automated patch",
+                file=sys.stderr,
+            )
+    return 1
+
+
+def _scan_directory(args) -> int:
+    """Project mode: scan (and optionally patch) a whole tree."""
+    from repro.core.project import ProjectScanner
+
+    engine = PatchitPy(rules=extended_ruleset() if args.extended else None)
+    scanner = ProjectScanner(engine=engine)
+    if args.patch and args.in_place:
+        report = scanner.patch_tree(args.path)
+        print(report.summary())
+        patched = [f for f in report.files if f.patched]
+        print(f"patched {len(patched)} file(s) in place (.orig backups written)")
+    else:
+        report = scanner.scan(args.path)
+        print(report.summary())
+        for result in report.vulnerable_files:
+            print(f"\n{result.path}:")
+            source = result.path.read_text()
+            for finding in result.findings:
+                print("  " + format_finding(finding, source))
+    if args.html:
+        from repro.core.htmlreport import write_html_report
+
+        write_html_report(report, args.html)
+        print(f"HTML report written to {args.html}")
+    return 1 if report.vulnerable_files else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""PatchitPy core: pattern-based detection and automated patching.
+
+This package implements the paper's primary contribution (§II): a rule
+engine whose 85 detection rules are regular-expression patterns enriched
+with guard conditions, each optionally paired with a patch template that
+rewrites the vulnerable pattern into a safe alternative and contributes any
+imports the safe code needs.
+"""
+
+from repro.core.engine import PatchitPy, PatchResult
+from repro.core.imports import ImportManager
+from repro.core.matching import match_rule, run_rules
+from repro.core.patcher import apply_patches
+from repro.core.project import ProjectReport, ProjectScanner
+from repro.core.sarif import dumps_plain, dumps_sarif, to_plain_json, to_sarif
+from repro.core.rules import DetectionRule, PatchTemplate, RuleSet, default_ruleset
+
+__all__ = [
+    "DetectionRule",
+    "ImportManager",
+    "PatchResult",
+    "PatchTemplate",
+    "PatchitPy",
+    "ProjectReport",
+    "ProjectScanner",
+    "RuleSet",
+    "apply_patches",
+    "default_ruleset",
+    "dumps_plain",
+    "dumps_sarif",
+    "match_rule",
+    "run_rules",
+    "to_plain_json",
+    "to_sarif",
+]

@@ -1,0 +1,150 @@
+"""The PatchitPy engine: the paper's two-phase detect → patch workflow.
+
+Phase 1 (:meth:`PatchitPy.detect`) runs the 85 pattern rules over the raw
+source.  Phase 2 (:meth:`PatchitPy.patch`) renders each triggered rule's
+safe alternative, substitutes it at the matched span, and inserts any
+imports the patch requires — the end-to-end flow of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.matching import run_rules
+from repro.core.patcher import apply_patches
+from repro.core.rules import RuleSet, default_ruleset
+from repro.types import AnalysisReport, Finding, Patch
+
+
+@dataclass
+class PatchResult:
+    """Outcome of a patching pass."""
+
+    original: str
+    patched: str
+    applied: List[Patch] = field(default_factory=list)
+    skipped: List[Patch] = field(default_factory=list)
+    unpatchable: List[Finding] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        """True when patching modified the source."""
+        return self.patched != self.original
+
+    @property
+    def repair_attempted(self) -> bool:
+        """True when at least one patch was applied."""
+        return bool(self.applied)
+
+
+class PatchitPy:
+    """Pattern-based vulnerability detector and patcher for Python code.
+
+    Parameters
+    ----------
+    rules:
+        The rule set to execute; defaults to the paper's 85-rule set.
+    max_passes:
+        Patching repeats detect→patch until a fixed point (or this limit),
+        because one applied patch can reveal or shift later matches.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[RuleSet] = None,
+        max_passes: int = 3,
+        prune_imports: bool = True,
+    ) -> None:
+        if max_passes < 1:
+            raise ValueError("max_passes must be >= 1")
+        self.rules = rules if rules is not None else default_ruleset()
+        self.max_passes = max_passes
+        self.prune_imports = prune_imports
+
+    # ------------------------------------------------------------- detect
+
+    def detect(self, source: str) -> List[Finding]:
+        """Phase 1: all findings for ``source``."""
+        return run_rules(self.rules, source)
+
+    def is_vulnerable(self, source: str) -> bool:
+        """Sample-level verdict used by the evaluation (§III-B)."""
+        return bool(self.detect(source))
+
+    # -------------------------------------------------------------- patch
+
+    def render_patches(self, source: str, findings: Sequence[Finding]) -> List[Patch]:
+        """Render the safe alternative for each patchable finding."""
+        patches: List[Patch] = []
+        for finding in findings:
+            rule = self.rules.get(finding.rule_id)
+            if rule.patch is None:
+                continue
+            match = rule.pattern.match(source, finding.span.start)
+            if match is None or match.end() != finding.span.end:
+                match = rule.pattern.search(source, finding.span.start)
+            if match is None:
+                continue
+            replacement, imports = rule.patch.render(match)
+            patches.append(
+                Patch(
+                    rule_id=rule.rule_id,
+                    cwe_id=rule.cwe_id,
+                    span=finding.span,
+                    replacement=replacement,
+                    new_imports=imports,
+                    description=rule.patch.description,
+                )
+            )
+        return patches
+
+    def patch(self, source: str, findings: Optional[Sequence[Finding]] = None) -> PatchResult:
+        """Phase 2: substitute safe alternatives for detected patterns.
+
+        Runs repeated passes until no patchable finding remains or
+        ``max_passes`` is reached; overlapping patches in one pass are
+        retried on the next pass against the updated text.
+        """
+        current = source
+        all_applied: List[Patch] = []
+        last_skipped: List[Patch] = []
+        pass_findings = list(findings) if findings is not None else self.detect(current)
+        for _ in range(self.max_passes):
+            patches = self.render_patches(current, pass_findings)
+            if not patches:
+                break
+            outcome = apply_patches(current, patches)
+            all_applied.extend(outcome.applied)
+            last_skipped = outcome.skipped
+            if not outcome.changed:
+                break
+            current = outcome.source
+            pass_findings = self.detect(current)
+            if not pass_findings:
+                break
+        if all_applied and self.prune_imports:
+            from repro.core.imports import prune_unused_imports
+
+            current = prune_unused_imports(current)
+        final_findings = self.detect(current)
+        unpatchable = [f for f in final_findings if not f.fixable]
+        return PatchResult(
+            original=source,
+            patched=current,
+            applied=all_applied,
+            skipped=last_skipped,
+            unpatchable=unpatchable,
+        )
+
+    # ------------------------------------------------------------ analyze
+
+    def analyze(self, source: str, apply_patches_flag: bool = True) -> AnalysisReport:
+        """Full detect(+patch) pipeline returning a consolidated report."""
+        findings = self.detect(source)
+        report = AnalysisReport(tool="patchitpy", source=source, findings=findings)
+        if apply_patches_flag and findings:
+            result = self.patch(source, findings)
+            report.patches = result.applied
+            report.patched_source = result.patched
+        return report

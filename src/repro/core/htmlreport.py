@@ -1,0 +1,126 @@
+"""Standalone HTML report rendering for project scans.
+
+Security scanners ship shareable HTML reports; this renderer turns a
+:class:`~repro.core.project.ProjectReport` into a single self-contained
+page (inline CSS, no external assets): summary tiles, a per-CWE
+breakdown, and a per-file finding table with severity badges.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List
+
+from repro.core.project import ProjectReport
+from repro.cwe import get_cwe, owasp_category_for
+from repro.exceptions import UnknownCWEError
+from repro.types import Severity
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.tiles { display: flex; gap: 1rem; }
+.tile { border: 1px solid #d8d8e4; border-radius: 8px; padding: 0.8rem 1.2rem; }
+.tile .num { font-size: 1.6rem; font-weight: 700; }
+.tile .label { font-size: 0.8rem; color: #5a5a72; }
+table { border-collapse: collapse; width: 100%; margin-top: 0.5rem; }
+th, td { text-align: left; padding: 0.35rem 0.6rem; border-bottom: 1px solid #ececf4;
+         font-size: 0.85rem; vertical-align: top; }
+th { color: #5a5a72; font-weight: 600; }
+code { background: #f4f4fa; padding: 0.1rem 0.3rem; border-radius: 4px; }
+.badge { display: inline-block; border-radius: 4px; padding: 0.05rem 0.45rem;
+         font-size: 0.75rem; font-weight: 600; color: #fff; }
+.badge.low { background: #8a8aa0; } .badge.medium { background: #c78a00; }
+.badge.high { background: #c74e00; } .badge.critical { background: #b00020; }
+.clean { color: #2e7d32; }
+"""
+
+
+def _severity_badge(severity: Severity) -> str:
+    return f'<span class="badge {severity.value}">{severity.value}</span>'
+
+
+def _cwe_link(cwe_id: str) -> str:
+    number = int(cwe_id.split("-")[1])
+    try:
+        name = get_cwe(cwe_id).name
+    except UnknownCWEError:
+        name = cwe_id
+    return (
+        f'<a href="https://cwe.mitre.org/data/definitions/{number}.html">'
+        f"{html.escape(cwe_id)}</a> {html.escape(name)}"
+    )
+
+
+def render_html_report(report: ProjectReport, title: str = "PatchitPy scan report") -> str:
+    """Render the report as a complete HTML document."""
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>root: <code>{html.escape(str(report.root))}</code></p>",
+        '<div class="tiles">',
+        f'<div class="tile"><div class="num">{report.scanned_count}</div>'
+        '<div class="label">files scanned</div></div>',
+        f'<div class="tile"><div class="num">{len(report.vulnerable_files)}</div>'
+        '<div class="label">vulnerable files</div></div>',
+        f'<div class="tile"><div class="num">{report.total_findings}</div>'
+        '<div class="label">findings</div></div>',
+        "</div>",
+    ]
+
+    by_cwe = report.findings_by_cwe()
+    if by_cwe:
+        parts.append("<h2>Findings by CWE</h2><table><tr><th>CWE</th><th>count</th></tr>")
+        for cwe_id, count in by_cwe.items():
+            category = owasp_category_for(cwe_id)
+            category_text = f" <small>({category.code})</small>" if category else ""
+            parts.append(
+                f"<tr><td>{_cwe_link(cwe_id)}{category_text}</td><td>{count}</td></tr>"
+            )
+        parts.append("</table>")
+
+    parts.append("<h2>Files</h2>")
+    if not report.vulnerable_files:
+        parts.append('<p class="clean">No vulnerable patterns detected.</p>')
+    for result in report.vulnerable_files:
+        parts.append(f"<h3><code>{html.escape(str(result.path))}</code></h3>")
+        parts.append(
+            "<table><tr><th>rule</th><th>CWE</th><th>severity</th>"
+            "<th>message</th><th>snippet</th></tr>"
+        )
+        for finding in result.findings:
+            parts.append(
+                "<tr>"
+                f"<td><code>{html.escape(finding.rule_id)}</code></td>"
+                f"<td>{_cwe_link(finding.cwe_id)}</td>"
+                f"<td>{_severity_badge(finding.severity)}</td>"
+                f"<td>{html.escape(finding.message)}</td>"
+                f"<td><code>{html.escape(finding.snippet[:80])}</code></td>"
+                "</tr>"
+            )
+        parts.append("</table>")
+
+    errors = [f for f in report.files if f.error]
+    if errors:
+        parts.append("<h2>Skipped files</h2><ul>")
+        for result in errors:
+            parts.append(
+                f"<li><code>{html.escape(str(result.path))}</code> — "
+                f"{html.escape(result.error)}</li>"
+            )
+        parts.append("</ul>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html_report(report: ProjectReport, path: str, title: str = "PatchitPy scan report") -> str:
+    """Write the HTML report to ``path``; returns the document."""
+    document = render_html_report(report, title)
+    with open(path, "w") as handle:
+        handle.write(document)
+    return document

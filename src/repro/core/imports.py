@@ -1,0 +1,170 @@
+"""Import insertion for applied patches.
+
+When a safe alternative uses an API from a module the vulnerable code did
+not import, the patch carries the needed import statements; this manager
+places them at the top of the file — after a module docstring and any
+``from __future__`` imports, appended to the existing import block —
+mirroring the VS Code ``Position`` API placement described in §II-B.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Sequence, Tuple
+
+_IMPORT_LINE_RE = re.compile(r"^(?:import\s+[\w.]+|from\s+[\w.]+\s+import\s+.+)", re.MULTILINE)
+_FROM_IMPORT_RE = re.compile(r"^from\s+(?P<module>[\w.]+)\s+import\s+(?P<names>[^#\n]+)")
+_PLAIN_IMPORT_RE = re.compile(r"^import\s+(?P<modules>[^#\n]+)")
+
+
+class ImportManager:
+    """Tracks the imports of a source file and inserts missing ones."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._existing = _collect_imports(source)
+
+    def has_import(self, statement: str) -> bool:
+        """True when ``statement`` (or a superset of it) is already present."""
+        kind, module, names = _parse_import(statement)
+        for existing_kind, existing_module, existing_names in self._existing:
+            if existing_module != module:
+                continue
+            if kind == "import" and existing_kind == "import":
+                return True
+            if kind == "from" and existing_kind == "from" and names <= existing_names:
+                return True
+        return False
+
+    def missing(self, statements: Iterable[str]) -> List[str]:
+        """Deduplicated statements not yet imported, in request order."""
+        out: List[str] = []
+        for statement in statements:
+            cleaned = statement.strip()
+            if cleaned and cleaned not in out and not self.has_import(cleaned):
+                out.append(cleaned)
+        return out
+
+    def insert(self, statements: Iterable[str]) -> str:
+        """Return the source with the missing ``statements`` inserted."""
+        to_add = self.missing(statements)
+        if not to_add:
+            return self._source
+        offset = self.insertion_offset()
+        block = "\n".join(to_add) + "\n"
+        return self._source[:offset] + block + self._source[offset:]
+
+    def insertion_offset(self) -> int:
+        """Character offset where new imports belong.
+
+        After the last top-level import when one exists; otherwise after
+        the module docstring; otherwise offset 0.
+        """
+        last_import_end = -1
+        for match in _IMPORT_LINE_RE.finditer(self._source):
+            line_start = self._source.rfind("\n", 0, match.start()) + 1
+            if self._source[line_start : match.start()].strip():
+                continue  # indented (inside a function) — not top-level
+            line_end = self._source.find("\n", match.end())
+            last_import_end = len(self._source) if line_end == -1 else line_end + 1
+        if last_import_end != -1:
+            return last_import_end
+        return self._docstring_end()
+
+    def _docstring_end(self) -> int:
+        stripped = self._source.lstrip()
+        lead = len(self._source) - len(stripped)
+        for quote in ('"""', "'''"):
+            if stripped.startswith(quote):
+                end = stripped.find(quote, len(quote))
+                if end != -1:
+                    close = lead + end + len(quote)
+                    newline = self._source.find("\n", close)
+                    return len(self._source) if newline == -1 else newline + 1
+        return 0
+
+
+def _collect_imports(source: str) -> List[Tuple[str, str, frozenset]]:
+    collected: List[Tuple[str, str, frozenset]] = []
+    for line in source.splitlines():
+        cleaned = line.strip()
+        if cleaned.startswith(("import ", "from ")):
+            try:
+                collected.append(_parse_import(cleaned))
+            except ValueError:
+                continue
+    return collected
+
+
+def _parse_import(statement: str) -> Tuple[str, str, frozenset]:
+    """Parse into ``(kind, module, names)``; raises ValueError if neither."""
+    from_match = _FROM_IMPORT_RE.match(statement)
+    if from_match:
+        names = frozenset(
+            name.strip().split(" as ")[0].strip()
+            for name in from_match.group("names").split(",")
+            if name.strip()
+        )
+        return "from", from_match.group("module"), names
+    plain_match = _PLAIN_IMPORT_RE.match(statement)
+    if plain_match:
+        modules = frozenset(
+            module.strip().split(" as ")[0].strip()
+            for module in plain_match.group("modules").split(",")
+        )
+        # one tuple per statement; multi-module imports keep the first
+        module = sorted(modules)[0]
+        return "import", module, frozenset()
+    raise ValueError(f"not an import statement: {statement!r}")
+
+
+def insert_imports(source: str, statements: Sequence[str]) -> str:
+    """Convenience wrapper: insert ``statements`` into ``source``."""
+    return ImportManager(source).insert(statements)
+
+
+_NAME_RE_CACHE: dict = {}
+
+
+def _name_used(source: str, name: str) -> bool:
+    import re
+
+    pattern = _NAME_RE_CACHE.get(name)
+    if pattern is None:
+        pattern = re.compile(rf"(?<![\w.]){re.escape(name)}(?![\w])")
+        _NAME_RE_CACHE[name] = pattern
+    return bool(pattern.search(source))
+
+
+def prune_unused_imports(source: str) -> str:
+    """Drop top-level import lines whose names the code no longer uses.
+
+    After a safe substitution (e.g. ``pickle.loads`` → ``json.loads``) the
+    original module import frequently becomes dead; pruning it keeps the
+    patched file lint-clean.  Only whole lines are removed, and a ``from``
+    import is kept if *any* of its names is still referenced.
+    """
+    lines = source.splitlines(keepends=True)
+    kept = []
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped.startswith(("import ", "from ")) or line[:1] in (" ", "\t"):
+            kept.append(line)
+            continue
+        try:
+            kind, module, names = _parse_import(stripped)
+        except ValueError:
+            kept.append(line)
+            continue
+        rest = "".join(lines[:index]) + "".join(lines[index + 1 :])
+        if kind == "import":
+            if " as " in stripped:
+                binding = stripped.split(" as ")[-1].strip()
+            else:
+                binding = stripped.split()[1].split(".")[0].split(",")[0]
+            used = _name_used(rest, binding)
+        else:
+            used = any(_name_used(rest, name) for name in names)
+        if used:
+            kept.append(line)
+    return "".join(kept)

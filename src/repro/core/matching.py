@@ -1,0 +1,94 @@
+"""Pattern-match execution: rules × source → findings.
+
+This stage is deliberately AST-free (§II): matching runs directly on the
+raw text so that incomplete, unparseable AI-generated snippets are still
+analyzable — the property that lets PatchitPy out-recall AST-based tools on
+generated code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.prefilter import required_literal
+from repro.core.rules.base import DetectionRule
+from repro.types import Finding, Span
+
+# pattern id → (pattern, required literal or None); one atomic entry per
+# compiled pattern so concurrent scanners never observe a half-written
+# cache (the pattern object is kept to guard against id() reuse)
+_PREFILTER_CACHE: Dict[int, tuple] = {}
+
+
+def _prefilter_for(rule: DetectionRule) -> Optional[str]:
+    key = id(rule.pattern)
+    entry = _PREFILTER_CACHE.get(key)
+    if entry is None or entry[0] is not rule.pattern:
+        entry = (rule.pattern, required_literal(rule.pattern))
+        _PREFILTER_CACHE[key] = entry
+    return entry[1]
+
+
+def match_rule(rule: DetectionRule, source: str) -> List[Finding]:
+    """All non-vetoed matches of ``rule`` in ``source`` as findings.
+
+    A literal prefilter (the longest substring every match must contain)
+    skips the regex entirely on files that cannot match — the same
+    optimization production scanners use.
+    """
+    findings: List[Finding] = []
+    literal = _prefilter_for(rule)
+    if literal is not None and literal not in source:
+        return findings
+    if not rule.applies_to(source):
+        return findings
+    for match in rule.pattern.finditer(source):
+        if any(guard.vetoes(source, match) for guard in rule.all_guards()):
+            continue
+        span = Span(match.start(), match.end())
+        findings.append(
+            Finding(
+                rule_id=rule.rule_id,
+                cwe_id=rule.cwe_id,
+                message=rule.message,
+                span=span,
+                snippet=_clip(match.group(0)),
+                severity=rule.severity,
+                confidence=rule.confidence,
+                fixable=rule.patchable,
+            )
+        )
+    return findings
+
+
+def run_rules(rules: Iterable[DetectionRule], source: str) -> List[Finding]:
+    """Run every rule and return findings ordered by position then rule id.
+
+    When two rules of the *same CWE* match overlapping spans, only the
+    earlier (more specific, per catalog order) finding is kept, so a single
+    vulnerable line does not inflate the report.
+    """
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(match_rule(rule, source))
+    findings.sort(key=lambda f: (f.span.start, f.span.end, f.rule_id))
+    return _dedupe_same_cwe_overlaps(findings)
+
+
+def _dedupe_same_cwe_overlaps(findings: List[Finding]) -> List[Finding]:
+    kept: List[Finding] = []
+    for finding in findings:
+        duplicate = any(
+            other.cwe_id == finding.cwe_id and other.span.overlaps(finding.span)
+            for other in kept
+        )
+        if not duplicate:
+            kept.append(finding)
+    return kept
+
+
+def _clip(text: str, limit: int = 160) -> str:
+    flattened = " ".join(text.split())
+    if len(flattened) <= limit:
+        return flattened
+    return flattened[: limit - 3] + "..."

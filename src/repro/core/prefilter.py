@@ -1,0 +1,126 @@
+"""Literal prefiltering for rule matching.
+
+Production pattern scanners (Semgrep, ripgrep-based tooling) avoid
+running every regex over every file by first checking for a literal
+substring the regex *must* contain.  This module derives such a required
+literal from a compiled pattern by walking its parse tree
+(:mod:`re._parser`):
+
+- in a concatenation, every member's requirement holds — take the longest
+  literal run;
+- in a branch (alternation), a literal is required only if *every*
+  alternative requires one — take the shortest of the alternatives'
+  longest literals as a conservative bound (and only if all exist);
+- quantifiers with ``min == 0`` contribute nothing.
+
+The derivation is conservative: when in doubt it returns ``None`` and the
+engine simply runs the regex.  A property test pins the safety condition:
+prefiltered matching returns exactly the same findings.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+try:  # Python 3.11+: re._parser; older: sre_parse
+    from re import _parser as _sre_parse  # type: ignore[attr-defined]
+except ImportError:  # pragma: no cover - legacy fallback
+    import sre_parse as _sre_parse  # type: ignore[no-redef]
+
+_MIN_USEFUL = 4  # literals shorter than this filter little
+
+
+def _literals_of(parsed) -> List[str]:
+    """Literal runs guaranteed to appear, for one parsed subpattern."""
+    runs: List[str] = []
+    current: List[str] = []
+
+    def flush() -> None:
+        if current:
+            runs.append("".join(current))
+            current.clear()
+
+    for op, argument in parsed:
+        name = str(op)
+        if name == "LITERAL":
+            current.append(chr(argument))
+            continue
+        if name == "NOT_LITERAL" or name in ("ANY", "IN", "CATEGORY"):
+            flush()
+            continue
+        if name in ("MAX_REPEAT", "MIN_REPEAT"):
+            minimum, _maximum, sub = argument
+            flush()
+            if minimum >= 1:
+                runs.extend(_literals_of(sub))
+            continue
+        if name == "SUBPATTERN":
+            sub = argument[-1]
+            flush()
+            runs.extend(_literals_of(sub))
+            continue
+        if name == "BRANCH":
+            flush()
+            _, alternatives = argument
+            candidates: List[str] = []
+            for alternative in alternatives:
+                longest = _longest(_literals_of(alternative))
+                if longest is None:
+                    candidates = []
+                    break
+                candidates.append(longest)
+            if candidates:
+                # the only text guaranteed across every alternative is a
+                # common substring of all the alternatives' literals
+                common = candidates[0]
+                for candidate in candidates[1:]:
+                    common = _longest_common_substring(common, candidate)
+                    if not common:
+                        break
+                if common:
+                    runs.append(common)
+            continue
+        if name in ("AT", "ASSERT", "ASSERT_NOT", "GROUPREF", "GROUPREF_EXISTS"):
+            flush()
+            continue
+        flush()
+    flush()
+    return [r for r in runs if r]
+
+
+def _longest(literals: List[str]) -> Optional[str]:
+    if not literals:
+        return None
+    return max(literals, key=len)
+
+
+def _longest_common_substring(a: str, b: str) -> str:
+    """Longest contiguous substring shared by ``a`` and ``b``."""
+    best = ""
+    for i in range(len(a)):
+        for j in range(i + len(best) + 1, len(a) + 1):
+            if a[i:j] in b:
+                best = a[i:j]
+            else:
+                break
+    return best
+
+
+def required_literal(pattern: "re.Pattern[str]") -> Optional[str]:
+    """The longest literal every match of ``pattern`` must contain.
+
+    Returns ``None`` when no sufficiently long guaranteed literal exists
+    or when the pattern uses flags/constructs the walker does not model
+    (conservatively: IGNORECASE disables prefiltering).
+    """
+    if pattern.flags & re.IGNORECASE:
+        return None
+    try:
+        parsed = _sre_parse.parse(pattern.pattern, pattern.flags & ~re.UNICODE)
+    except Exception:
+        return None
+    literal = _longest(_literals_of(parsed))
+    if literal is None or len(literal) < _MIN_USEFUL:
+        return None
+    return literal

@@ -1,0 +1,49 @@
+"""Human-readable rendering of analysis reports.
+
+The VS Code extension surface (and the CLI) present findings as short
+annotated listings; this module renders those from an
+:class:`~repro.types.AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cwe import get_cwe, owasp_category_for
+from repro.exceptions import UnknownCWEError
+from repro.types import AnalysisReport, Finding, line_of_offset
+
+
+def format_finding(finding: Finding, source: str) -> str:
+    """One-line summary: ``line 12 [CWE-089 SQL Injection] message``."""
+    line = line_of_offset(source, finding.span.start)
+    try:
+        cwe_name = get_cwe(finding.cwe_id).name
+    except UnknownCWEError:
+        cwe_name = "Unknown"
+    category = owasp_category_for(finding.cwe_id)
+    category_code = category.code if category else "???"
+    return (
+        f"line {line:>3} [{finding.cwe_id} {cwe_name}] ({category_code}, "
+        f"{finding.severity}/{finding.confidence}) {finding.message}"
+    )
+
+
+def render_report(report: AnalysisReport) -> str:
+    """Multi-line textual report for terminals and pop-ups."""
+    lines: List[str] = [f"PatchitPy report — tool: {report.tool}"]
+    if report.parse_failed:
+        lines.append("note: source does not parse as a full module (pattern mode)")
+    if not report.findings:
+        lines.append("no vulnerable patterns detected")
+        return "\n".join(lines)
+    lines.append(f"{len(report.findings)} finding(s):")
+    for finding in report.findings:
+        lines.append("  " + format_finding(finding, report.source))
+    if report.patches:
+        lines.append(f"{len(report.patches)} patch(es) applied:")
+        for patch in report.patches:
+            lines.append(f"  {patch.rule_id}: {patch.description}")
+    for suggestion in report.suggestions:
+        lines.append(f"  suggestion (line {suggestion.line}): {suggestion.comment}")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Rule catalog for the PatchitPy engine (85 default rules, §II-A)."""
+
+from repro.core.rules.base import DetectionRule, Guard, PatchTemplate, RuleSet, rule
+from repro.core.rules.registry import (
+    EXTENDED_ONLY,
+    default_ruleset,
+    extended_ruleset,
+    full_catalog,
+)
+
+__all__ = [
+    "DetectionRule",
+    "EXTENDED_ONLY",
+    "Guard",
+    "PatchTemplate",
+    "RuleSet",
+    "default_ruleset",
+    "extended_ruleset",
+    "full_catalog",
+    "rule",
+]

@@ -1,0 +1,214 @@
+"""Patch builders shared by the rule catalog.
+
+Several safe alternatives cannot be expressed as a static replacement
+template because they must *recompute* part of the matched code — e.g.
+turning the interpolated fields of an f-string SQL query into ``?``
+placeholders with a parameter tuple.  The builders here implement those
+transformations; each takes the rule's regex match and returns
+``(replacement_text, extra_imports)``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+_FIELD_RE = re.compile(r"\{([^{}]+)\}")
+_PERCENT_PLACEHOLDER_RE = re.compile(r"%[sdif]")
+_FORMAT_SLOT_RE = re.compile(r"\{[^{}]*\}")
+
+
+def _strip_format_spec(expression: str) -> str:
+    """Drop ``:spec`` / ``!conv`` suffixes from an f-string field."""
+    depth = 0
+    for i, ch in enumerate(expression):
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch in ":!" and depth == 0:
+            return expression[:i].strip()
+    return expression.strip()
+
+
+def parameterize_sql_fstring(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+    """``cur.execute(f"... {x}")`` → ``cur.execute("... ?", (x,))``.
+
+    Expects named groups ``call`` (the ``<obj>.execute`` prefix), ``q``
+    (the quote character) and ``sql`` (the f-string body).
+    """
+    call = match.group("call")
+    quote = match.group("q")
+    body = match.group("sql")
+    params: List[str] = []
+
+    def to_placeholder(field: "re.Match[str]") -> str:
+        params.append(_strip_format_spec(field.group(1)))
+        return "?"
+
+    new_body = _FIELD_RE.sub(to_placeholder, body)
+    new_body = _dequote_placeholders(new_body)
+    args = ", ".join(params)
+    tuple_text = f"({args},)" if len(params) == 1 else f"({args})"
+    return f"{call}({quote}{new_body}{quote}, {tuple_text})", ()
+
+
+def parameterize_sql_percent(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+    """``execute("... %s" % (x,))`` → ``execute("... ?", (x,))``."""
+    call = match.group("call")
+    quote = match.group("q")
+    body = match.group("sql")
+    operand = match.group("operand").strip()
+    new_body = _dequote_placeholders(_PERCENT_PLACEHOLDER_RE.sub("?", body))
+    if not (operand.startswith("(") and operand.endswith(")")):
+        operand = f"({operand},)"
+    return f"{call}({quote}{new_body}{quote}, {operand})", ()
+
+
+def parameterize_sql_format(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+    """``execute("... {}".format(x))`` → ``execute("... ?", (x,))``."""
+    call = match.group("call")
+    quote = match.group("q")
+    body = match.group("sql")
+    args = match.group("args").strip()
+    new_body = _dequote_placeholders(_FORMAT_SLOT_RE.sub("?", body))
+    if not args:
+        args_tuple = "()"
+    else:
+        args_tuple = f"({args},)" if "," not in args else f"({args})"
+    return f"{call}({quote}{new_body}{quote}, {args_tuple})", ()
+
+
+def parameterize_sql_concat(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+    """``execute("..." + x)`` → ``execute("... ?", (x,))``.
+
+    Handles the common two-segment shape (literal + expression, optionally
+    followed by a closing literal).  The quote characters adjacent to the
+    concatenation are stripped from the literal.
+    """
+    call = match.group("call")
+    quote = match.group("q")
+    prefix = match.group("sql")
+    expr = match.group("expr").strip()
+    suffix = match.group("suffix") or ""
+    prefix = prefix.rstrip("'\" ")
+    suffix = suffix.lstrip("'\" ")
+    new_body = f"{prefix}?{suffix}"
+    return f"{call}({quote}{new_body}{quote}, ({expr},))", ()
+
+
+def _dequote_placeholders(body: str) -> str:
+    """Remove SQL quotes that wrapped an interpolation (``'?'`` → ``?``)."""
+    return body.replace("'?'", "?").replace('"?"', "?")
+
+
+def shell_false_fix(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+    """Rewrite ``subprocess.X(cmd, shell=True)`` to a list argv without shell.
+
+    The first argument is wrapped in ``shlex.split`` unless it is already a
+    list literal, and ``shell=True`` becomes ``shell=False``.
+    """
+    text = match.group(0)
+    text = re.sub(r"shell\s*=\s*True", "shell=False", text)
+    arg_match = re.search(r"\(\s*(?P<arg>f?['\"][^'\"]*['\"]|[A-Za-z_][\w.]*)\s*(?=[,)])", text)
+    if arg_match and not arg_match.group("arg").startswith("["):
+        arg = arg_match.group("arg")
+        text = text[: arg_match.start()] + f"(shlex.split({arg})" + text[arg_match.end() :]
+        return text, ("import shlex",)
+    return text, ()
+
+
+def wrap_fstring_fields(wrapper: str, imports: Tuple[str, ...] = ()):
+    """Builder factory: wrap every ``{field}`` of a matched f-string.
+
+    ``wrapper`` is a callable name, e.g. ``"escape"`` turning ``{name}``
+    into ``{escape(name)}``.  Fields already wrapped are left alone.
+    """
+
+    def build(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+        text = match.group(0)
+
+        def wrap(field: "re.Match[str]") -> str:
+            inner = _strip_format_spec(field.group(1))
+            if inner.startswith(f"{wrapper}("):
+                return field.group(0)
+            return "{" + f"{wrapper}({inner})" + "}"
+
+        return _FIELD_RE.sub(wrap, text), imports
+
+    return build
+
+
+def add_call_kwargs(*pairs: Tuple[str, str]):
+    """Builder factory: append missing keyword arguments to a matched call.
+
+    The match must cover the full call up to and including its closing
+    parenthesis; each ``(name, value)`` pair is appended unless ``name=``
+    already appears in the call.
+    """
+
+    def build(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+        text = match.group(0)
+        if not text.endswith(")"):
+            return text, ()
+        additions = [f"{name}={value}" for name, value in pairs if f"{name}=" not in text.replace(" ", "")]
+        if not additions:
+            return text, ()
+        inner = text[:-1].rstrip()
+        separator = ", " if not inner.endswith("(") else ""
+        return inner + separator + ", ".join(additions) + ")", ()
+
+    return build
+
+
+def env_var_credential(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+    """``PASSWORD = "hunter2"`` → ``PASSWORD = os.environ.get("PASSWORD", "")``."""
+    name = match.group("name")
+    env_name = re.sub(r"[^A-Za-z0-9]+", "_", name).upper()
+    return f'{name} = os.environ.get("{env_name}", "")', ("import os",)
+
+
+def logging_fstring_to_lazy(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+    """``logger.info(f"got {user}")`` → ``logger.info("got %s", sanitized)``.
+
+    User-controlled fields are passed as lazy ``%s`` arguments with CR/LF
+    stripped, neutralizing log forging (CWE-117).
+    """
+    call = match.group("call")
+    quote = match.group("q")
+    body = match.group("body")
+    params: List[str] = []
+
+    def to_percent(field: "re.Match[str]") -> str:
+        params.append(_strip_format_spec(field.group(1)))
+        return "%s"
+
+    new_body = _FIELD_RE.sub(to_percent, body)
+    sanitized = ", ".join(f"str({p}).replace('\\n', '').replace('\\r', '')" for p in params)
+    return f"{call}({quote}{new_body}{quote}, {sanitized})", ()
+
+
+def xpath_parameterize(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+    """``tree.xpath(f"//u[@n='{v}']")`` → ``tree.xpath("//u[@n=$p0]", p0=v)``."""
+    call = match.group("call")
+    quote = match.group("q")
+    body = match.group("body")
+    params: List[str] = []
+
+    def to_var(field: "re.Match[str]") -> str:
+        name = f"p{len(params)}"
+        params.append(_strip_format_spec(field.group(1)))
+        return f"${name}"
+
+    new_body = _FIELD_RE.sub(to_var, body)
+    new_body = new_body.replace("'$", "$").replace("$p0'", "$p0")
+    new_body = re.sub(r"['\"](\$p\d+)['\"]?", r"\1", new_body)
+    kwargs = ", ".join(f"p{i}={expr}" for i, expr in enumerate(params))
+    return f"{call}({quote}{new_body}{quote}, {kwargs})", ()
+
+
+def yaml_safe_load_fix(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+    """``yaml.load(x[, Loader=...])`` → ``yaml.safe_load(x)``."""
+    args = match.group("args")
+    first = re.split(r",\s*(?:Loader\s*=|yaml\.)", args)[0].strip()
+    return f"yaml.safe_load({first})", ()

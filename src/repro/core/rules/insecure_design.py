@@ -1,0 +1,116 @@
+"""A04:2021 Insecure Design rules — debug leaks, credentials, resources.
+
+Rule ids use the ``PIT-A04-##`` scheme.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.rules.base import PatchTemplate, rule
+from repro.core.rules.helpers import add_call_kwargs
+from repro.types import Confidence, Severity
+
+
+def build_rules() -> list:
+    """All A04 Insecure Design rules, in catalog order."""
+    return [
+        # ---------------- Debug information exposure (CWE-209) ----------------
+        rule(
+            "PIT-A04-01",
+            "CWE-209",
+            "Flask application runs with debug mode enabled",
+            r"\.run\((?P<pre>[^()]*)debug\s*=\s*True(?P<post>[^()]*)\)",
+            severity=Severity.HIGH,
+            patch=PatchTemplate(
+                replacement=r".run(\g<pre>debug=False, use_debugger=False, use_reloader=False\g<post>)",
+                description="Disable debug mode, debugger, and reloader",
+            ),
+        ),
+        rule(
+            "PIT-A04-02",
+            "CWE-209",
+            "Exception text returned to the client",
+            r"return\s+(?:str\(\s*(?:e|err|error|exc)\s*\)|f['\"][^'\"\n]*\{\s*(?:str\(\s*)?(?:e|err|error|exc)\s*\)?\s*\}[^'\"\n]*['\"])(?:\s*,\s*\d{3})?",
+            severity=Severity.MEDIUM,
+            patch=PatchTemplate(
+                replacement='return "An internal error has occurred.", 500',
+                description="Return a generic error message",
+            ),
+        ),
+        rule(
+            "PIT-A04-03",
+            "CWE-209",
+            "Traceback sent in an HTTP response",
+            r"return\s+[^\n]*traceback\.format_exc\(\)[^\n]*",
+            severity=Severity.MEDIUM,
+            patch=PatchTemplate(
+                replacement='return "An internal error has occurred.", 500',
+                description="Return a generic error message",
+            ),
+        ),
+        rule(
+            "PIT-A04-04",
+            "CWE-209",
+            "Django-style DEBUG flag enabled",
+            r"^DEBUG\s*=\s*True\s*$",
+            severity=Severity.MEDIUM,
+            flags=re.MULTILINE,
+            patch=PatchTemplate(
+                replacement="DEBUG = False",
+                description="Disable framework debug mode",
+            ),
+        ),
+        # ---------------- Credential handling (CWE-256/522) ----------------
+        rule(
+            "PIT-A04-05",
+            "CWE-256",
+            "Plaintext password written to persistent storage",
+            r"\.write\(\s*f?['\"]?[^)\n]*password[^)\n]*\)",
+            severity=Severity.HIGH,
+            confidence=Confidence.MEDIUM,
+            not_on_line=(r"hash|pbkdf2|bcrypt|scrypt",),
+        ),
+        rule(
+            "PIT-A04-06",
+            "CWE-522",
+            "Credentials stored in a client-side cookie",
+            r"set_cookie\(\s*['\"](?:password|token|auth|session_secret)['\"]",
+            severity=Severity.HIGH,
+            confidence=Confidence.MEDIUM,
+        ),
+        rule(
+            "PIT-A04-07",
+            "CWE-522",
+            "Password persisted without key derivation",
+            r"INSERT\s+INTO\s+\w*users?\w*[^\n]*password",
+            severity=Severity.MEDIUM,
+            confidence=Confidence.LOW,
+            not_in_file=(r"pbkdf2|bcrypt|scrypt|generate_password_hash",),
+            flags=re.IGNORECASE,
+        ),
+        # ---------------- Resource limits (CWE-400/770) ----------------
+        rule(
+            "PIT-A04-08",
+            "CWE-400",
+            "Outbound HTTP request issued without a timeout",
+            r"requests\.(?:get|post|put|delete|head|patch)\((?:[^()]|\((?:[^()]|\([^()]*\))*\))*\)",
+            severity=Severity.LOW,
+            confidence=Confidence.MEDIUM,
+            not_if=(r"timeout\s*=",),
+            patch=PatchTemplate(
+                builder=add_call_kwargs(("timeout", "10")),
+                description="Bound the request with a timeout",
+            ),
+        ),
+        rule(
+            "PIT-A04-09",
+            "CWE-770",
+            "Request body read without a size limit",
+            r"request\.(?:get_data|stream\.read|data)\(\s*\)",
+            severity=Severity.LOW,
+            confidence=Confidence.LOW,
+            not_if=(r"MAX_CONTENT_LENGTH",),
+            not_in_file=(r"MAX_CONTENT_LENGTH",),
+        ),
+    ]

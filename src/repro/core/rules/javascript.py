@@ -1,0 +1,214 @@
+"""JavaScript rule pack — the paper's "support other programming
+languages" future work, realized.
+
+Because the engine is AST-free, porting to a new language is a rule-pack
+exercise: these rules cover the JavaScript/Node.js analogues of the
+Python catalog's highest-traffic weaknesses (injection, XSS sinks, weak
+crypto, TLS bypass, hardcoded secrets, traversal).  They are *not* part
+of the Python rule sets; obtain them with
+:func:`javascript_ruleset` and run them through a regular
+:class:`~repro.core.engine.PatchitPy` instance.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.core.rules.base import DetectionRule, PatchTemplate, RuleSet, rule
+from repro.types import Confidence, Severity
+
+# template literal with at least one interpolation
+_TEMPLATE_INTERP = r"`[^`]*\$\{[^}]+\}[^`]*`"
+
+
+def _parameterize_sql_template(match: "re.Match[str]"):
+    """``query(`... ${x}`)`` → ``query('... $1', [x])`` (pg style)."""
+    call = match.group("call")
+    body = match.group("body")
+    params: List[str] = []
+
+    def to_placeholder(field: "re.Match[str]") -> str:
+        params.append(field.group(1).strip())
+        return f"${len(params)}"
+
+    new_body = re.sub(r"\$\{([^}]+)\}", to_placeholder, body)
+    new_body = new_body.replace("'$", "$").replace(f"${len(params)}'", f"${len(params)}")
+    args = ", ".join(params)
+    return f"{call}('{new_body}', [{args}])", ()
+
+
+def build_rules() -> List[DetectionRule]:
+    """All JavaScript rules, in catalog order."""
+    return [
+        rule(
+            "PIT-JS-01",
+            "CWE-089",
+            "SQL query built with a template literal is passed to query()",
+            r"(?P<call>\b[\w.]*\.query)\(\s*`(?P<body>[^`]*\$\{[^}]+\}[^`]*)`\s*\)",
+            severity=Severity.HIGH,
+            patch=PatchTemplate(
+                builder=_parameterize_sql_template,
+                description="Parameterize the query with $n placeholders",
+            ),
+        ),
+        rule(
+            "PIT-JS-02",
+            "CWE-078",
+            "Shell command interpolated into child_process.exec()",
+            r"(?:child_process\.)?\bexecS?y?n?c?\(\s*" + _TEMPLATE_INTERP,
+            severity=Severity.CRITICAL,
+        ),
+        rule(
+            "PIT-JS-03",
+            "CWE-095",
+            "eval() of dynamic content",
+            r"(?<![\w.])eval\(\s*(?!['\"`][^'\"`]*['\"`]\s*\))",
+            severity=Severity.CRITICAL,
+        ),
+        rule(
+            "PIT-JS-04",
+            "CWE-094",
+            "new Function() constructs code from data",
+            r"new\s+Function\(",
+            severity=Severity.CRITICAL,
+        ),
+        rule(
+            "PIT-JS-05",
+            "CWE-079",
+            "Dynamic value assigned to innerHTML",
+            r"(?P<target>[\w.\[\]']+)\.innerHTML\s*=\s*(?P<expr>(?!['\"`][^$])[^;\n]+)",
+            severity=Severity.HIGH,
+            patch=PatchTemplate(
+                replacement=r"\g<target>.textContent = \g<expr>",
+                description="Render as text instead of HTML",
+            ),
+        ),
+        rule(
+            "PIT-JS-06",
+            "CWE-079",
+            "document.write() of dynamic content",
+            r"document\.write\(\s*(?!['\"`][^$])",
+            severity=Severity.HIGH,
+        ),
+        rule(
+            "PIT-JS-07",
+            "CWE-338",
+            "Math.random() used to build a security token",
+            r"Math\.random\(\)",
+            severity=Severity.MEDIUM,
+            confidence=Confidence.MEDIUM,
+            require_in_file=(r"token|session|secret|password|reset|apiKey",),
+            not_in_file=(r"crypto\.randomBytes|crypto\.randomUUID",),
+        ),
+        rule(
+            "PIT-JS-08",
+            "CWE-798",
+            "Hard-coded credential assigned to a variable",
+            r"(?:const|let|var)\s+(?P<name>\w{0,30}(?:[Pp]assword|[Ss]ecret|[Aa]pi[_]?[Kk]ey|[Tt]oken)\w{0,30})\s*=\s*['\"][^'\"]{4,}['\"]",
+            severity=Severity.HIGH,
+            not_on_line=(r"process\.env",),
+            patch=PatchTemplate(
+                builder=lambda match: (
+                    "const {name} = process.env.{env}".format(
+                        name=match.group("name"),
+                        env=re.sub(r"(?<!^)(?=[A-Z])", "_", match.group("name")).upper(),
+                    ),
+                    (),
+                ),
+                description="Load the credential from the environment",
+            ),
+        ),
+        rule(
+            "PIT-JS-09",
+            "CWE-295",
+            "TLS certificate validation disabled",
+            r"rejectUnauthorized\s*:\s*false",
+            severity=Severity.HIGH,
+            patch=PatchTemplate(
+                replacement="rejectUnauthorized: true",
+                description="Re-enable TLS certificate validation",
+            ),
+        ),
+        rule(
+            "PIT-JS-10",
+            "CWE-295",
+            "TLS verification disabled process-wide",
+            r"NODE_TLS_REJECT_UNAUTHORIZED['\"]?\s*\]?\s*=\s*['\"]0['\"]",
+            severity=Severity.CRITICAL,
+        ),
+        rule(
+            "PIT-JS-11",
+            "CWE-328",
+            "Weak hash algorithm requested from crypto",
+            r"createHash\(\s*(?P<q>['\"])(?:md5|sha1)(?P=q)",
+            severity=Severity.MEDIUM,
+            patch=PatchTemplate(
+                replacement=r"createHash(\g<q>sha256\g<q>",
+                description="Request SHA-256 instead",
+            ),
+        ),
+        rule(
+            "PIT-JS-12",
+            "CWE-022",
+            "File served from a request-controlled path",
+            r"(?:sendFile|createReadStream|readFile(?:Sync)?)\(\s*[^)\n]*req\.(?:query|params|body)",
+            severity=Severity.HIGH,
+            not_if=(r"basename\(",),
+        ),
+        rule(
+            "PIT-JS-13",
+            "CWE-601",
+            "Redirect target taken directly from the request",
+            r"res\.redirect\(\s*req\.(?:query|params|body)",
+            severity=Severity.MEDIUM,
+        ),
+        rule(
+            "PIT-JS-14",
+            "CWE-502",
+            "Untrusted data passed to node-serialize unserialize()",
+            r"(?<![\w.])unserialize\(",
+            severity=Severity.CRITICAL,
+        ),
+        rule(
+            "PIT-JS-15",
+            "CWE-614",
+            "Cookie set without secure/httpOnly options",
+            r"res\.cookie\(\s*['\"][^'\"]+['\"]\s*,\s*[^,()\n]*(?:\([^()]*\)[^,()\n]*)*\)",
+            severity=Severity.MEDIUM,
+            not_if=(r"httpOnly|secure",),
+            patch=PatchTemplate(
+                builder=lambda match: (
+                    match.group(0)[:-1] + ", { httpOnly: true, secure: true, sameSite: 'lax' })",
+                    (),
+                ),
+                description="Set httpOnly/secure/sameSite on the cookie",
+            ),
+        ),
+        rule(
+            "PIT-JS-16",
+            "CWE-016",
+            "CORS configured to allow any origin",
+            r"Access-Control-Allow-Origin['\"]\s*,\s*['\"]\*['\"]",
+            severity=Severity.MEDIUM,
+        ),
+        rule(
+            "PIT-JS-17",
+            "CWE-347",
+            "JWT accepted with the 'none' algorithm",
+            r"algorithms?\s*:\s*\[?\s*['\"]none['\"]",
+            severity=Severity.CRITICAL,
+        ),
+        rule(
+            "PIT-JS-18",
+            "CWE-918",
+            "Outbound request to a request-controlled URL",
+            r"(?:fetch|axios(?:\.get|\.post)?|request)\(\s*req\.(?:query|params|body)",
+            severity=Severity.HIGH,
+        ),
+    ]
+
+
+def javascript_ruleset() -> RuleSet:
+    """The JavaScript rule pack as an executable rule set."""
+    return RuleSet(build_rules())

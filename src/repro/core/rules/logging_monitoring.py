@@ -1,0 +1,68 @@
+"""A09:2021 Security Logging and Monitoring Failures rules.
+
+Rule ids use the ``PIT-A09-##`` scheme.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.rules.base import PatchTemplate, rule
+from repro.types import Confidence, Severity
+
+
+def build_rules() -> list:
+    """All A09 Security Logging and Monitoring Failures rules."""
+    return [
+        rule(
+            "PIT-A09-01",
+            "CWE-532",
+            "Secret value interpolated into a log message",
+            r"(?P<call>\b(?:logging|logger|log)\.(?:info|warning|error|debug|critical))\(\s*(?P<q>f['\"])(?P<body>[^'\"\n]*\{\s*\w*(?:password|passwd|secret|token|api_key|ssn|credit)\w*[^}]*\}[^'\"\n]*)['\"]\s*\)",
+            severity=Severity.HIGH,
+            patch=PatchTemplate(
+                builder=_redact_sensitive_fields,
+                description="Redact secrets from log output",
+            ),
+        ),
+        rule(
+            "PIT-A09-02",
+            "CWE-778",
+            "Exception swallowed silently (except/pass)",
+            r"except(?:\s+\w+(?:\s+as\s+\w+)?)?\s*:\s*\n(?:[ \t]*#[^\n]*\n)*(?P<indent>[ \t]+)pass\b",
+            severity=Severity.LOW,
+            patch=PatchTemplate(
+                replacement="except Exception:\n\\g<indent>logging.exception(\"Unhandled exception\")",
+                imports=("import logging",),
+                description="Record the swallowed exception",
+            ),
+        ),
+        rule(
+            "PIT-A09-03",
+            "CWE-778",
+            "Authentication routine performs no security logging",
+            r"def\s+(?:login|authenticate|verify_user|check_credentials)\w*\(",
+            severity=Severity.LOW,
+            confidence=Confidence.LOW,
+            not_in_file=(r"logging\.|logger\.|audit",),
+        ),
+        rule(
+            "PIT-A09-04",
+            "CWE-223",
+            "Failed access attempt discarded without recording the actor",
+            r"return\s+(?:False|None)\s*#\s*(?:invalid|denied|unauthorized)",
+            severity=Severity.LOW,
+            confidence=Confidence.LOW,
+        ),
+    ]
+
+
+_SENSITIVE_FIELD_RE = re.compile(
+    r"\{\s*(\w*(?:password|passwd|secret|token|api_key|ssn|credit)\w*[^}]*)\}"
+)
+
+
+def _redact_sensitive_fields(match):
+    """Replace sensitive f-string fields with a redaction marker."""
+    text = match.group(0)
+    return _SENSITIVE_FIELD_RE.sub("[REDACTED]", text), ()

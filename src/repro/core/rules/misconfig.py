@@ -1,0 +1,146 @@
+"""A05:2021 Security Misconfiguration rules — XML, cookies, bindings.
+
+Rule ids use the ``PIT-A05-##`` scheme.
+"""
+
+from __future__ import annotations
+
+from repro.core.rules.base import PatchTemplate, rule
+from repro.core.rules.helpers import add_call_kwargs
+from repro.types import Confidence, Severity
+
+
+def build_rules() -> list:
+    """All A05 Security Misconfiguration rules, in catalog order."""
+    return [
+        # ---------------- XML external entities (CWE-611/776) ----------------
+        rule(
+            "PIT-A05-01",
+            "CWE-611",
+            "lxml parses XML with entity resolution enabled",
+            r"etree\.(?:parse|fromstring|XML)\(\s*(?P<arg>[^()]+)\)",
+            severity=Severity.HIGH,
+            not_if=(r"resolve_entities\s*=\s*False", r"parser\s*="),
+            not_in_file=(r"defusedxml", r"import\s+xml\.etree"),
+            patch=PatchTemplate(
+                builder=add_call_kwargs(
+                    ("parser", "etree.XMLParser(resolve_entities=False, no_network=True)")
+                ),
+                description="Disable entity resolution in the parser",
+            ),
+        ),
+        rule(
+            "PIT-A05-02",
+            "CWE-611",
+            "xml.etree parses untrusted XML without defusedxml",
+            r"(?:ElementTree|ET)\.(?:parse|fromstring)\(",
+            severity=Severity.MEDIUM,
+            confidence=Confidence.MEDIUM,
+            not_in_file=(r"defusedxml",),
+            patch=PatchTemplate(
+                builder=_defused_swap,
+                imports=("import defusedxml.ElementTree",),
+                description="Parse through defusedxml.ElementTree",
+            ),
+        ),
+        rule(
+            "PIT-A05-03",
+            "CWE-776",
+            "SAX parser enables external general entities",
+            r"setFeature\(\s*(?:xml\.sax\.)?handler\.feature_external_ges\s*,\s*True\s*\)",
+            severity=Severity.HIGH,
+            patch=PatchTemplate(
+                replacement="setFeature(handler.feature_external_ges, False)",
+                description="Disable external general entities",
+            ),
+        ),
+        rule(
+            "PIT-A05-04",
+            "CWE-776",
+            "minidom/pulldom parses untrusted XML",
+            r"(?:minidom|pulldom)\.parse(?:String)?\(",
+            severity=Severity.MEDIUM,
+            confidence=Confidence.MEDIUM,
+            not_in_file=(r"defusedxml",),
+        ),
+        # ---------------- Cookie attributes (CWE-614/1004/1275) ----------------
+        rule(
+            "PIT-A05-05",
+            "CWE-614",
+            "Cookie set without the Secure attribute",
+            r"\.set_cookie\([^()]*(?:\([^()]*\)[^()]*)*\)",
+            severity=Severity.MEDIUM,
+            not_if=(r"secure\s*=\s*True",),
+            patch=PatchTemplate(
+                builder=add_call_kwargs(
+                    ("secure", "True"), ("httponly", "True"), ("samesite", '"Lax"')
+                ),
+                description="Set Secure, HttpOnly, and SameSite on the cookie",
+            ),
+        ),
+        rule(
+            "PIT-A05-06",
+            "CWE-1004",
+            "Cookie set without the HttpOnly attribute",
+            r"\.set_cookie\([^()]*(?:\([^()]*\)[^()]*)*\)",
+            severity=Severity.MEDIUM,
+            not_if=(r"httponly\s*=\s*True",),
+        ),
+        rule(
+            "PIT-A05-07",
+            "CWE-1275",
+            "Cookie set without a SameSite attribute",
+            r"\.set_cookie\([^()]*(?:\([^()]*\)[^()]*)*\)",
+            severity=Severity.LOW,
+            not_if=(r"samesite\s*=",),
+        ),
+        rule(
+            "PIT-A05-08",
+            "CWE-614",
+            "Session cookie configured as insecure",
+            r"SESSION_COOKIE_SECURE['\"]?\s*\]?\s*=\s*False",
+            severity=Severity.MEDIUM,
+            patch=PatchTemplate(
+                builder=_session_cookie_secure_fix,
+                description="Mark the session cookie Secure",
+            ),
+        ),
+        # ---------------- Service exposure (CWE-016) ----------------
+        rule(
+            "PIT-A05-09",
+            "CWE-016",
+            "Development server bound to all interfaces",
+            r"host\s*=\s*['\"]0\.0\.0\.0['\"]",
+            severity=Severity.MEDIUM,
+            patch=PatchTemplate(
+                replacement='host="127.0.0.1"',
+                description="Bind the server to localhost",
+            ),
+        ),
+        rule(
+            "PIT-A05-10",
+            "CWE-016",
+            "CORS configured to allow any origin",
+            r"(?:Access-Control-Allow-Origin['\"]\s*\]?\s*=\s*['\"]\*['\"]|CORS\([^)]*origins\s*=\s*['\"]\*['\"])",
+            severity=Severity.MEDIUM,
+        ),
+        rule(
+            "PIT-A05-11",
+            "CWE-016",
+            "Wildcard ALLOWED_HOSTS configuration",
+            r"ALLOWED_HOSTS\s*=\s*\[\s*['\"]\*['\"]\s*\]",
+            severity=Severity.MEDIUM,
+        ),
+    ]
+
+
+def _defused_swap(match):
+    """Swap an xml.etree parse call over to defusedxml."""
+    text = match.group(0)
+    prefix = "ElementTree" if text.startswith("ElementTree") else "ET"
+    return text.replace(prefix + ".", "defusedxml.ElementTree.", 1), ()
+
+
+def _session_cookie_secure_fix(match):
+    """Flip a SESSION_COOKIE_SECURE assignment to True."""
+    return match.group(0).replace("False", "True"), ()

@@ -1,0 +1,43 @@
+"""A10:2021 Server-Side Request Forgery rules.
+
+Rule ids use the ``PIT-A10-##`` scheme.  SSRF patches require validating
+the target host against an allowlist — a statement-level change the
+pattern engine cannot express as a span replacement — so these rules are
+detection-only, one of the structural reasons the paper's repair rate sits
+below 100 %.
+"""
+
+from __future__ import annotations
+
+from repro.core.rules.base import rule
+from repro.types import Confidence, Severity
+
+_REQUEST_SOURCE = r"request\.(?:args|form|values|json|headers)"
+
+
+def build_rules() -> list:
+    """All A10 Server-Side Request Forgery rules."""
+    return [
+        rule(
+            "PIT-A10-01",
+            "CWE-918",
+            "Server fetches a URL taken directly from the request",
+            r"requests\.(?:get|post|put|delete|head)\(\s*" + _REQUEST_SOURCE + r"(?:\.get)?\([^()]*\)",
+            severity=Severity.HIGH,
+        ),
+        rule(
+            "PIT-A10-02",
+            "CWE-918",
+            "urllib opens a URL taken directly from the request",
+            r"urllib\.request\.urlopen\(\s*" + _REQUEST_SOURCE + r"(?:\.get)?\([^()]*\)",
+            severity=Severity.HIGH,
+        ),
+        rule(
+            "PIT-A10-03",
+            "CWE-918",
+            "Server fetches a URL interpolated from user data",
+            r"requests\.(?:get|post)\(\s*f['\"][^'\"]*\{[^{}]*(?:url|host|target|addr)[^{}]*\}",
+            severity=Severity.MEDIUM,
+            confidence=Confidence.MEDIUM,
+        ),
+    ]

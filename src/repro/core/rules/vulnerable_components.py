@@ -1,0 +1,66 @@
+"""A06:2021 Vulnerable and Outdated Components rules — obsolete modules.
+
+Rule ids use the ``PIT-A06-##`` scheme.
+"""
+
+from __future__ import annotations
+
+from repro.core.rules.base import PatchTemplate, rule
+from repro.types import Confidence, Severity
+
+
+def build_rules() -> list:
+    """All A06 Vulnerable and Outdated Components rules, in catalog order."""
+    return [
+        rule(
+            "PIT-A06-01",
+            "CWE-477",
+            "Cleartext Telnet client used",
+            r"telnetlib\.Telnet\(",
+            severity=Severity.HIGH,
+        ),
+        rule(
+            "PIT-A06-02",
+            "CWE-477",
+            "Cleartext FTP client used",
+            r"ftplib\.FTP\(",
+            severity=Severity.MEDIUM,
+            patch=PatchTemplate(
+                replacement="ftplib.FTP_TLS(",
+                imports=("import ftplib",),
+                description="Use FTP over TLS",
+            ),
+        ),
+        rule(
+            "PIT-A06-03",
+            "CWE-477",
+            "Obsolete os.tempnam()/os.tmpnam() used",
+            r"os\.(?:tempnam|tmpnam)\(\s*\)",
+            severity=Severity.MEDIUM,
+            patch=PatchTemplate(
+                replacement="tempfile.mkstemp()[1]",
+                imports=("import tempfile",),
+                description="Create temporary files atomically",
+            ),
+        ),
+        rule(
+            "PIT-A06-04",
+            "CWE-1104",
+            "Deprecated SSL wrap_socket API used",
+            r"ssl\.wrap_socket\(",
+            severity=Severity.MEDIUM,
+            confidence=Confidence.MEDIUM,
+        ),
+        rule(
+            "PIT-A06-05",
+            "CWE-477",
+            "Legacy urllib.urlopen-style API used",
+            r"urllib\.urlopen\(",
+            severity=Severity.LOW,
+            patch=PatchTemplate(
+                replacement="urllib.request.urlopen(",
+                imports=("import urllib.request",),
+                description="Use the supported urllib.request API",
+            ),
+        ),
+    ]

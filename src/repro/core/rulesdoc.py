@@ -1,0 +1,86 @@
+"""Rule-catalog documentation generator.
+
+Renders the rule catalog as a Markdown reference (the ``RULES.md`` shipped
+with the repository), grouped by OWASP Top 10:2021 category, with each
+rule's CWE, severity/confidence, patchability, and fix description —
+the rule-index documentation real analyzers publish.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.rules import RuleSet, default_ruleset, extended_ruleset
+from repro.core.rules.registry import EXTENDED_ONLY
+from repro.cwe import OwaspCategory, get_cwe
+from repro.exceptions import UnknownCWEError
+
+
+def _cwe_label(cwe_id: str) -> str:
+    try:
+        return f"{cwe_id} ({get_cwe(cwe_id).name})"
+    except UnknownCWEError:
+        return cwe_id
+
+
+def render_rules_markdown(rules: Optional[RuleSet] = None) -> str:
+    """Render the catalog as Markdown."""
+    if rules is None:
+        rules = extended_ruleset()
+    default_ids = {r.rule_id for r in default_ruleset()}
+
+    by_category: Dict[OwaspCategory, List] = {}
+    uncategorized: List = []
+    for rule in rules:
+        category = rule.owasp
+        if category is None:
+            uncategorized.append(rule)
+        else:
+            by_category.setdefault(category, []).append(rule)
+
+    lines: List[str] = [
+        "# PatchitPy rule catalog",
+        "",
+        f"{len(rules)} detection rules "
+        f"({len(default_ids & {r.rule_id for r in rules})} in the paper's default set, "
+        f"{len([r for r in rules if r.rule_id in EXTENDED_ONLY])} extended); "
+        f"{len([r for r in rules if r.patchable])} carry an automated patch.",
+        "",
+        "Legend: ✔ = applies a safe substitution; ✘ = detection-only; "
+        "rules marked *ext* are outside the default 85-rule set.",
+        "",
+    ]
+
+    for category in OwaspCategory:
+        members = by_category.get(category)
+        if not members:
+            continue
+        lines.append(f"## {category.value}")
+        lines.append("")
+        lines.append("| Rule | CWE | Severity | Patch | Description |")
+        lines.append("|---|---|---|---|---|")
+        for rule in members:
+            patch_cell = "✔ " + rule.patch.description if rule.patch else "✘"
+            marker = " *ext*" if rule.rule_id in EXTENDED_ONLY else ""
+            lines.append(
+                f"| `{rule.rule_id}`{marker} | {_cwe_label(rule.cwe_id)} "
+                f"| {rule.severity}/{rule.confidence} | {patch_cell} "
+                f"| {rule.description} |"
+            )
+        lines.append("")
+
+    if uncategorized:
+        lines.append("## Uncategorized")
+        for rule in uncategorized:
+            lines.append(f"- `{rule.rule_id}` — {rule.description}")
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def write_rules_markdown(path: str, rules: Optional[RuleSet] = None) -> str:
+    """Write the catalog reference to ``path``; returns the text."""
+    text = render_rules_markdown(rules)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,170 @@
+"""SARIF 2.1.0 and plain-JSON export of analysis reports.
+
+Real static analyzers (CodeQL, Semgrep, Bandit) interoperate through the
+OASIS SARIF format; this module renders an :class:`AnalysisReport` as a
+minimal-but-valid SARIF log — one run, one tool driver, rule metadata,
+and one result per finding with a physical location — plus a flatter
+plain-JSON shape for scripting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.cwe import get_cwe, owasp_category_for
+from repro.exceptions import UnknownCWEError
+from repro.types import AnalysisReport, Finding, Severity, line_of_offset
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS: Dict[Severity, str] = {
+    Severity.LOW: "note",
+    Severity.MEDIUM: "warning",
+    Severity.HIGH: "error",
+    Severity.CRITICAL: "error",
+}
+
+
+def _column_of_offset(source: str, offset: int) -> int:
+    line_start = source.rfind("\n", 0, offset) + 1
+    return offset - line_start + 1
+
+
+def _rule_metadata(finding: Finding) -> Dict[str, object]:
+    try:
+        cwe_name = get_cwe(finding.cwe_id).name
+    except UnknownCWEError:
+        cwe_name = "Unknown weakness"
+    category = owasp_category_for(finding.cwe_id)
+    tags = [finding.cwe_id]
+    if category is not None:
+        tags.append(category.code)
+    return {
+        "id": finding.rule_id,
+        "name": finding.rule_id.replace("-", ""),
+        "shortDescription": {"text": finding.message},
+        "properties": {
+            "tags": tags,
+            "cwe": finding.cwe_id,
+            "cweName": cwe_name,
+            "security-severity": {
+                Severity.LOW: "3.0",
+                Severity.MEDIUM: "5.0",
+                Severity.HIGH: "8.0",
+                Severity.CRITICAL: "9.5",
+            }[finding.severity],
+        },
+    }
+
+
+def to_sarif(
+    report: AnalysisReport,
+    artifact_uri: str = "target.py",
+    tool_version: str = "1.0.0",
+) -> Dict[str, object]:
+    """Render ``report`` as a SARIF 2.1.0 log dictionary."""
+    rules: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    results: List[Dict[str, object]] = []
+
+    for finding in report.findings:
+        if finding.rule_id not in rule_index:
+            rule_index[finding.rule_id] = len(rules)
+            rules.append(_rule_metadata(finding))
+        start_line = line_of_offset(report.source, finding.span.start)
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": rule_index[finding.rule_id],
+                "level": _LEVELS[finding.severity],
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": artifact_uri},
+                            "region": {
+                                "startLine": start_line,
+                                "startColumn": _column_of_offset(
+                                    report.source, finding.span.start
+                                ),
+                                "snippet": {"text": finding.snippet},
+                            },
+                        }
+                    }
+                ],
+                "properties": {
+                    "cwe": finding.cwe_id,
+                    "confidence": str(finding.confidence),
+                    "fixable": finding.fixable,
+                },
+            }
+        )
+
+    run: Dict[str, object] = {
+        "tool": {
+            "driver": {
+                "name": report.tool,
+                "version": tool_version,
+                "informationUri": "https://github.com/dessertlab/PatchitPy",
+                "rules": rules,
+            }
+        },
+        "results": results,
+    }
+    if report.parse_failed:
+        run["invocations"] = [
+            {
+                "executionSuccessful": True,
+                "toolExecutionNotifications": [
+                    {
+                        "level": "note",
+                        "message": {
+                            "text": "source does not parse as a full module; "
+                            "pattern matching was applied to raw text"
+                        },
+                    }
+                ],
+            }
+        ]
+    return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]}
+
+
+def to_plain_json(report: AnalysisReport, artifact_uri: str = "target.py") -> Dict[str, object]:
+    """Flat JSON shape for scripting pipelines."""
+    return {
+        "tool": report.tool,
+        "target": artifact_uri,
+        "vulnerable": report.is_vulnerable,
+        "findings": [
+            {
+                "rule": f.rule_id,
+                "cwe": f.cwe_id,
+                "message": f.message,
+                "line": line_of_offset(report.source, f.span.start),
+                "severity": str(f.severity),
+                "confidence": str(f.confidence),
+                "fixable": f.fixable,
+                "snippet": f.snippet,
+            }
+            for f in report.findings
+        ],
+        "patches_applied": [
+            {"rule": p.rule_id, "cwe": p.cwe_id, "description": p.description}
+            for p in report.patches
+        ],
+    }
+
+
+def dumps_sarif(report: AnalysisReport, artifact_uri: str = "target.py") -> str:
+    """SARIF log as a JSON string."""
+    return json.dumps(to_sarif(report, artifact_uri), indent=2, sort_keys=True)
+
+
+def dumps_plain(report: AnalysisReport, artifact_uri: str = "target.py") -> str:
+    """Plain-JSON report as a string."""
+    return json.dumps(to_plain_json(report, artifact_uri), indent=2, sort_keys=True)

@@ -1,0 +1,20 @@
+"""Prompt corpus: 203 NL prompts (SecurityEval + LLMSecEval equivalents)
+mapped onto 63 security scenarios with vulnerable/safe variant pools."""
+
+from repro.corpus.prompts import (
+    get_prompt,
+    load_prompts,
+    prompt_token_stats,
+    prompts_by_scenario,
+)
+from repro.corpus.scenarios import SCENARIOS, Scenario, Variant
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "Variant",
+    "get_prompt",
+    "load_prompts",
+    "prompt_token_stats",
+    "prompts_by_scenario",
+]

@@ -1,0 +1,86 @@
+"""Corpus inventory rendering — the dataset documentation generator.
+
+Renders the scenario catalog and prompt corpus as a Markdown reference
+(`docs/corpus.md`): per-scenario CWE labels, variant pools with their
+detectability/false-alarm roles, and per-source prompt counts — the
+dataset card a released corpus ships with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.corpus.prompts import load_prompts, prompt_token_stats, prompts_by_scenario
+from repro.corpus.scenarios import SCENARIOS
+from repro.cwe import get_cwe, owasp_category_for
+from repro.exceptions import UnknownCWEError
+from repro.types import PromptSource
+
+
+def _cwe_cell(cwe_ids) -> str:
+    parts = []
+    for cwe_id in cwe_ids:
+        try:
+            parts.append(f"{cwe_id} ({get_cwe(cwe_id).name})")
+        except UnknownCWEError:
+            parts.append(cwe_id)
+    return "; ".join(parts)
+
+
+def _variant_role(variant) -> str:
+    if variant.is_vulnerable:
+        return "vulnerable" + ("" if variant.detectable else ", evasive")
+    if variant.false_alarm:
+        return "safe, tricky (pattern false alarm)"
+    return "safe"
+
+
+def render_corpus_markdown() -> str:
+    """Render the corpus dataset card."""
+    prompts = load_prompts()
+    stats = prompt_token_stats()
+    grouped = prompts_by_scenario()
+
+    lines: List[str] = [
+        "# Corpus inventory",
+        "",
+        f"{len(prompts)} NL prompts "
+        f"({len(load_prompts(PromptSource.SECURITYEVAL))} SecurityEval-style, "
+        f"{len(load_prompts(PromptSource.LLMSECEVAL))} LLMSecEval-style) over "
+        f"{len(SCENARIOS)} security scenarios spanning "
+        f"{len(SCENARIOS.cwe_union())} distinct CWEs.",
+        "",
+        f"Prompt token statistics: mean {stats['mean']:.1f}, median "
+        f"{stats['median']:.0f}, min {stats['min']}, max {stats['max']}, "
+        f"{stats['share_below_35']:.0%} below 35 tokens (§III-A).",
+        "",
+    ]
+
+    by_category: Dict[str, List] = {}
+    for scenario in SCENARIOS.all():
+        category = owasp_category_for(scenario.cwe_ids[0])
+        key = category.value if category else "Other"
+        by_category.setdefault(key, []).append(scenario)
+
+    for category in sorted(by_category):
+        lines.append(f"## {category}")
+        lines.append("")
+        for scenario in by_category[category]:
+            prompt_ids = ", ".join(p.prompt_id for p in grouped.get(scenario.key, ()))
+            lines.append(f"### `{scenario.key}` — {scenario.title}")
+            lines.append("")
+            lines.append(f"- CWEs: {_cwe_cell(scenario.cwe_ids)}")
+            lines.append(f"- prompts: {prompt_ids}")
+            lines.append("- variants:")
+            for variant in scenario.all_variants():
+                lines.append(f"  - `{variant.key}` — {_variant_role(variant)}")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def write_corpus_markdown(path: str) -> str:
+    """Write the dataset card to ``path``; returns the text."""
+    text = render_corpus_markdown()
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,69 @@
+"""Corpus access and prompt statistics (§III-A).
+
+``load_prompts()`` returns the full 203-prompt corpus (121 SecurityEval +
+82 LLMSecEval); ``prompt_token_stats`` computes the token statistics the
+paper reports: mean ≈ 21, median 15, min 3, max 63, 75 % below 35.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.corpus import llmseceval, securityeval
+from repro.exceptions import CorpusError
+from repro.types import Prompt, PromptSource
+
+_CACHE: Optional[Tuple[Prompt, ...]] = None
+
+
+def load_prompts(source: Optional[PromptSource] = None) -> Tuple[Prompt, ...]:
+    """The prompt corpus, optionally filtered to one source dataset."""
+    global _CACHE
+    if _CACHE is None:
+        prompts = securityeval.build_prompts() + llmseceval.build_prompts()
+        seen = set()
+        for prompt in prompts:
+            if prompt.prompt_id in seen:
+                raise CorpusError(f"duplicate prompt id: {prompt.prompt_id}")
+            seen.add(prompt.prompt_id)
+        _CACHE = prompts
+    if source is None:
+        return _CACHE
+    return tuple(p for p in _CACHE if p.source is source)
+
+
+def get_prompt(prompt_id: str) -> Prompt:
+    """Fetch one prompt by id."""
+    for prompt in load_prompts():
+        if prompt.prompt_id == prompt_id:
+            return prompt
+    raise CorpusError(f"unknown prompt id: {prompt_id}")
+
+
+def prompt_token_stats(prompts: Optional[Tuple[Prompt, ...]] = None) -> Dict[str, float]:
+    """Token statistics for §III-A, as a plain dict for reporting."""
+    if prompts is None:
+        prompts = load_prompts()
+    counts = sorted(p.token_count for p in prompts)
+    if not counts:
+        raise CorpusError("empty prompt corpus")
+    n = len(counts)
+    mid = n // 2
+    median = counts[mid] if n % 2 else (counts[mid - 1] + counts[mid]) / 2
+    return {
+        "count": n,
+        "mean": sum(counts) / n,
+        "median": float(median),
+        "min": counts[0],
+        "max": counts[-1],
+        "p75": float(counts[int(0.75 * (n - 1))]),
+        "share_below_35": sum(1 for c in counts if c < 35) / n,
+    }
+
+
+def prompts_by_scenario() -> Dict[str, Tuple[Prompt, ...]]:
+    """Group the corpus by scenario key."""
+    grouped: Dict[str, list] = {}
+    for prompt in load_prompts():
+        grouped.setdefault(prompt.scenario_key, []).append(prompt)
+    return {key: tuple(items) for key, items in grouped.items()}

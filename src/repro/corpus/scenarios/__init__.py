@@ -1,0 +1,34 @@
+"""Scenario catalog assembly.
+
+``SCENARIOS`` is the global registry holding every security scenario the
+corpus prompts map to.  Scenario modules contribute via ``build_scenarios``.
+"""
+
+from repro.corpus.scenarios import (
+    auth,
+    crypto_scen,
+    deserialization,
+    fileops,
+    misc,
+    network,
+    process,
+    sql,
+    web_flask,
+)
+from repro.corpus.scenarios.base import Scenario, ScenarioRegistry, Variant, variant
+
+SCENARIOS = ScenarioRegistry()
+for _module in (
+    sql,
+    web_flask,
+    crypto_scen,
+    fileops,
+    network,
+    deserialization,
+    auth,
+    process,
+    misc,
+):
+    SCENARIOS.register_all(_module.build_scenarios())
+
+__all__ = ["SCENARIOS", "Scenario", "ScenarioRegistry", "Variant", "variant"]

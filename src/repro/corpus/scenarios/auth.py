@@ -1,0 +1,416 @@
+"""Authentication scenarios — credentials, comparison, policy, sessions."""
+
+from __future__ import annotations
+
+from repro.corpus.scenarios.base import Scenario, variant
+
+
+def build_scenarios() -> list:
+    """Construct this module's scenarios, in catalog order."""
+    return [
+        Scenario(
+            key="hardcoded_credentials",
+            title="Connect to the inventory database",
+            vulnerable=(
+                variant(
+                    "inline_password",
+                    '''
+import sqlite3
+
+db_password = "inv3ntory!2024"
+
+def $fn():
+    conn = connect_with_credentials("inventory", "svc_app", db_password)
+    return conn
+''',
+                    cwes=("CWE-798", "CWE-522"),
+                ),
+                variant(
+                    "inline_api_key",
+                    '''
+import requests
+
+api_key = "sk-live-9f8e7d6c5b4a39281706"
+
+def $fn(order_id):
+    resp = requests.get(
+        "https://inventory.example.com/orders/" + str(int(order_id)),
+        headers={"X-Api-Key": api_key},
+        timeout=10,
+    )
+    return resp.json()
+''',
+                    cwes=("CWE-798", "CWE-522"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "env_credentials",
+                    '''
+import os
+
+def $fn():
+    $v = os.environ["INVENTORY_DB_PASSWORD"]
+    conn = connect_with_credentials("inventory", "svc_app", $v)
+    return conn
+''',
+                ),
+                variant(
+                    "password_prompt_text",
+                    '''
+def $fn(attempts=3):
+    password_prompt = "Enter the vault password: "
+    for _ in range(attempts):
+        entered = read_masked_input(password_prompt)
+        if vault_unlocks(entered):
+            return True
+    return False
+''',
+                    false_alarm=True,
+                ),
+            ),
+            secure_reference='''
+import os
+
+def open_inventory():
+    """Read the database credential from the environment."""
+    secret = os.environ["INVENTORY_DB_PASSWORD"]
+    return connect_with_credentials("inventory", "svc_app", secret)
+''',
+        ),
+        Scenario(
+            key="flask_secret_key",
+            title="Configure the Flask application secret",
+            vulnerable=(
+                variant(
+                    "hardcoded_secret_key",
+                    '''
+from flask import Flask
+
+app = Flask(__name__)
+app.secret_key = "dev-secret-key-123"
+
+@app.route("/")
+def $fn():
+    return "ready"
+''',
+                    cwes=("CWE-798",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "env_secret_key",
+                    '''
+import os
+
+from flask import Flask
+
+app = Flask(__name__)
+app.secret_key = os.environ["FLASK_SECRET_KEY"]
+
+@app.route("/")
+def $fn():
+    return "ready"
+''',
+                ),
+            ),
+            secure_reference='''
+import os
+
+from flask import Flask
+
+app = Flask(__name__)
+app.secret_key = os.environ["FLASK_SECRET_KEY"]
+
+@app.route("/")
+def index():
+    """Liveness endpoint."""
+    return "ready"
+''',
+        ),
+        Scenario(
+            key="password_compare",
+            title="Verify an operator password before maintenance mode",
+            vulnerable=(
+                variant(
+                    "literal_compare",
+                    '''
+def $fn(password):
+    if password == "maint-2024!":
+        return True
+    return False
+''',
+                    cwes=("CWE-798",),
+                ),
+                variant(
+                    "digest_equality",
+                    '''
+import hashlib
+
+def $fn(password, stored_hex):
+    return hashlib.sha256(password.encode()).hexdigest() == stored_hex
+''',
+                    cwes=("CWE-287", "CWE-759"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "constant_time_env",
+                    '''
+import hmac
+import os
+
+def $fn(password):
+    expected = os.environ.get("MAINT_PASSWORD", "")
+    return hmac.compare_digest(password, expected)
+''',
+                ),
+            ),
+            secure_reference='''
+import hmac
+import os
+
+def check_operator(password):
+    """Constant-time comparison against the environment secret."""
+    expected = os.environ.get("MAINT_PASSWORD", "")
+    return hmac.compare_digest(password, expected)
+''',
+        ),
+        Scenario(
+            key="password_policy",
+            title="Validate a new account password",
+            vulnerable=(
+                variant(
+                    "short_minimum",
+                    '''
+def $fn(password):
+    if len(password) >= 4:
+        return True
+    return False
+''',
+                    cwes=("CWE-521",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "strong_policy",
+                    '''
+def $fn(password):
+    if len(password) >= 12:
+        has_digit = any(ch.isdigit() for ch in password)
+        has_alpha = any(ch.isalpha() for ch in password)
+        return has_digit and has_alpha
+    return False
+''',
+                ),
+            ),
+            secure_reference='''
+def validate_password(password):
+    """Require 12+ characters mixing letters and digits."""
+    if len(password) < 12:
+        return False
+    has_digit = any(ch.isdigit() for ch in password)
+    has_alpha = any(ch.isalpha() for ch in password)
+    return has_digit and has_alpha
+''',
+        ),
+        Scenario(
+            key="session_expiry",
+            title="Create a session token after authentication",
+            vulnerable=(
+                variant(
+                    "no_expiry_token",
+                    '''
+import secrets
+
+SESSIONS = {}
+
+def $fn(user_id):
+    token = secrets.token_urlsafe(32)
+    SESSIONS[token] = {"user": user_id}
+    return token
+''',
+                    cwes=("CWE-613",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "expiring_token",
+                    '''
+import secrets
+import time
+
+SESSIONS = {}
+SESSION_TTL_SECONDS = 3600
+
+def $fn(user_id):
+    token = secrets.token_urlsafe(32)
+    SESSIONS[token] = {"user": user_id, "expires_at": time.time() + SESSION_TTL_SECONDS}
+    return token
+''',
+                ),
+            ),
+            secure_reference='''
+import secrets
+import time
+
+SESSIONS = {}
+SESSION_TTL_SECONDS = 3600
+
+def create_session(user_id):
+    """Issue a token that expires after one hour."""
+    token = secrets.token_urlsafe(32)
+    SESSIONS[token] = {
+        "user": user_id,
+        "expires_at": time.time() + SESSION_TTL_SECONDS,
+    }
+    return token
+''',
+        ),
+        Scenario(
+            key="password_change",
+            title="Let a signed-in user change their password",
+            vulnerable=(
+                variant(
+                    "no_current_check",
+                    '''
+def $fn(user, new_password):
+    user.password_hash = derive_hash(new_password)
+    user.save()
+    return True
+''',
+                    cwes=("CWE-620",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "current_verified",
+                    '''
+def $fn(user, current_password, new_password):
+    if not verify_hash(user.password_hash, current_password):
+        return False
+    user.password_hash = derive_hash(new_password)
+    user.save()
+    return True
+''',
+                ),
+            ),
+            secure_reference='''
+def change_password(user, current_password, new_password):
+    """Require the current password before accepting a new one."""
+    if not verify_hash(user.password_hash, current_password):
+        return False
+    user.password_hash = derive_hash(new_password)
+    user.save()
+    return True
+''',
+        ),
+        Scenario(
+            key="login_rate_limit",
+            title="Authenticate a user against stored credentials",
+            vulnerable=(
+                variant(
+                    "unlimited_attempts",
+                    '''
+def $fn(username, password):
+    record = load_user(username)
+    if record is None:
+        return False
+    return verify_hash(record.password_hash, password)
+''',
+                    cwes=("CWE-307",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "lockout_counter",
+                    '''
+FAILED_ATTEMPTS = {}
+MAX_ATTEMPTS = 5
+
+def $fn(username, password):
+    if FAILED_ATTEMPTS.get(username, 0) >= MAX_ATTEMPTS:
+        return False
+    record = load_user(username)
+    if record is None or not verify_hash(record.password_hash, password):
+        FAILED_ATTEMPTS[username] = FAILED_ATTEMPTS.get(username, 0) + 1
+        return False
+    FAILED_ATTEMPTS.pop(username, None)
+    return True
+''',
+                ),
+            ),
+            secure_reference='''
+FAILED_ATTEMPTS = {}
+MAX_ATTEMPTS = 5
+
+def sign_in(username, password):
+    """Lock an account after five consecutive failures."""
+    if FAILED_ATTEMPTS.get(username, 0) >= MAX_ATTEMPTS:
+        return False
+    record = load_user(username)
+    if record is None or not verify_hash(record.password_hash, password):
+        FAILED_ATTEMPTS[username] = FAILED_ATTEMPTS.get(username, 0) + 1
+        return False
+    FAILED_ATTEMPTS.pop(username, None)
+    return True
+''',
+        ),
+        Scenario(
+            key="privilege_drop",
+            title="Run the worker daemon that binds a privileged port",
+            vulnerable=(
+                variant(
+                    "stays_root",
+                    '''
+import socket
+
+def $fn():
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 443))
+    listener.listen(16)
+    serve_forever(listener)
+''',
+                    cwes=("CWE-269", "CWE-266"),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "drops_privileges",
+                    '''
+import os
+import pwd
+import socket
+
+def $fn():
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 443))
+    listener.listen(16)
+    worker = pwd.getpwnam("appworker")
+    os.setgid(worker.pw_gid)
+    os.setuid(worker.pw_uid)
+    serve_forever(listener)
+''',
+                ),
+            ),
+            secure_reference='''
+import os
+import pwd
+import socket
+
+def run_daemon():
+    """Bind the privileged port, then drop to the worker account."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 443))
+    listener.listen(16)
+    worker = pwd.getpwnam("appworker")
+    os.setgid(worker.pw_gid)
+    os.setuid(worker.pw_uid)
+    serve_forever(listener)
+''',
+        ),
+    ]

@@ -1,0 +1,195 @@
+"""Scenario and variant model for the synthetic security corpus.
+
+A *scenario* is one security-sensitive programming task (e.g. "look up a
+user by id in SQLite").  Each scenario owns a pool of code *variants* the
+simulated AI generators draw from:
+
+``vulnerable``   standard insecure implementations that PatchitPy's rules
+                 are expected to match (``detectable=True``) or *evasive*
+                 forms that humans flag but the pattern rules miss
+                 (``detectable=False`` — the engine's false negatives);
+``safe``         secure implementations, including *tricky-safe* forms that
+                 look vulnerable to pattern tools (``false_alarm=True`` —
+                 the engine's false positives);
+``secure_reference``  the expert-written ground-truth fix used by the
+                 patch-quality comparison (§III-C).
+
+Templates use :class:`string.Template` ``$name`` placeholders so the style
+engines can vary identifiers per model without breaking f-strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from string import Template
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.cwe import is_known_cwe, normalize_cwe_id
+from repro.exceptions import CorpusError
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One renderable implementation of a scenario."""
+
+    key: str
+    code: str
+    cwe_ids: Tuple[str, ...] = ()
+    detectable: bool = True
+    false_alarm: bool = False
+    allow_incomplete: bool = True
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "cwe_ids", tuple(normalize_cwe_id(c) for c in self.cwe_ids)
+        )
+        for cwe_id in self.cwe_ids:
+            if not is_known_cwe(cwe_id):
+                raise CorpusError(f"variant {self.key}: unknown CWE {cwe_id}")
+        if self.false_alarm and self.cwe_ids:
+            raise CorpusError(f"variant {self.key}: false_alarm variants must be safe")
+        if not self.cwe_ids and not self.false_alarm and not self.detectable:
+            # safe + not false_alarm is simply "clean"; detectable is
+            # meaningless there but kept True for uniformity.
+            object.__setattr__(self, "detectable", True)
+
+    @property
+    def is_vulnerable(self) -> bool:
+        """True when the variant introduces at least one CWE."""
+        return bool(self.cwe_ids)
+
+    def render(self, names: Mapping[str, str]) -> str:
+        """Substitute ``$placeholders``; unknown placeholders are an error."""
+        try:
+            return Template(self.code).substitute(names)
+        except (KeyError, ValueError) as error:
+            raise CorpusError(f"variant {self.key}: bad template: {error}") from error
+
+    def placeholders(self) -> Tuple[str, ...]:
+        """The ``$name`` placeholders this template uses, in order."""
+        seen: List[str] = []
+        for match in Template(self.code).pattern.finditer(self.code):
+            name = match.group("named") or match.group("braced")
+            if name and name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One programming task with its variant pools and ground truth."""
+
+    key: str
+    title: str
+    vulnerable: Tuple[Variant, ...]
+    safe: Tuple[Variant, ...]
+    secure_reference: str
+
+    def __post_init__(self) -> None:
+        if not self.vulnerable:
+            raise CorpusError(f"scenario {self.key}: no vulnerable variants")
+        if not self.safe:
+            raise CorpusError(f"scenario {self.key}: no safe variants")
+        for variant in self.vulnerable:
+            if not variant.is_vulnerable:
+                raise CorpusError(
+                    f"scenario {self.key}: {variant.key} in vulnerable pool is safe"
+                )
+        for variant in self.safe:
+            if variant.is_vulnerable:
+                raise CorpusError(
+                    f"scenario {self.key}: {variant.key} in safe pool is vulnerable"
+                )
+
+    @property
+    def cwe_ids(self) -> Tuple[str, ...]:
+        """Union of the CWEs its vulnerable variants can introduce."""
+        seen: List[str] = []
+        for variant in self.vulnerable:
+            for cwe_id in variant.cwe_ids:
+                if cwe_id not in seen:
+                    seen.append(cwe_id)
+        return tuple(seen)
+
+    def all_variants(self) -> Tuple[Variant, ...]:
+        """Vulnerable and safe variants, in declaration order."""
+        return self.vulnerable + self.safe
+
+    def variant(self, key: str) -> Variant:
+        """Look up a variant by key (raises CorpusError)."""
+        for candidate in self.all_variants():
+            if candidate.key == key:
+                return candidate
+        raise CorpusError(f"scenario {self.key}: unknown variant {key}")
+
+
+class ScenarioRegistry:
+    """Keyed collection of scenarios; corpus modules register into one."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def register(self, scenario: Scenario) -> Scenario:
+        """Add one scenario (duplicate keys raise CorpusError)."""
+        if scenario.key in self._scenarios:
+            raise CorpusError(f"duplicate scenario key: {scenario.key}")
+        self._scenarios[scenario.key] = scenario
+        return scenario
+
+    def register_all(self, scenarios: Iterable[Scenario]) -> None:
+        """Register several scenarios."""
+        for scenario in scenarios:
+            self.register(scenario)
+
+    def get(self, key: str) -> Scenario:
+        """Fetch a scenario by key (raises CorpusError)."""
+        try:
+            return self._scenarios[key]
+        except KeyError:
+            raise CorpusError(f"unknown scenario: {key}") from None
+
+    def keys(self) -> Tuple[str, ...]:
+        """All scenario keys, in registration order."""
+        return tuple(self._scenarios)
+
+    def all(self) -> Tuple[Scenario, ...]:
+        """All scenarios, in registration order."""
+        return tuple(self._scenarios.values())
+
+    def cwe_union(self) -> Tuple[str, ...]:
+        """Sorted union of every scenario's CWE labels."""
+        cwes: List[str] = []
+        for scenario in self._scenarios.values():
+            for cwe_id in scenario.cwe_ids:
+                if cwe_id not in cwes:
+                    cwes.append(cwe_id)
+        return tuple(sorted(cwes))
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._scenarios
+
+
+def variant(
+    key: str,
+    code: str,
+    *,
+    cwes: Tuple[str, ...] = (),
+    detectable: bool = True,
+    false_alarm: bool = False,
+    allow_incomplete: bool = True,
+    weight: float = 1.0,
+) -> Variant:
+    """Terse constructor used by the scenario modules."""
+    return Variant(
+        key=key,
+        code=code.strip("\n") + "\n",
+        cwe_ids=cwes,
+        detectable=detectable,
+        false_alarm=false_alarm,
+        allow_incomplete=allow_incomplete,
+        weight=weight,
+    )

@@ -1,0 +1,559 @@
+"""Cryptography scenarios — weak hashes, ciphers, RNG, TLS, key handling."""
+
+from __future__ import annotations
+
+from repro.corpus.scenarios.base import Scenario, variant
+
+
+def build_scenarios() -> list:
+    """Construct this module's scenarios, in catalog order."""
+    return [
+        Scenario(
+            key="password_hash_md5",
+            title="Hash a user's password before storing it",
+            vulnerable=(
+                variant(
+                    "md5_hash",
+                    '''
+import hashlib
+
+def $fn(password):
+    return hashlib.md5(password.encode()).hexdigest()
+''',
+                    cwes=("CWE-328", "CWE-916"),
+                ),
+                variant(
+                    "sha1_hash",
+                    '''
+import hashlib
+
+def $fn(password):
+    return hashlib.sha1(password.encode()).hexdigest()
+''',
+                    cwes=("CWE-328", "CWE-916"),
+                ),
+                variant(
+                    "hashlib_new_md5",
+                    '''
+import hashlib
+
+def $fn(password):
+    digest = hashlib.new("md5")
+    digest.update(password.encode())
+    return digest.hexdigest()
+''',
+                    cwes=("CWE-328",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "pbkdf2_hash",
+                    '''
+import hashlib
+import os
+
+def $fn(password):
+    salt = os.urandom(16)
+    digest = hashlib.pbkdf2_hmac("sha256", password.encode(), salt, 310000)
+    return salt.hex() + ":" + digest.hex()
+''',
+                ),
+                variant(
+                    "md5_cache_key",
+                    '''
+import hashlib
+
+def $fn(url):
+    cache_key = hashlib.md5(url.encode()).hexdigest()
+    return f"cache/{cache_key}.json"
+''',
+                    false_alarm=True,
+                ),
+            ),
+            secure_reference='''
+import hashlib
+import os
+
+def hash_password(password):
+    """Derive a salted PBKDF2-HMAC-SHA256 hash for storage."""
+    salt = os.urandom(16)
+    digest = hashlib.pbkdf2_hmac("sha256", password.encode(), salt, 310000)
+    return salt.hex() + ":" + digest.hex()
+''',
+        ),
+        Scenario(
+            key="password_hash_unsalted",
+            title="Derive a verifier for the password database",
+            vulnerable=(
+                variant(
+                    "plain_sha256_password",
+                    '''
+import hashlib
+
+def $fn(password):
+    return hashlib.sha256(password.encode()).hexdigest()
+''',
+                    cwes=("CWE-759", "CWE-916"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "salted_kdf",
+                    '''
+import hashlib
+import os
+
+def $fn(password):
+    salt = os.urandom(16)
+    return salt, hashlib.pbkdf2_hmac("sha256", password.encode(), salt, 310000)
+''',
+                ),
+            ),
+            secure_reference='''
+import hashlib
+import os
+
+def derive_verifier(password):
+    """Return (salt, hash) using PBKDF2 with 310k iterations."""
+    salt = os.urandom(16)
+    return salt, hashlib.pbkdf2_hmac("sha256", password.encode(), salt, 310000)
+''',
+        ),
+        Scenario(
+            key="token_generation",
+            title="Generate a password-reset token",
+            vulnerable=(
+                variant(
+                    "random_choice_token",
+                    '''
+import random
+import string
+
+def $fn(length=32):
+    alphabet = string.ascii_letters + string.digits
+    return "".join(random.choice(alphabet) for _ in range(length))
+''',
+                    cwes=("CWE-338",),
+                ),
+                variant(
+                    "random_number_token",
+                    '''
+import random
+
+def $fn():
+    $v = random.randint(0, 10**12)
+    return f"reset-{$v}"
+''',
+                    cwes=("CWE-330",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "secrets_token",
+                    '''
+import secrets
+
+def $fn():
+    return secrets.token_urlsafe(32)
+''',
+                ),
+            ),
+            secure_reference='''
+import secrets
+
+def make_reset_token():
+    """Generate an unguessable URL-safe token."""
+    return secrets.token_urlsafe(32)
+''',
+        ),
+        Scenario(
+            key="prng_seed",
+            title="Create shuffled session identifiers",
+            vulnerable=(
+                variant(
+                    "constant_seed_session",
+                    '''
+import random
+
+def $fn(count):
+    random.seed(1234)
+    return [random.getrandbits(64) for _ in range(count)]
+''',
+                    cwes=("CWE-335", "CWE-330"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "system_random",
+                    '''
+import secrets
+
+def $fn(count):
+    return [secrets.randbits(64) for _ in range(count)]
+''',
+                ),
+                variant(
+                    "seeded_test_shuffle",
+                    '''
+import random
+
+def $fn(items):
+    random.seed(42)
+    deck = list(items)
+    random.shuffle(deck)
+    return deck
+''',
+                    false_alarm=True,
+                ),
+            ),
+            secure_reference='''
+import secrets
+
+def session_identifiers(count):
+    """Draw identifiers from the OS entropy pool."""
+    return [secrets.randbits(64) for _ in range(count)]
+''',
+        ),
+        Scenario(
+            key="aes_ecb_mode",
+            title="Encrypt a record with AES",
+            vulnerable=(
+                variant(
+                    "ecb_mode",
+                    '''
+from Crypto.Cipher import AES
+
+def $fn(key, payload):
+    cipher = AES.new(key, AES.MODE_ECB)
+    return cipher.encrypt(payload)
+''',
+                    cwes=("CWE-327",),
+                ),
+                variant(
+                    "arc4_stream",
+                    '''
+from Crypto.Cipher import ARC4
+
+def $fn(key, payload):
+    cipher = ARC4.new(key)
+    return cipher.encrypt(payload)
+''',
+                    cwes=("CWE-327",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "gcm_mode",
+                    '''
+from Crypto.Cipher import AES
+
+def $fn(key, payload):
+    cipher = AES.new(key, AES.MODE_GCM)
+    ciphertext, tag = cipher.encrypt_and_digest(payload)
+    return cipher.nonce, ciphertext, tag
+''',
+                ),
+            ),
+            secure_reference='''
+from Crypto.Cipher import AES
+
+def encrypt_record(key, payload):
+    """Encrypt with AES-GCM; returns (nonce, ciphertext, tag)."""
+    cipher = AES.new(key, AES.MODE_GCM)
+    ciphertext, tag = cipher.encrypt_and_digest(payload)
+    return cipher.nonce, ciphertext, tag
+''',
+        ),
+        Scenario(
+            key="aes_static_iv",
+            title="Encrypt messages with AES in CBC mode",
+            vulnerable=(
+                variant(
+                    "static_iv",
+                    '''
+from Crypto.Cipher import AES
+from Crypto.Util.Padding import pad
+
+def $fn(key, message):
+    cipher = AES.new(key, AES.MODE_CBC, b"0102030405060708")
+    return cipher.encrypt(pad(message, AES.block_size))
+''',
+                    cwes=("CWE-329",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "random_iv",
+                    '''
+import os
+
+from Crypto.Cipher import AES
+from Crypto.Util.Padding import pad
+
+def $fn(key, message):
+    $v = os.urandom(16)
+    cipher = AES.new(key, AES.MODE_CBC, $v)
+    return $v + cipher.encrypt(pad(message, AES.block_size))
+''',
+                ),
+            ),
+            secure_reference='''
+import os
+
+from Crypto.Cipher import AES
+from Crypto.Util.Padding import pad
+
+def encrypt_message(key, message):
+    """CBC-encrypt with a fresh random IV prepended to the ciphertext."""
+    iv = os.urandom(16)
+    cipher = AES.new(key, AES.MODE_CBC, iv)
+    return iv + cipher.encrypt(pad(message, AES.block_size))
+''',
+        ),
+        Scenario(
+            key="des_encryption",
+            title="Encrypt stored documents",
+            vulnerable=(
+                variant(
+                    "des_cipher",
+                    '''
+from Crypto.Cipher import DES
+
+def $fn(key, payload):
+    cipher = DES.new(key, DES.MODE_ECB)
+    return cipher.encrypt(payload)
+''',
+                    cwes=("CWE-327",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "aes_gcm_documents",
+                    '''
+from Crypto.Cipher import AES
+
+def $fn(key, payload):
+    cipher = AES.new(key, AES.MODE_GCM)
+    ciphertext, tag = cipher.encrypt_and_digest(payload)
+    return cipher.nonce + tag + ciphertext
+''',
+                ),
+            ),
+            secure_reference='''
+from Crypto.Cipher import AES
+
+def encrypt_document(key, payload):
+    """Encrypt with AES-GCM (nonce and tag prepended)."""
+    cipher = AES.new(key, AES.MODE_GCM)
+    ciphertext, tag = cipher.encrypt_and_digest(payload)
+    return cipher.nonce + tag + ciphertext
+''',
+        ),
+        Scenario(
+            key="tls_verify_off",
+            title="Call an internal HTTPS API",
+            vulnerable=(
+                variant(
+                    "verify_false",
+                    '''
+import requests
+
+def $fn(endpoint, payload):
+    resp = requests.post(endpoint, json=payload, verify=False, timeout=10)
+    return resp.json()
+''',
+                    cwes=("CWE-295",),
+                ),
+                variant(
+                    "unverified_context",
+                    '''
+import ssl
+import urllib.request
+
+def $fn(url):
+    context = ssl._create_unverified_context()
+    with urllib.request.urlopen(url, context=context) as resp:
+        return resp.read()
+''',
+                    cwes=("CWE-295",),
+                ),
+                variant(
+                    "hostname_check_off",
+                    '''
+import ssl
+import socket
+
+def $fn(host, port):
+    context = ssl.create_default_context()
+    context.check_hostname = False
+    context.verify_mode = ssl.CERT_NONE
+    sock = socket.create_connection((host, port))
+    return context.wrap_socket(sock, server_hostname=host)
+''',
+                    cwes=("CWE-295",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "default_verification",
+                    '''
+import requests
+
+def $fn(endpoint, payload):
+    resp = requests.post(endpoint, json=payload, timeout=10)
+    resp.raise_for_status()
+    return resp.json()
+''',
+                ),
+            ),
+            secure_reference='''
+import requests
+
+def call_api(endpoint, payload):
+    """POST with default certificate verification and a timeout."""
+    resp = requests.post(endpoint, json=payload, timeout=10)
+    resp.raise_for_status()
+    return resp.json()
+''',
+        ),
+        Scenario(
+            key="tls_old_protocol",
+            title="Open a TLS connection to a service",
+            vulnerable=(
+                variant(
+                    "tlsv1_protocol",
+                    '''
+import socket
+import ssl
+
+def $fn(host, port):
+    context = ssl.SSLContext(ssl.PROTOCOL_TLSv1)
+    sock = socket.create_connection((host, port))
+    return context.wrap_socket(sock, server_hostname=host)
+''',
+                    cwes=("CWE-326",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "modern_tls",
+                    '''
+import socket
+import ssl
+
+def $fn(host, port):
+    context = ssl.create_default_context()
+    sock = socket.create_connection((host, port))
+    return context.wrap_socket(sock, server_hostname=host)
+''',
+                ),
+            ),
+            secure_reference='''
+import socket
+import ssl
+
+def open_tls(host, port):
+    """Connect with the verifying default context (TLS 1.2+)."""
+    context = ssl.create_default_context()
+    sock = socket.create_connection((host, port))
+    return context.wrap_socket(sock, server_hostname=host)
+''',
+        ),
+        Scenario(
+            key="hardcoded_key",
+            title="Encrypt session payloads with a service key",
+            vulnerable=(
+                variant(
+                    "inline_key",
+                    '''
+from Crypto.Cipher import AES
+
+aes_key = "0123456789abcdef0123456789abcdef"
+
+def $fn(payload):
+    cipher = AES.new(aes_key.encode(), AES.MODE_GCM)
+    ciphertext, tag = cipher.encrypt_and_digest(payload)
+    return cipher.nonce, ciphertext, tag
+''',
+                    cwes=("CWE-321",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "env_key",
+                    '''
+import os
+
+from Crypto.Cipher import AES
+
+def $fn(payload):
+    $v = os.environ["SERVICE_AES_KEY"].encode()
+    cipher = AES.new($v, AES.MODE_GCM)
+    ciphertext, tag = cipher.encrypt_and_digest(payload)
+    return cipher.nonce, ciphertext, tag
+''',
+                ),
+            ),
+            secure_reference='''
+import os
+
+from Crypto.Cipher import AES
+
+def encrypt_session(payload):
+    """Encrypt with a key loaded from the environment."""
+    key = os.environ["SERVICE_AES_KEY"].encode()
+    cipher = AES.new(key, AES.MODE_GCM)
+    ciphertext, tag = cipher.encrypt_and_digest(payload)
+    return cipher.nonce, ciphertext, tag
+''',
+        ),
+        Scenario(
+            key="cleartext_post",
+            title="Submit login credentials to the auth service",
+            vulnerable=(
+                variant(
+                    "http_credentials",
+                    '''
+import requests
+
+def $fn(username, password):
+    resp = requests.post(
+        "http://auth.example.com/login",
+        data={"user": username, "password": password},
+        timeout=10,
+    )
+    return resp.status_code == 200
+''',
+                    cwes=("CWE-319",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "https_credentials",
+                    '''
+import requests
+
+def $fn(username, password):
+    resp = requests.post(
+        "https://auth.example.com/login",
+        data={"user": username, "password": password},
+        timeout=10,
+    )
+    return resp.status_code == 200
+''',
+                ),
+            ),
+            secure_reference='''
+import requests
+
+def submit_login(username, password):
+    """Send credentials over HTTPS only."""
+    resp = requests.post(
+        "https://auth.example.com/login",
+        data={"user": username, "password": password},
+        timeout=10,
+    )
+    return resp.status_code == 200
+''',
+        ),
+    ]

@@ -1,0 +1,364 @@
+"""Deserialization scenarios — pickle, YAML, marshal, jsonpickle, XML."""
+
+from __future__ import annotations
+
+from repro.corpus.scenarios.base import Scenario, variant
+
+
+def build_scenarios() -> list:
+    """Construct this module's scenarios, in catalog order."""
+    return [
+        Scenario(
+            key="pickle_cache",
+            title="Restore a session object sent by the client",
+            vulnerable=(
+                variant(
+                    "pickle_loads_request",
+                    '''
+import base64
+import pickle
+
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/restore", methods=["POST"])
+def $fn():
+    blob = base64.b64decode(request.data)
+    session_obj = pickle.loads(blob)
+    return str(session_obj)
+''',
+                    cwes=("CWE-502",),
+                ),
+                variant(
+                    "pickle_load_file",
+                    '''
+import pickle
+
+def $fn(path):
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+''',
+                    cwes=("CWE-502",),
+                ),
+                variant(
+                    "cpickle_loads",
+                    '''
+import _pickle
+
+def $fn(blob):
+    return _pickle.loads(blob)
+''',
+                    cwes=("CWE-502",),
+                ),
+                variant(
+                    "unpickler_class",
+                    '''
+import io
+import pickle
+
+def $fn(blob):
+    reader = pickle.Unpickler(io.BytesIO(blob))
+    return reader.load()
+''',
+                    cwes=("CWE-502",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "json_session",
+                    '''
+import json
+
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/restore", methods=["POST"])
+def $fn():
+    session_obj = json.loads(request.data)
+    return str(session_obj)
+''',
+                ),
+                variant(
+                    "local_pickle_roundtrip",
+                    '''
+import pickle
+
+def $fn(records):
+    blob = pickle.dumps(records)
+    return pickle.loads(blob)
+''',
+                    false_alarm=True,
+                ),
+            ),
+            secure_reference='''
+import json
+
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/restore", methods=["POST"])
+def restore():
+    """Parse the client session as plain JSON data."""
+    session_obj = json.loads(request.data)
+    return str(session_obj)
+''',
+        ),
+        Scenario(
+            key="yaml_config",
+            title="Load the service configuration from a YAML file",
+            vulnerable=(
+                variant(
+                    "yaml_load_plain",
+                    '''
+import yaml
+
+def $fn(path):
+    with open(path) as handle:
+        return yaml.load(handle)
+''',
+                    cwes=("CWE-502",),
+                ),
+                variant(
+                    "yaml_full_load",
+                    '''
+import yaml
+
+def $fn(path):
+    with open(path) as handle:
+        return yaml.full_load(handle)
+''',
+                    cwes=("CWE-502",),
+                ),
+                variant(
+                    "yaml_loader_kwarg",
+                    '''
+import yaml
+
+def $fn(path):
+    with open(path) as handle:
+        return yaml.load(handle, Loader=yaml.FullLoader)
+''',
+                    cwes=("CWE-502",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "yaml_safe_load",
+                    '''
+import yaml
+
+def $fn(path):
+    with open(path) as handle:
+        return yaml.safe_load(handle)
+''',
+                ),
+            ),
+            secure_reference='''
+import yaml
+
+def load_config(path):
+    """Parse the configuration with the safe YAML loader."""
+    with open(path) as handle:
+        return yaml.safe_load(handle)
+''',
+        ),
+        Scenario(
+            key="marshal_rpc",
+            title="Decode a job payload received from the work queue",
+            vulnerable=(
+                variant(
+                    "marshal_loads",
+                    '''
+import marshal
+
+def $fn(payload):
+    job = marshal.loads(payload)
+    return job["task"], job["args"]
+''',
+                    cwes=("CWE-502",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "json_job",
+                    '''
+import json
+
+def $fn(payload):
+    job = json.loads(payload)
+    return job["task"], job["args"]
+''',
+                ),
+            ),
+            secure_reference='''
+import json
+
+def decode_job(payload):
+    """Decode queue payloads as JSON."""
+    job = json.loads(payload)
+    return job["task"], job["args"]
+''',
+        ),
+        Scenario(
+            key="jsonpickle_session",
+            title="Deserialize a saved workflow state",
+            vulnerable=(
+                variant(
+                    "jsonpickle_decode",
+                    '''
+import jsonpickle
+
+def $fn(blob):
+    return jsonpickle.decode(blob)
+''',
+                    cwes=("CWE-502",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "plain_json_state",
+                    '''
+import json
+
+def $fn(blob):
+    return json.loads(blob)
+''',
+                ),
+            ),
+            secure_reference='''
+import json
+
+def load_state(blob):
+    """Restore workflow state from plain JSON."""
+    return json.loads(blob)
+''',
+        ),
+        Scenario(
+            key="xml_parse_entities",
+            title="Parse an uploaded XML invoice",
+            vulnerable=(
+                variant(
+                    "lxml_default",
+                    '''
+from lxml import etree
+
+def $fn(path):
+    tree = etree.parse(path)
+    return tree.getroot()
+''',
+                    cwes=("CWE-611",),
+                ),
+                variant(
+                    "sax_external_entities",
+                    '''
+import xml.sax
+from xml.sax import handler
+
+def $fn(path, content_handler):
+    parser = xml.sax.make_parser()
+    parser.setFeature(handler.feature_external_ges, True)
+    parser.setContentHandler(content_handler)
+    parser.parse(path)
+''',
+                    cwes=("CWE-776",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "lxml_hardened",
+                    '''
+from lxml import etree
+
+def $fn(path):
+    tree = etree.parse(path, parser=etree.XMLParser(resolve_entities=False, no_network=True))
+    return tree.getroot()
+''',
+                ),
+            ),
+            secure_reference='''
+from lxml import etree
+
+def parse_invoice(path):
+    """Parse with entity resolution and network access disabled."""
+    parser = etree.XMLParser(resolve_entities=False, no_network=True)
+    tree = etree.parse(path, parser=parser)
+    return tree.getroot()
+''',
+        ),
+        Scenario(
+            key="webhook_integrity",
+            title="Process a payment-provider webhook",
+            vulnerable=(
+                variant(
+                    "unverified_webhook",
+                    '''
+import json
+
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/webhook", methods=["POST"])
+def $fn():
+    event = json.loads(request.data)
+    apply_payment_event(event)
+    return "ok"
+''',
+                    cwes=("CWE-345",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "signed_webhook",
+                    '''
+import hashlib
+import hmac
+import json
+import os
+
+from flask import Flask, request, abort
+
+app = Flask(__name__)
+
+@app.route("/webhook", methods=["POST"])
+def $fn():
+    signature = request.headers.get("X-Signature", "")
+    secret = os.environ["WEBHOOK_SECRET"].encode()
+    expected = hmac.new(secret, request.data, hashlib.sha256).hexdigest()
+    if not hmac.compare_digest(signature, expected):
+        abort(401)
+    event = json.loads(request.data)
+    apply_payment_event(event)
+    return "ok"
+''',
+                ),
+            ),
+            secure_reference='''
+import hashlib
+import hmac
+import json
+import os
+
+from flask import Flask, request, abort
+
+app = Flask(__name__)
+
+@app.route("/webhook", methods=["POST"])
+def webhook():
+    """Verify the provider's HMAC signature before applying the event."""
+    signature = request.headers.get("X-Signature", "")
+    secret = os.environ["WEBHOOK_SECRET"].encode()
+    expected = hmac.new(secret, request.data, hashlib.sha256).hexdigest()
+    if not hmac.compare_digest(signature, expected):
+        abort(401)
+    event = json.loads(request.data)
+    apply_payment_event(event)
+    return "ok"
+''',
+        ),
+    ]

@@ -1,0 +1,283 @@
+"""Filesystem scenarios — traversal, temp files, permissions, archives."""
+
+from __future__ import annotations
+
+from repro.corpus.scenarios.base import Scenario, variant
+
+
+def build_scenarios() -> list:
+    """Construct this module's scenarios, in catalog order."""
+    return [
+        Scenario(
+            key="read_user_file",
+            title="Read a file whose name the caller provides",
+            vulnerable=(
+                variant(
+                    "open_fstring",
+                    '''
+def $fn($v):
+    with open(f"data/{$v}") as handle:
+        return handle.read()
+''',
+                    cwes=("CWE-022",),
+                ),
+                variant(
+                    "open_concat",
+                    '''
+def $fn($v):
+    with open("data/" + $v) as handle:
+        return handle.read()
+''',
+                    cwes=("CWE-023",),
+                ),
+                variant(
+                    "path_built_separately",
+                    '''
+import os
+
+def $fn($v):
+    target = os.path.join("data", $v)
+    with open(target) as handle:
+        return handle.read()
+''',
+                    cwes=("CWE-022",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "basename_restricted",
+                    '''
+import os
+
+def $fn($v):
+    safe_name = os.path.basename($v)
+    with open(os.path.join("data", safe_name)) as handle:
+        return handle.read()
+''',
+                ),
+                variant(
+                    "constant_concat_open",
+                    '''
+PROFILE_SUFFIX = ".profile.json"
+
+def $fn(user_id):
+    record = str(int(user_id))
+    with open("data/profiles.idx" + PROFILE_SUFFIX) as handle:
+        return handle.read()
+''',
+                    false_alarm=True,
+                ),
+            ),
+            secure_reference='''
+import os
+
+def read_data_file(name):
+    """Read from the data directory, stripping any path components."""
+    safe_name = os.path.basename(name)
+    with open(os.path.join("data", safe_name)) as handle:
+        return handle.read()
+''',
+        ),
+        Scenario(
+            key="temp_file_usage",
+            title="Write intermediate results to a temporary file",
+            vulnerable=(
+                variant(
+                    "mktemp_path",
+                    '''
+import tempfile
+
+def $fn(payload):
+    path = tempfile.mktemp()
+    with open(path, "w") as handle:
+        handle.write(payload)
+    return path
+''',
+                    cwes=("CWE-377",),
+                ),
+                variant(
+                    "hardcoded_tmp",
+                    '''
+import os
+
+def $fn(payload):
+    path = "/tmp/app_scratch.dat"
+    with open(path, "w") as handle:
+        handle.write(payload)
+    os.chmod(path, 0o777)
+    return path
+''',
+                    cwes=("CWE-379", "CWE-732"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "named_temporary_file",
+                    '''
+import tempfile
+
+def $fn(payload):
+    with tempfile.NamedTemporaryFile("w", delete=False) as handle:
+        handle.write(payload)
+        return handle.name
+''',
+                ),
+            ),
+            secure_reference='''
+import tempfile
+
+def write_scratch(payload):
+    """Create the scratch file atomically with owner-only permissions."""
+    with tempfile.NamedTemporaryFile("w", delete=False) as handle:
+        handle.write(payload)
+        return handle.name
+''',
+        ),
+        Scenario(
+            key="file_permissions",
+            title="Save the application configuration file",
+            vulnerable=(
+                variant(
+                    "world_writable",
+                    '''
+import os
+
+def $fn(path, content):
+    with open(path, "w") as handle:
+        handle.write(content)
+    os.chmod(path, 0o777)
+''',
+                    cwes=("CWE-732",),
+                ),
+                variant(
+                    "umask_cleared",
+                    '''
+import os
+
+def $fn(path, content):
+    os.umask(0)
+    with open(path, "w") as handle:
+        handle.write(content)
+''',
+                    cwes=("CWE-276",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "owner_only",
+                    '''
+import os
+
+def $fn(path, content):
+    with open(path, "w") as handle:
+        handle.write(content)
+    os.chmod(path, 0o600)
+''',
+                ),
+            ),
+            secure_reference='''
+import os
+
+def save_config(path, content):
+    """Write the config and restrict it to the owning user."""
+    with open(path, "w") as handle:
+        handle.write(content)
+    os.chmod(path, 0o600)
+''',
+        ),
+        Scenario(
+            key="archive_extract",
+            title="Unpack an uploaded archive into the workspace",
+            vulnerable=(
+                variant(
+                    "tar_extractall",
+                    '''
+import tarfile
+
+def $fn(archive_path, destination):
+    with tarfile.open(archive_path) as archive:
+        archive.extractall(destination)
+''',
+                    cwes=("CWE-022",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "tar_data_filter",
+                    '''
+import tarfile
+
+def $fn(archive_path, destination):
+    with tarfile.open(archive_path) as archive:
+        archive.extractall(destination, filter="data")
+''',
+                ),
+                variant(
+                    "self_created_archive",
+                    '''
+import tarfile
+
+def $fn(paths, destination):
+    with tarfile.open("bundle.tar", "w") as archive:
+        for path in paths:
+            archive.add(path)
+    with tarfile.open("bundle.tar") as archive:
+        archive.extractall(destination)
+''',
+                    false_alarm=True,
+                ),
+            ),
+            secure_reference='''
+import tarfile
+
+def unpack_archive(archive_path, destination):
+    """Extract with the 'data' filter to block traversal members."""
+    with tarfile.open(archive_path) as archive:
+        archive.extractall(destination, filter="data")
+''',
+        ),
+        Scenario(
+            key="symlink_follow",
+            title="Adjust permissions of files in a shared drop directory",
+            vulnerable=(
+                variant(
+                    "follow_symlinks",
+                    '''
+import os
+
+def $fn(directory):
+    for name in os.listdir(directory):
+        target = os.path.join(directory, name)
+        os.chmod(target, 0o644, follow_symlinks=True)
+''',
+                    cwes=("CWE-059",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "no_follow",
+                    '''
+import os
+
+def $fn(directory):
+    for name in os.listdir(directory):
+        target = os.path.join(directory, name)
+        if not os.path.islink(target):
+            os.chmod(target, 0o644, follow_symlinks=False)
+''',
+                ),
+            ),
+            secure_reference='''
+import os
+
+def fix_permissions(directory):
+    """Chmod regular entries only; never follow symlinks."""
+    for name in os.listdir(directory):
+        target = os.path.join(directory, name)
+        if not os.path.islink(target):
+            os.chmod(target, 0o644, follow_symlinks=False)
+''',
+        ),
+    ]

@@ -1,0 +1,361 @@
+"""Remaining scenarios — logging hygiene, LDAP/XPath queries, validation,
+and sensitive-information exposure."""
+
+from __future__ import annotations
+
+from repro.corpus.scenarios.base import Scenario, variant
+
+
+def build_scenarios() -> list:
+    """Construct this module's scenarios, in catalog order."""
+    return [
+        Scenario(
+            key="logging_secrets",
+            title="Log the outcome of a credential rotation",
+            vulnerable=(
+                variant(
+                    "log_password_fstring",
+                    '''
+import logging
+
+def $fn(account, new_password):
+    rotate_credential(account, new_password)
+    logging.info(f"rotated credential for {account}: {new_password}")
+''',
+                    cwes=("CWE-532",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "log_redacted",
+                    '''
+import logging
+
+def $fn(account, new_password):
+    rotate_credential(account, new_password)
+    logging.info("rotated credential for %s", account)
+''',
+                ),
+            ),
+            secure_reference='''
+import logging
+
+def rotate(account, new_password):
+    """Record the rotation without the secret value."""
+    rotate_credential(account, new_password)
+    logging.info("rotated credential for %s", account)
+''',
+        ),
+        Scenario(
+            key="silent_exception",
+            title="Apply retention cleanup across user directories",
+            vulnerable=(
+                variant(
+                    "except_pass",
+                    '''
+import shutil
+
+def $fn(paths):
+    removed = 0
+    for path in paths:
+        try:
+            shutil.rmtree(path)
+            removed += 1
+        except OSError:
+            pass
+    return removed
+''',
+                    cwes=("CWE-778",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "logged_failures",
+                    '''
+import logging
+import shutil
+
+def $fn(paths):
+    removed = 0
+    for path in paths:
+        try:
+            shutil.rmtree(path)
+            removed += 1
+        except OSError:
+            logging.exception("failed to remove %s", path)
+    return removed
+''',
+                ),
+            ),
+            secure_reference='''
+import logging
+import shutil
+
+def cleanup(paths):
+    """Remove each directory, logging any failure."""
+    removed = 0
+    for path in paths:
+        try:
+            shutil.rmtree(path)
+            removed += 1
+        except OSError:
+            logging.exception("failed to remove %s", path)
+    return removed
+''',
+        ),
+        Scenario(
+            key="auth_no_logging",
+            title="Check an API client's credentials",
+            vulnerable=(
+                variant(
+                    "no_audit_trail",
+                    '''
+def check_credentials(client_id, client_secret):
+    record = lookup_client(client_id)
+    if record is None:
+        return False
+    return verify_hash(record.secret_hash, client_secret)
+''',
+                    cwes=("CWE-778",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "audited_check",
+                    '''
+import logging
+
+def check_credentials(client_id, client_secret):
+    record = lookup_client(client_id)
+    if record is None:
+        logging.warning("auth failure for unknown client %s", client_id)
+        return False
+    ok = verify_hash(record.secret_hash, client_secret)
+    if not ok:
+        logging.warning("auth failure for client %s", client_id)
+    return ok
+''',
+                ),
+            ),
+            secure_reference='''
+import logging
+
+def check_credentials(client_id, client_secret):
+    """Verify the secret and audit every failed attempt."""
+    record = lookup_client(client_id)
+    if record is None:
+        logging.warning("auth failure for unknown client %s", client_id)
+        return False
+    ok = verify_hash(record.secret_hash, client_secret)
+    if not ok:
+        logging.warning("auth failure for client %s", client_id)
+    return ok
+''',
+        ),
+        Scenario(
+            key="ldap_search",
+            title="Find a directory entry for the given username",
+            vulnerable=(
+                variant(
+                    "fstring_filter",
+                    '''
+import ldap
+
+def $fn(connection, username):
+    results = connection.search_s(
+        "ou=people,dc=example,dc=com",
+        ldap.SCOPE_SUBTREE,
+        f"(uid={username})",
+    )
+    return results
+''',
+                    cwes=("CWE-090",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "escaped_filter",
+                    '''
+import ldap
+from ldap.filter import escape_filter_chars
+
+def $fn(connection, username):
+    results = connection.search_s(
+        "ou=people,dc=example,dc=com",
+        ldap.SCOPE_SUBTREE,
+        f"(uid={escape_filter_chars(username)})",
+    )
+    return results
+''',
+                ),
+            ),
+            secure_reference='''
+import ldap
+from ldap.filter import escape_filter_chars
+
+def find_entry(connection, username):
+    """Escape the username before embedding it in the LDAP filter."""
+    return connection.search_s(
+        "ou=people,dc=example,dc=com",
+        ldap.SCOPE_SUBTREE,
+        f"(uid={escape_filter_chars(username)})",
+    )
+''',
+        ),
+        Scenario(
+            key="xpath_lookup",
+            title="Look up an account node in the XML directory",
+            vulnerable=(
+                variant(
+                    "fstring_xpath",
+                    '''
+from lxml import etree
+
+def $fn(tree, username):
+    nodes = tree.xpath(f"//account[@name='{username}']")
+    return nodes[0] if nodes else None
+''',
+                    cwes=("CWE-643",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "xpath_variables",
+                    '''
+from lxml import etree
+
+def $fn(tree, username):
+    nodes = tree.xpath("//account[@name=$$name]", name=username)
+    return nodes[0] if nodes else None
+''',
+                ),
+            ),
+            secure_reference='''
+from lxml import etree
+
+def find_account(tree, username):
+    """Bind the username as an XPath variable, not by interpolation."""
+    nodes = tree.xpath("//account[@name=$name]", name=username)
+    return nodes[0] if nodes else None
+''',
+        ),
+        Scenario(
+            key="input_validation",
+            title="Read the pagination size from the query string",
+            vulnerable=(
+                variant(
+                    "unvalidated_int",
+                    '''
+from flask import Flask, request, jsonify
+
+app = Flask(__name__)
+
+@app.route("/items")
+def $fn():
+    page_size = int(request.args.get("size", "20"))
+    return jsonify(load_items(limit=page_size))
+''',
+                    cwes=("CWE-020",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "validated_int",
+                    '''
+from flask import Flask, request, jsonify
+
+app = Flask(__name__)
+
+MAX_PAGE_SIZE = 100
+
+@app.route("/items")
+def $fn():
+    raw = request.args.get("size", "20")
+    try:
+        page_size = int(raw)
+    except ValueError:
+        page_size = 20
+    page_size = max(1, min(page_size, MAX_PAGE_SIZE))
+    return jsonify(load_items(limit=page_size))
+''',
+                ),
+            ),
+            secure_reference='''
+from flask import Flask, request, jsonify
+
+app = Flask(__name__)
+
+MAX_PAGE_SIZE = 100
+
+@app.route("/items")
+def items():
+    """Clamp the page size into [1, MAX_PAGE_SIZE]."""
+    raw = request.args.get("size", "20")
+    try:
+        page_size = int(raw)
+    except ValueError:
+        page_size = 20
+    page_size = max(1, min(page_size, MAX_PAGE_SIZE))
+    return jsonify(load_items(limit=page_size))
+''',
+        ),
+        Scenario(
+            key="config_dump",
+            title="Expose a diagnostics endpoint for operators",
+            vulnerable=(
+                variant(
+                    "environ_dump",
+                    '''
+import os
+
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("/diagnostics")
+def $fn():
+    return jsonify(dict(os.environ))
+''',
+                    cwes=("CWE-200",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "curated_diagnostics",
+                    '''
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("/diagnostics")
+def $fn():
+    return jsonify(
+        {
+            "version": app.config.get("VERSION", "unknown"),
+            "uptime_seconds": uptime_seconds(),
+            "queue_depth": queue_depth(),
+        }
+    )
+''',
+                ),
+            ),
+            secure_reference='''
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("/diagnostics")
+def diagnostics():
+    """Report only non-sensitive operational counters."""
+    return jsonify(
+        {
+            "version": app.config.get("VERSION", "unknown"),
+            "uptime_seconds": uptime_seconds(),
+            "queue_depth": queue_depth(),
+        }
+    )
+''',
+        ),
+    ]

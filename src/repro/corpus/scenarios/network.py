@@ -1,0 +1,328 @@
+"""Network scenarios — timeouts, legacy protocols, credential transport,
+remote code execution, and search-path trust."""
+
+from __future__ import annotations
+
+from repro.corpus.scenarios.base import Scenario, variant
+
+
+def build_scenarios() -> list:
+    """Construct this module's scenarios, in catalog order."""
+    return [
+        Scenario(
+            key="http_request_timeout",
+            title="Download a report from the metrics service",
+            vulnerable=(
+                variant(
+                    "no_timeout",
+                    '''
+import requests
+
+def $fn(report_id):
+    resp = requests.get(
+        "https://metrics.example.com/reports/" + str(int(report_id))
+    )
+    resp.raise_for_status()
+    return resp.json()
+''',
+                    cwes=("CWE-400",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "bounded_timeout",
+                    '''
+import requests
+
+def $fn(report_id):
+    resp = requests.get(
+        "https://metrics.example.com/reports/" + str(int(report_id)),
+        timeout=10,
+    )
+    resp.raise_for_status()
+    return resp.json()
+''',
+                ),
+            ),
+            secure_reference='''
+import requests
+
+def download_report(report_id):
+    """Fetch the report with a bounded timeout."""
+    resp = requests.get(
+        "https://metrics.example.com/reports/" + str(int(report_id)),
+        timeout=10,
+    )
+    resp.raise_for_status()
+    return resp.json()
+''',
+        ),
+        Scenario(
+            key="ftp_transfer",
+            title="Upload the nightly backup to the storage server",
+            vulnerable=(
+                variant(
+                    "plain_ftp",
+                    '''
+import ftplib
+
+def $fn(host, user, password_value, path):
+    session = ftplib.FTP(host, user, password_value)
+    with open(path, "rb") as handle:
+        session.storbinary("STOR backup.tar.gz", handle)
+    session.quit()
+''',
+                    cwes=("CWE-477", "CWE-319"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "ftp_tls",
+                    '''
+import ftplib
+
+def $fn(host, user, password_value, path):
+    session = ftplib.FTP_TLS(host, user, password_value)
+    session.prot_p()
+    with open(path, "rb") as handle:
+        session.storbinary("STOR backup.tar.gz", handle)
+    session.quit()
+''',
+                ),
+            ),
+            secure_reference='''
+import ftplib
+
+def upload_backup(host, user, password_value, path):
+    """Transfer the backup over FTPS with a protected data channel."""
+    session = ftplib.FTP_TLS(host, user, password_value)
+    session.prot_p()
+    with open(path, "rb") as handle:
+        session.storbinary("STOR backup.tar.gz", handle)
+    session.quit()
+''',
+        ),
+        Scenario(
+            key="telnet_automation",
+            title="Run a maintenance command on a network switch",
+            vulnerable=(
+                variant(
+                    "telnet_session",
+                    '''
+import telnetlib
+
+def $fn(host, command):
+    session = telnetlib.Telnet(host)
+    session.write(command.encode() + b"\\n")
+    output = session.read_all()
+    session.close()
+    return output
+''',
+                    cwes=("CWE-477", "CWE-319"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "ssh_session",
+                    '''
+import paramiko
+
+def $fn(host, command):
+    client = paramiko.SSHClient()
+    client.load_system_host_keys()
+    client.set_missing_host_key_policy(paramiko.RejectPolicy())
+    client.connect(host)
+    _, stdout, _ = client.exec_command(command)
+    output = stdout.read()
+    client.close()
+    return output
+''',
+                ),
+            ),
+            secure_reference='''
+import paramiko
+
+def run_maintenance(host, command):
+    """Execute the command over SSH with strict host-key checking."""
+    client = paramiko.SSHClient()
+    client.load_system_host_keys()
+    client.set_missing_host_key_policy(paramiko.RejectPolicy())
+    client.connect(host)
+    _, stdout, _ = client.exec_command(command)
+    output = stdout.read()
+    client.close()
+    return output
+''',
+        ),
+        Scenario(
+            key="get_with_credentials",
+            title="Query the billing API on behalf of a customer",
+            vulnerable=(
+                variant(
+                    "token_in_query",
+                    '''
+import requests
+
+def $fn(customer_id, api_token):
+    resp = requests.get(
+        "https://billing.example.com/accounts",
+        params={"customer": customer_id, "token": api_token},
+        timeout=10,
+    )
+    return resp.json()
+''',
+                    cwes=("CWE-598",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "token_in_header",
+                    '''
+import requests
+
+def $fn(customer_id, api_token):
+    resp = requests.get(
+        "https://billing.example.com/accounts",
+        params={"customer": customer_id},
+        headers={"Authorization": "Bearer " + api_token},
+        timeout=10,
+    )
+    return resp.json()
+''',
+                ),
+            ),
+            secure_reference='''
+import requests
+
+def query_billing(customer_id, api_token):
+    """Authenticate via the Authorization header, not the query string."""
+    resp = requests.get(
+        "https://billing.example.com/accounts",
+        params={"customer": customer_id},
+        headers={"Authorization": "Bearer " + api_token},
+        timeout=10,
+    )
+    return resp.json()
+''',
+        ),
+        Scenario(
+            key="download_exec",
+            title="Install the latest plugin from the update server",
+            vulnerable=(
+                variant(
+                    "exec_download",
+                    '''
+import requests
+
+def $fn(plugin_name):
+    resp = requests.get(
+        "https://updates.example.com/plugins/" + plugin_name, timeout=30
+    )
+    exec(resp.text)
+''',
+                    cwes=("CWE-494", "CWE-094"),
+                ),
+                variant(
+                    "curl_pipe_sh",
+                    '''
+import os
+
+def $fn():
+    os.system("curl -s https://updates.example.com/install.sh | sh")
+''',
+                    cwes=("CWE-829",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "verified_download",
+                    '''
+import hashlib
+import hmac
+import os
+import requests
+
+def $fn(plugin_name, expected_sha256):
+    resp = requests.get(
+        "https://updates.example.com/plugins/" + plugin_name, timeout=30
+    )
+    digest = hashlib.sha256(resp.content).hexdigest()
+    if not hmac.compare_digest(digest, expected_sha256):
+        raise ValueError("plugin checksum mismatch")
+    target = os.path.join("plugins", os.path.basename(plugin_name) + ".py.new")
+    with open(target, "wb") as handle:
+        handle.write(resp.content)
+''',
+                ),
+            ),
+            secure_reference='''
+import hashlib
+import hmac
+import os
+import requests
+
+def install_plugin(plugin_name, expected_sha256):
+    """Download, verify the checksum, and stage the plugin — never exec."""
+    resp = requests.get(
+        "https://updates.example.com/plugins/" + plugin_name, timeout=30
+    )
+    digest = hashlib.sha256(resp.content).hexdigest()
+    if not hmac.compare_digest(digest, expected_sha256):
+        raise ValueError("plugin checksum mismatch")
+    target = os.path.join("plugins", os.path.basename(plugin_name) + ".py.new")
+    with open(target, "wb") as handle:
+        handle.write(resp.content)
+''',
+        ),
+        Scenario(
+            key="untrusted_search_path",
+            title="Load optional extension modules at startup",
+            vulnerable=(
+                variant(
+                    "tmp_plugins_path",
+                    '''
+import importlib
+import os
+import sys
+
+def $fn():
+    plugin_dir = "/tmp/plugins"
+    sys.path.insert(0, plugin_dir)
+    modules = []
+    for name in os.listdir(plugin_dir):
+        if name.endswith(".py"):
+            modules.append(importlib.import_module(name[:-3]))
+    return modules
+''',
+                    cwes=("CWE-426",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "package_plugins",
+                    '''
+import importlib
+
+KNOWN_PLUGINS = ("metrics", "exporter", "notifier")
+
+def $fn():
+    modules = []
+    for name in KNOWN_PLUGINS:
+        modules.append(importlib.import_module("app.plugins." + name))
+    return modules
+''',
+                ),
+            ),
+            secure_reference='''
+import importlib
+
+KNOWN_PLUGINS = ("metrics", "exporter", "notifier")
+
+def load_plugins():
+    """Import only the vetted plugin modules from the package."""
+    return [importlib.import_module("app.plugins." + n) for n in KNOWN_PLUGINS]
+''',
+        ),
+    ]

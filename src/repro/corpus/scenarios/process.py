@@ -1,0 +1,203 @@
+"""Process execution scenarios — shell commands, eval/exec, plugins."""
+
+from __future__ import annotations
+
+from repro.corpus.scenarios.base import Scenario, variant
+
+
+def build_scenarios() -> list:
+    """Construct this module's scenarios, in catalog order."""
+    return [
+        Scenario(
+            key="shell_command_run",
+            title="Ping a host supplied by the operator",
+            vulnerable=(
+                variant(
+                    "os_system_fstring",
+                    '''
+import os
+
+def $fn(host):
+    return os.system(f"ping -c 1 {host}")
+''',
+                    cwes=("CWE-078", "CWE-077"),
+                ),
+                variant(
+                    "subprocess_shell_true",
+                    '''
+import subprocess
+
+def $fn(host):
+    return subprocess.run(f"ping -c 1 {host}", shell=True, capture_output=True)
+''',
+                    cwes=("CWE-078",),
+                ),
+                variant(
+                    "os_popen_read",
+                    '''
+import os
+
+def $fn(host):
+    stream = os.popen("ping -c 1 " + host)
+    return stream.read()
+''',
+                    cwes=("CWE-078",),
+                ),
+                variant(
+                    "os_execvp_args",
+                    '''
+import os
+
+def $fn(host):
+    pid = os.fork()
+    if pid == 0:
+        os.execvp("ping", ["ping", "-c", "1", host + build_suffix()])
+    os.waitpid(pid, 0)
+''',
+                    cwes=("CWE-078",),
+                ),
+                variant(
+                    "sh_dash_c_list",
+                    '''
+import subprocess
+
+def $fn(host):
+    command = "ping -c 1 " + host
+    return subprocess.run(["sh", "-c", command], capture_output=True)
+''',
+                    cwes=("CWE-078",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "argv_list",
+                    '''
+import subprocess
+
+def $fn(host):
+    return subprocess.run(
+        ["ping", "-c", "1", host], capture_output=True, check=False
+    )
+''',
+                ),
+                variant(
+                    "constant_shell_maintenance",
+                    '''
+import subprocess
+
+def $fn():
+    return subprocess.run(
+        "df -h | sort -k5 -h | tail -n 5", shell=True, capture_output=True
+    )
+''',
+                    false_alarm=True,
+                ),
+            ),
+            secure_reference='''
+import subprocess
+
+def ping_host(host):
+    """Invoke ping with an argv list; no shell interpretation."""
+    return subprocess.run(
+        ["ping", "-c", "1", host], capture_output=True, check=False
+    )
+''',
+        ),
+        Scenario(
+            key="eval_calculator",
+            title="Evaluate an arithmetic expression typed by the user",
+            vulnerable=(
+                variant(
+                    "eval_expression",
+                    '''
+def $fn(expression):
+    return eval(expression)
+''',
+                    cwes=("CWE-095",),
+                ),
+                variant(
+                    "eval_input",
+                    '''
+def $fn():
+    expression = input("expression> ")
+    return eval(expression)
+''',
+                    cwes=("CWE-095",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "literal_eval",
+                    '''
+import ast
+
+def $fn(expression):
+    return ast.literal_eval(expression)
+''',
+                ),
+                variant(
+                    "constant_eval_selftest",
+                    '''
+def $fn():
+    sanity = eval("2 + 2")
+    return sanity == 4
+''',
+                    false_alarm=True,
+                ),
+            ),
+            secure_reference='''
+import ast
+
+def evaluate(expression):
+    """Accept literal expressions only."""
+    return ast.literal_eval(expression)
+''',
+        ),
+        Scenario(
+            key="exec_plugin",
+            title="Run a user-registered automation script",
+            vulnerable=(
+                variant(
+                    "exec_script",
+                    '''
+def $fn(script_source, context):
+    exec(script_source, {"ctx": context})
+''',
+                    cwes=("CWE-094",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "allowlisted_actions",
+                    '''
+ACTIONS = {
+    "archive": archive_records,
+    "notify": send_notifications,
+    "cleanup": purge_expired,
+}
+
+def $fn(action_name, context):
+    action = ACTIONS.get(action_name)
+    if action is None:
+        raise ValueError("unknown action")
+    return action(context)
+''',
+                ),
+            ),
+            secure_reference='''
+ACTIONS = {
+    "archive": archive_records,
+    "notify": send_notifications,
+    "cleanup": purge_expired,
+}
+
+def run_action(action_name, context):
+    """Dispatch to a vetted action instead of executing code."""
+    action = ACTIONS.get(action_name)
+    if action is None:
+        raise ValueError("unknown action")
+    return action(context)
+''',
+        ),
+    ]

@@ -1,0 +1,390 @@
+"""SQL scenarios — CWE-089 (SQL injection) and related credential storage.
+
+Each scenario provides detectable vulnerable variants (the interpolation
+shapes PatchitPy's A03 rules match), *evasive* variants (query built on a
+separate line, which pattern rules miss but human review flags), and safe
+parameterized implementations.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.scenarios.base import Scenario, variant
+
+
+def build_scenarios() -> list:
+    """Construct this module's scenarios, in catalog order."""
+    return [
+        Scenario(
+            key="sql_user_lookup",
+            title="Look up a user record by id in SQLite",
+            vulnerable=(
+                variant(
+                    "fstring_query",
+                    '''
+import sqlite3
+
+def $fn($arg):
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute(f"SELECT * FROM $tbl WHERE id = {$arg}")
+    row = cur.fetchone()
+    conn.close()
+    return row
+''',
+                    cwes=("CWE-089",),
+                ),
+                variant(
+                    "percent_query",
+                    '''
+import sqlite3
+
+def $fn($arg):
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM $tbl WHERE id = %s" % $arg)
+    row = cur.fetchone()
+    conn.close()
+    return row
+''',
+                    cwes=("CWE-089",),
+                ),
+                variant(
+                    "query_variable",
+                    '''
+import sqlite3
+
+def $fn($arg):
+    query = "SELECT * FROM $tbl WHERE id = '" + str($arg) + "'"
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute(query)
+    row = cur.fetchone()
+    conn.close()
+    return row
+''',
+                    cwes=("CWE-089",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "parameterized",
+                    '''
+import sqlite3
+
+def $fn($arg):
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM $tbl WHERE id = ?", ($arg,))
+    row = cur.fetchone()
+    conn.close()
+    return row
+''',
+                ),
+            ),
+            secure_reference='''
+import sqlite3
+
+def get_record(record_id):
+    """Fetch one record by id using a parameterized query."""
+    conn = sqlite3.connect("app.db")
+    try:
+        cur = conn.cursor()
+        cur.execute("SELECT * FROM records WHERE id = ?", (record_id,))
+        return cur.fetchone()
+    finally:
+        conn.close()
+''',
+        ),
+        Scenario(
+            key="sql_login_check",
+            title="Validate a username/password pair against the database",
+            vulnerable=(
+                variant(
+                    "fstring_login",
+                    '''
+import sqlite3
+
+def $fn(username, password):
+    conn = sqlite3.connect("users.db")
+    cur = conn.cursor()
+    cur.execute(f"SELECT * FROM $tbl WHERE name = '{username}' AND password = '{password}'")
+    user = cur.fetchone()
+    conn.close()
+    return user is not None
+''',
+                    cwes=("CWE-089",),
+                ),
+                variant(
+                    "fstring_login_hardcoded_fallback",
+                    '''
+import sqlite3
+
+admin_password = "sup3rsecret!"
+
+def $fn(username, password):
+    if username == "admin":
+        return password == admin_password
+    conn = sqlite3.connect("users.db")
+    cur = conn.cursor()
+    cur.execute(f"SELECT * FROM $tbl WHERE name = '{username}' AND password = '{password}'")
+    user = cur.fetchone()
+    conn.close()
+    return user is not None
+''',
+                    cwes=("CWE-089", "CWE-798"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "parameterized_login",
+                    '''
+import sqlite3
+
+def $fn(username, password_hash):
+    conn = sqlite3.connect("users.db")
+    cur = conn.cursor()
+    cur.execute(
+        "SELECT * FROM $tbl WHERE name = ? AND password_hash = ?",
+        (username, password_hash),
+    )
+    user = cur.fetchone()
+    conn.close()
+    return user is not None
+''',
+                ),
+            ),
+            secure_reference='''
+import hashlib
+import hmac
+import os
+import sqlite3
+
+def check_login(username, password):
+    """Validate credentials with a parameterized query and salted PBKDF2."""
+    conn = sqlite3.connect("users.db")
+    try:
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT salt, password_hash FROM users WHERE name = ?", (username,)
+        )
+        row = cur.fetchone()
+    finally:
+        conn.close()
+    if row is None:
+        return False
+    salt, stored = row
+    candidate = hashlib.pbkdf2_hmac("sha256", password.encode(), salt, 310000)
+    return hmac.compare_digest(candidate, stored)
+''',
+        ),
+        Scenario(
+            key="sql_search_like",
+            title="Search products whose name matches a keyword",
+            vulnerable=(
+                variant(
+                    "format_query",
+                    '''
+import sqlite3
+
+def $fn(keyword):
+    conn = sqlite3.connect("shop.db")
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM $tbl WHERE name LIKE '%{}%'".format(keyword))
+    results = cur.fetchall()
+    conn.close()
+    return results
+''',
+                    cwes=("CWE-089",),
+                ),
+                variant(
+                    "concat_query",
+                    '''
+import sqlite3
+
+def $fn(keyword):
+    conn = sqlite3.connect("shop.db")
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM $tbl WHERE name LIKE '%" + keyword + "%'")
+    results = cur.fetchall()
+    conn.close()
+    return results
+''',
+                    cwes=("CWE-089",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "parameterized_like",
+                    '''
+import sqlite3
+
+def $fn(keyword):
+    conn = sqlite3.connect("shop.db")
+    cur = conn.cursor()
+    cur.execute(
+        "SELECT * FROM $tbl WHERE name LIKE ?", ("%" + keyword + "%",)
+    )
+    results = cur.fetchall()
+    conn.close()
+    return results
+''',
+                ),
+            ),
+            secure_reference='''
+import sqlite3
+
+def search_products(keyword):
+    """Match a keyword with a parameterized LIKE query."""
+    conn = sqlite3.connect("shop.db")
+    try:
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT * FROM products WHERE name LIKE ?", ("%" + keyword + "%",)
+        )
+        return cur.fetchall()
+    finally:
+        conn.close()
+''',
+        ),
+        Scenario(
+            key="sql_insert_user",
+            title="Insert a new user with a password into the database",
+            vulnerable=(
+                variant(
+                    "fstring_insert_plaintext",
+                    '''
+import sqlite3
+
+def $fn(username, password):
+    conn = sqlite3.connect("users.db")
+    cur = conn.cursor()
+    cur.execute(f"INSERT INTO $tbl (name, password) VALUES ('{username}', '{password}')")
+    conn.commit()
+    conn.close()
+''',
+                    cwes=("CWE-089", "CWE-256"),
+                ),
+                variant(
+                    "percent_insert",
+                    '''
+import sqlite3
+
+def $fn(username, password):
+    conn = sqlite3.connect("users.db")
+    cur = conn.cursor()
+    cur.execute("INSERT INTO $tbl (name, password) VALUES ('%s', '%s')" % (username, password))
+    conn.commit()
+    conn.close()
+''',
+                    cwes=("CWE-089", "CWE-256"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "parameterized_insert_hashed",
+                    '''
+import hashlib
+import os
+import sqlite3
+
+def $fn(username, password):
+    salt = os.urandom(16)
+    digest = hashlib.pbkdf2_hmac("sha256", password.encode(), salt, 310000)
+    conn = sqlite3.connect("users.db")
+    cur = conn.cursor()
+    cur.execute(
+        "INSERT INTO $tbl (name, salt, password_hash) VALUES (?, ?, ?)",
+        (username, salt, digest),
+    )
+    conn.commit()
+    conn.close()
+''',
+                ),
+            ),
+            secure_reference='''
+import hashlib
+import os
+import sqlite3
+
+def create_user(username, password):
+    """Store a new user with a salted PBKDF2 password hash."""
+    salt = os.urandom(16)
+    digest = hashlib.pbkdf2_hmac("sha256", password.encode(), salt, 310000)
+    conn = sqlite3.connect("users.db")
+    try:
+        cur = conn.cursor()
+        cur.execute(
+            "INSERT INTO users (name, salt, password_hash) VALUES (?, ?, ?)",
+            (username, salt, digest),
+        )
+        conn.commit()
+    finally:
+        conn.close()
+''',
+        ),
+        Scenario(
+            key="sql_delete_record",
+            title="Delete a row selected by the caller",
+            vulnerable=(
+                variant(
+                    "concat_delete",
+                    '''
+import sqlite3
+
+def $fn($arg):
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute("DELETE FROM $tbl WHERE id = " + str($arg))
+    conn.commit()
+    conn.close()
+''',
+                    cwes=("CWE-089",),
+                ),
+                variant(
+                    "script_variable",
+                    '''
+import sqlite3
+
+def $fn($arg):
+    statement = f"DELETE FROM $tbl WHERE id = {$arg};"
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.executescript(statement)
+    conn.commit()
+    conn.close()
+''',
+                    cwes=("CWE-089",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "parameterized_delete",
+                    '''
+import sqlite3
+
+def $fn($arg):
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute("DELETE FROM $tbl WHERE id = ?", ($arg,))
+    conn.commit()
+    conn.close()
+''',
+                ),
+            ),
+            secure_reference='''
+import sqlite3
+
+def delete_record(record_id):
+    """Delete one row via a parameterized statement."""
+    conn = sqlite3.connect("app.db")
+    try:
+        cur = conn.cursor()
+        cur.execute("DELETE FROM records WHERE id = ?", (record_id,))
+        conn.commit()
+    finally:
+        conn.close()
+''',
+        ),
+    ]

@@ -1,0 +1,898 @@
+"""Flask web scenarios — XSS, debug leaks, redirects, cookies, SSRF,
+uploads, traversal, SSTI, log forging, missing auth, and binding.
+
+These mirror the paper's running examples (Table I is a greeting-page XSS
+with debug mode enabled).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.scenarios.base import Scenario, variant
+
+
+def build_scenarios() -> list:
+    """Construct this module's scenarios, in catalog order."""
+    return [
+        Scenario(
+            key="flask_greeting_xss",
+            title="Return a greeting page that echoes a query parameter",
+            vulnerable=(
+                variant(
+                    "fstring_echo_debug",
+                    '''
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/greet")
+def $fn():
+    $v = request.args.get("name", "")
+    return f"<p>Hello {$v}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+''',
+                    cwes=("CWE-079", "CWE-209"),
+                ),
+                variant(
+                    "make_response_echo",
+                    '''
+from flask import Flask, request, make_response
+
+app = Flask(__name__)
+
+@app.route("/greet")
+def $fn():
+    $v = request.args.get("name", "")
+    return make_response(f"Hello {$v}")
+
+if __name__ == "__main__":
+    app.run()
+''',
+                    cwes=("CWE-079",),
+                ),
+                variant(
+                    "concat_echo",
+                    '''
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/greet")
+def $fn():
+    return "<p>Hello " + request.args.get("name", "")
+
+if __name__ == "__main__":
+    app.run()
+''',
+                    cwes=("CWE-080",),
+                ),
+                variant(
+                    "built_html_variable",
+                    '''
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/greet")
+def $fn():
+    $v = request.args.get("name", "")
+    page = "<html><body><p>Hello " + $v + "</p></body></html>"
+    return page
+
+if __name__ == "__main__":
+    app.run()
+''',
+                    cwes=("CWE-079",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "escaped_echo",
+                    '''
+from flask import Flask, request, escape
+
+app = Flask(__name__)
+
+@app.route("/greet")
+def $fn():
+    $v = request.args.get("name", "")
+    return f"<p>Hello {escape($v)}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+''',
+                ),
+            ),
+            secure_reference='''
+from flask import Flask, request, escape
+
+app = Flask(__name__)
+
+@app.route("/greet")
+def greet():
+    """Echo the visitor's name with HTML escaping applied."""
+    name = request.args.get("name", "")
+    return f"<p>Hello {escape(name)}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=False, use_debugger=False, use_reloader=False)
+''',
+        ),
+        Scenario(
+            key="flask_error_debug",
+            title="Serve an API endpoint with error handling",
+            vulnerable=(
+                variant(
+                    "debug_true",
+                    '''
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("/status")
+def $fn():
+    return jsonify({"status": "ok"})
+
+if __name__ == "__main__":
+    app.run(debug=True)
+''',
+                    cwes=("CWE-209",),
+                ),
+                variant(
+                    "exception_detail",
+                    '''
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("/compute")
+def $fn():
+    try:
+        $v = perform_calculation()
+        return jsonify({"result": $v})
+    except Exception as e:
+        return str(e), 500
+''',
+                    cwes=("CWE-209",),
+                ),
+                variant(
+                    "traceback_response",
+                    '''
+import traceback
+
+from flask import Flask
+
+app = Flask(__name__)
+
+@app.route("/compute")
+def $fn():
+    try:
+        return str(perform_calculation())
+    except Exception:
+        return traceback.format_exc(), 500
+''',
+                    cwes=("CWE-209", "CWE-200"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "generic_error",
+                    '''
+import logging
+
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("/compute")
+def $fn():
+    try:
+        $v = perform_calculation()
+        return jsonify({"result": $v})
+    except Exception:
+        logging.exception("computation failed")
+        return jsonify({"error": "internal error"}), 500
+
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+''',
+                ),
+            ),
+            secure_reference='''
+import logging
+
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("/compute")
+def compute():
+    """Run the calculation, logging failures without leaking details."""
+    try:
+        result = perform_calculation()
+        return jsonify({"result": result})
+    except Exception:
+        logging.exception("computation failed")
+        return jsonify({"error": "internal error"}), 500
+
+if __name__ == "__main__":
+    app.run(debug=False, use_debugger=False, use_reloader=False)
+''',
+        ),
+        Scenario(
+            key="flask_redirect_open",
+            title="Redirect the user to the page given in the 'next' parameter",
+            vulnerable=(
+                variant(
+                    "direct_redirect",
+                    '''
+from flask import Flask, request, redirect
+
+app = Flask(__name__)
+
+@app.route("/go")
+def $fn():
+    return redirect(request.args.get("next", "/"))
+''',
+                    cwes=("CWE-601",),
+                ),
+                variant(
+                    "redirect_variable",
+                    '''
+from flask import Flask, request, redirect
+
+app = Flask(__name__)
+
+@app.route("/go")
+def $fn():
+    $v = request.args.get("next", "/")
+    return redirect($v)
+''',
+                    cwes=("CWE-601",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "same_site_redirect",
+                    '''
+from urllib.parse import urlparse
+
+from flask import Flask, request, redirect
+
+app = Flask(__name__)
+
+@app.route("/go")
+def $fn():
+    $v = request.args.get("next", "/")
+    if urlparse($v).netloc:
+        $v = "/"
+    return redirect($v)
+''',
+                ),
+            ),
+            secure_reference='''
+from urllib.parse import urlparse
+
+from flask import Flask, request, redirect
+
+app = Flask(__name__)
+
+@app.route("/go")
+def go():
+    """Follow only same-site redirect targets."""
+    target = request.args.get("next", "/")
+    if urlparse(target).netloc:
+        target = "/"
+    return redirect(target)
+''',
+        ),
+        Scenario(
+            key="flask_cookie_flags",
+            title="Set a session cookie after login",
+            vulnerable=(
+                variant(
+                    "bare_cookie",
+                    '''
+from flask import Flask, make_response
+
+app = Flask(__name__)
+
+@app.route("/login", methods=["POST"])
+def $fn():
+    resp = make_response("welcome")
+    resp.set_cookie("session_id", generate_session_id())
+    return resp
+''',
+                    cwes=("CWE-614", "CWE-1004"),
+                ),
+                variant(
+                    "partial_cookie",
+                    '''
+from flask import Flask, make_response
+
+app = Flask(__name__)
+
+@app.route("/login", methods=["POST"])
+def $fn():
+    resp = make_response("welcome")
+    resp.set_cookie("session_id", generate_session_id(), httponly=True)
+    return resp
+''',
+                    cwes=("CWE-614",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "flagged_cookie",
+                    '''
+from flask import Flask, make_response
+
+app = Flask(__name__)
+
+@app.route("/login", methods=["POST"])
+def $fn():
+    resp = make_response("welcome")
+    resp.set_cookie(
+        "session_id",
+        generate_session_id(),
+        secure=True,
+        httponly=True,
+        samesite="Lax",
+    )
+    return resp
+''',
+                ),
+            ),
+            secure_reference='''
+from flask import Flask, make_response
+
+app = Flask(__name__)
+
+@app.route("/login", methods=["POST"])
+def create_session_response():
+    """Issue the session cookie with Secure/HttpOnly/SameSite set."""
+    resp = make_response("welcome")
+    resp.set_cookie(
+        "session_id",
+        generate_session_id(),
+        secure=True,
+        httponly=True,
+        samesite="Lax",
+    )
+    return resp
+''',
+        ),
+        Scenario(
+            key="flask_ssrf_fetch",
+            title="Fetch and relay the content of a user-provided URL",
+            vulnerable=(
+                variant(
+                    "requests_direct",
+                    '''
+import requests
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/fetch")
+def $fn():
+    resp = requests.get(request.args.get("url", ""), timeout=10)
+    return resp.text
+''',
+                    cwes=("CWE-918",),
+                ),
+                variant(
+                    "urllib_direct",
+                    '''
+import urllib.request
+
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/fetch")
+def $fn():
+    with urllib.request.urlopen(request.args.get("url", "")) as resp:
+        return resp.read()
+''',
+                    cwes=("CWE-918",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "allowlisted_fetch",
+                    '''
+from urllib.parse import urlparse
+
+import requests
+from flask import Flask, request, abort
+
+app = Flask(__name__)
+
+ALLOWED_HOSTS = {"api.internal.example", "files.internal.example"}
+
+@app.route("/fetch")
+def $fn():
+    $v = request.args.get("url", "")
+    if urlparse($v).hostname not in ALLOWED_HOSTS:
+        abort(400)
+    resp = requests.get($v, timeout=10)
+    return resp.text
+''',
+                ),
+            ),
+            secure_reference='''
+from urllib.parse import urlparse
+
+import requests
+from flask import Flask, request, abort
+
+app = Flask(__name__)
+
+ALLOWED_HOSTS = {"api.internal.example"}
+
+@app.route("/fetch")
+def fetch():
+    """Proxy only URLs whose host is on the allowlist."""
+    url = request.args.get("url", "")
+    if urlparse(url).hostname not in ALLOWED_HOSTS:
+        abort(400)
+    resp = requests.get(url, timeout=10)
+    return resp.text
+''',
+        ),
+        Scenario(
+            key="flask_upload",
+            title="Accept a file upload and store it on the server",
+            vulnerable=(
+                variant(
+                    "raw_filename_save",
+                    '''
+import os
+
+from flask import Flask, request
+
+app = Flask(__name__)
+UPLOAD_DIR = "uploads"
+
+@app.route("/upload", methods=["POST"])
+def $fn():
+    $v = request.files["file"]
+    $v.save(os.path.join(UPLOAD_DIR, $v.filename))
+    return "stored"
+''',
+                    cwes=("CWE-434",),
+                ),
+                variant(
+                    "form_path_join",
+                    '''
+import os
+
+from flask import Flask, request
+
+app = Flask(__name__)
+UPLOAD_DIR = "uploads"
+
+@app.route("/upload", methods=["POST"])
+def $fn():
+    $v = request.files["file"]
+    destination = os.path.join(UPLOAD_DIR, request.form.get("name"))
+    $v.save(destination)
+    return "stored"
+''',
+                    cwes=("CWE-022",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "secure_filename_allowlist",
+                    '''
+import os
+
+from flask import Flask, request, abort
+from werkzeug.utils import secure_filename
+
+app = Flask(__name__)
+UPLOAD_DIR = "uploads"
+ALLOWED_EXTENSIONS = {".png", ".jpg", ".pdf"}
+
+@app.route("/upload", methods=["POST"])
+def $fn():
+    $v = request.files["file"]
+    name = secure_filename($v.filename)
+    if os.path.splitext(name)[1].lower() not in ALLOWED_EXTENSIONS:
+        abort(400)
+    $v.save(os.path.join(UPLOAD_DIR, name))
+    return "stored"
+''',
+                ),
+            ),
+            secure_reference='''
+import os
+
+from flask import Flask, request, abort
+from werkzeug.utils import secure_filename
+
+app = Flask(__name__)
+UPLOAD_DIR = "uploads"
+ALLOWED_EXTENSIONS = {".png", ".jpg", ".pdf"}
+
+@app.route("/upload", methods=["POST"])
+def upload():
+    """Store an upload under a sanitized, extension-checked name."""
+    item = request.files["file"]
+    name = secure_filename(item.filename)
+    if os.path.splitext(name)[1].lower() not in ALLOWED_EXTENSIONS:
+        abort(400)
+    item.save(os.path.join(UPLOAD_DIR, name))
+    return "stored"
+''',
+        ),
+        Scenario(
+            key="flask_send_file",
+            title="Serve a document requested by filename",
+            vulnerable=(
+                variant(
+                    "send_file_request",
+                    '''
+from flask import Flask, request, send_file
+
+app = Flask(__name__)
+
+@app.route("/docs")
+def $fn():
+    $v = "documents/" + request.args.get("file", "")
+    return send_file($v)
+''',
+                    cwes=("CWE-022",),
+                    detectable=False,
+                ),
+                variant(
+                    "send_file_direct",
+                    '''
+from flask import Flask, request, send_file
+
+app = Flask(__name__)
+
+@app.route("/docs")
+def $fn():
+    return send_file(request.args.get("file", ""))
+''',
+                    cwes=("CWE-022",),
+                ),
+                variant(
+                    "open_fstring_path",
+                    '''
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/docs")
+def $fn():
+    $v = request.args.get("file", "")
+    with open(f"documents/{$v}") as handle:
+        return handle.read()
+''',
+                    cwes=("CWE-022",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "send_from_directory",
+                    '''
+import os
+
+from flask import Flask, request, send_from_directory, abort
+
+app = Flask(__name__)
+
+@app.route("/docs")
+def $fn():
+    $v = os.path.basename(request.args.get("file", ""))
+    if not $v:
+        abort(404)
+    return send_from_directory("documents", $v)
+''',
+                ),
+            ),
+            secure_reference='''
+import os
+
+from flask import Flask, request, send_from_directory, abort
+
+app = Flask(__name__)
+
+@app.route("/docs")
+def docs():
+    """Serve documents only from the documents directory by basename."""
+    name = os.path.basename(request.args.get("file", ""))
+    if not name:
+        abort(404)
+    return send_from_directory("documents", name)
+''',
+        ),
+        Scenario(
+            key="flask_template_ssti",
+            title="Render a templated status page from a string",
+            vulnerable=(
+                variant(
+                    "render_template_string_user",
+                    '''
+from flask import Flask, request, render_template_string
+
+app = Flask(__name__)
+
+@app.route("/page")
+def $fn():
+    template = request.args.get("template", "<p>default</p>")
+    return render_template_string(template)
+''',
+                    cwes=("CWE-094",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "render_template_file",
+                    '''
+from flask import Flask, request, render_template
+
+app = Flask(__name__)
+
+@app.route("/page")
+def $fn():
+    $v = request.args.get("name", "")
+    return render_template("page.html", name=$v)
+''',
+                ),
+            ),
+            secure_reference='''
+from flask import Flask, request, render_template
+
+app = Flask(__name__)
+
+@app.route("/page")
+def page():
+    """Render a fixed template; user data goes through the context."""
+    name = request.args.get("name", "")
+    return render_template("page.html", name=name)
+''',
+        ),
+        Scenario(
+            key="flask_log_injection",
+            title="Log each login attempt with the submitted username",
+            vulnerable=(
+                variant(
+                    "fstring_log",
+                    '''
+import logging
+
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/login", methods=["POST"])
+def $fn():
+    $v = request.form.get("username", "")
+    logging.info(f"login attempt for {$v}")
+    return "recorded"
+''',
+                    cwes=("CWE-117",),
+                ),
+            ),
+            safe=(
+                variant(
+                    "lazy_sanitized_log",
+                    '''
+import logging
+
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/login", methods=["POST"])
+def $fn():
+    $v = request.form.get("username", "")
+    logging.info("login attempt for %s", $v.replace("\\n", "").replace("\\r", ""))
+    return "recorded"
+''',
+                ),
+            ),
+            secure_reference='''
+import logging
+
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/login", methods=["POST"])
+def login():
+    """Record the attempt with newline-stripped lazy formatting."""
+    username = request.form.get("username", "")
+    logging.info("login attempt for %s", username.replace("\\n", "").replace("\\r", ""))
+    return "recorded"
+''',
+        ),
+        Scenario(
+            key="flask_admin_route",
+            title="Expose an admin page that deletes user accounts",
+            vulnerable=(
+                variant(
+                    "unauthenticated_admin",
+                    '''
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/admin/delete", methods=["POST"])
+def $fn():
+    remove_account(request.form.get("user_id"))
+    return "deleted"
+''',
+                    cwes=("CWE-306", "CWE-862"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "login_required_admin",
+                    '''
+from flask import Flask, request
+from flask_login import login_required
+
+app = Flask(__name__)
+
+@app.route("/admin/delete", methods=["POST"])
+@login_required
+def $fn():
+    remove_account(request.form.get("user_id"))
+    return "deleted"
+''',
+                ),
+            ),
+            secure_reference='''
+from flask import Flask, request
+from flask_login import login_required
+
+app = Flask(__name__)
+
+@app.route("/admin/delete", methods=["POST"])
+@login_required
+def admin_delete():
+    """Delete an account; only authenticated admins reach this."""
+    remove_account(request.form.get("user_id"))
+    return "deleted"
+''',
+        ),
+        Scenario(
+            key="flask_host_binding",
+            title="Start the development server for the dashboard",
+            vulnerable=(
+                variant(
+                    "bind_all_interfaces",
+                    '''
+from flask import Flask
+
+app = Flask(__name__)
+
+@app.route("/")
+def $fn():
+    return "dashboard"
+
+if __name__ == "__main__":
+    app.run(host="0.0.0.0", port=8080)
+''',
+                    cwes=("CWE-016",),
+                ),
+                variant(
+                    "bind_all_with_debug",
+                    '''
+from flask import Flask
+
+app = Flask(__name__)
+
+@app.route("/")
+def $fn():
+    return "dashboard"
+
+if __name__ == "__main__":
+    app.run(host="0.0.0.0", debug=True)
+''',
+                    cwes=("CWE-016", "CWE-209"),
+                ),
+            ),
+            safe=(
+                variant(
+                    "bind_localhost",
+                    '''
+from flask import Flask
+
+app = Flask(__name__)
+
+@app.route("/")
+def $fn():
+    return "dashboard"
+
+if __name__ == "__main__":
+    app.run(host="127.0.0.1", port=8080)
+''',
+                ),
+            ),
+            secure_reference='''
+from flask import Flask
+
+app = Flask(__name__)
+
+@app.route("/")
+def index():
+    """Serve the dashboard on localhost only."""
+    return "dashboard"
+
+if __name__ == "__main__":
+    app.run(host="127.0.0.1", port=8080)
+''',
+        ),
+        Scenario(
+            key="flask_mass_update",
+            title="Update a user profile from submitted form fields",
+            vulnerable=(
+                variant(
+                    "setattr_loop",
+                    '''
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/profile", methods=["POST"])
+def $fn():
+    $v = load_current_user()
+    for key, value in request.form.items():
+        setattr($v, key, value)
+    $v.save()
+    return "updated"
+''',
+                    cwes=("CWE-915",),
+                    detectable=False,
+                ),
+            ),
+            safe=(
+                variant(
+                    "field_allowlist",
+                    '''
+from flask import Flask, request
+
+app = Flask(__name__)
+
+EDITABLE_FIELDS = {"display_name", "bio", "location"}
+
+@app.route("/profile", methods=["POST"])
+def $fn():
+    $v = load_current_user()
+    for key in EDITABLE_FIELDS:
+        if key in request.form:
+            setattr($v, key, request.form[key])
+    $v.save()
+    return "updated"
+''',
+                ),
+            ),
+            secure_reference='''
+from flask import Flask, request
+
+app = Flask(__name__)
+
+EDITABLE_FIELDS = {"display_name", "bio", "location"}
+
+@app.route("/profile", methods=["POST"])
+def profile():
+    """Copy only allowlisted fields onto the user object."""
+    user = load_current_user()
+    for key in EDITABLE_FIELDS:
+        if key in request.form:
+            setattr(user, key, request.form[key])
+    user.save()
+    return "updated"
+''',
+        ),
+    ]

@@ -1,0 +1,23 @@
+"""CWE and OWASP Top 10:2021 knowledge base.
+
+The detection rules, the corpus, and the evaluation harness all key their
+vulnerability labels to MITRE CWE identifiers; this package holds the
+registry of weaknesses used in the paper plus the OWASP category mapping
+(the CWE view 1344 "Weaknesses in OWASP Top Ten (2021)") and the 2021 CWE
+Top 25 list used by LLMSecEval.
+"""
+
+from repro.cwe.owasp import OwaspCategory, owasp_category_for
+from repro.cwe.registry import CWE_REGISTRY, CweEntry, get_cwe, is_known_cwe, normalize_cwe_id
+from repro.cwe.top25 import CWE_TOP_25_2021
+
+__all__ = [
+    "CWE_REGISTRY",
+    "CWE_TOP_25_2021",
+    "CweEntry",
+    "OwaspCategory",
+    "get_cwe",
+    "is_known_cwe",
+    "normalize_cwe_id",
+    "owasp_category_for",
+]

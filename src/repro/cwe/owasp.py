@@ -1,0 +1,151 @@
+"""OWASP Top 10:2021 categories and the CWE mapping used by the paper.
+
+The paper groups its 240 seed samples — and consequently its mined rules —
+by OWASP Top 10:2021 category, using CWE labels as the bridge (MITRE CWE
+view 1344).  This module provides the category enumeration and a lookup
+from a CWE id to its category.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+
+class OwaspCategory(enum.Enum):
+    """The ten OWASP Top 10:2021 categories."""
+
+    A01_BROKEN_ACCESS_CONTROL = "A01:2021 Broken Access Control"
+    A02_CRYPTOGRAPHIC_FAILURES = "A02:2021 Cryptographic Failures"
+    A03_INJECTION = "A03:2021 Injection"
+    A04_INSECURE_DESIGN = "A04:2021 Insecure Design"
+    A05_SECURITY_MISCONFIGURATION = "A05:2021 Security Misconfiguration"
+    A06_VULNERABLE_COMPONENTS = "A06:2021 Vulnerable and Outdated Components"
+    A07_AUTH_FAILURES = "A07:2021 Identification and Authentication Failures"
+    A08_INTEGRITY_FAILURES = "A08:2021 Software and Data Integrity Failures"
+    A09_LOGGING_FAILURES = "A09:2021 Security Logging and Monitoring Failures"
+    A10_SSRF = "A10:2021 Server-Side Request Forgery"
+
+    @property
+    def code(self) -> str:
+        """Short code such as ``A03``."""
+        return self.name.split("_", 1)[0]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+# CWE -> OWASP Top 10:2021 category, following MITRE view 1344.  Only the
+# CWEs that appear in the reproduction corpus and rule set are listed.
+_CWE_TO_OWASP: Dict[str, OwaspCategory] = {
+    # A01 Broken Access Control
+    "CWE-022": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-023": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-059": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-200": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-219": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-276": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-284": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-285": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-377": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-379": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-425": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-434": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-601": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-862": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    "CWE-863": OwaspCategory.A01_BROKEN_ACCESS_CONTROL,
+    # A02 Cryptographic Failures
+    "CWE-261": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-295": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-296": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-319": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-321": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-326": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-327": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-328": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-329": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-330": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-335": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-338": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-759": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-760": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    "CWE-916": OwaspCategory.A02_CRYPTOGRAPHIC_FAILURES,
+    # A03 Injection
+    "CWE-020": OwaspCategory.A03_INJECTION,
+    "CWE-074": OwaspCategory.A03_INJECTION,
+    "CWE-075": OwaspCategory.A03_INJECTION,
+    "CWE-077": OwaspCategory.A03_INJECTION,
+    "CWE-078": OwaspCategory.A03_INJECTION,
+    "CWE-079": OwaspCategory.A03_INJECTION,
+    "CWE-080": OwaspCategory.A03_INJECTION,
+    "CWE-089": OwaspCategory.A03_INJECTION,
+    "CWE-090": OwaspCategory.A03_INJECTION,
+    "CWE-091": OwaspCategory.A03_INJECTION,
+    "CWE-094": OwaspCategory.A03_INJECTION,
+    "CWE-095": OwaspCategory.A03_INJECTION,
+    "CWE-096": OwaspCategory.A03_INJECTION,
+    "CWE-116": OwaspCategory.A03_INJECTION,
+    "CWE-117": OwaspCategory.A03_INJECTION,
+    "CWE-643": OwaspCategory.A03_INJECTION,
+    "CWE-1236": OwaspCategory.A03_INJECTION,
+    # A04 Insecure Design
+    "CWE-209": OwaspCategory.A04_INSECURE_DESIGN,
+    "CWE-256": OwaspCategory.A04_INSECURE_DESIGN,
+    "CWE-257": OwaspCategory.A04_INSECURE_DESIGN,
+    "CWE-266": OwaspCategory.A04_INSECURE_DESIGN,
+    "CWE-269": OwaspCategory.A04_INSECURE_DESIGN,
+    "CWE-400": OwaspCategory.A04_INSECURE_DESIGN,
+    "CWE-522": OwaspCategory.A04_INSECURE_DESIGN,
+    "CWE-732": OwaspCategory.A04_INSECURE_DESIGN,
+    "CWE-770": OwaspCategory.A04_INSECURE_DESIGN,
+    # A05 Security Misconfiguration
+    "CWE-016": OwaspCategory.A05_SECURITY_MISCONFIGURATION,
+    "CWE-611": OwaspCategory.A05_SECURITY_MISCONFIGURATION,
+    "CWE-614": OwaspCategory.A05_SECURITY_MISCONFIGURATION,
+    "CWE-776": OwaspCategory.A05_SECURITY_MISCONFIGURATION,
+    "CWE-1004": OwaspCategory.A05_SECURITY_MISCONFIGURATION,
+    "CWE-1275": OwaspCategory.A05_SECURITY_MISCONFIGURATION,
+    # A06 Vulnerable and Outdated Components
+    "CWE-477": OwaspCategory.A06_VULNERABLE_COMPONENTS,
+    "CWE-1104": OwaspCategory.A06_VULNERABLE_COMPONENTS,
+    # A07 Identification and Authentication Failures
+    "CWE-287": OwaspCategory.A07_AUTH_FAILURES,
+    "CWE-290": OwaspCategory.A07_AUTH_FAILURES,
+    "CWE-306": OwaspCategory.A07_AUTH_FAILURES,
+    "CWE-307": OwaspCategory.A07_AUTH_FAILURES,
+    "CWE-521": OwaspCategory.A07_AUTH_FAILURES,
+    "CWE-564": OwaspCategory.A07_AUTH_FAILURES,
+    "CWE-598": OwaspCategory.A07_AUTH_FAILURES,
+    "CWE-613": OwaspCategory.A07_AUTH_FAILURES,
+    "CWE-620": OwaspCategory.A07_AUTH_FAILURES,
+    "CWE-798": OwaspCategory.A07_AUTH_FAILURES,
+    # A08 Software and Data Integrity Failures
+    "CWE-345": OwaspCategory.A08_INTEGRITY_FAILURES,
+    "CWE-353": OwaspCategory.A08_INTEGRITY_FAILURES,
+    "CWE-426": OwaspCategory.A08_INTEGRITY_FAILURES,
+    "CWE-494": OwaspCategory.A08_INTEGRITY_FAILURES,
+    "CWE-502": OwaspCategory.A08_INTEGRITY_FAILURES,
+    "CWE-829": OwaspCategory.A08_INTEGRITY_FAILURES,
+    "CWE-915": OwaspCategory.A08_INTEGRITY_FAILURES,
+    # A09 Security Logging and Monitoring Failures
+    "CWE-223": OwaspCategory.A09_LOGGING_FAILURES,
+    "CWE-532": OwaspCategory.A09_LOGGING_FAILURES,
+    "CWE-778": OwaspCategory.A09_LOGGING_FAILURES,
+    # A10 Server-Side Request Forgery
+    "CWE-918": OwaspCategory.A10_SSRF,
+}
+
+
+def owasp_category_for(cwe_id: str) -> Optional[OwaspCategory]:
+    """Return the OWASP Top 10:2021 category of ``cwe_id`` (or ``None``).
+
+    Ids are normalized, so ``"CWE-79"`` and ``"CWE-079"`` both resolve.
+    """
+    from repro.cwe.registry import normalize_cwe_id
+
+    return _CWE_TO_OWASP.get(normalize_cwe_id(cwe_id))
+
+
+def cwes_in_category(category: OwaspCategory) -> tuple:
+    """All registry CWEs mapped to ``category``, sorted by id."""
+    return tuple(sorted(cwe for cwe, cat in _CWE_TO_OWASP.items() if cat is category))

@@ -1,0 +1,159 @@
+"""Registry of the CWE weaknesses used throughout the reproduction.
+
+The corpus triggers 63 distinct CWEs (§III-B); the registry lists those
+plus the remaining ids referenced by SecurityEval-style prompts, each with
+its MITRE name and a short description used in findings and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import UnknownCWEError
+
+
+@dataclass(frozen=True)
+class CweEntry:
+    """One Common Weakness Enumeration entry."""
+
+    cwe_id: str
+    name: str
+    description: str
+
+
+def normalize_cwe_id(cwe_id: str) -> str:
+    """Canonicalize a CWE id to ``CWE-###`` with 3+ digits, zero padded.
+
+    Accepts ``"79"``, ``"CWE-79"``, ``"cwe-079"`` and returns ``"CWE-079"``.
+    """
+    text = str(cwe_id).strip().upper()
+    if text.startswith("CWE-"):
+        text = text[4:]
+    if not text.isdigit():
+        raise UnknownCWEError(f"malformed CWE id: {cwe_id!r}")
+    return f"CWE-{int(text):03d}"
+
+
+def _entry(number: int, name: str, description: str) -> Tuple[str, CweEntry]:
+    cwe_id = f"CWE-{number:03d}"
+    return cwe_id, CweEntry(cwe_id, name, description)
+
+
+CWE_REGISTRY: Dict[str, CweEntry] = dict(
+    [
+        _entry(16, "Configuration", "Weaknesses introduced during configuration of the software."),
+        _entry(20, "Improper Input Validation", "Input is not validated before use."),
+        _entry(22, "Path Traversal", "Improper limitation of a pathname to a restricted directory."),
+        _entry(23, "Relative Path Traversal", "Path traversal via relative path sequences such as '..'."),
+        _entry(59, "Link Following", "Improper resolution of symbolic links before file access."),
+        _entry(74, "Injection", "Improper neutralization of special elements in output."),
+        _entry(75, "Special Element Injection", "Failure to sanitize special elements into a different plane."),
+        _entry(77, "Command Injection", "Improper neutralization of special elements used in a command."),
+        _entry(78, "OS Command Injection", "Improper neutralization of special elements used in an OS command."),
+        _entry(79, "Cross-site Scripting", "Improper neutralization of input during web page generation."),
+        _entry(80, "Basic XSS", "Improper neutralization of script-related HTML tags in a web page."),
+        _entry(89, "SQL Injection", "Improper neutralization of special elements used in an SQL command."),
+        _entry(90, "LDAP Injection", "Improper neutralization of special elements used in an LDAP query."),
+        _entry(91, "XML Injection", "Improper neutralization of special elements used in XML."),
+        _entry(94, "Code Injection", "Improper control of generation of code."),
+        _entry(95, "Eval Injection", "Improper neutralization of directives in dynamically evaluated code."),
+        _entry(96, "Static Code Injection", "Improper neutralization of directives in statically saved code."),
+        _entry(116, "Improper Encoding or Escaping of Output", "Output is not encoded or escaped for its context."),
+        _entry(117, "Improper Output Neutralization for Logs", "Log entries contain unneutralized user input."),
+        _entry(200, "Exposure of Sensitive Information", "Sensitive information is exposed to an unauthorized actor."),
+        _entry(209, "Information Exposure Through an Error Message", "Error messages leak sensitive information."),
+        _entry(219, "Storage of File with Sensitive Data Under Web Root", "Sensitive files are stored under the web document root."),
+        _entry(223, "Omission of Security-relevant Information", "Security-relevant events are not recorded."),
+        _entry(256, "Plaintext Storage of a Password", "Passwords are stored in plaintext."),
+        _entry(257, "Storing Passwords in a Recoverable Format", "Passwords are stored in a recoverable format."),
+        _entry(261, "Weak Encoding for Password", "Obsolete encoding is used to protect a password."),
+        _entry(266, "Incorrect Privilege Assignment", "A product assigns the wrong privilege to an actor."),
+        _entry(269, "Improper Privilege Management", "Privileges are not properly managed."),
+        _entry(276, "Incorrect Default Permissions", "Installed file permissions allow unintended actors to modify files."),
+        _entry(284, "Improper Access Control", "Access control is missing or incorrectly enforced."),
+        _entry(285, "Improper Authorization", "Authorization checks are missing or insufficient."),
+        _entry(287, "Improper Authentication", "Actor identity claims are not proven correct."),
+        _entry(290, "Authentication Bypass by Spoofing", "Authentication relies on spoofable data."),
+        _entry(295, "Improper Certificate Validation", "TLS certificates are not validated."),
+        _entry(296, "Improper Following of a Certificate's Chain of Trust", "Certificate chain of trust is not followed."),
+        _entry(306, "Missing Authentication for Critical Function", "Critical functions lack authentication."),
+        _entry(307, "Improper Restriction of Excessive Authentication Attempts", "Login attempts are not rate limited."),
+        _entry(319, "Cleartext Transmission of Sensitive Information", "Sensitive data is sent without encryption."),
+        _entry(321, "Use of Hard-coded Cryptographic Key", "A cryptographic key is hard-coded."),
+        _entry(326, "Inadequate Encryption Strength", "Encryption strength is insufficient."),
+        _entry(327, "Use of a Broken or Risky Cryptographic Algorithm", "A broken/risky cryptographic algorithm is used."),
+        _entry(328, "Use of Weak Hash", "A reversible or collision-prone hash is used."),
+        _entry(329, "Generation of Predictable IV with CBC Mode", "CBC initialization vectors are predictable."),
+        _entry(330, "Use of Insufficiently Random Values", "Random values are predictable."),
+        _entry(335, "Incorrect Usage of Seeds in PRNG", "PRNG seeds are misused."),
+        _entry(338, "Use of Cryptographically Weak PRNG", "A non-cryptographic PRNG is used for security."),
+        _entry(345, "Insufficient Verification of Data Authenticity", "Data authenticity is not verified."),
+        _entry(347, "Improper Verification of Cryptographic Signature", "Cryptographic signatures are not verified correctly."),
+        _entry(353, "Missing Support for Integrity Check", "No integrity-check capability exists."),
+        _entry(377, "Insecure Temporary File", "Temporary files are created insecurely."),
+        _entry(379, "Creation of Temporary File in Directory with Insecure Permissions", "Temporary files land in world-accessible directories."),
+        _entry(400, "Uncontrolled Resource Consumption", "Resource consumption is not limited."),
+        _entry(425, "Direct Request (Forced Browsing)", "Protected pages are reachable by direct request."),
+        _entry(426, "Untrusted Search Path", "Resources are loaded from an untrusted search path."),
+        _entry(434, "Unrestricted Upload of File with Dangerous Type", "Dangerous file types can be uploaded."),
+        _entry(477, "Use of Obsolete Function", "An obsolete function is used."),
+        _entry(494, "Download of Code Without Integrity Check", "Code is downloaded and executed without integrity checks."),
+        _entry(502, "Deserialization of Untrusted Data", "Untrusted data is deserialized."),
+        _entry(521, "Weak Password Requirements", "Password strength requirements are weak."),
+        _entry(522, "Insufficiently Protected Credentials", "Credentials are insufficiently protected."),
+        _entry(532, "Insertion of Sensitive Information into Log File", "Sensitive information is written to logs."),
+        _entry(564, "SQL Injection: Hibernate", "SQL injection through ORM query interfaces."),
+        _entry(598, "Use of GET Request Method With Sensitive Query Strings", "Sensitive data is passed in GET query strings."),
+        _entry(601, "URL Redirection to Untrusted Site", "Open redirect to attacker-controlled URLs."),
+        _entry(611, "Improper Restriction of XML External Entity Reference", "XML external entities are resolved."),
+        _entry(613, "Insufficient Session Expiration", "Sessions do not expire appropriately."),
+        _entry(614, "Sensitive Cookie Without 'Secure' Attribute", "Cookies lack the Secure attribute."),
+        _entry(620, "Unverified Password Change", "Password changes do not verify the old password."),
+        _entry(643, "XPath Injection", "Improper neutralization of data within XPath expressions."),
+        _entry(732, "Incorrect Permission Assignment for Critical Resource", "Critical resources get overly permissive permissions."),
+        _entry(759, "Use of a One-Way Hash without a Salt", "Password hashes lack salts."),
+        _entry(760, "Use of a One-Way Hash with a Predictable Salt", "Password hashes use predictable salts."),
+        _entry(770, "Allocation of Resources Without Limits or Throttling", "Resource allocation lacks limits."),
+        _entry(776, "XML Entity Expansion", "Recursive entity expansion (billion laughs)."),
+        _entry(778, "Insufficient Logging", "Security-relevant events are not logged."),
+        _entry(798, "Use of Hard-coded Credentials", "Credentials are hard-coded."),
+        _entry(829, "Inclusion of Functionality from Untrusted Control Sphere", "Functionality is included from untrusted sources."),
+        _entry(862, "Missing Authorization", "Authorization checks are missing."),
+        _entry(863, "Incorrect Authorization", "Authorization checks are performed incorrectly."),
+        _entry(915, "Improperly Controlled Modification of Object Attributes", "Mass assignment of object attributes."),
+        _entry(916, "Use of Password Hash With Insufficient Computational Effort", "Password hashing is too fast."),
+        _entry(918, "Server-Side Request Forgery", "The server fetches attacker-controlled URLs."),
+        _entry(1004, "Sensitive Cookie Without 'HttpOnly' Flag", "Cookies lack the HttpOnly flag."),
+        _entry(1104, "Use of Unmaintained Third Party Components", "Unmaintained third-party components are used."),
+        _entry(1236, "Improper Neutralization of Formula Elements in a CSV File", "CSV output allows formula injection."),
+        _entry(1275, "Sensitive Cookie with Improper SameSite Attribute", "Cookies lack a safe SameSite attribute."),
+    ]
+)
+
+
+def is_known_cwe(cwe_id: str) -> bool:
+    """True when the (normalized) id is present in the registry."""
+    try:
+        return normalize_cwe_id(cwe_id) in CWE_REGISTRY
+    except UnknownCWEError:
+        return False
+
+
+def get_cwe(cwe_id: str) -> CweEntry:
+    """Fetch the registry entry for ``cwe_id`` (raises UnknownCWEError)."""
+    normalized = normalize_cwe_id(cwe_id)
+    entry = CWE_REGISTRY.get(normalized)
+    if entry is None:
+        raise UnknownCWEError(f"CWE not in registry: {cwe_id}")
+    return entry
+
+
+def cwe_name(cwe_id: str, default: Optional[str] = None) -> str:
+    """Human-readable name for a CWE id, with optional fallback."""
+    try:
+        return get_cwe(cwe_id).name
+    except UnknownCWEError:
+        if default is not None:
+            return default
+        raise

@@ -1,0 +1,57 @@
+"""The 2021 CWE Top 25 Most Dangerous Software Weaknesses.
+
+LLMSecEval derives its prompts from 18 of these (§III-A); the corpus module
+uses this list to validate that every LLMSecEval-style prompt maps into it.
+Ids are stored in ranked order, normalized to ``CWE-###`` form.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+# Ranked list as published by MITRE for 2021.
+CWE_TOP_25_2021: Tuple[str, ...] = (
+    "CWE-787",  # Out-of-bounds Write
+    "CWE-079",  # Cross-site Scripting
+    "CWE-125",  # Out-of-bounds Read
+    "CWE-020",  # Improper Input Validation
+    "CWE-078",  # OS Command Injection
+    "CWE-089",  # SQL Injection
+    "CWE-416",  # Use After Free
+    "CWE-022",  # Path Traversal
+    "CWE-352",  # Cross-Site Request Forgery
+    "CWE-434",  # Unrestricted Upload of File with Dangerous Type
+    "CWE-306",  # Missing Authentication for Critical Function
+    "CWE-190",  # Integer Overflow or Wraparound
+    "CWE-502",  # Deserialization of Untrusted Data
+    "CWE-287",  # Improper Authentication
+    "CWE-476",  # NULL Pointer Dereference
+    "CWE-798",  # Use of Hard-coded Credentials
+    "CWE-119",  # Improper Restriction of Operations within Memory Buffer
+    "CWE-862",  # Missing Authorization
+    "CWE-276",  # Incorrect Default Permissions
+    "CWE-200",  # Exposure of Sensitive Information
+    "CWE-522",  # Insufficiently Protected Credentials
+    "CWE-732",  # Incorrect Permission Assignment for Critical Resource
+    "CWE-611",  # Improper Restriction of XML External Entity Reference
+    "CWE-918",  # Server-Side Request Forgery
+    "CWE-077",  # Command Injection
+)
+
+
+def is_top25_2021(cwe_id: str) -> bool:
+    """True when ``cwe_id`` appears in the 2021 Top 25 (id-normalized)."""
+    from repro.cwe.registry import normalize_cwe_id
+
+    return normalize_cwe_id(cwe_id) in CWE_TOP_25_2021
+
+
+def top25_rank(cwe_id: str) -> int:
+    """1-based rank in the 2021 Top 25, or 0 when absent."""
+    from repro.cwe.registry import normalize_cwe_id
+
+    normalized = normalize_cwe_id(cwe_id)
+    try:
+        return CWE_TOP_25_2021.index(normalized) + 1
+    except ValueError:
+        return 0

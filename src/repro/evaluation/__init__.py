@@ -1,0 +1,26 @@
+"""Evaluation harness: case study, oracle, manual simulation, renderers."""
+
+from repro.evaluation.harness import (
+    ALL_MODELS,
+    CaseStudyResult,
+    PatchingStats,
+    default_tools,
+    run_case_study,
+    run_detection_only,
+)
+from repro.evaluation.manual import ManualEvaluationResult, run_manual_evaluation
+from repro.evaluation.oracle import is_cwe_present, present_cwes, still_vulnerable
+
+__all__ = [
+    "ALL_MODELS",
+    "CaseStudyResult",
+    "ManualEvaluationResult",
+    "PatchingStats",
+    "default_tools",
+    "is_cwe_present",
+    "present_cwes",
+    "run_case_study",
+    "run_detection_only",
+    "run_manual_evaluation",
+    "still_vulnerable",
+]

@@ -1,0 +1,228 @@
+"""Ablation studies over the design choices DESIGN.md calls out (E8/E9).
+
+- guards on/off: removing the veto guards shows how much precision the
+  mitigation-aware guards buy;
+- import insertion on/off: patched code misses the modules its safe
+  alternatives use;
+- standardization on/off: without ``var#`` standardization the LCS of a
+  sample pair collapses, starving rule mining;
+- incomplete-snippet study: AST-based baselines vs PatchitPy restricted to
+  the unparseable subset of the corpus (the §II claim).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines import MiniBandit, MiniCodeQL, MiniSemgrep
+from repro.core import PatchitPy
+from repro.core.rules import RuleSet, default_ruleset
+from repro.core.rules.base import DetectionRule
+from repro.generators import DEFAULT_SEED, generate_all_models
+from repro.metrics.confusion import ConfusionMatrix, from_verdicts
+from repro.textutils.lcs import lcs_length
+from repro.textutils.tokenizer import tokenize
+from repro.types import CodeSample
+
+
+def _flat_samples(seed: int) -> List[CodeSample]:
+    return [s for items in generate_all_models(seed).values() for s in items]
+
+
+# --------------------------------------------------------------- guards
+
+
+def strip_guards(rules: RuleSet) -> RuleSet:
+    """Copy of ``rules`` with every veto guard removed."""
+    stripped = []
+    for rule in rules:
+        stripped.append(
+            DetectionRule(
+                rule_id=rule.rule_id,
+                cwe_id=rule.cwe_id,
+                description=rule.description,
+                pattern=rule.pattern,
+                severity=rule.severity,
+                confidence=rule.confidence,
+                patch=rule.patch,
+                guards=(),
+                prerequisites=rule.prerequisites,
+                message=rule.message,
+            )
+        )
+    return RuleSet(stripped)
+
+
+def guards_ablation(seed: int = DEFAULT_SEED) -> Dict[str, ConfusionMatrix]:
+    """Detection metrics with and without guards."""
+    samples = _flat_samples(seed)
+    results: Dict[str, ConfusionMatrix] = {}
+    for label, rules in (
+        ("with-guards", default_ruleset()),
+        ("without-guards", strip_guards(default_ruleset())),
+    ):
+        engine = PatchitPy(rules=rules)
+        results[label] = from_verdicts(
+            (s.is_vulnerable, engine.is_vulnerable(s.source)) for s in samples
+        )
+    return results
+
+
+# ----------------------------------------------------- import insertion
+
+
+@dataclass
+class ImportAblationResult:
+    """How many patched samples lack imports their patches rely on."""
+
+    patched_samples: int = 0
+    missing_import_samples_without_insertion: int = 0
+    missing_import_samples_with_insertion: int = 0
+
+
+def import_insertion_ablation(seed: int = DEFAULT_SEED) -> ImportAblationResult:
+    """Patch with/without import insertion; count dangling references."""
+    from repro.core.patcher import apply_patches
+
+    samples = _flat_samples(seed)
+    engine = PatchitPy()
+    result = ImportAblationResult()
+    for sample in samples:
+        findings = engine.detect(sample.source)
+        patches = engine.render_patches(sample.source, findings)
+        needed = sorted({imp for p in patches for imp in p.new_imports})
+        if not patches or not needed:
+            continue
+        result.patched_samples += 1
+        with_insertion = apply_patches(sample.source, patches).source
+        without = apply_patches(
+            sample.source, [p.__class__(**{**p.__dict__, "new_imports": ()}) for p in patches]
+        ).source
+        if _has_missing_import(without, needed):
+            result.missing_import_samples_without_insertion += 1
+        if _has_missing_import(with_insertion, needed):
+            result.missing_import_samples_with_insertion += 1
+    return result
+
+
+def _has_missing_import(source: str, needed: List[str]) -> bool:
+    from repro.core.imports import ImportManager
+
+    manager = ImportManager(source)
+    return any(not manager.has_import(statement) for statement in needed)
+
+
+# -------------------------------------------------------- standardization
+
+
+@dataclass(frozen=True)
+class StandardizationAblation:
+    """Mean LCS coverage of seed pairs, with vs without standardization."""
+
+    pairs: int
+    mean_lcs_ratio_standardized: float
+    mean_lcs_ratio_raw: float
+
+    @property
+    def improvement(self) -> float:
+        """Standardized-over-raw LCS coverage ratio."""
+        if self.mean_lcs_ratio_raw == 0:
+            return 0.0
+        return self.mean_lcs_ratio_standardized / self.mean_lcs_ratio_raw
+
+
+def standardization_ablation(limit_pairs: int = 40) -> StandardizationAblation:
+    """Quantify how much standardization lengthens the common pattern."""
+    from repro.cwe import OwaspCategory
+    from repro.mining.pair_miner import candidate_pairs
+    from repro.mining.pattern_extractor import standardized_tokens
+
+    ratios_std: List[float] = []
+    ratios_raw: List[float] = []
+    for category in OwaspCategory:
+        for candidate in candidate_pairs(category)[:4]:
+            raw_a = [t.text for t in tokenize(candidate.first.vulnerable_code)]
+            raw_b = [t.text for t in tokenize(candidate.second.vulnerable_code)]
+            std_a = standardized_tokens(candidate.first.vulnerable_code)
+            std_b = standardized_tokens(candidate.second.vulnerable_code)
+            denominator_raw = max(len(raw_a), len(raw_b))
+            denominator_std = max(len(std_a), len(std_b))
+            if not denominator_raw or not denominator_std:
+                continue
+            ratios_raw.append(lcs_length(raw_a, raw_b) / denominator_raw)
+            ratios_std.append(lcs_length(std_a, std_b) / denominator_std)
+            if len(ratios_std) >= limit_pairs:
+                break
+        if len(ratios_std) >= limit_pairs:
+            break
+    if not ratios_std:
+        raise RuntimeError("no candidate pairs available for the ablation")
+    return StandardizationAblation(
+        pairs=len(ratios_std),
+        mean_lcs_ratio_standardized=sum(ratios_std) / len(ratios_std),
+        mean_lcs_ratio_raw=sum(ratios_raw) / len(ratios_raw),
+    )
+
+
+# ------------------------------------------------------ incomplete study
+
+
+@dataclass
+class IncompleteStudyRow:
+    """Recall of one tool on parseable vs incomplete vulnerable samples."""
+
+    tool: str
+    recall_parseable: float = 0.0
+    recall_incomplete: float = 0.0
+
+
+def incomplete_snippet_study(seed: int = DEFAULT_SEED) -> List[IncompleteStudyRow]:
+    """E9: why AST-based tools lose recall on AI-generated code."""
+    samples = [s for s in _flat_samples(seed) if s.is_vulnerable]
+    parseable, incomplete = [], []
+    for sample in samples:
+        try:
+            ast.parse(sample.source)
+            parseable.append(sample)
+        except SyntaxError:
+            incomplete.append(sample)
+
+    engine = PatchitPy()
+    tools = {
+        "patchitpy": lambda s: bool(engine.detect(s.source)),
+        "codeql": _tool_fn(MiniCodeQL()),
+        "semgrep": _tool_fn(MiniSemgrep()),
+        "bandit": _tool_fn(MiniBandit()),
+    }
+    rows: List[IncompleteStudyRow] = []
+    for name, verdict in tools.items():
+        row = IncompleteStudyRow(tool=name)
+        if parseable:
+            row.recall_parseable = sum(verdict(s) for s in parseable) / len(parseable)
+        if incomplete:
+            row.recall_incomplete = sum(verdict(s) for s in incomplete) / len(incomplete)
+        rows.append(row)
+    return rows
+
+
+def _tool_fn(tool):
+    return lambda sample: tool.is_vulnerable(sample)
+
+
+# ------------------------------------------------------------ rule count
+
+
+def ruleset_size_ablation(seed: int = DEFAULT_SEED) -> Dict[str, ConfusionMatrix]:
+    """Default 85-rule set vs the extended catalog."""
+    from repro.core.rules import extended_ruleset
+
+    samples = _flat_samples(seed)
+    out: Dict[str, ConfusionMatrix] = {}
+    for label, rules in (("default-85", default_ruleset()), ("extended", extended_ruleset())):
+        engine = PatchitPy(rules=rules)
+        out[label] = from_verdicts(
+            (s.is_vulnerable, engine.is_vulnerable(s.source)) for s in samples
+        )
+    return out

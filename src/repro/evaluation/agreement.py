@@ -1,0 +1,66 @@
+"""Inter-tool agreement analysis (Cohen's kappa).
+
+Beyond per-tool accuracy, it is informative *where* tools agree: high
+kappa between the static analyzers (they see the same parseable subset),
+low kappa between them and the LLM reviewers (different error modes).
+Kappa corrects raw agreement for chance, the standard statistic for
+rater-agreement studies like the paper's manual evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AgreementResult:
+    """Pairwise agreement between two verdict vectors."""
+
+    raw_agreement: float
+    kappa: float
+
+
+def cohens_kappa(a: Sequence[bool], b: Sequence[bool]) -> AgreementResult:
+    """Cohen's kappa for two binary verdict sequences."""
+    if len(a) != len(b) or not a:
+        raise ValueError("sequences must be equal-length and non-empty")
+    n = len(a)
+    both_yes = sum(1 for x, y in zip(a, b) if x and y)
+    both_no = sum(1 for x, y in zip(a, b) if not x and not y)
+    observed = (both_yes + both_no) / n
+    p_yes_a = sum(a) / n
+    p_yes_b = sum(b) / n
+    expected = p_yes_a * p_yes_b + (1 - p_yes_a) * (1 - p_yes_b)
+    if expected == 1.0:
+        kappa = 1.0 if observed == 1.0 else 0.0
+    else:
+        kappa = (observed - expected) / (1 - expected)
+    return AgreementResult(raw_agreement=observed, kappa=kappa)
+
+
+def agreement_matrix(
+    verdicts: Mapping[str, Mapping[str, bool]],
+    sample_ids: Sequence[str],
+) -> Dict[Tuple[str, str], AgreementResult]:
+    """Pairwise kappa for every tool pair over ``sample_ids``."""
+    tools = sorted(verdicts)
+    matrix: Dict[Tuple[str, str], AgreementResult] = {}
+    for i, first in enumerate(tools):
+        vector_a = [verdicts[first][sid] for sid in sample_ids]
+        for second in tools[i + 1 :]:
+            vector_b = [verdicts[second][sid] for sid in sample_ids]
+            matrix[(first, second)] = cohens_kappa(vector_a, vector_b)
+    return matrix
+
+
+def render_agreement(matrix: Mapping[Tuple[str, str], AgreementResult]) -> str:
+    """Plain-text listing, highest kappa first."""
+    lines: List[str] = ["Pairwise inter-tool agreement (Cohen's kappa):"]
+    ordered = sorted(matrix.items(), key=lambda kv: -kv[1].kappa)
+    for (first, second), result in ordered:
+        lines.append(
+            f"  {first:11s} ↔ {second:11s} kappa={result.kappa:5.2f} "
+            f"(raw {result.raw_agreement:.2f})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Machine-readable export of case-study results.
+
+The paper's repository ships "the files needed to reproduce our
+experiments"; this module serializes a :class:`CaseStudyResult` to a
+single JSON document (metrics only — sources are regenerable from the
+seed) and can reload it for comparison, enabling cross-machine result
+diffs and CI regression checks on the reproduction numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.evaluation.harness import CaseStudyResult
+from repro.metrics.stats import describe
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: CaseStudyResult) -> Dict[str, object]:
+    """Flatten a case-study result into plain JSON-compatible data."""
+    payload: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "seed": result.seed,
+        "sample_count": len(result.flat_samples()),
+        "vulnerable_counts": dict(result.vulnerable_counts),
+        "cwe_frequency": dict(result.cwe_frequency),
+        "detected_cwes": {m: list(c) for m, c in result.detected_cwes.items()},
+        "detection": {},
+        "patching": {},
+        "complexity": {},
+        "quality": {},
+    }
+    for tool, per_model in result.detection.items():
+        payload["detection"][tool] = {
+            model: {
+                "tp": matrix.tp,
+                "fp": matrix.fp,
+                "tn": matrix.tn,
+                "fn": matrix.fn,
+                "precision": round(matrix.precision, 4),
+                "recall": round(matrix.recall, 4),
+                "f1": round(matrix.f1, 4),
+                "accuracy": round(matrix.accuracy, 4),
+            }
+            for model, matrix in per_model.items()
+        }
+    for tool, per_model in result.patching.items():
+        payload["patching"][tool] = {
+            model: {
+                "detected_vulnerable": stats.detected_vulnerable,
+                "repaired": stats.repaired,
+                "vulnerable_total": stats.vulnerable_total,
+                "patched_detected": round(stats.patched_detected, 4),
+                "patched_total": round(stats.patched_total, 4),
+            }
+            for model, stats in per_model.items()
+        }
+    for group, values in result.complexity.items():
+        stats = describe(values)
+        payload["complexity"][group] = {
+            "mean": round(stats.mean, 4),
+            "median": round(stats.median, 4),
+            "iqr": round(stats.iqr, 4),
+            "count": stats.count,
+        }
+    for group, values in result.quality.items():
+        if not values:
+            continue
+        stats = describe(values)
+        payload["quality"][group] = {
+            "mean": round(stats.mean, 4),
+            "median": round(stats.median, 4),
+            "count": stats.count,
+        }
+    if result.manual is not None:
+        payload["manual_evaluation"] = {
+            "discrepancy_rate": round(result.manual.discrepancy_rate, 4),
+            "consensus_rate": round(result.manual.consensus_rate, 4),
+        }
+    return payload
+
+
+def export_results(result: CaseStudyResult, path: Path) -> Dict[str, object]:
+    """Write the JSON export to ``path``; returns the payload."""
+    payload = result_to_dict(result)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def load_results(path: Path) -> Dict[str, object]:
+    """Load a previously exported result document."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported results schema: {payload.get('schema_version')!r}"
+        )
+    return payload
+
+
+def diff_headline(a: Dict[str, object], b: Dict[str, object], tolerance: float = 0.02) -> Dict[str, object]:
+    """Compare the headline PatchitPy metrics of two exports.
+
+    Returns a dict of metric → (a, b, within_tolerance); used by CI to
+    detect regressions of the reproduction numbers.
+    """
+    out: Dict[str, object] = {}
+    for metric in ("precision", "recall", "f1", "accuracy"):
+        va = a["detection"]["patchitpy"]["all"][metric]
+        vb = b["detection"]["patchitpy"]["all"][metric]
+        out[metric] = {"a": va, "b": vb, "ok": abs(va - vb) <= tolerance}
+    for metric in ("patched_detected", "patched_total"):
+        va = a["patching"]["patchitpy"]["all"][metric]
+        vb = b["patching"]["patchitpy"]["all"][metric]
+        out[metric] = {"a": va, "b": vb, "ok": abs(va - vb) <= tolerance}
+    return out

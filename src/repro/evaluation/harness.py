@@ -1,0 +1,251 @@
+"""Case-study harness: regenerates the paper's full evaluation (§III).
+
+``run_case_study`` renders the 609-sample corpus with the three simulated
+generators, runs PatchitPy and the six baselines, simulates the manual
+evaluation, and gathers everything Tables II/III and Fig. 3 need:
+detection confusion matrices, repair rates, complexity and quality
+distributions.  The result object is plain data so table/figure renderers
+and benchmarks can share one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import (
+    MiniBandit,
+    MiniCodeQL,
+    MiniSemgrep,
+    PatchitPyTool,
+    make_chatgpt,
+    make_claude_llm,
+    make_gemini,
+)
+from repro.baselines.base import DetectionTool
+from repro.evaluation.manual import ManualEvaluationResult, run_manual_evaluation
+from repro.evaluation.oracle import still_vulnerable
+from repro.generators import DEFAULT_SEED, generate_all_models
+from repro.metrics.complexity import cyclomatic_complexity
+from repro.metrics.confusion import ConfusionMatrix, from_verdicts
+from repro.metrics.quality import quality_score
+from repro.types import CodeSample, GeneratorName
+
+ALL_MODELS = "all"
+
+DETECTION_TOOLS: Tuple[str, ...] = (
+    "patchitpy",
+    "codeql",
+    "semgrep",
+    "bandit",
+    "chatgpt-4o",
+    "claude-3.7",
+    "gemini-2.0",
+)
+
+PATCHING_TOOLS: Tuple[str, ...] = ("patchitpy", "chatgpt-4o", "claude-3.7", "gemini-2.0")
+
+
+def default_tools(seed: int = DEFAULT_SEED) -> Dict[str, DetectionTool]:
+    """The evaluated tool set, keyed by table name."""
+    return {
+        "patchitpy": PatchitPyTool(),
+        "codeql": MiniCodeQL(),
+        "semgrep": MiniSemgrep(),
+        "bandit": MiniBandit(),
+        "chatgpt-4o": make_chatgpt(seed),
+        "claude-3.7": make_claude_llm(seed),
+        "gemini-2.0": make_gemini(seed),
+    }
+
+
+@dataclass
+class PatchingStats:
+    """Repair counts for one tool on one model's corpus."""
+
+    detected_vulnerable: int = 0
+    repaired: int = 0
+    vulnerable_total: int = 0
+
+    @property
+    def patched_detected(self) -> float:
+        """Repaired fraction of detected vulnerable samples (Table III)."""
+        return self.repaired / self.detected_vulnerable if self.detected_vulnerable else 0.0
+
+    @property
+    def patched_total(self) -> float:
+        """Repaired fraction of all vulnerable samples (Table III)."""
+        return self.repaired / self.vulnerable_total if self.vulnerable_total else 0.0
+
+    def merged(self, other: "PatchingStats") -> "PatchingStats":
+        """Element-wise sum of two patching-stat rows."""
+        return PatchingStats(
+            detected_vulnerable=self.detected_vulnerable + other.detected_vulnerable,
+            repaired=self.repaired + other.repaired,
+            vulnerable_total=self.vulnerable_total + other.vulnerable_total,
+        )
+
+
+@dataclass
+class CaseStudyResult:
+    """Everything the paper's tables and figures are derived from."""
+
+    seed: int
+    samples: Dict[GeneratorName, List[CodeSample]] = field(default_factory=dict)
+    manual: Optional[ManualEvaluationResult] = None
+    # detection[tool][model-or-"all"] -> ConfusionMatrix
+    detection: Dict[str, Dict[str, ConfusionMatrix]] = field(default_factory=dict)
+    # patching[tool][model-or-"all"] -> PatchingStats
+    patching: Dict[str, Dict[str, PatchingStats]] = field(default_factory=dict)
+    # complexity["generated"| tool] -> per-sample mean block complexity
+    complexity: Dict[str, List[float]] = field(default_factory=dict)
+    # quality["ground-truth" | tool] -> pylint-style scores
+    quality: Dict[str, List[float]] = field(default_factory=dict)
+    # distinct true CWEs among PatchitPy's true positives, per model
+    detected_cwes: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    # per-model vulnerable counts and corpus-wide CWE frequencies
+    vulnerable_counts: Dict[str, int] = field(default_factory=dict)
+    cwe_frequency: Dict[str, int] = field(default_factory=dict)
+
+    def flat_samples(self) -> List[CodeSample]:
+        """All samples across the three generators, in order."""
+        return [s for items in self.samples.values() for s in items]
+
+
+def run_case_study(
+    seed: int = DEFAULT_SEED,
+    tools: Optional[Dict[str, DetectionTool]] = None,
+    include_patching: bool = True,
+    include_complexity: bool = True,
+    include_quality: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CaseStudyResult:
+    """Run the full evaluation pipeline deterministically."""
+
+    def log(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    result = CaseStudyResult(seed=seed)
+    log("generating 609 samples")
+    result.samples = generate_all_models(seed)
+    flat = result.flat_samples()
+
+    log("simulating manual evaluation")
+    result.manual = run_manual_evaluation(flat, seed=seed)
+
+    for model, items in result.samples.items():
+        result.vulnerable_counts[model.value] = sum(1 for s in items if s.is_vulnerable)
+    for sample in flat:
+        for cwe in sample.true_cwe_ids:
+            result.cwe_frequency[cwe] = result.cwe_frequency.get(cwe, 0) + 1
+
+    if tools is None:
+        tools = default_tools(seed)
+
+    verdicts: Dict[str, Dict[str, bool]] = {}
+    for tool_name, tool in tools.items():
+        log(f"detection: {tool_name}")
+        verdicts[tool_name] = {s.sample_id: tool.is_vulnerable(s) for s in flat}
+        per_model: Dict[str, ConfusionMatrix] = {}
+        for model, items in result.samples.items():
+            per_model[model.value] = from_verdicts(
+                (s.is_vulnerable, verdicts[tool_name][s.sample_id]) for s in items
+            )
+        per_model[ALL_MODELS] = sum(per_model.values(), ConfusionMatrix())
+        result.detection[tool_name] = per_model
+
+    if "patchitpy" in tools:
+        for model, items in result.samples.items():
+            tps = [
+                s
+                for s in items
+                if s.is_vulnerable and verdicts["patchitpy"][s.sample_id]
+            ]
+            cwes = sorted({c for s in tps for c in s.true_cwe_ids})
+            result.detected_cwes[model.value] = tuple(cwes)
+
+    patched_sources: Dict[str, Dict[str, Optional[str]]] = {}
+    if include_patching:
+        for tool_name in PATCHING_TOOLS:
+            tool = tools.get(tool_name)
+            if tool is None or not tool.can_patch:
+                continue
+            log(f"patching: {tool_name}")
+            patched_sources[tool_name] = {}
+            per_model: Dict[str, PatchingStats] = {}
+            for model, items in result.samples.items():
+                stats = PatchingStats(
+                    vulnerable_total=sum(1 for s in items if s.is_vulnerable)
+                )
+                for sample in items:
+                    if not verdicts[tool_name][sample.sample_id]:
+                        patched_sources[tool_name][sample.sample_id] = None
+                        continue
+                    patched = tool.patch(sample)
+                    patched_sources[tool_name][sample.sample_id] = patched
+                    if sample.is_vulnerable:
+                        stats.detected_vulnerable += 1
+                        if patched is not None and not still_vulnerable(
+                            patched, sample.true_cwe_ids
+                        ):
+                            stats.repaired += 1
+                per_model[model.value] = stats
+            merged = PatchingStats()
+            for stats in per_model.values():
+                merged = merged.merged(stats)
+            per_model[ALL_MODELS] = merged
+            result.patching[tool_name] = per_model
+
+    if include_complexity:
+        log("complexity distributions")
+        result.complexity["generated"] = [cyclomatic_complexity(s.source) for s in flat]
+        for tool_name, outputs in patched_sources.items():
+            values = []
+            for sample in flat:
+                patched = outputs.get(sample.sample_id)
+                values.append(cyclomatic_complexity(patched if patched else sample.source))
+            result.complexity[tool_name] = values
+
+    if include_quality:
+        log("quality distributions")
+        from repro.corpus.scenarios import SCENARIOS
+        from repro.metrics.quality import check_quality
+
+        result.quality["ground-truth"] = [
+            quality_score(SCENARIOS.get(s.prompt.scenario_key).secure_reference)
+            for s in flat
+        ]
+        for tool_name, outputs in patched_sources.items():
+            scores = []
+            for sample in flat:
+                patched = outputs.get(sample.sample_id)
+                if not patched:
+                    continue
+                report = check_quality(patched)
+                if report.parse_failed:
+                    # incomplete snippets stay unanalyzable after patching;
+                    # the evaluators compared quality on analyzable code
+                    continue
+                scores.append(report.score)
+            result.quality[tool_name] = scores
+
+    log("done")
+    return result
+
+
+def run_detection_only(
+    seed: int = DEFAULT_SEED,
+    tool_names: Sequence[str] = ("patchitpy",),
+) -> CaseStudyResult:
+    """Cheaper entry point used by focused benchmarks."""
+    tools = {
+        name: tool for name, tool in default_tools(seed).items() if name in set(tool_names)
+    }
+    return run_case_study(
+        seed=seed,
+        tools=tools,
+        include_patching=False,
+        include_complexity=False,
+        include_quality=False,
+    )

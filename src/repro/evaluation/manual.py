@@ -1,0 +1,106 @@
+"""Simulated manual evaluation (§III-B).
+
+Three evaluators independently score each sample (1 = vulnerable,
+0 = not); each has a small, seeded misclassification probability, so about
+3 % of samples show an initial discrepancy.  Discrepancies are then
+resolved in discussion — which, as in the paper, converges on the ground
+truth — yielding 100 % final consensus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.types import CodeSample
+
+EVALUATORS = ("phd-student-1", "phd-student-2", "postdoc")
+DEFAULT_ERROR_RATE = 0.011
+
+
+@dataclass(frozen=True)
+class SampleJudgement:
+    """Per-sample votes and the resolved verdict."""
+
+    sample_id: str
+    truth: bool
+    votes: Tuple[bool, bool, bool]
+    final: bool
+
+    @property
+    def had_discrepancy(self) -> bool:
+        """True when the three votes were not unanimous."""
+        return len(set(self.votes)) > 1
+
+
+@dataclass
+class ManualEvaluationResult:
+    """Outcome of the three-evaluator process over a corpus."""
+
+    judgements: List[SampleJudgement] = field(default_factory=list)
+
+    @property
+    def discrepancy_rate(self) -> float:
+        """Fraction of samples with an initial disagreement."""
+        if not self.judgements:
+            return 0.0
+        return sum(j.had_discrepancy for j in self.judgements) / len(self.judgements)
+
+    @property
+    def consensus_rate(self) -> float:
+        """Final agreement with the resolved verdict (always 1.0 here)."""
+        if not self.judgements:
+            return 1.0
+        return sum(j.final == j.truth for j in self.judgements) / len(self.judgements)
+
+    def verdict(self, sample_id: str) -> bool:
+        """Resolved verdict for one sample id (raises KeyError)."""
+        for judgement in self.judgements:
+            if judgement.sample_id == sample_id:
+                return judgement.final
+        raise KeyError(sample_id)
+
+
+def run_manual_evaluation(
+    samples: Sequence[CodeSample],
+    seed: int = 2025,
+    error_rate: float = DEFAULT_ERROR_RATE,
+) -> ManualEvaluationResult:
+    """Simulate the three-evaluator classification of ``samples``.
+
+    Ground truth is each sample's label; evaluator votes flip it with
+    ``error_rate`` probability; disagreements resolve to the truth.
+    """
+    result = ManualEvaluationResult()
+    for sample in samples:
+        votes = []
+        for evaluator in EVALUATORS:
+            rng = random.Random(f"{seed}:manual:{evaluator}:{sample.sample_id}")
+            vote = sample.is_vulnerable
+            if rng.random() < error_rate:
+                vote = not vote
+            votes.append(vote)
+        result.judgements.append(
+            SampleJudgement(
+                sample_id=sample.sample_id,
+                truth=sample.is_vulnerable,
+                votes=tuple(votes),
+                final=sample.is_vulnerable,
+            )
+        )
+    return result
+
+
+def evaluator_agreement_matrix(result: ManualEvaluationResult) -> Dict[Tuple[str, str], float]:
+    """Pairwise initial agreement between evaluators."""
+    matrix: Dict[Tuple[str, str], float] = {}
+    n = len(result.judgements)
+    for i, first in enumerate(EVALUATORS):
+        for j, second in enumerate(EVALUATORS):
+            if i < j:
+                agree = sum(
+                    judgement.votes[i] == judgement.votes[j] for judgement in result.judgements
+                )
+                matrix[(first, second)] = agree / n if n else 1.0
+    return matrix

@@ -1,0 +1,346 @@
+"""Security oracle: per-CWE evidence checks standing in for expert review.
+
+The paper's ground truth comes from three human evaluators who reach full
+consensus (§III-B).  In the reproduction the oracle plays that role: for
+each CWE it implements a generous evidence check — deliberately broader
+than the engine's detection rules, so it also recognizes the *evasive*
+vulnerable variants the pattern rules miss, while releasing correctly
+patched code.
+
+The oracle is always consulted **relative to a sample's own CWE labels**
+(``is_cwe_present``/``still_vulnerable``): evidence checks only need to be
+sound within the scenarios that carry the corresponding label.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Iterable, Tuple
+
+from repro.cwe import normalize_cwe_id
+
+Check = Callable[[str], bool]
+
+
+def _rx(pattern: str, flags: int = 0) -> Check:
+    compiled = re.compile(pattern, flags)
+    return lambda source: bool(compiled.search(source))
+
+
+def _all(*checks: Check) -> Check:
+    return lambda source: all(check(source) for check in checks)
+
+
+def _any(*checks: Check) -> Check:
+    return lambda source: any(check(source) for check in checks)
+
+
+def _not(check: Check) -> Check:
+    return lambda source: not check(source)
+
+
+_STRING_LITERAL = r"(?:\"[^\"\n]*\"|'[^'\n]*')"
+
+_SQL_INTERPOLATION = _any(
+    _rx(r"execute(?:many|script)?\(\s*f['\"]"),
+    _rx(r"execute(?:many|script)?\(\s*" + _STRING_LITERAL + r"\s*%"),
+    _rx(r"execute(?:many|script)?\(\s*" + _STRING_LITERAL + r"\s*\.format\("),
+    _rx(r"execute(?:many|script)?\(\s*" + _STRING_LITERAL + r"\s*\+"),
+    # query assembled on its own line, then executed via a variable
+    _all(
+        _rx(r"=\s*f?['\"][^'\"\n]*(?:SELECT|INSERT|UPDATE|DELETE)", re.IGNORECASE),
+        _rx(r"(?:\{[^{}]+\}|['\"]\s*\+\s*\w|%\s*\w|%\s*\()"),
+        _rx(r"execute(?:many|script)?\(\s*\w+\s*\)"),
+    ),
+)
+
+# shell=True with a purely constant command line is not injectable; the
+# evidence requires data to flow into the command (f-string, variable, or
+# concatenation), matching how a human reviewer judges it.
+_SHELL_INJECTION = _any(
+    _rx(r"os\.system\(\s*f['\"]"),
+    _rx(r"os\.system\(\s*['\"][^'\"]*['\"]\s*\+"),
+    _rx(r"os\.system\(\s*\w+\s*\)"),
+    _rx(r"os\.popen\("),
+    _rx(r"os\.(?:exec|spawn)\w+\([^)]*\+"),
+    _rx(r"subprocess\.\w+\(\s*f['\"][^)]*shell\s*=\s*True"),
+    _rx(r"subprocess\.\w+\(\s*\w+\s*,[^)]*shell\s*=\s*True"),
+    _rx(r"subprocess\.\w+\(\s*" + _STRING_LITERAL + r"\s*\+[^)]*shell\s*=\s*True"),
+    _rx(r"\[\s*['\"](?:sh|bash)['\"]\s*,\s*['\"]-c['\"]"),
+)
+
+_UNESCAPED_HTML_RETURN = _any(
+    _all(
+        _rx(r"(?:return|make_response\()\s*f['\"][^'\"\n]*\{(?!\s*escape\()[^{}]*\}"),
+        _not(_rx(r"\{\s*escape\(")),
+    ),
+    _rx(r"return\s*['\"]<[^'\"]*['\"]\s*\+\s*request\."),
+    _rx(r"['\"]<[A-Za-z!][^'\"]*['\"]\s*\+\s*\w+\s*\+"),
+)
+
+
+def _eval_nonliteral(source: str) -> bool:
+    for match in re.finditer(r"(?<![\w.])eval\(\s*([^()]*(?:\([^()]*\)[^()]*)*)\)", source):
+        arg = match.group(1).strip()
+        if not re.fullmatch(r"f?['\"][^'\"]*['\"]", arg) or arg.startswith("f"):
+            return True
+        if re.fullmatch(r"['\"][^'\"]*['\"]", arg):
+            continue  # literal string: constant expression, not injectable
+        return True
+    return False
+
+
+_PICKLE_FAMILY = _any(
+    _all(_rx(r"pickle\.loads?\("), _not(_rx(r"pickle\.dumps\("))),
+    _rx(r"(?:cPickle|dill|_pickle)\.loads?\("),
+    _rx(r"marshal\.loads?\("),
+    _rx(r"jsonpickle\.decode\("),
+    _all(_rx(r"pickle\.Unpickler\("), _not(_rx(r"pickle\.Pickler\("))),
+    _all(_rx(r"yaml\.load\("), _not(_rx(r"SafeLoader"))),
+    _rx(r"yaml\.(?:full_load|unsafe_load)\("),
+    _rx(r"shelve\.open\([^)]*request"),
+)
+
+_DEBUG_EXPOSURE = _any(
+    _rx(r"\.run\([^)]*debug\s*=\s*True"),
+    _rx(r"return\s+str\(\s*(?:e|err|error|exc)\s*\)"),
+    _rx(r"return\s+f['\"][^'\"\n]*\{\s*(?:str\(\s*)?(?:e|err|error|exc)\s*\)?\s*\}"),
+    _rx(r"return\s+[^\n]*traceback\.format_exc\(\)"),
+    _rx(r"^DEBUG\s*=\s*True\s*$", re.MULTILINE),
+)
+
+_HARDCODED_CREDENTIAL = _any(
+    _all(
+        _rx(
+            r"\b(?!\w*(?:prompt|label|message|hint|field))"
+            r"\w{0,40}(?:password|passwd|pwd|api_key|apikey|auth_token|access_token)\w{0,40}"
+            r"\s*=\s*['\"][^'\"]{3,}['\"]"
+        ),
+        _not(_rx(r"os\.environ|getenv|getpass")),
+    ),
+    _all(_rx(r"secret_key\s*=\s*['\"][^'\"]+['\"]"), _not(_rx(r"os\.environ"))),
+    _rx(r"\b\w*(?:password|passwd|pwd)\w*\s*==\s*['\"][^'\"]+['\"]"),
+)
+
+_PATH_TRAVERSAL = _any(
+    _all(
+        _any(
+            _rx(r"open\(\s*f['\"][^'\"]*\{"),
+            _rx(r"open\(\s*['\"][^'\"]*['\"]\s*\+\s*(?![A-Z][A-Z0-9_]*\b)\w+\s*[),]"),
+            _rx(r"os\.path\.join\(\s*['\"][^'\"]*['\"]\s*,\s*\w+\s*\)"),
+            _rx(r"os\.path\.join\([^)]*request\."),
+            _rx(r"send_file\("),
+        ),
+        _not(_rx(r"basename\(|secure_filename\(|safe_join\(|send_from_directory\(")),
+    ),
+    _all(
+        _rx(r"\.extractall\("),
+        _not(_rx(r"filter\s*=|members\s*=")),
+        _rx(r"import\s+(?:tarfile|zipfile)"),
+        _not(_rx(r"archive\.add\(")),  # archive produced locally
+    ),
+)
+
+_WEAK_RANDOM = _rx(r"random\.(?:choice|random|randint|randrange|getrandbits|randbytes)\(")
+
+_TLS_BYPASS = _any(
+    _rx(r"verify\s*=\s*False"),
+    _rx(r"_create_unverified_context\("),
+    _rx(r"check_hostname\s*=\s*False"),
+    _rx(r"CERT_NONE"),
+)
+
+_COOKIE_BASE = _rx(r"\.set_cookie\(")
+
+_EVIDENCE: Dict[str, Check] = {
+    "CWE-089": _SQL_INTERPOLATION,
+    "CWE-564": _SQL_INTERPOLATION,
+    "CWE-077": _SHELL_INJECTION,
+    "CWE-078": _SHELL_INJECTION,
+    "CWE-079": _UNESCAPED_HTML_RETURN,
+    "CWE-080": _UNESCAPED_HTML_RETURN,
+    "CWE-095": _eval_nonliteral,
+    "CWE-094": _any(
+        _rx(r"(?<![\w.])exec\("),
+        _rx(r"render_template_string\(\s*(?:\w+\s*[,)]|f['\"])"),
+    ),
+    "CWE-502": _PICKLE_FAMILY,
+    "CWE-209": _DEBUG_EXPOSURE,
+    "CWE-798": _HARDCODED_CREDENTIAL,
+    "CWE-522": _any(_HARDCODED_CREDENTIAL, _rx(r"set_cookie\(\s*['\"](?:password|token|auth)")),
+    "CWE-321": _all(
+        _rx(r"\b\w*(?:aes_key|encryption_key|signing_key|crypto_key)\w*\s*=\s*b?['\"][^'\"]{8,}['\"]"),
+        _not(_rx(r"os\.environ")),
+    ),
+    "CWE-327": _any(_rx(r"\b(?:DES3?|ARC4|ARC2|Blowfish)\.new\("), _rx(r"MODE_ECB")),
+    "CWE-328": _all(
+        _any(
+            _rx(r"hashlib\.(?:md5|sha1)\("),
+            _rx(r"hashlib\.new\(\s*['\"](?:md5|sha1?)['\"]"),
+        ),
+        # weak hashes count only in a security context (a reviewer lets an
+        # MD5 cache key pass)
+        _rx(r"password|passwd|pwd|credential|verify|auth|signature|token"),
+    ),
+    "CWE-916": _rx(r"hashlib\.(?:md5|sha1|sha256|sha512|blake2b)\(\s*\w*(?:password|passwd|pwd)"),
+    "CWE-759": _all(
+        _rx(r"hashlib\.(?:sha256|sha512)\(\s*\w*(?:password|passwd|pwd)"),
+        _not(_rx(r"pbkdf2|urandom")),
+    ),
+    "CWE-330": _WEAK_RANDOM,
+    "CWE-338": _WEAK_RANDOM,
+    "CWE-335": _all(
+        _rx(r"random\.seed\(\s*(?:\d+|['\"][^'\"]*['\"])\s*\)"),
+        _rx(r"getrandbits|token|session|secret|identifier"),
+    ),
+    "CWE-295": _TLS_BYPASS,
+    "CWE-326": _rx(r"PROTOCOL_(?:SSLv2|SSLv3|SSLv23|TLSv1(?:_1)?)\b"),
+    "CWE-329": _rx(r"AES\.new\([^)]*MODE_CBC\s*,\s*b?['\"]"),
+    "CWE-319": _any(
+        _rx(r"requests\.(?:post|put)\(\s*f?['\"]http://"),
+        _rx(r"ftplib\.FTP\("),
+        _rx(r"telnetlib\.Telnet\("),
+    ),
+    "CWE-477": _any(
+        _rx(r"telnetlib\.Telnet\("),
+        _rx(r"ftplib\.FTP\("),
+        _rx(r"os\.(?:tempnam|tmpnam)\("),
+        _rx(r"crypt\.crypt\("),
+    ),
+    "CWE-022": _PATH_TRAVERSAL,
+    "CWE-023": _PATH_TRAVERSAL,
+    "CWE-434": _all(_rx(r"\.save\([^)\n]*\.filename"), _not(_rx(r"secure_filename\("))),
+    "CWE-601": _all(
+        _rx(r"redirect\("),
+        _rx(r"request\.(?:args|form|values)"),
+        _not(_rx(r"urlparse\(")),
+    ),
+    "CWE-614": _all(_COOKIE_BASE, _not(_rx(r"secure\s*=\s*True"))),
+    "CWE-1004": _all(_COOKIE_BASE, _not(_rx(r"httponly\s*=\s*True"))),
+    "CWE-1275": _all(_COOKIE_BASE, _not(_rx(r"samesite\s*="))),
+    "CWE-016": _rx(r"host\s*=\s*['\"]0\.0\.0\.0['\"]"),
+    "CWE-918": _all(
+        _any(
+            _rx(r"requests\.(?:get|post|put|delete|head)\(\s*request\."),
+            _rx(r"urllib\.request\.urlopen\(\s*request\."),
+        ),
+        _not(_rx(r"ALLOWED_HOSTS")),
+    ),
+    "CWE-400": _all(
+        _rx(r"requests\.(?:get|post|put|delete|head|patch)\("),
+        _not(_rx(r"timeout\s*=")),
+    ),
+    "CWE-377": _rx(r"tempfile\.mktemp\("),
+    "CWE-379": _rx(r"['\"]/tmp/[^'\"]+['\"]"),
+    "CWE-732": _rx(r"chmod\([^)]*0o?(?:777|666)"),
+    "CWE-276": _rx(r"os\.umask\(\s*0o?0?\s*\)"),
+    "CWE-117": _all(
+        _rx(r"(?:logging|logger|log)\.(?:info|warning|error|debug|critical)\(\s*f['\"][^'\"\n]*\{"),
+        _rx(r"request\."),
+    ),
+    "CWE-532": _rx(
+        r"(?:logging|logger|log)\.\w+\(\s*f['\"][^'\"\n]*\{\s*\w*(?:password|passwd|secret|token|api_key)"
+    ),
+    "CWE-778": _any(
+        _rx(r"except[^\n]*:\s*\n(?:[ \t]*#[^\n]*\n)*[ \t]+pass\b"),
+        _all(
+            _rx(r"def\s+(?:login|authenticate|verify_user|check_credentials)"),
+            _not(_rx(r"logging\.|logger\.|audit")),
+        ),
+    ),
+    "CWE-223": _all(
+        _rx(r"def\s+(?:login|authenticate|verify_user|check_credentials)"),
+        _not(_rx(r"logging\.|logger\.|audit")),
+    ),
+    "CWE-090": _all(
+        _rx(r"\.search(?:_s|_ext_s)?\([^)]*f['\"][^'\"]*\{"),
+        _not(_rx(r"escape_filter_chars")),
+    ),
+    "CWE-643": _rx(r"\.xpath\(\s*f['\"]"),
+    "CWE-611": _all(
+        _rx(r"etree\.(?:parse|fromstring|XML)\("),
+        _not(_rx(r"resolve_entities\s*=\s*False|defusedxml")),
+    ),
+    "CWE-776": _rx(r"feature_external_ges\s*,\s*True"),
+    "CWE-287": _any(
+        _rx(r"(?:hexdigest|digest)\(\)\s*=="),
+        _rx(r"==\s*[\w.\[\]()]*(?:hexdigest|digest)\(\)"),
+    ),
+    "CWE-306": _all(
+        _rx(r"@app\.route\(\s*['\"][^'\"]*(?:admin|delete|settings|config|manage)"),
+        _not(_rx(r"login_required|check_auth")),
+    ),
+    "CWE-862": _all(
+        _rx(r"@app\.route\(\s*['\"][^'\"]*(?:admin|delete|settings|config|manage)"),
+        _not(_rx(r"login_required|check_auth")),
+    ),
+    "CWE-521": _rx(r"len\(\s*\w*(?:password|passwd|pwd)\w*\s*\)\s*>=?\s*[1-7]\b"),
+    "CWE-598": _rx(r"requests\.get\([^)]*(?:params\s*=\s*\{[^{}]*(?:password|token|secret))"),
+    "CWE-494": _all(_rx(r"(?<![\w.])exec\("), _rx(r"requests\.get\(|urlopen\(")),
+    "CWE-829": _rx(r"(?:curl|wget)[^'\"]*\|\s*(?:sh|bash|python)"),
+    "CWE-256": _any(
+        _all(
+            _rx(r"INSERT\s+INTO", re.IGNORECASE),
+            _rx(r"password", re.IGNORECASE),
+            _not(_rx(r"pbkdf2|bcrypt|scrypt|password_hash")),
+        ),
+        _rx(r"\.write\(\s*f?['\"]?[^)\n]*password"),
+    ),
+    "CWE-200": _any(
+        _rx(r"jsonify\(\s*dict\(\s*os\.environ\s*\)\s*\)"),
+        _rx(r"traceback\.format_exc\(\)"),
+    ),
+    "CWE-020": _all(
+        _rx(r"int\(\s*request\.(?:args|form)"),
+        _not(_rx(r"try\s*:")),
+    ),
+    "CWE-915": _all(
+        _rx(r"for\s+\w+\s*,\s*\w+\s+in\s+request\.(?:form|json|args)\.items\(\)"),
+        _rx(r"setattr\("),
+    ),
+    "CWE-059": _rx(r"follow_symlinks\s*=\s*True"),
+    "CWE-613": _all(
+        _rx(r"SESSIONS\[\w+\]\s*=\s*\{"),
+        _not(_rx(r"expires|ttl|lifetime", re.IGNORECASE)),
+    ),
+    "CWE-620": _all(
+        _rx(r"password_hash\s*=\s*derive_hash\("),
+        _not(_rx(r"current_password|old_password")),
+    ),
+    "CWE-307": _all(
+        _rx(r"verify_hash\("),
+        _rx(r"load_user\("),
+        _not(_rx(r"ATTEMPTS|lockout|limiter", re.IGNORECASE)),
+    ),
+    "CWE-269": _all(_rx(r"\.bind\(\([^)]*(?:443|80|22)\s*\)"), _not(_rx(r"setuid"))),
+    "CWE-266": _all(_rx(r"\.bind\(\([^)]*(?:443|80|22)\s*\)"), _not(_rx(r"setuid"))),
+    "CWE-345": _all(
+        _rx(r"json\.loads\(\s*request\.data\s*\)"),
+        _not(_rx(r"hmac")),
+    ),
+    "CWE-426": _all(_rx(r"sys\.path\.(?:insert|append)\("), _rx(r"['\"]/tmp")),
+}
+
+
+def supported_cwes() -> Tuple[str, ...]:
+    """CWEs the oracle can give evidence for."""
+    return tuple(sorted(_EVIDENCE))
+
+
+def is_cwe_present(source: str, cwe_id: str) -> bool:
+    """Does ``source`` show evidence of ``cwe_id``?
+
+    Unknown CWEs conservatively report ``False``.
+    """
+    check = _EVIDENCE.get(normalize_cwe_id(cwe_id))
+    return bool(check and check(source))
+
+
+def present_cwes(source: str, cwe_ids: Iterable[str]) -> Tuple[str, ...]:
+    """Subset of ``cwe_ids`` still evidenced in ``source``."""
+    return tuple(c for c in cwe_ids if is_cwe_present(source, c))
+
+
+def still_vulnerable(source: str, cwe_ids: Iterable[str]) -> bool:
+    """True when any of the sample's labelled CWEs remains evidenced."""
+    return bool(present_cwes(source, cwe_ids))

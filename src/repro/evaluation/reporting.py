@@ -1,0 +1,51 @@
+"""Plain-text table rendering shared by the table/figure modules."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an ASCII grid table with right-padded columns."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return "| " + " | ".join(cell.ljust(width) for cell, width in zip(row, widths)) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(cells[0]))
+    out.append(separator)
+    for row in cells[1:]:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ascii_boxplot(label: str, q1: float, median: float, q3: float, lo: float, hi: float, scale: float = 8.0, width: int = 48) -> str:
+    """One-line ASCII box plot on a fixed 0..scale axis."""
+    def pos(value: float) -> int:
+        clamped = max(0.0, min(scale, value))
+        return int(round(clamped / scale * (width - 1)))
+
+    cells = [" "] * width
+    for i in range(pos(lo), pos(hi) + 1):
+        cells[i] = "-"
+    for i in range(pos(q1), pos(q3) + 1):
+        cells[i] = "="
+    cells[pos(median)] = "#"
+    return f"{label:>12s} |{''.join(cells)}|"

@@ -1,0 +1,112 @@
+"""Renderers for the paper's tables.
+
+- Table II: detection Precision/Recall/F1/Accuracy per tool × model;
+- Table III: Patched[Det.] and Patched[Tot.] per patching tool × model;
+- §III-B side stats: vulnerable-generation rates, CWE frequencies,
+  suggestion-only rates for Semgrep/Bandit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.evaluation.harness import ALL_MODELS, CaseStudyResult, DETECTION_TOOLS, PATCHING_TOOLS
+from repro.evaluation.reporting import render_table
+
+_MODEL_COLUMNS: Tuple[str, ...] = ("copilot", "claude", "deepseek", ALL_MODELS)
+_METRICS: Tuple[str, ...] = ("Precision", "Recall", "F1 Score", "Accuracy")
+
+
+def table2_detection(result: CaseStudyResult) -> str:
+    """Render Table II from a case-study result."""
+    rows: List[List[object]] = []
+    for metric in _METRICS:
+        for index, tool in enumerate(DETECTION_TOOLS):
+            if tool not in result.detection:
+                continue
+            per_model = result.detection[tool]
+            row: List[object] = [metric if index == 0 else "", tool]
+            for model in _MODEL_COLUMNS:
+                matrix = per_model[model]
+                value = {
+                    "Precision": matrix.precision,
+                    "Recall": matrix.recall,
+                    "F1 Score": matrix.f1,
+                    "Accuracy": matrix.accuracy,
+                }[metric]
+                row.append(value)
+            rows.append(row)
+    return render_table(
+        ["Metric", "Detection Solution", "Copilot", "Claude", "DeepSeek", "All models"],
+        rows,
+        title="TABLE II — Detection results (reproduction)",
+    )
+
+
+def table2_values(result: CaseStudyResult) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Structured Table II values: metric -> tool -> model -> value."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for metric in _METRICS:
+        out[metric] = {}
+        for tool, per_model in result.detection.items():
+            out[metric][tool] = {}
+            for model in _MODEL_COLUMNS:
+                matrix = per_model[model]
+                out[metric][tool][model] = {
+                    "Precision": matrix.precision,
+                    "Recall": matrix.recall,
+                    "F1 Score": matrix.f1,
+                    "Accuracy": matrix.accuracy,
+                }[metric]
+    return out
+
+
+def table3_patching(result: CaseStudyResult) -> str:
+    """Render Table III from a case-study result."""
+    rows: List[List[object]] = []
+    for kind, attribute in (("Patched [Det.]", "patched_detected"), ("Patched [Tot.]", "patched_total")):
+        for index, tool in enumerate(PATCHING_TOOLS):
+            if tool not in result.patching:
+                continue
+            per_model = result.patching[tool]
+            row: List[object] = [kind if index == 0 else "", tool]
+            for model in _MODEL_COLUMNS:
+                row.append(getattr(per_model[model], attribute))
+            rows.append(row)
+    return render_table(
+        ["Rate", "Patching Solution", "Copilot", "Claude", "DeepSeek", "All models"],
+        rows,
+        title="TABLE III — Patching results (reproduction)",
+    )
+
+
+def generation_stats(result: CaseStudyResult) -> str:
+    """§III-B narrative numbers: vulnerable rates, CWE frequency, CWEs hit."""
+    lines: List[str] = ["Generation statistics (§III-B)"]
+    total_vulnerable = 0
+    total = 0
+    for model in ("copilot", "claude", "deepseek"):
+        count = result.vulnerable_counts.get(model, 0)
+        n = len(result.samples[_model_key(result, model)])
+        total_vulnerable += count
+        total += n
+        lines.append(f"  {model:9s}: {count}/{n} vulnerable ({count / n:.0%})")
+    lines.append(f"  all models: {total_vulnerable}/{total} vulnerable ({total_vulnerable / total:.0%})")
+    lines.append(f"  distinct CWEs generated: {len(result.cwe_frequency)}")
+    top = sorted(result.cwe_frequency.items(), key=lambda kv: -kv[1])[:5]
+    lines.append("  most frequent: " + ", ".join(f"{c} ({n})" for c, n in top))
+    if result.manual is not None:
+        lines.append(
+            f"  manual evaluation: {result.manual.discrepancy_rate:.1%} initial discrepancies, "
+            f"{result.manual.consensus_rate:.0%} final consensus"
+        )
+    for model, cwes in sorted(result.detected_cwes.items()):
+        lines.append(f"  PatchitPy detected CWEs ({model}): {len(cwes)}")
+    return "\n".join(lines)
+
+
+def _model_key(result: CaseStudyResult, name: str):
+    for model in result.samples:
+        if model.value == name:
+            return model
+    raise KeyError(name)

@@ -1,0 +1,21 @@
+"""Simulated AI code generators (Copilot / Claude / DeepSeek substitutes)."""
+
+from repro.generators.base import (
+    DEFAULT_SEED,
+    GeneratorConfig,
+    SimulatedGenerator,
+    generate_all_models,
+)
+from repro.generators.claude import make_claude
+from repro.generators.copilot import make_copilot
+from repro.generators.deepseek import make_deepseek
+
+__all__ = [
+    "DEFAULT_SEED",
+    "GeneratorConfig",
+    "SimulatedGenerator",
+    "generate_all_models",
+    "make_claude",
+    "make_copilot",
+    "make_deepseek",
+]

@@ -1,0 +1,176 @@
+"""Simulated AI code generators (the paper's Copilot/Claude/DeepSeek).
+
+A generator renders each NL prompt of the corpus into a Python sample by
+choosing a vulnerable or safe variant of the prompt's scenario and passing
+it through the model's style engine.  Everything is deterministic: the
+vulnerable/safe split uses an exact per-model quota (matching the counts
+of §III-B — Copilot 169/203, Claude 126/203, DeepSeek 166/203), and all
+randomness is seeded from ``(seed, model, prompt_id)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.prompts import load_prompts
+from repro.corpus.scenarios import SCENARIOS, Scenario, Variant
+from repro.exceptions import GenerationError
+from repro.generators.style import StyleProfile, render_variant
+from repro.types import CodeSample, GeneratorName, Prompt
+
+DEFAULT_SEED = 2025
+
+# Scenarios whose vulnerable variants commonly survive patching — their
+# dominant weaknesses map to detection-only rules (SSRF, exec/SSTI, legacy
+# ciphers and protocols) or carry a co-label without a patch template
+# (plaintext credential storage).  Generator quotas weight these by the
+# model's ``unpatchable_scenario_vuln_weight``.
+REPAIR_RESISTANT_SCENARIOS = frozenset(
+    {
+        "flask_template_ssti",
+        "flask_ssrf_fetch",
+        "marshal_rpc",
+        "des_encryption",
+        "download_exec",
+        "telnet_automation",
+        "get_with_credentials",
+        "exec_plugin",
+        "sql_insert_user",
+        "temp_file_usage",
+    }
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Identity + propensities of one simulated model."""
+
+    name: GeneratorName
+    style: StyleProfile
+    vulnerable_quota: int
+
+    def __post_init__(self) -> None:
+        if self.vulnerable_quota < 0:
+            raise GenerationError("vulnerable_quota must be non-negative")
+
+
+class SimulatedGenerator:
+    """Renders prompts into labelled code samples in a model's style."""
+
+    def __init__(self, config: GeneratorConfig, seed: int = DEFAULT_SEED) -> None:
+        self.config = config
+        self.seed = seed
+
+    @property
+    def name(self) -> GeneratorName:
+        """The simulated model's identity."""
+        return self.config.name
+
+    # ------------------------------------------------------------ public
+
+    def generate(self, prompt: Prompt) -> CodeSample:
+        """Render one prompt (vulnerability decided by the global quota)."""
+        vulnerable_ids = self._vulnerable_prompt_ids()
+        return self._render(prompt, vulnerable=prompt.prompt_id in vulnerable_ids)
+
+    def generate_corpus(self, prompts: Optional[Sequence[Prompt]] = None) -> List[CodeSample]:
+        """Render the whole corpus (203 samples by default)."""
+        if prompts is None:
+            prompts = load_prompts()
+        vulnerable_ids = self._vulnerable_prompt_ids(prompts)
+        return [
+            self._render(prompt, vulnerable=prompt.prompt_id in vulnerable_ids)
+            for prompt in prompts
+        ]
+
+    # ---------------------------------------------------------- internal
+
+    def _rng(self, *context: object) -> random.Random:
+        return random.Random(f"{self.seed}:{self.config.name.value}:" + ":".join(map(str, context)))
+
+    def _vulnerable_prompt_ids(self, prompts: Optional[Sequence[Prompt]] = None) -> frozenset:
+        """Exactly ``vulnerable_quota`` prompt ids, biased by scenario.
+
+        Prompts whose scenario has no rule-detectable vulnerable variant
+        are weighted by the model's ``undetectable_scenario_vuln_weight``,
+        which is how per-model recall differences arise mechanically.
+        """
+        if prompts is None:
+            prompts = load_prompts()
+        rng = self._rng("quota")
+        weighted: List[Tuple[float, str]] = []
+        for prompt in prompts:
+            scenario = SCENARIOS.get(prompt.scenario_key)
+            weight = 1.0
+            if not any(v.detectable for v in scenario.vulnerable):
+                weight *= self.config.style.undetectable_scenario_vuln_weight
+            if prompt.scenario_key in REPAIR_RESISTANT_SCENARIOS:
+                weight *= self.config.style.unpatchable_scenario_vuln_weight
+            # deterministic exponential-race sampling without replacement
+            key = rng.random() ** (1.0 / max(weight, 1e-9))
+            weighted.append((key, prompt.prompt_id))
+        weighted.sort(reverse=True)
+        quota = min(self.config.vulnerable_quota, len(weighted))
+        return frozenset(pid for _, pid in weighted[:quota])
+
+    def _render(self, prompt: Prompt, vulnerable: bool) -> CodeSample:
+        scenario = SCENARIOS.get(prompt.scenario_key)
+        rng = self._rng(prompt.prompt_id)
+        variant = self._choose_variant(scenario, vulnerable, rng)
+        try:
+            source, incomplete = render_variant(variant, self.config.style, rng)
+        except Exception as error:  # template errors are corpus bugs
+            raise GenerationError(
+                f"{self.config.name.value} failed on {prompt.prompt_id}/{variant.key}: {error}"
+            ) from error
+        return CodeSample(
+            sample_id=f"{self.config.name.value}:{prompt.prompt_id}",
+            generator=self.config.name,
+            prompt=prompt,
+            source=source,
+            true_cwe_ids=variant.cwe_ids,
+            variant_key=variant.key,
+            incomplete=incomplete,
+        )
+
+    def _choose_variant(
+        self,
+        scenario: Scenario,
+        vulnerable: bool,
+        rng: random.Random,
+    ) -> Variant:
+        pool = scenario.vulnerable if vulnerable else scenario.safe
+        style = self.config.style
+        weights = []
+        for candidate in pool:
+            weight = candidate.weight * style.affinity(candidate.key)
+            if vulnerable and not candidate.detectable:
+                weight *= style.evasive_weight
+            if not vulnerable and candidate.false_alarm:
+                weight *= style.false_alarm_weight
+            weights.append(max(weight, 0.0))
+        total = sum(weights)
+        if total <= 0:
+            return pool[0]
+        pick = rng.random() * total
+        running = 0.0
+        for candidate, weight in zip(pool, weights):
+            running += weight
+            if pick <= running:
+                return candidate
+        return pool[-1]
+
+
+def generate_all_models(
+    seed: int = DEFAULT_SEED,
+    prompts: Optional[Sequence[Prompt]] = None,
+) -> Dict[GeneratorName, List[CodeSample]]:
+    """Render the corpus with all three simulated models (609 samples)."""
+    from repro.generators.claude import make_claude
+    from repro.generators.copilot import make_copilot
+    from repro.generators.deepseek import make_deepseek
+
+    generators = (make_copilot(seed), make_claude(seed), make_deepseek(seed))
+    return {g.name: g.generate_corpus(prompts) for g in generators}

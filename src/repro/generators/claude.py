@@ -1,0 +1,56 @@
+"""Simulated Claude-3.7-Sonnet generator.
+
+Claude-style outputs are the most frequently safe in the paper's corpus
+(126/203 vulnerable), the least often incomplete, and — when vulnerable —
+tend toward the canonical insecure idioms the pattern rules catch and
+patch, which is why the paper reports its samples as both the best
+detected (recall 0.93) and the best repaired (89 %).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.generators.base import DEFAULT_SEED, GeneratorConfig, SimulatedGenerator
+from repro.generators.style import CLAUDE_STYLE
+from repro.types import GeneratorName
+
+CLAUDE_VULNERABLE_QUOTA = 126
+
+_CALIBRATED_STYLE = dataclasses.replace(
+    CLAUDE_STYLE,
+    undetectable_scenario_vuln_weight=0.35,
+    evasive_weight=0.1,
+    false_alarm_weight=0.45,
+    unpatchable_scenario_vuln_weight=0.2,
+    variant_affinity={
+        "requests_direct": 0.12,
+        "urllib_direct": 0.12,
+        "exec_script": 0.12,
+        "exec_download": 0.12,
+        "des_cipher": 0.12,
+        "marshal_loads": 0.12,
+        "render_template_string_user": 0.12,
+        "telnet_session": 0.12,
+        "no_audit_trail": 0.12,
+        "random_number_token": 0.12,
+        "hardcoded_tmp": 0.12,
+        "hostname_check_off": 0.12,
+        "token_in_query": 0.12,
+        "os_execvp_args": 0.12,
+        "arc4_stream": 0.12,
+        "cpickle_loads": 0.12,
+    },
+)
+
+
+def make_claude(seed: int = DEFAULT_SEED) -> SimulatedGenerator:
+    """Construct the calibrated Claude simulator."""
+    return SimulatedGenerator(
+        GeneratorConfig(
+            name=GeneratorName.CLAUDE,
+            style=_CALIBRATED_STYLE,
+            vulnerable_quota=CLAUDE_VULNERABLE_QUOTA,
+        ),
+        seed=seed,
+    )

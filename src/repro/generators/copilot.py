@@ -1,0 +1,57 @@
+"""Simulated GitHub Copilot generator.
+
+Copilot-style completions in the paper's corpus are the most frequently
+vulnerable (169/203) and, being inline completions, the most frequently
+incomplete.  The affinity map biases it toward the vulnerability habits
+that make its samples hardest to repair (detection-only patterns such as
+SSRF fetches, exec-based plugins, and legacy ciphers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.generators.base import DEFAULT_SEED, GeneratorConfig, SimulatedGenerator
+from repro.generators.style import COPILOT_STYLE
+from repro.types import GeneratorName
+
+COPILOT_VULNERABLE_QUOTA = 169
+
+_CALIBRATED_STYLE = dataclasses.replace(
+    COPILOT_STYLE,
+    undetectable_scenario_vuln_weight=0.2,
+    evasive_weight=1.35,
+    false_alarm_weight=6.0,
+    unpatchable_scenario_vuln_weight=1.8,
+    variant_affinity={
+        "requests_direct": 4.0,
+        "urllib_direct": 4.0,
+        "exec_script": 4.0,
+        "exec_download": 4.0,
+        "des_cipher": 4.0,
+        "marshal_loads": 4.0,
+        "render_template_string_user": 4.0,
+        "telnet_session": 4.0,
+        "no_audit_trail": 4.0,
+        "random_number_token": 4.0,
+        "hardcoded_tmp": 4.0,
+        "hostname_check_off": 4.0,
+        "token_in_query": 4.0,
+        "os_execvp_args": 4.0,
+        "arc4_stream": 4.0,
+        "cpickle_loads": 4.0,
+        "fstring_insert_plaintext": 1.6,
+    },
+)
+
+
+def make_copilot(seed: int = DEFAULT_SEED) -> SimulatedGenerator:
+    """Construct the calibrated Copilot simulator."""
+    return SimulatedGenerator(
+        GeneratorConfig(
+            name=GeneratorName.COPILOT,
+            style=_CALIBRATED_STYLE,
+            vulnerable_quota=COPILOT_VULNERABLE_QUOTA,
+        ),
+        seed=seed,
+    )

@@ -1,0 +1,54 @@
+"""Simulated DeepSeek-V3 generator.
+
+DeepSeek-style outputs sit between Copilot and Claude on every axis in the
+paper: 166/203 vulnerable, moderately incomplete, and with a moderate
+share of evasive/unrepairable vulnerability idioms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.generators.base import DEFAULT_SEED, GeneratorConfig, SimulatedGenerator
+from repro.generators.style import DEEPSEEK_STYLE
+from repro.types import GeneratorName
+
+DEEPSEEK_VULNERABLE_QUOTA = 166
+
+_CALIBRATED_STYLE = dataclasses.replace(
+    DEEPSEEK_STYLE,
+    undetectable_scenario_vuln_weight=0.6,
+    evasive_weight=0.1,
+    false_alarm_weight=1.6,
+    unpatchable_scenario_vuln_weight=0.5,
+    variant_affinity={
+        "requests_direct": 0.55,
+        "urllib_direct": 0.55,
+        "exec_script": 0.55,
+        "exec_download": 0.55,
+        "des_cipher": 0.55,
+        "marshal_loads": 0.55,
+        "render_template_string_user": 0.55,
+        "telnet_session": 0.55,
+        "no_audit_trail": 0.55,
+        "random_number_token": 0.55,
+        "hardcoded_tmp": 0.55,
+        "hostname_check_off": 0.55,
+        "token_in_query": 0.55,
+        "os_execvp_args": 0.55,
+        "arc4_stream": 0.55,
+        "cpickle_loads": 0.55,
+    },
+)
+
+
+def make_deepseek(seed: int = DEFAULT_SEED) -> SimulatedGenerator:
+    """Construct the calibrated DeepSeek simulator."""
+    return SimulatedGenerator(
+        GeneratorConfig(
+            name=GeneratorName.DEEPSEEK,
+            style=_CALIBRATED_STYLE,
+            vulnerable_quota=DEEPSEEK_VULNERABLE_QUOTA,
+        ),
+        seed=seed,
+    )

@@ -1,0 +1,209 @@
+"""Per-model style engines for the simulated code generators.
+
+The three simulated models render the same scenario variants with
+different surface style — identifier choices, docstrings, comments — and
+different *failure habits*: how often the output is an incomplete snippet
+(chat preamble left in, markdown fence retained, indented continuation,
+truncated tail).  Incomplete outputs do not parse with :mod:`ast`, which
+is the mechanism behind the AST-based baselines' recall loss on
+AI-generated code (§II, §III-C).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.corpus.scenarios.base import Variant
+
+
+@dataclass(frozen=True)
+class StyleProfile:
+    """Stylistic and behavioural profile of one simulated model."""
+
+    name: str
+    fn_names: Tuple[str, ...]
+    var_names: Tuple[str, ...]
+    arg_names: Tuple[str, ...]
+    table_names: Tuple[str, ...]
+    docstring_rate: float
+    comment_rate: float
+    incomplete_rate: float
+    chat_preambles: Tuple[str, ...]
+    # Relative preference for specific variant keys (calibrated habits —
+    # e.g. one model reaches for pickle, another for yaml).
+    variant_affinity: Mapping[str, float] = field(default_factory=dict)
+    # Multiplier on the chance that a prompt whose scenario has *no*
+    # rule-detectable vulnerable variant is rendered vulnerable.
+    undetectable_scenario_vuln_weight: float = 1.0
+    # Multiplier on the chance that a prompt whose scenario tends to
+    # produce hard-to-repair vulnerabilities (detection-only rules,
+    # co-labelled weaknesses without patch templates) is rendered
+    # vulnerable.  This is the mechanical source of the per-model repair
+    # rate differences in Table III.
+    unpatchable_scenario_vuln_weight: float = 1.0
+    # Multiplier applied to evasive (detectable=False) vulnerable variants.
+    evasive_weight: float = 1.0
+    # Multiplier applied to tricky-safe (false_alarm=True) safe variants.
+    false_alarm_weight: float = 1.0
+
+    def affinity(self, variant_key: str) -> float:
+        """Relative preference multiplier for a variant key."""
+        return float(self.variant_affinity.get(variant_key, 1.0))
+
+
+_DOCSTRINGS = (
+    "Generated helper for the requested task.",
+    "Implementation of the requested functionality.",
+    "Handles the operation described in the specification.",
+)
+
+_COMMENTS = (
+    "# process the request",
+    "# main logic",
+    "# perform the operation",
+    "# handle the input",
+)
+
+
+def render_variant(
+    variant: Variant,
+    profile: StyleProfile,
+    rng: random.Random,
+) -> Tuple[str, bool]:
+    """Render ``variant`` in ``profile``'s style.
+
+    Returns ``(source, incomplete)`` where ``incomplete`` reports whether
+    an incompleteness transform was applied (the sample will not parse as
+    a full module).
+    """
+    names = _choose_names(variant, profile, rng)
+    code = variant.render(names)
+
+    if rng.random() < profile.docstring_rate:
+        code = _insert_docstring(code, rng.choice(_DOCSTRINGS))
+    if rng.random() < profile.comment_rate:
+        code = _insert_comment(code, rng.choice(_COMMENTS), rng)
+
+    incomplete = False
+    if variant.allow_incomplete and rng.random() < profile.incomplete_rate:
+        code = _apply_incompleteness(code, profile, rng)
+        incomplete = True
+    return code, incomplete
+
+
+def _choose_names(
+    variant: Variant,
+    profile: StyleProfile,
+    rng: random.Random,
+) -> Dict[str, str]:
+    needed = variant.placeholders()
+    names: Dict[str, str] = {}
+    if "fn" in needed:
+        names["fn"] = rng.choice(profile.fn_names)
+    if "v" in needed:
+        names["v"] = rng.choice(profile.var_names)
+    if "arg" in needed:
+        names["arg"] = rng.choice(profile.arg_names)
+    if "tbl" in needed:
+        names["tbl"] = rng.choice(profile.table_names)
+    missing = [p for p in needed if p not in names]
+    if missing:
+        raise ValueError(f"variant {variant.key} uses unknown placeholders: {missing}")
+    return names
+
+
+def _insert_docstring(code: str, text: str) -> str:
+    """Add a module docstring at the top (keeps the module parseable)."""
+    return f'"""{text}"""\n' + code
+
+
+def _insert_comment(code: str, comment: str, rng: random.Random) -> str:
+    """Insert a style comment at the start of a block body.
+
+    Only positions directly after a ``:``-terminated line are candidates,
+    which keeps the comment out of multiline call expressions.
+    """
+    lines = code.splitlines()
+    candidates = [
+        i
+        for i, line in enumerate(lines)
+        if line.strip()
+        and not line.strip().startswith(("#", '"""', "'''"))
+        and i > 0
+        and lines[i - 1].rstrip().endswith(":")
+    ]
+    if not candidates:
+        return code
+    index = rng.choice(candidates)
+    indent = lines[index][: len(lines[index]) - len(lines[index].lstrip())]
+    lines.insert(index, indent + comment)
+    return "\n".join(lines) + ("\n" if code.endswith("\n") else "")
+
+
+def _apply_incompleteness(code: str, profile: StyleProfile, rng: random.Random) -> str:
+    """Degrade the output into an unparseable AI-style snippet."""
+    transform = rng.choice(("chat", "fence", "indent", "truncate"))
+    if transform == "chat" and profile.chat_preambles:
+        return rng.choice(profile.chat_preambles) + "\n\n" + code
+    if transform == "fence":
+        return "```python\n" + code + "```\n"
+    if transform == "indent":
+        indented = "\n".join(
+            "    " + line if line.strip() else line for line in code.splitlines()
+        )
+        return indented + "\n"
+    # truncated generation: the model stopped mid-definition
+    return code + "\ndef _continue_implementation(\n"
+
+
+COPILOT_STYLE = StyleProfile(
+    name="copilot",
+    fn_names=("handler", "process", "get_result", "run_task", "fetch_data"),
+    var_names=("data", "result", "val", "tmp"),
+    arg_names=("user_id", "uid", "item_id"),
+    table_names=("users", "accounts", "records"),
+    docstring_rate=0.15,
+    comment_rate=0.55,
+    incomplete_rate=0.30,
+    chat_preambles=(),  # inline completions carry no chat text
+    undetectable_scenario_vuln_weight=1.0,
+    evasive_weight=1.0,
+    false_alarm_weight=1.0,
+)
+
+CLAUDE_STYLE = StyleProfile(
+    name="claude",
+    fn_names=("process_request", "handle_request", "execute_query", "perform_task", "retrieve_data"),
+    var_names=("value", "content", "payload"),
+    arg_names=("record_id", "user_id", "entity_id"),
+    table_names=("users", "customers", "entries"),
+    docstring_rate=0.65,
+    comment_rate=0.35,
+    incomplete_rate=0.10,
+    chat_preambles=(
+        "Here's an implementation of the requested function:",
+        "Here is the code for this task:",
+    ),
+    undetectable_scenario_vuln_weight=1.0,
+    evasive_weight=1.0,
+    false_alarm_weight=1.0,
+)
+
+DEEPSEEK_STYLE = StyleProfile(
+    name="deepseek",
+    fn_names=("do_task", "main_handler", "query_db", "get_info", "run_job"),
+    var_names=("res", "out", "item"),
+    arg_names=("id_value", "key_id", "rid"),
+    table_names=("users", "items", "accounts"),
+    docstring_rate=0.35,
+    comment_rate=0.45,
+    incomplete_rate=0.22,
+    chat_preambles=(
+        "Sure! Below is the implementation:",
+    ),
+    undetectable_scenario_vuln_weight=1.0,
+    evasive_weight=1.0,
+    false_alarm_weight=1.0,
+)

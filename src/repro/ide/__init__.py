@@ -1,0 +1,28 @@
+"""IDE integration layer — a faithful model of the VS Code extension (§II-B).
+
+The paper ships PatchitPy as a VS Code extension: the user selects a code
+block (e.g. a Copilot completion), the extension analyzes the selection,
+pop-ups report findings and offer fixes, and accepted patches are applied
+through the ``TextEdit``/``Position`` APIs.  This package reproduces those
+semantics on an in-memory editor document so the workflow is scriptable
+and testable.
+"""
+
+from repro.ide.document import Position, Range, Selection, TextDocument
+from repro.ide.edits import EditBuilder, TextEdit, WorkspaceEdit
+from repro.ide.extension import ExtensionSession, PatchitPyExtension, Popup
+from repro.ide.protocol import LanguageServer
+
+__all__ = [
+    "EditBuilder",
+    "LanguageServer",
+    "ExtensionSession",
+    "PatchitPyExtension",
+    "Popup",
+    "Position",
+    "Range",
+    "Selection",
+    "TextDocument",
+    "TextEdit",
+    "WorkspaceEdit",
+]

@@ -1,0 +1,106 @@
+"""TextEdit / WorkspaceEdit — the editing API the extension drives.
+
+The paper's extension "leverages VS Code's TextEdit API, using the
+``replace()`` method of the editBuilder object to modify code" and places
+new imports via the Position API.  :class:`EditBuilder` reproduces that
+contract: edits are queued against a document snapshot and applied
+atomically, back-to-front, rejecting overlaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import DocumentError
+from repro.ide.document import Position, Range, TextDocument
+
+
+@dataclass(frozen=True)
+class TextEdit:
+    """One pending replacement on a document snapshot."""
+
+    range: Range
+    new_text: str
+
+    @staticmethod
+    def replace(range_: Range, new_text: str) -> "TextEdit":
+        """Queue a replacement edit."""
+        return TextEdit(range_, new_text)
+
+    @staticmethod
+    def insert(position: Position, new_text: str) -> "TextEdit":
+        """Queue an insertion edit."""
+        return TextEdit(Range(position, position), new_text)
+
+    @staticmethod
+    def delete(range_: Range) -> "TextEdit":
+        """Queue a deletion edit."""
+        return TextEdit(range_, "")
+
+
+class EditBuilder:
+    """Queues edits against one document; mirrors VS Code's editBuilder."""
+
+    def __init__(self, document: TextDocument) -> None:
+        self._document = document
+        self._edits: List[TextEdit] = []
+
+    def replace(self, range_: Range, new_text: str) -> None:
+        self._edits.append(TextEdit.replace(range_, new_text))
+
+    def insert(self, position: Position, new_text: str) -> None:
+        self._edits.append(TextEdit.insert(position, new_text))
+
+    def delete(self, range_: Range) -> None:
+        self._edits.append(TextEdit.delete(range_))
+
+    @property
+    def pending(self) -> List[TextEdit]:
+        """The queued edits (copy)."""
+        return list(self._edits)
+
+    def apply(self) -> int:
+        """Apply all queued edits atomically; returns the edit count.
+
+        Edits are validated against the snapshot and applied in reverse
+        document order so earlier offsets remain stable.  Overlapping
+        edits raise :class:`DocumentError` and nothing is applied.
+        """
+        keyed = []
+        for edit in self._edits:
+            start = self._document.offset_at(edit.range.start)
+            end = self._document.offset_at(edit.range.end)
+            keyed.append((start, end, edit))
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        for (_, prev_end, _), (next_start, _, _) in zip(keyed, keyed[1:]):
+            if next_start < prev_end:
+                raise DocumentError("overlapping edits in one edit builder batch")
+        for start, end, edit in reversed(keyed):
+            start_pos = self._document.position_at(start)
+            end_pos = self._document.position_at(end)
+            self._document.replace(Range(start_pos, end_pos), edit.new_text)
+        applied = len(self._edits)
+        self._edits.clear()
+        return applied
+
+
+class WorkspaceEdit:
+    """Edits across multiple documents, applied per-document atomically."""
+
+    def __init__(self) -> None:
+        self._per_document: dict = {}
+
+    def replace(self, document: TextDocument, range_: Range, new_text: str) -> None:
+        self._builder(document).replace(range_, new_text)
+
+    def insert(self, document: TextDocument, position: Position, new_text: str) -> None:
+        self._builder(document).insert(position, new_text)
+
+    def _builder(self, document: TextDocument) -> EditBuilder:
+        if document.uri not in self._per_document:
+            self._per_document[document.uri] = EditBuilder(document)
+        return self._per_document[document.uri]
+
+    def apply(self) -> int:
+        return sum(builder.apply() for builder in self._per_document.values())

@@ -1,0 +1,132 @@
+"""The PatchitPy extension workflow over the editor model (§II-B).
+
+The user right-clicks a selection (or the whole file) and runs the
+"PatchitPy: Assess selection" command.  The extension analyzes the
+selected text, raises a pop-up per finding with the fix suggestion, and —
+if the user accepts — applies the patches through the edit API, placing
+any new imports at the top of the file via the Position API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core import PatchitPy
+from repro.core.imports import ImportManager
+from repro.core.report import format_finding
+from repro.ide.document import Range, TextDocument
+from repro.ide.edits import EditBuilder
+from repro.types import Finding
+
+# A popup callback answers True for "Yes, patch it".
+PopupHandler = Callable[["Popup"], bool]
+
+
+@dataclass(frozen=True)
+class Popup:
+    """One notification shown to the user."""
+
+    title: str
+    body: str
+    actions: tuple = ("Yes", "No")
+
+
+@dataclass
+class ExtensionSession:
+    """Record of one command invocation: popups raised, edits applied."""
+
+    findings: List[Finding] = field(default_factory=list)
+    popups: List[Popup] = field(default_factory=list)
+    accepted: List[Finding] = field(default_factory=list)
+    applied_edit_count: int = 0
+    imports_added: List[str] = field(default_factory=list)
+
+
+class PatchitPyExtension:
+    """Scriptable equivalent of the VS Code extension's activate() command.
+
+    ``popup_handler`` decides each "patch this finding?" question; the
+    default accepts everything (the behaviour measured in the paper's
+    patching evaluation).
+    """
+
+    COMMAND = "patchitpy.assessSelection"
+
+    def __init__(
+        self,
+        engine: Optional[PatchitPy] = None,
+        popup_handler: Optional[PopupHandler] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else PatchitPy()
+        self.popup_handler = popup_handler or (lambda popup: True)
+
+    def assess_selection(
+        self,
+        document: TextDocument,
+        selection: Optional[Range] = None,
+    ) -> ExtensionSession:
+        """Run the full detect → popup → patch workflow on ``selection``.
+
+        With no selection the entire document is assessed, matching the
+        extension's "launch on the whole program" mode.
+        """
+        session = ExtensionSession()
+        target_range = selection if selection is not None else document.full_range()
+        base_offset = document.offset_at(target_range.start)
+        selected_text = document.get_text(target_range)
+
+        session.findings = self.engine.detect(selected_text)
+        if not session.findings:
+            session.popups.append(
+                Popup(title="PatchitPy", body="No vulnerable patterns detected.", actions=("OK",))
+            )
+            return session
+
+        for finding in session.findings:
+            rule = self.engine.rules.get(finding.rule_id)
+            suggestion = rule.patch.description if rule.patch else "no automated fix available"
+            popup = Popup(
+                title=f"PatchitPy: {finding.cwe_id}",
+                body=f"{format_finding(finding, selected_text)}\nSuggested fix: {suggestion}",
+            )
+            session.popups.append(popup)
+            if rule.patch is not None and self.popup_handler(popup):
+                session.accepted.append(finding)
+
+        if session.accepted:
+            self._apply_accepted(document, selected_text, base_offset, session)
+        return session
+
+    # ------------------------------------------------------------------
+
+    def _apply_accepted(
+        self,
+        document: TextDocument,
+        selected_text: str,
+        base_offset: int,
+        session: ExtensionSession,
+    ) -> None:
+        patches = self.engine.render_patches(selected_text, session.accepted)
+        builder = EditBuilder(document)
+        seen_spans: List = []
+        import_statements: List[str] = []
+        for patch in patches:
+            if any(patch.span.overlaps(span) for span in seen_spans):
+                continue
+            seen_spans.append(patch.span)
+            start = document.position_at(base_offset + patch.span.start)
+            end = document.position_at(base_offset + patch.span.end)
+            builder.replace(Range(start, end), patch.replacement)
+            for statement in patch.new_imports:
+                if statement not in import_statements:
+                    import_statements.append(statement)
+
+        manager = ImportManager(document.get_text())
+        missing = manager.missing(import_statements)
+        if missing:
+            insert_position = document.position_at(manager.insertion_offset())
+            builder.insert(insert_position, "\n".join(missing) + "\n")
+            session.imports_added = missing
+
+        session.applied_edit_count = builder.apply()

@@ -1,0 +1,197 @@
+"""Language-server-style protocol surface for other editors.
+
+The paper's conclusion names extending beyond VS Code as future work; the
+portable way to do that is the Language Server Protocol.  This module
+exposes the engine through LSP-shaped payloads over the in-memory
+document model:
+
+- ``textDocument/didOpen``/``didChange`` → diagnostics published per
+  document (one diagnostic per finding, LSP severity mapping, CWE code);
+- ``textDocument/codeAction`` → one quick-fix action per patchable
+  finding in the requested range, carrying a workspace edit (span
+  replacement + import insertion) the client applies verbatim.
+
+Payloads are plain dicts in LSP 3.17 shapes, so a thin stdio transport
+can serve any LSP-capable editor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import PatchitPy
+from repro.core.imports import ImportManager
+from repro.ide.document import TextDocument
+from repro.types import Finding, Severity
+
+# LSP DiagnosticSeverity: 1=Error, 2=Warning, 3=Information, 4=Hint
+_LSP_SEVERITY = {
+    Severity.CRITICAL: 1,
+    Severity.HIGH: 1,
+    Severity.MEDIUM: 2,
+    Severity.LOW: 3,
+}
+
+
+def _position(document: TextDocument, offset: int) -> Dict[str, int]:
+    position = document.position_at(offset)
+    return {"line": position.line, "character": position.character}
+
+
+def _range(document: TextDocument, start: int, end: int) -> Dict[str, object]:
+    return {"start": _position(document, start), "end": _position(document, end)}
+
+
+@dataclass
+class LanguageServer:
+    """A minimal PatchitPy language server over in-memory documents."""
+
+    engine: PatchitPy = field(default_factory=PatchitPy)
+    _documents: Dict[str, TextDocument] = field(default_factory=dict)
+    _findings: Dict[str, List[Finding]] = field(default_factory=dict)
+
+    # ------------------------------------------------------ lifecycle
+
+    def initialize(self) -> Dict[str, object]:
+        """The ``initialize`` response advertising server capabilities."""
+        return {
+            "capabilities": {
+                "textDocumentSync": 1,  # full sync
+                "codeActionProvider": {"codeActionKinds": ["quickfix"]},
+                "diagnosticProvider": {
+                    "interFileDependencies": False,
+                    "workspaceDiagnostics": False,
+                },
+            },
+            "serverInfo": {"name": "patchitpy-ls", "version": "1.0.0"},
+        }
+
+    # ------------------------------------------------- document sync
+
+    def did_open(self, uri: str, text: str) -> Dict[str, object]:
+        """Handle ``textDocument/didOpen``; returns publishDiagnostics."""
+        self._documents[uri] = TextDocument(text, uri=uri)
+        return self._publish(uri)
+
+    def did_change(self, uri: str, text: str) -> Dict[str, object]:
+        """Handle full-sync ``textDocument/didChange``."""
+        if uri not in self._documents:
+            return self.did_open(uri, text)
+        document = self._documents[uri]
+        document.replace(document.full_range(), text)
+        return self._publish(uri)
+
+    def did_close(self, uri: str) -> None:
+        """Handle textDocument/didClose: drop server state."""
+        self._documents.pop(uri, None)
+        self._findings.pop(uri, None)
+
+    def document_text(self, uri: str) -> str:
+        """Current text of an open document."""
+        return self._documents[uri].get_text()
+
+    # ----------------------------------------------------- diagnostics
+
+    def _publish(self, uri: str) -> Dict[str, object]:
+        document = self._documents[uri]
+        source = document.get_text()
+        findings = self.engine.detect(source)
+        self._findings[uri] = findings
+        diagnostics = [
+            {
+                "range": _range(document, f.span.start, f.span.end),
+                "severity": _LSP_SEVERITY[f.severity],
+                "code": f.cwe_id,
+                "source": "patchitpy",
+                "message": f.message,
+                "data": {"ruleId": f.rule_id, "fixable": f.fixable},
+            }
+            for f in findings
+        ]
+        return {"uri": uri, "diagnostics": diagnostics}
+
+    # ----------------------------------------------------- code actions
+
+    def code_actions(
+        self,
+        uri: str,
+        start_offset: Optional[int] = None,
+        end_offset: Optional[int] = None,
+    ) -> List[Dict[str, object]]:
+        """Handle ``textDocument/codeAction`` for an offset range."""
+        document = self._documents[uri]
+        source = document.get_text()
+        findings = self._findings.get(uri)
+        if findings is None:
+            findings = self.engine.detect(source)
+            self._findings[uri] = findings
+
+        if start_offset is None:
+            start_offset = 0
+        if end_offset is None:
+            end_offset = len(source)
+
+        actions: List[Dict[str, object]] = []
+        for finding in findings:
+            if finding.span.end < start_offset or finding.span.start > end_offset:
+                continue
+            patches = self.engine.render_patches(source, [finding])
+            if not patches:
+                continue
+            patch = patches[0]
+            edits = [
+                {
+                    "range": _range(document, patch.span.start, patch.span.end),
+                    "newText": patch.replacement,
+                }
+            ]
+            manager = ImportManager(source)
+            missing = manager.missing(patch.new_imports)
+            if missing:
+                insert_at = manager.insertion_offset()
+                edits.append(
+                    {
+                        "range": _range(document, insert_at, insert_at),
+                        "newText": "\n".join(missing) + "\n",
+                    }
+                )
+            actions.append(
+                {
+                    "title": f"PatchitPy: {patch.description or 'apply safe alternative'}",
+                    "kind": "quickfix",
+                    "diagnostics": [{"code": finding.cwe_id, "message": finding.message}],
+                    "edit": {"changes": {uri: edits}},
+                    "data": {"ruleId": finding.rule_id},
+                }
+            )
+        return actions
+
+    # ------------------------------------------------------- edit apply
+
+    def apply_workspace_edit(self, edit: Dict[str, object]) -> Dict[str, object]:
+        """Apply a ``WorkspaceEdit`` (as a client would) to the documents."""
+        for uri, edits in edit.get("changes", {}).items():
+            document = self._documents[uri]
+            keyed = []
+            for change in edits:
+                start = document.offset_at(_to_position(document, change["range"]["start"]))
+                end = document.offset_at(_to_position(document, change["range"]["end"]))
+                keyed.append((start, end, change["newText"]))
+            for start, end, new_text in sorted(keyed, reverse=True):
+                start_pos = document.position_at(start)
+                end_pos = document.position_at(end)
+                from repro.ide.document import Range
+
+                document.replace(Range(start_pos, end_pos), new_text)
+        # refresh diagnostics for changed documents
+        refreshed = {}
+        for uri in edit.get("changes", {}):
+            refreshed[uri] = self._publish(uri)
+        return {"applied": True, "diagnostics": refreshed}
+
+
+def _to_position(document: TextDocument, payload: Dict[str, int]):
+    from repro.ide.document import Position
+
+    return Position(payload["line"], payload["character"])

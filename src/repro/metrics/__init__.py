@@ -1,0 +1,21 @@
+"""Metrics: confusion counts, cyclomatic complexity, quality, statistics."""
+
+from repro.metrics.complexity import block_complexities, cyclomatic_complexity, total_complexity
+from repro.metrics.confusion import ConfusionMatrix, from_verdicts
+from repro.metrics.quality import QualityReport, check_quality, quality_score
+from repro.metrics.stats import Describe, RankSumResult, describe, wilcoxon_rank_sum
+
+__all__ = [
+    "ConfusionMatrix",
+    "Describe",
+    "QualityReport",
+    "RankSumResult",
+    "block_complexities",
+    "check_quality",
+    "cyclomatic_complexity",
+    "describe",
+    "from_verdicts",
+    "quality_score",
+    "total_complexity",
+    "wilcoxon_rank_sum",
+]

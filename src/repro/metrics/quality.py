@@ -1,0 +1,204 @@
+"""Pylint-style code-quality scoring (§III-C patch-quality comparison).
+
+Implements a compact checker with pylint's message categories and its
+scoring formula::
+
+    score = 10.0 - 10 * (5*error + warning + refactor + convention) / statements
+
+Snippets are lightly cleaned before parsing (markdown fences, chat
+preambles, stray indentation — the same clean-up a human evaluator applies
+before running pylint on AI output); code that still fails to parse scores
+0.0, mirroring pylint's fatal handling.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import textwrap
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.textutils.normalize import strip_markdown_fences
+
+_MAX_LINE_LENGTH = 120
+_SNAKE_CASE_RE = re.compile(r"^(?:_*[a-z][a-z0-9_]*|_+|[A-Z_][A-Z0-9_]*)$")
+
+
+@dataclass(frozen=True)
+class QualityMessage:
+    """One reported issue."""
+
+    message_id: str
+    category: str  # "convention" | "warning" | "refactor" | "error"
+    line: int
+    text: str
+
+
+@dataclass
+class QualityReport:
+    """Checker outcome with the pylint score."""
+
+    score: float
+    statements: int = 0
+    messages: List[QualityMessage] = field(default_factory=list)
+    parse_failed: bool = False
+
+    def count(self, category: str) -> int:
+        """Number of messages in the given category."""
+        return sum(1 for m in self.messages if m.category == category)
+
+
+def clean_snippet(source: str) -> str:
+    """Best-effort cleanup of AI-generated output before scoring."""
+    text = strip_markdown_fences(source)
+    lines = [line for line in text.splitlines() if not _is_prose(line)]
+    text = "\n".join(lines)
+    text = textwrap.dedent(text)
+    return text + ("\n" if text and not text.endswith("\n") else "")
+
+
+def _is_prose(line: str) -> bool:
+    stripped = line.strip()
+    if not stripped or not stripped[0].isalpha():
+        return False
+    first_word = stripped.split()[0]
+    return first_word in ("Here", "Here's", "Sure", "Sure!", "Below", "This", "The") and (
+        stripped.endswith(":") or stripped.endswith("!")
+    )
+
+
+def _try_parse(source: str) -> Optional[ast.AST]:
+    for candidate in (source, source.rsplit("\n", 2)[0] + "\n"):
+        try:
+            return ast.parse(candidate)
+        except (SyntaxError, ValueError):
+            continue
+    return None
+
+
+def check_quality(source: str) -> QualityReport:
+    """Score ``source`` with the pylint formula."""
+    cleaned = clean_snippet(source)
+    tree = _try_parse(cleaned)
+    if tree is None:
+        return QualityReport(score=0.0, parse_failed=True)
+
+    messages: List[QualityMessage] = []
+    statements = sum(isinstance(node, ast.stmt) for node in ast.walk(tree))
+    statements = max(statements, 1)
+
+    messages.extend(_check_line_length(cleaned))
+    messages.extend(_check_docstrings(tree))
+    messages.extend(_check_unused_imports(tree))
+    messages.extend(_check_bare_except(tree))
+    messages.extend(_check_dangerous_builtins(tree))
+    messages.extend(_check_naming(tree))
+    messages.extend(_check_too_many_branches(tree))
+
+    penalty = sum(
+        {"error": 5.0, "warning": 1.0, "refactor": 1.0, "convention": 1.0}[m.category]
+        for m in messages
+    )
+    score = max(0.0, 10.0 - 10.0 * penalty / statements)
+    return QualityReport(score=round(score, 2), statements=statements, messages=messages)
+
+
+# ------------------------------------------------------------------ checks
+
+
+def _check_line_length(source: str) -> List[QualityMessage]:
+    out = []
+    for number, line in enumerate(source.splitlines(), start=1):
+        if len(line) > _MAX_LINE_LENGTH:
+            out.append(QualityMessage("C0301", "convention", number, "Line too long"))
+    return out
+
+
+def _check_docstrings(tree: ast.AST) -> List[QualityMessage]:
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            body = [s for s in node.body if not isinstance(s, ast.Pass)]
+            if len(body) >= 9 and ast.get_docstring(node) is None:
+                out.append(
+                    QualityMessage("C0116", "convention", node.lineno, "Missing function docstring")
+                )
+    return out
+
+
+def _check_unused_imports(tree: ast.AST) -> List[QualityMessage]:
+    imported: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imported.append(((alias.asname or alias.name).split(".")[0], node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                imported.append((alias.asname or alias.name, node.lineno))
+    used = {
+        node.id for node in ast.walk(tree) if isinstance(node, ast.Name)
+    } | {
+        _root_name(node) for node in ast.walk(tree) if isinstance(node, ast.Attribute)
+    }
+    out = []
+    for name, line in imported:
+        if name not in used:
+            out.append(QualityMessage("W0611", "warning", line, f"Unused import {name}"))
+    return out
+
+
+def _root_name(node: ast.Attribute) -> str:
+    target = node
+    while isinstance(target, ast.Attribute):
+        target = target.value
+    return target.id if isinstance(target, ast.Name) else ""
+
+
+def _check_bare_except(tree: ast.AST) -> List[QualityMessage]:
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            out.append(QualityMessage("W0702", "warning", node.lineno, "Bare except"))
+    return out
+
+
+def _check_dangerous_builtins(tree: ast.AST) -> List[QualityMessage]:
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "eval":
+                out.append(QualityMessage("W0123", "warning", node.lineno, "Use of eval"))
+            elif node.func.id == "exec":
+                out.append(QualityMessage("W0122", "warning", node.lineno, "Use of exec"))
+    return out
+
+
+def _check_naming(tree: ast.AST) -> List[QualityMessage]:
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not _SNAKE_CASE_RE.match(node.name):
+                out.append(
+                    QualityMessage("C0103", "convention", node.lineno, f"Invalid name {node.name}")
+                )
+    return out
+
+
+def _check_too_many_branches(tree: ast.AST) -> List[QualityMessage]:
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            branches = sum(
+                isinstance(inner, (ast.If, ast.For, ast.While)) for inner in ast.walk(node)
+            )
+            if branches > 12:
+                out.append(
+                    QualityMessage("R0912", "refactor", node.lineno, "Too many branches")
+                )
+    return out
+
+
+def quality_score(source: str) -> float:
+    """Convenience wrapper returning only the score."""
+    return check_quality(source).score

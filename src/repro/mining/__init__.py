@@ -1,0 +1,37 @@
+"""Rule mining: the Fig. 2 pipeline from sample pairs to rules."""
+
+from repro.mining.pair_miner import CandidatePair, candidate_pairs, mine_category
+from repro.mining.pipeline import (
+    MinedVsCuratedResult,
+    MiningReport,
+    evaluate_mined_ruleset,
+    mine_ruleset,
+)
+from repro.mining.pattern_extractor import MinedPattern, extract_pattern, standardized_tokens
+from repro.mining.rule_synthesizer import (
+    synthesize_fragment_rule,
+    synthesize_rules,
+    tokens_to_regex,
+    tokens_to_replacement,
+)
+from repro.mining.seedcorpus import SeedPair, build_seed_corpus, pairs_by_category
+
+__all__ = [
+    "CandidatePair",
+    "MinedVsCuratedResult",
+    "MiningReport",
+    "evaluate_mined_ruleset",
+    "mine_ruleset",
+    "MinedPattern",
+    "SeedPair",
+    "build_seed_corpus",
+    "candidate_pairs",
+    "extract_pattern",
+    "mine_category",
+    "pairs_by_category",
+    "standardized_tokens",
+    "synthesize_fragment_rule",
+    "synthesize_rules",
+    "tokens_to_regex",
+    "tokens_to_replacement",
+]

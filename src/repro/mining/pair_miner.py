@@ -1,0 +1,79 @@
+"""Pair selection: choose sample pairs per OWASP category (Fig. 2).
+
+Within each category, candidate pairs are ranked by the token similarity
+of their standardized vulnerable snippets; only pairs whose similarity
+clears a threshold produce a meaningful common pattern (a pair of
+unrelated samples yields an LCS too generic to become a rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cwe import OwaspCategory
+from repro.exceptions import MiningError
+from repro.mining.pattern_extractor import MinedPattern, extract_pattern, standardized_tokens
+from repro.mining.seedcorpus import SeedPair, pairs_by_category
+from repro.textutils.lcs import similarity_ratio
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """Two seed pairs from the same OWASP category."""
+
+    first: SeedPair
+    second: SeedPair
+    similarity: float
+
+    @property
+    def shared_cwes(self) -> Tuple[str, ...]:
+        """CWE labels common to both seed pairs."""
+        return tuple(sorted(set(self.first.cwe_ids) & set(self.second.cwe_ids)))
+
+
+def candidate_pairs(
+    category: OwaspCategory,
+    grouped: Optional[Dict[OwaspCategory, List[SeedPair]]] = None,
+    min_similarity: float = 0.45,
+) -> List[CandidatePair]:
+    """All sufficiently similar sample pairs of one category, best first."""
+    if grouped is None:
+        grouped = pairs_by_category()
+    members = grouped.get(category, [])
+    token_cache = {pair.pair_id: standardized_tokens(pair.vulnerable_code) for pair in members}
+    out: List[CandidatePair] = []
+    for i, first in enumerate(members):
+        for second in members[i + 1 :]:
+            if first.pair_id.split("/")[0:2] == second.pair_id.split("/")[0:2]:
+                continue  # same variant rendered twice — trivially similar
+            similarity = similarity_ratio(
+                token_cache[first.pair_id], token_cache[second.pair_id]
+            )
+            if similarity >= min_similarity:
+                out.append(CandidatePair(first, second, similarity))
+    out.sort(key=lambda c: -c.similarity)
+    return out
+
+
+def mine_category(
+    category: OwaspCategory,
+    grouped: Optional[Dict[OwaspCategory, List[SeedPair]]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[CandidatePair, MinedPattern]]:
+    """Yield mined patterns for one OWASP category, best pairs first."""
+    count = 0
+    for candidate in candidate_pairs(category, grouped):
+        try:
+            pattern = extract_pattern(
+                candidate.first.vulnerable_code,
+                candidate.second.vulnerable_code,
+                candidate.first.safe_code,
+                candidate.second.safe_code,
+            )
+        except MiningError:
+            continue
+        yield candidate, pattern
+        count += 1
+        if limit is not None and count >= limit:
+            return

@@ -1,0 +1,141 @@
+"""Rule synthesis: mined patterns → executable detection/patching rules.
+
+The last step of Fig. 2 ("Improvement of reg. expressions"): each diff
+fragment of a mined pattern becomes a rule whose regular expression is the
+fragment's vulnerable tokens with their anchor context, and whose patch
+template substitutes the safe tokens.  ``var#`` placeholders from the
+standardization become named capture groups so the patch preserves the
+concrete identifiers of the code being fixed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Set, Tuple
+
+from repro.core.rules.base import DetectionRule, PatchTemplate
+from repro.exceptions import MiningError
+from repro.mining.pattern_extractor import MinedPattern
+from repro.textutils.diffing import DiffFragment
+from repro.types import Confidence, Severity
+
+_VAR_TOKEN_RE = re.compile(r"^var(\d+)$")
+_WORDISH_RE = re.compile(r"^[\w'\"]")
+# what a captured placeholder may match in real code
+_VAR_CAPTURE = r"[\w.\[\]]+|f?['\"][^'\"\n]*['\"]"
+
+
+def tokens_to_regex(tokens: Tuple[str, ...]) -> str:
+    """Compile standardized tokens into a whitespace-flexible regex."""
+    parts: List[str] = []
+    seen_vars: Set[str] = set()
+    previous: Optional[str] = None
+    for token in tokens:
+        if previous is not None:
+            if _WORDISH_RE.match(token) and _WORDISH_RE.match(previous) and previous[-1].isalnum() and token[0].isalnum():
+                parts.append(r"\s+")
+            else:
+                parts.append(r"\s*")
+        var_match = _VAR_TOKEN_RE.match(token)
+        if var_match:
+            name = f"var{var_match.group(1)}"
+            if name in seen_vars:
+                parts.append(f"(?P={name})")
+            else:
+                seen_vars.add(name)
+                parts.append(f"(?P<{name}>{_VAR_CAPTURE})")
+        else:
+            parts.append(re.escape(token))
+        previous = token
+    return "".join(parts)
+
+
+def tokens_to_replacement(tokens: Tuple[str, ...]) -> str:
+    """Render safe tokens as a patch template with ``\\g<varN>`` backrefs."""
+    rendered: List[str] = []
+    previous: Optional[str] = None
+    for token in tokens:
+        text = token
+        var_match = _VAR_TOKEN_RE.match(token)
+        if var_match:
+            text = f"\\g<var{var_match.group(1)}>"
+        if previous is not None and _needs_space(previous, token):
+            rendered.append(" ")
+        rendered.append(text)
+        previous = token
+    return "".join(rendered)
+
+
+_NO_SPACE_BEFORE = {")", "]", "}", ",", ":", ";", ".", "(", "="}
+_NO_SPACE_AFTER = {"(", "[", "{", ".", "="}
+
+
+def _needs_space(previous: str, current: str) -> bool:
+    if current in _NO_SPACE_BEFORE and current != "(":
+        return False
+    if current == "(":
+        return False
+    if previous in _NO_SPACE_AFTER:
+        return False
+    return True
+
+
+def synthesize_rules(
+    pattern: MinedPattern,
+    cwe_id: str,
+    rule_prefix: str = "MINED",
+    min_fragment_context: int = 2,
+) -> List[DetectionRule]:
+    """Create one rule per safe-addition fragment of ``pattern``."""
+    rules: List[DetectionRule] = []
+    for index, fragment in enumerate(pattern.fragments):
+        if not fragment.safe_tokens:
+            continue
+        rule = synthesize_fragment_rule(
+            fragment,
+            cwe_id=cwe_id,
+            rule_id=f"{rule_prefix}-{index:02d}",
+            min_context=min_fragment_context,
+        )
+        if rule is not None:
+            rules.append(rule)
+    if not rules:
+        raise MiningError("pattern yielded no synthesizable fragments")
+    return rules
+
+
+def synthesize_fragment_rule(
+    fragment: DiffFragment,
+    cwe_id: str,
+    rule_id: str,
+    min_context: int = 2,
+) -> Optional[DetectionRule]:
+    """Build a rule for one fragment; ``None`` if context is too thin."""
+    before = fragment.anchor_before[-min_context:] if min_context else ()
+    after = fragment.anchor_after[:min_context] if min_context else ()
+    pattern_tokens = tuple(before) + fragment.vulnerable_tokens + tuple(after)
+    if len(pattern_tokens) < 2:
+        return None
+    try:
+        compiled = re.compile(tokens_to_regex(pattern_tokens))
+    except re.error:
+        return None
+    replacement_tokens = tuple(before) + fragment.safe_tokens + tuple(after)
+    replacement = tokens_to_replacement(replacement_tokens)
+    # every backref in the replacement must be captured by the pattern
+    captured = set(compiled.groupindex)
+    for reference in re.findall(r"\\g<(var\d+)>", replacement):
+        if reference not in captured:
+            return None
+    return DetectionRule(
+        rule_id=rule_id,
+        cwe_id=cwe_id,
+        description=f"Mined pattern rule for {cwe_id}",
+        pattern=compiled,
+        severity=Severity.MEDIUM,
+        confidence=Confidence.MEDIUM,
+        patch=PatchTemplate(
+            replacement=replacement,
+            description="Apply the mined safe alternative",
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Seed corpus for rule mining (the paper's 240-sample collection).
+
+The original authors collected 240 vulnerable Python samples (SecurityEval
++ Copilot CWE Scenarios) and hand-wrote safe counterparts.  The
+reproduction derives an equivalent collection from the scenario catalog:
+every vulnerable variant is rendered in a couple of neutral styles and
+paired with its scenario's safe implementation, grouped by OWASP category
+exactly as the mining workflow of Fig. 2 expects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpus.scenarios import SCENARIOS
+from repro.cwe import OwaspCategory, owasp_category_for
+from repro.generators.style import CLAUDE_STYLE, COPILOT_STYLE, render_variant
+
+_SEED_STYLES = (COPILOT_STYLE, CLAUDE_STYLE)
+
+
+@dataclass(frozen=True)
+class SeedPair:
+    """One (vulnerable, safe) implementation pair with its labels."""
+
+    pair_id: str
+    scenario_key: str
+    cwe_ids: Tuple[str, ...]
+    owasp: Optional[OwaspCategory]
+    vulnerable_code: str
+    safe_code: str
+
+
+def build_seed_corpus(target_size: int = 240) -> List[SeedPair]:
+    """Render the seed collection deterministically (≈``target_size`` pairs)."""
+    pairs: List[SeedPair] = []
+    for scenario in SCENARIOS.all():
+        safe_variant = scenario.safe[0]
+        for variant in scenario.vulnerable:
+            category = owasp_category_for(variant.cwe_ids[0]) if variant.cwe_ids else None
+            for style_index, style in enumerate(_SEED_STYLES):
+                rng = random.Random(f"seed-corpus:{scenario.key}:{variant.key}:{style.name}")
+                vulnerable_code, _ = render_variant(variant, style, rng)
+                safe_rng = random.Random(f"seed-corpus:{scenario.key}:safe:{style.name}")
+                safe_code, _ = render_variant(safe_variant, style, safe_rng)
+                pairs.append(
+                    SeedPair(
+                        pair_id=f"{scenario.key}/{variant.key}/{style.name}",
+                        scenario_key=scenario.key,
+                        cwe_ids=variant.cwe_ids,
+                        owasp=category,
+                        vulnerable_code=vulnerable_code,
+                        safe_code=safe_code,
+                    )
+                )
+                if len(pairs) >= target_size:
+                    return pairs
+    return pairs
+
+
+def pairs_by_category(pairs: Optional[List[SeedPair]] = None) -> Dict[OwaspCategory, List[SeedPair]]:
+    """Group seed pairs by OWASP Top 10 category (Fig. 2, first step)."""
+    if pairs is None:
+        pairs = build_seed_corpus()
+    grouped: Dict[OwaspCategory, List[SeedPair]] = {}
+    for pair in pairs:
+        if pair.owasp is not None:
+            grouped.setdefault(pair.owasp, []).append(pair)
+    return grouped

@@ -1,0 +1,28 @@
+"""Snippet standardization — the named entity tagger of §II-A.
+
+Before mining, vulnerable and safe snippets are *standardized*: the tokens
+that carry sample-specific detail (data variables, positional string/number
+arguments) are rewritten to ``var#`` placeholders, while a set of
+protection rules keeps behaviour-bearing tokens intact (API names,
+configuration parameters recognized by the ``=`` symbol, keywords such as
+``True``/``False``).  Standardization makes the LCS of two samples align on
+implementation structure instead of naming accidents.
+"""
+
+from repro.standardize.entity_tagger import NamedEntityTagger, StandardizationResult, standardize
+from repro.standardize.rules import (
+    DEFAULT_PROTECTED_NAMES,
+    FRAMEWORK_OBJECT_NAMES,
+    is_config_keyword,
+    is_protected_name,
+)
+
+__all__ = [
+    "DEFAULT_PROTECTED_NAMES",
+    "FRAMEWORK_OBJECT_NAMES",
+    "NamedEntityTagger",
+    "StandardizationResult",
+    "is_config_keyword",
+    "is_protected_name",
+    "standardize",
+]

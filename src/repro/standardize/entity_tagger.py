@@ -1,0 +1,256 @@
+"""The named entity tagger that rewrites data tokens to ``var#``.
+
+The tagger walks the token stream of a snippet and replaces *standardizable*
+tokens — data variables and positional literal arguments — with ``var#``
+placeholders numbered by first appearance, returning both the standardized
+text and the token dictionary (§II-A).  Protection rules keep API names,
+definition names, decorator arguments, and configuration parameters
+(keyword arguments recognized by ``=`` and ``True``/``False`` literals)
+verbatim so the standardized form still describes the code's behaviour.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.standardize.rules import is_protected_name
+from repro.textutils.normalize import normalize_snippet
+from repro.textutils.tokenizer import Token, TokenKind, detokenize, tokenize
+
+_OPENERS = {"(": ")", "[": "]", "{": "}"}
+_CLOSERS = {")", "]", "}"}
+_DEFINITION_KEYWORDS = {"def", "class", "import", "from", "as", "global", "nonlocal"}
+_FSTRING_FIELD_RE = re.compile(r"\{([^{}]+)\}")
+_IDENTIFIER_RE = re.compile(r"(?<![\w.])([A-Za-z_][A-Za-z0-9_]*)(?!\w)")
+
+
+@dataclass
+class StandardizationResult:
+    """Outcome of standardizing one snippet."""
+
+    text: str
+    mapping: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def placeholder_count(self) -> int:
+        """Number of distinct standardized tokens."""
+        return len(self.mapping)
+
+    def placeholder_for(self, original: str) -> Optional[str]:
+        """The var# placeholder of an original token, if any."""
+        return self.mapping.get(original)
+
+
+class NamedEntityTagger:
+    """Standardizes snippets; one instance may be reused across snippets.
+
+    Each call to :meth:`standardize` numbers placeholders independently
+    (``var0`` restarts per snippet), matching the paper's per-sample
+    dictionaries.
+    """
+
+    def __init__(self, extra_protected: Optional[set] = None) -> None:
+        self._extra_protected = frozenset(extra_protected or ())
+
+    def standardize(self, source: str) -> StandardizationResult:
+        """Return the standardized text and the ``original -> var#`` map."""
+        normalized = normalize_snippet(source)
+        tokens = tokenize(normalized, keep_whitespace=True)
+        mapping: Dict[str, str] = {}
+        out_tokens: List[Token] = []
+
+        significant = [i for i, t in enumerate(tokens) if _is_significant(t)]
+        sig_pos = {idx: n for n, idx in enumerate(significant)}
+
+        paren_depth = 0
+        in_decorator = False
+        kwarg_value_depth: Optional[int] = None
+
+        for i, token in enumerate(tokens):
+            if token.kind is TokenKind.NEWLINE:
+                in_decorator = False
+            if token.kind is TokenKind.OP:
+                if token.text in _OPENERS:
+                    paren_depth += 1
+                elif token.text in _CLOSERS:
+                    paren_depth = max(0, paren_depth - 1)
+                    if kwarg_value_depth is not None and paren_depth < kwarg_value_depth:
+                        kwarg_value_depth = None
+                elif token.text == "@" and _starts_line(tokens, i):
+                    in_decorator = True
+                elif token.text == "," and kwarg_value_depth == paren_depth:
+                    kwarg_value_depth = None
+                out_tokens.append(token)
+                continue
+
+            if not _is_significant(token):
+                out_tokens.append(token)
+                continue
+
+            prev_tok = _neighbor(tokens, significant, sig_pos, i, -1)
+            next_tok = _neighbor(tokens, significant, sig_pos, i, +1)
+
+            if token.kind is TokenKind.NAME:
+                out_tokens.append(
+                    self._handle_name(
+                        token, prev_tok, next_tok, mapping,
+                        paren_depth=paren_depth,
+                        in_decorator=in_decorator,
+                        in_kwarg_value=kwarg_value_depth is not None,
+                    )
+                )
+                if (
+                    next_tok is not None
+                    and next_tok.text == "="
+                    and paren_depth > 0
+                    and _after_equals_is_value(tokens, significant, sig_pos, i)
+                ):
+                    kwarg_value_depth = paren_depth
+                continue
+
+            if token.kind is TokenKind.STRING:
+                out_tokens.append(
+                    self._handle_string(
+                        token, mapping,
+                        paren_depth=paren_depth,
+                        in_decorator=in_decorator,
+                        in_kwarg_value=kwarg_value_depth is not None,
+                        prev_tok=prev_tok,
+                    )
+                )
+                continue
+
+            if token.kind is TokenKind.FSTRING:
+                out_tokens.append(self._handle_fstring(token, mapping))
+                continue
+
+            # numbers, keywords, comments: configuration-bearing, keep as-is
+            out_tokens.append(token)
+
+        return StandardizationResult(text=detokenize(out_tokens), mapping=mapping)
+
+    # ------------------------------------------------------------------
+
+    def _placeholder(self, original: str, mapping: Dict[str, str]) -> str:
+        if original not in mapping:
+            mapping[original] = f"var{len(mapping)}"
+        return mapping[original]
+
+    def _handle_name(
+        self,
+        token: Token,
+        prev_tok: Optional[Token],
+        next_tok: Optional[Token],
+        mapping: Dict[str, str],
+        *,
+        paren_depth: int,
+        in_decorator: bool,
+        in_kwarg_value: bool,
+    ) -> Token:
+        name = token.text
+        if name in mapping:
+            return token.with_text(mapping[name])
+        if is_protected_name(name) or name in self._extra_protected:
+            return token
+        if prev_tok is not None and prev_tok.text == ".":
+            return token  # attribute access: API surface
+        if prev_tok is not None and prev_tok.kind is TokenKind.KEYWORD and prev_tok.text in _DEFINITION_KEYWORDS:
+            return token  # definition/import name
+        if in_decorator and paren_depth == 0:
+            return token  # decorator name
+        if next_tok is not None and next_tok.text == "(":
+            return token  # callee name
+        if next_tok is not None and next_tok.text == "=" and paren_depth > 0:
+            return token  # keyword-argument name (configuration parameter)
+        return token.with_text(self._placeholder(name, mapping))
+
+    def _handle_string(
+        self,
+        token: Token,
+        mapping: Dict[str, str],
+        *,
+        paren_depth: int,
+        in_decorator: bool,
+        in_kwarg_value: bool,
+        prev_tok: Optional[Token],
+    ) -> Token:
+        if in_decorator or in_kwarg_value:
+            return token  # route strings / configuration values stay
+        if paren_depth == 0:
+            return token  # module-level literals (docstrings, constants)
+        if prev_tok is not None and prev_tok.text == "=":
+            return token  # defensively: value of a kwarg
+        return token.with_text(self._placeholder(token.text, mapping))
+
+    def _handle_fstring(self, token: Token, mapping: Dict[str, str]) -> Token:
+        def replace_field(field_match: "re.Match[str]") -> str:
+            content = field_match.group(1)
+
+            def replace_name(name_match: "re.Match[str]") -> str:
+                name = name_match.group(1)
+                tail = content[name_match.end() :].lstrip()
+                if name in mapping:
+                    return mapping[name]
+                if is_protected_name(name) or name in self._extra_protected:
+                    return name
+                if tail.startswith("("):
+                    return name  # callee inside the field
+                return self._placeholder(name, mapping)
+
+            return "{" + _IDENTIFIER_RE.sub(replace_name, content) + "}"
+
+        return token.with_text(_FSTRING_FIELD_RE.sub(replace_field, token.text))
+
+
+def _is_significant(token: Token) -> bool:
+    return token.kind not in (TokenKind.NEWLINE, TokenKind.INDENT, TokenKind.COMMENT)
+
+
+def _neighbor(
+    tokens: List[Token],
+    significant: List[int],
+    sig_pos: Dict[int, int],
+    index: int,
+    direction: int,
+) -> Optional[Token]:
+    pos = sig_pos.get(index)
+    if pos is None:
+        return None
+    target = pos + direction
+    if 0 <= target < len(significant):
+        return tokens[significant[target]]
+    return None
+
+
+def _starts_line(tokens: List[Token], index: int) -> bool:
+    for j in range(index - 1, -1, -1):
+        kind = tokens[j].kind
+        if kind is TokenKind.INDENT:
+            continue
+        return kind is TokenKind.NEWLINE
+    return True
+
+
+def _after_equals_is_value(
+    tokens: List[Token],
+    significant: List[int],
+    sig_pos: Dict[int, int],
+    index: int,
+) -> bool:
+    """True when ``NAME =`` at ``index`` is a kwarg (not ``==`` comparison)."""
+    pos = sig_pos.get(index)
+    if pos is None or pos + 2 >= len(significant):
+        return False
+    eq = tokens[significant[pos + 1]]
+    nxt = tokens[significant[pos + 2]]
+    return eq.text == "=" and nxt.text != "="
+
+
+_DEFAULT_TAGGER = NamedEntityTagger()
+
+
+def standardize(source: str) -> StandardizationResult:
+    """Standardize ``source`` with the default tagger."""
+    return _DEFAULT_TAGGER.standardize(source)

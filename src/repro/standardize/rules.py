@@ -1,0 +1,118 @@
+"""Protection rules for the named entity tagger.
+
+The tagger must *not* standardize tokens that describe behaviour rather
+than naming accidents.  Three families of protection apply (§II-A):
+
+1. configuration parameters — keyword arguments recognized by the ``=``
+   symbol and literal keywords such as ``True``, ``False``, ``None``;
+2. API surface — module names, attribute chains, well-known callables
+   (``Flask``, ``request.args.get``, ``subprocess.run``, ...), builtins;
+3. structural names — function/class definition names, decorator names,
+   import targets, and conventional framework singletons (``app``, ``db``).
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import FrozenSet
+
+# Literal keywords that configure behaviour and must never be replaced.
+CONFIG_KEYWORDS: FrozenSet[str] = frozenset({"True", "False", "None"})
+
+# Conventional framework singletons the paper's examples keep verbatim
+# (``app = Flask(__name__)`` keeps ``app``).
+FRAMEWORK_OBJECT_NAMES: FrozenSet[str] = frozenset(
+    {
+        "app",
+        "appl",
+        "application",
+        "bp",
+        "blueprint",
+        "db",
+        "engine",
+        "session",
+        "conn",
+        "connection",
+        "cursor",
+        "logger",
+        "log",
+        "router",
+        "api",
+        "client",
+        "server",
+        "sock",
+        "socket_",
+        "parser",
+        "self",
+        "cls",
+    }
+)
+
+# Names belonging to the API surface of the libraries the corpus exercises.
+_LIBRARY_NAMES: FrozenSet[str] = frozenset(
+    {
+        # stdlib modules
+        "os", "sys", "subprocess", "pickle", "marshal", "shelve", "json",
+        "yaml", "sqlite3", "hashlib", "hmac", "secrets", "random", "re",
+        "logging", "tempfile", "tarfile", "zipfile", "shutil", "socket",
+        "ssl", "urllib", "requests", "http", "base64", "binascii", "ctypes",
+        "xml", "lxml", "etree", "defusedxml", "ldap", "ldap3", "paramiko",
+        "ftplib", "telnetlib", "smtplib", "crypt", "pwd", "grp", "stat",
+        "pathlib", "io", "string", "functools", "itertools", "struct",
+        "time", "datetime", "uuid", "glob", "signal", "threading", "queue",
+        # flask / django / web
+        "flask", "Flask", "request", "args", "form", "files", "cookies",
+        "headers", "render_template", "render_template_string", "redirect",
+        "make_response", "escape", "send_file", "send_from_directory",
+        "url_for", "jsonify", "abort", "session", "Markup", "markupsafe",
+        "django", "HttpResponse", "HttpResponseRedirect", "werkzeug",
+        "secure_filename", "safe_join",
+        # crypto
+        "Crypto", "cryptography", "Cipher", "AES", "DES", "DES3", "ARC4",
+        "Blowfish", "RSA", "DSA", "ECC", "PBKDF2", "bcrypt", "scrypt",
+        "Fernet", "hazmat", "padding", "serialization", "default_backend",
+        "md5", "sha1", "sha256", "sha512", "sha3_256", "blake2b", "new",
+        "pbkdf2_hmac", "token_bytes", "token_hex", "token_urlsafe",
+        "SystemRandom", "urandom", "getrandbits", "randint", "randrange",
+        "choice", "compare_digest",
+        # db / orm
+        "execute", "executemany", "executescript", "fetchall", "fetchone",
+        "commit", "connect", "Connection",
+        # generic high-frequency call surface
+        "open", "read", "write", "readlines", "close", "get", "post", "put",
+        "delete", "run", "call", "check_output", "check_call", "Popen",
+        "system", "popen", "spawn", "eval", "exec", "compile", "input",
+        "load", "loads", "dump", "dumps", "safe_load", "full_load",
+        "FullLoader", "SafeLoader", "Loader", "UnsafeLoader",
+        "parse", "fromstring", "XMLParser", "resolve_entities",
+        "extract", "extractall", "set_cookie", "route", "bind", "listen",
+        "accept", "sendall", "recv", "verify", "encrypt", "decrypt",
+        "sign", "update", "hexdigest", "digest", "mkstemp", "mktemp",
+        "NamedTemporaryFile", "TemporaryFile", "chmod", "chown", "umask",
+        "setuid", "setgid", "startswith", "endswith", "format", "join",
+        "split", "strip", "replace", "encode", "decode", "quote", "unquote",
+        "urlopen", "urlparse", "urljoin", "Request", "getLogger", "basicConfig",
+        "info", "warning", "error", "debug", "critical", "exception",
+        "literal_eval", "ast",
+    }
+)
+
+_BUILTIN_NAMES: FrozenSet[str] = frozenset(dir(builtins))
+
+DEFAULT_PROTECTED_NAMES: FrozenSet[str] = (
+    CONFIG_KEYWORDS | FRAMEWORK_OBJECT_NAMES | _LIBRARY_NAMES | _BUILTIN_NAMES
+)
+
+# Dunder names (``__name__``, ``__main__``) are structural, never data.
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def is_config_keyword(text: str) -> bool:
+    """True for ``True``/``False``/``None`` literal configuration values."""
+    return text in CONFIG_KEYWORDS
+
+
+def is_protected_name(name: str) -> bool:
+    """True when the tagger must keep ``name`` verbatim."""
+    return name in DEFAULT_PROTECTED_NAMES or _is_dunder(name)

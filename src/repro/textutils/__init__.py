@@ -1,0 +1,30 @@
+"""Text-processing substrate used by standardization and rule mining.
+
+The paper's rule-derivation pipeline (§II-A, Fig. 2) operates on token
+sequences: snippets are tokenized, standardized, compared via LCS, and
+diffed via ``difflib.SequenceMatcher``.  This package provides those
+primitives in a robust, AST-free form that works on the incomplete code AI
+generators emit.
+"""
+
+from repro.textutils.diffing import DiffFragment, extract_additions, opcode_summary
+from repro.textutils.lcs import lcs_length, lcs_table, lcs_tokens, longest_common_substring
+from repro.textutils.normalize import collapse_blank_lines, normalize_snippet, strip_comments
+from repro.textutils.tokenizer import Token, TokenKind, detokenize, tokenize
+
+__all__ = [
+    "DiffFragment",
+    "Token",
+    "TokenKind",
+    "collapse_blank_lines",
+    "detokenize",
+    "extract_additions",
+    "lcs_length",
+    "lcs_table",
+    "lcs_tokens",
+    "longest_common_substring",
+    "normalize_snippet",
+    "opcode_summary",
+    "strip_comments",
+    "tokenize",
+]

@@ -1,0 +1,149 @@
+"""Longest-common-subsequence algorithms over token sequences.
+
+The mining pipeline extracts the *common implementation pattern* of a pair
+of standardized snippets as the LCS of their token sequences (§II-A).  The
+module offers a classic dynamic-programming solver (with a linear-space
+length variant) plus a Hunt–Szymanski-style solver that is much faster on
+the long, low-match sequences produced by whole-file comparisons.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def lcs_table(a: Sequence[T], b: Sequence[T]) -> List[List[int]]:
+    """Full DP table where ``table[i][j]`` is the LCS length of ``a[:i], b[:j]``."""
+    rows, cols = len(a), len(b)
+    table = [[0] * (cols + 1) for _ in range(rows + 1)]
+    for i in range(1, rows + 1):
+        row = table[i]
+        prev = table[i - 1]
+        ai = a[i - 1]
+        for j in range(1, cols + 1):
+            if ai == b[j - 1]:
+                row[j] = prev[j - 1] + 1
+            else:
+                row[j] = prev[j] if prev[j] >= row[j - 1] else row[j - 1]
+    return table
+
+
+def lcs_length(a: Sequence[T], b: Sequence[T]) -> int:
+    """LCS length in O(min(len) ) space."""
+    if len(b) > len(a):
+        a, b = b, a
+    previous = [0] * (len(b) + 1)
+    for ai in a:
+        current = [0]
+        append = current.append
+        for j, bj in enumerate(b, start=1):
+            if ai == bj:
+                append(previous[j - 1] + 1)
+            else:
+                left = current[j - 1]
+                up = previous[j]
+                append(up if up >= left else left)
+        previous = current
+    return previous[-1]
+
+
+def lcs_tokens(a: Sequence[T], b: Sequence[T]) -> Tuple[T, ...]:
+    """One longest common subsequence of ``a`` and ``b``.
+
+    Uses Hunt–Szymanski (patience-style) when the match density is low,
+    falling back to the DP backtrack for short inputs; both return a valid
+    LCS, and tests assert length-equality between the strategies.
+    """
+    if not a or not b:
+        return ()
+    if len(a) * len(b) <= 64 * 64:
+        return _lcs_backtrack(a, b)
+    return _lcs_hunt_szymanski(a, b)
+
+
+def _lcs_backtrack(a: Sequence[T], b: Sequence[T]) -> Tuple[T, ...]:
+    table = lcs_table(a, b)
+    out: List[T] = []
+    i, j = len(a), len(b)
+    while i > 0 and j > 0:
+        if a[i - 1] == b[j - 1]:
+            out.append(a[i - 1])
+            i -= 1
+            j -= 1
+        elif table[i - 1][j] >= table[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    out.reverse()
+    return tuple(out)
+
+
+def _lcs_hunt_szymanski(a: Sequence[T], b: Sequence[T]) -> Tuple[T, ...]:
+    """Hunt–Szymanski LCS: O((r + n) log n) where r is the match count."""
+    positions: Dict[T, List[int]] = defaultdict(list)
+    for j, item in enumerate(b):
+        positions[item].append(j)
+
+    # ``tails[k]`` = smallest b-index ending an increasing match of length k+1.
+    tails: List[int] = []
+    # parent links for reconstruction: (b_index, predecessor node id)
+    nodes: List[Tuple[int, int, T]] = []  # (b_index, parent_node, value)
+    tail_nodes: List[int] = []
+
+    for item in a:
+        match_positions = positions.get(item)
+        if not match_positions:
+            continue
+        # iterate descending so each a-item is used at most once per length
+        for j in reversed(match_positions):
+            k = bisect_left(tails, j)
+            parent = tail_nodes[k - 1] if k > 0 else -1
+            node_id = len(nodes)
+            nodes.append((j, parent, item))
+            if k == len(tails):
+                tails.append(j)
+                tail_nodes.append(node_id)
+            elif j < tails[k]:
+                tails[k] = j
+                tail_nodes[k] = node_id
+
+    if not tails:
+        return ()
+    out: List[T] = []
+    node = tail_nodes[len(tails) - 1]
+    while node != -1:
+        j, parent, value = nodes[node]
+        out.append(value)
+        node = parent
+    out.reverse()
+    return tuple(out)
+
+
+def longest_common_substring(a: Sequence[T], b: Sequence[T]) -> Tuple[T, ...]:
+    """Longest *contiguous* common run — used for anchor extraction."""
+    best_len = 0
+    best_end = 0
+    previous = [0] * (len(b) + 1)
+    for i in range(1, len(a) + 1):
+        current = [0] * (len(b) + 1)
+        ai = a[i - 1]
+        for j in range(1, len(b) + 1):
+            if ai == b[j - 1]:
+                current[j] = previous[j - 1] + 1
+                if current[j] > best_len:
+                    best_len = current[j]
+                    best_end = i
+        previous = current
+    return tuple(a[best_end - best_len : best_end])
+
+
+def similarity_ratio(a: Sequence[T], b: Sequence[T]) -> float:
+    """``2 * LCS / (len(a) + len(b))`` — the pair-selection affinity score."""
+    total = len(a) + len(b)
+    if total == 0:
+        return 1.0
+    return 2.0 * lcs_length(a, b) / total

@@ -1,0 +1,86 @@
+"""Source normalization helpers shared by matching and mining.
+
+Pattern rules match against a lightly normalized view of the code so that
+formatting noise (comments, stray markdown fences, duplicated blank lines)
+does not defeat the regexes, while character offsets into the *original*
+source are preserved wherever the engine needs to patch.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+_MARKDOWN_FENCE_RE = re.compile(r"^```[a-zA-Z0-9_+-]*\s*$", re.MULTILINE)
+_COMMENT_RE = re.compile(r"(?<!['\"#])#[^\n]*")
+_TRAILING_WS_RE = re.compile(r"[ \t]+$", re.MULTILINE)
+_BLANK_RUN_RE = re.compile(r"\n{3,}")
+
+
+def strip_markdown_fences(source: str) -> str:
+    """Remove the ```python fences LLM output frequently retains."""
+    return _MARKDOWN_FENCE_RE.sub("", source)
+
+
+def strip_comments(source: str) -> str:
+    """Remove ``#`` comments line-by-line, respecting string literals.
+
+    A lightweight scanner tracks quote state per line; it deliberately does
+    not attempt full lexical fidelity for triple-quoted strings spanning
+    lines that themselves contain ``#`` — mining tolerates that rare loss.
+    """
+    out_lines: List[str] = []
+    for line in source.splitlines():
+        out_lines.append(_strip_comment_from_line(line))
+    suffix = "\n" if source.endswith("\n") else ""
+    return "\n".join(out_lines) + suffix
+
+
+def _strip_comment_from_line(line: str) -> str:
+    quote: str = ""
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if quote:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == quote:
+                quote = ""
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == "#":
+            return line[:i].rstrip()
+        i += 1
+    return line
+
+
+def collapse_blank_lines(source: str) -> str:
+    """Squash runs of 3+ newlines down to a single blank line."""
+    return _BLANK_RUN_RE.sub("\n\n", source)
+
+
+def normalize_snippet(source: str) -> str:
+    """Full normalization pipeline used before standardization/mining."""
+    text = strip_markdown_fences(source)
+    text = strip_comments(text)
+    text = _TRAILING_WS_RE.sub("", text)
+    text = collapse_blank_lines(text)
+    return text.strip("\n") + ("\n" if text.strip() else "")
+
+
+def split_logical_lines(source: str) -> List[Tuple[int, str]]:
+    """``(offset, text)`` pairs for non-blank physical lines."""
+    result: List[Tuple[int, str]] = []
+    offset = 0
+    for raw in source.splitlines(keepends=True):
+        stripped = raw.rstrip("\n")
+        if stripped.strip():
+            result.append((offset, stripped))
+        offset += len(raw)
+    return result
+
+
+def indent_of(line: str) -> str:
+    """Leading whitespace of ``line``."""
+    return line[: len(line) - len(line.lstrip(" \t"))]

@@ -1,0 +1,259 @@
+"""Core datatypes shared across the PatchitPy reproduction.
+
+The types here model the artifacts that flow through the paper's two-phase
+workflow: code samples produced by (simulated) AI generators, findings
+emitted by detection tools, patches emitted by patching tools, and the
+reports that bundle them together.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+
+class Severity(enum.Enum):
+    """Severity grades used by detection rules and baseline tools."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+    CRITICAL = "critical"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Confidence(enum.Enum):
+    """Confidence grades, mirroring Bandit's LOW/MEDIUM/HIGH scale."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open character span ``[start, end)`` inside a source string."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        """Number of characters covered by the span."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        """True when the two spans share at least one character."""
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, other: "Span") -> bool:
+        """True when ``other`` lies entirely inside this span."""
+        return self.start <= other.start and other.end <= self.end
+
+    def shift(self, delta: int) -> "Span":
+        """Copy of the span moved by ``delta`` characters."""
+        return Span(self.start + delta, self.end + delta)
+
+
+def line_of_offset(source: str, offset: int) -> int:
+    """Return the 1-based line number holding character ``offset``."""
+    if offset < 0 or offset > len(source):
+        raise ValueError(f"offset {offset} outside source of length {len(source)}")
+    return source.count("\n", 0, offset) + 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One vulnerability detection reported by a tool.
+
+    ``rule_id`` identifies the triggering rule (PatchitPy rule id, Bandit
+    plugin id, Semgrep rule key, CodeQL query id, or a simulated-LLM tag);
+    ``cwe_id`` is a canonical ``CWE-###`` string.
+    """
+
+    rule_id: str
+    cwe_id: str
+    message: str
+    span: Span
+    snippet: str = ""
+    severity: Severity = Severity.MEDIUM
+    confidence: Confidence = Confidence.MEDIUM
+    fixable: bool = False
+
+    def with_span(self, span: Span) -> "Finding":
+        """Copy of the finding anchored at a different span."""
+        return Finding(
+            rule_id=self.rule_id,
+            cwe_id=self.cwe_id,
+            message=self.message,
+            span=span,
+            snippet=self.snippet,
+            severity=self.severity,
+            confidence=self.confidence,
+            fixable=self.fixable,
+        )
+
+
+@dataclass(frozen=True)
+class Patch:
+    """A concrete edit produced for one finding.
+
+    ``replacement`` substitutes the text at ``span``; ``new_imports`` lists
+    import statements the patched code additionally needs (inserted at the
+    top of the file by the import manager, mirroring the VS Code Position
+    API usage described in §II-B of the paper).
+    """
+
+    rule_id: str
+    cwe_id: str
+    span: Span
+    replacement: str
+    new_imports: Tuple[str, ...] = ()
+    description: str = ""
+
+    def is_noop(self) -> bool:
+        """True when applying the patch would change nothing."""
+        return self.span.length == 0 and not self.replacement and not self.new_imports
+
+
+@dataclass(frozen=True)
+class SuggestionComment:
+    """A fix *suggestion* delivered as a comment (Semgrep/Bandit style).
+
+    The paper stresses that Bandit and Semgrep only provide remediation
+    guidance via comments without modifying the code; this type models that
+    weaker output channel.
+    """
+
+    rule_id: str
+    cwe_id: str
+    line: int
+    comment: str
+
+
+@dataclass
+class AnalysisReport:
+    """The result of running a detection (and optionally patching) tool."""
+
+    tool: str
+    source: str
+    findings: list = field(default_factory=list)
+    patches: list = field(default_factory=list)
+    suggestions: list = field(default_factory=list)
+    parse_failed: bool = False
+    patched_source: Optional[str] = None
+
+    @property
+    def is_vulnerable(self) -> bool:
+        """Sample-level verdict: did the tool flag anything?"""
+        return bool(self.findings)
+
+    def cwes(self) -> Tuple[str, ...]:
+        """Distinct CWE ids among the findings, sorted."""
+        return tuple(sorted({f.cwe_id for f in self.findings}))
+
+    def findings_for(self, cwe_id: str) -> list:
+        """Findings carrying the given CWE id."""
+        return [f for f in self.findings if f.cwe_id == cwe_id]
+
+
+class GeneratorName(enum.Enum):
+    """The three AI code generators evaluated in the paper."""
+
+    COPILOT = "copilot"
+    CLAUDE = "claude"
+    DEEPSEEK = "deepseek"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class PromptSource(enum.Enum):
+    """Origin dataset of an NL prompt (§III-A)."""
+
+    SECURITYEVAL = "securityeval"
+    LLMSECEVAL = "llmseceval"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Prompt:
+    """A natural-language prompt used to ask a generator for code."""
+
+    prompt_id: str
+    source: PromptSource
+    text: str
+    cwe_ids: Tuple[str, ...]
+    scenario_key: str
+
+    @property
+    def token_count(self) -> int:
+        """Whitespace token count, the statistic reported in §III-A."""
+        return len(self.text.split())
+
+
+@dataclass(frozen=True)
+class CodeSample:
+    """A generated code sample plus its ground-truth labels.
+
+    ``true_cwe_ids`` lists the CWEs genuinely present (empty for safe
+    samples) — this is the oracle the simulated manual evaluation converges
+    to.  ``incomplete`` flags snippet-style outputs that do not parse as a
+    full module (the code-generator failure mode the paper says defeats
+    AST-based tools).
+    """
+
+    sample_id: str
+    generator: GeneratorName
+    prompt: Prompt
+    source: str
+    true_cwe_ids: Tuple[str, ...]
+    variant_key: str
+    incomplete: bool = False
+
+    @property
+    def is_vulnerable(self) -> bool:
+        return bool(self.true_cwe_ids)
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Expert-written secure implementation for a prompt (§III-C)."""
+
+    prompt_id: str
+    source: str
+
+
+def iter_lines_with_offsets(source: str) -> Iterator[Tuple[int, int, str]]:
+    """Yield ``(line_number, start_offset, line_text)`` for each line."""
+    offset = 0
+    for number, line in enumerate(source.splitlines(keepends=True), start=1):
+        yield number, offset, line.rstrip("\n")
+        offset += len(line)
+
+
+def merge_spans(spans: Sequence[Span]) -> Tuple[Span, ...]:
+    """Merge overlapping/adjacent spans into a minimal sorted tuple."""
+    if not spans:
+        return ()
+    ordered = sorted(spans, key=lambda s: (s.start, s.end))
+    merged = [ordered[0]]
+    for span in ordered[1:]:
+        last = merged[-1]
+        if span.start <= last.end:
+            merged[-1] = Span(last.start, max(last.end, span.end))
+        else:
+            merged.append(span)
+    return tuple(merged)

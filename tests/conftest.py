@@ -1,0 +1,38 @@
+"""Shared fixtures: engines, corpora, and one cached case-study run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PatchitPy
+from repro.corpus import load_prompts
+from repro.generators import generate_all_models
+
+
+@pytest.fixture(scope="session")
+def engine() -> PatchitPy:
+    return PatchitPy()
+
+
+@pytest.fixture(scope="session")
+def prompts():
+    return load_prompts()
+
+
+@pytest.fixture(scope="session")
+def corpus_samples():
+    """The full 609-sample corpus, rendered once per test session."""
+    return generate_all_models()
+
+
+@pytest.fixture(scope="session")
+def flat_samples(corpus_samples):
+    return [s for items in corpus_samples.values() for s in items]
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """One full case-study run shared by the integration tests."""
+    from repro.evaluation import run_case_study
+
+    return run_case_study()

@@ -1,0 +1,67 @@
+"""Tests for the ablation studies (E8/E9/E10 support)."""
+
+import pytest
+
+from repro.evaluation.ablation import (
+    guards_ablation,
+    import_insertion_ablation,
+    incomplete_snippet_study,
+    ruleset_size_ablation,
+    standardization_ablation,
+    strip_guards,
+)
+from repro.core.rules import default_ruleset
+
+
+class TestGuards:
+    def test_strip_guards_removes_all(self):
+        stripped = strip_guards(default_ruleset())
+        assert all(r.guards == () for r in stripped)
+        assert len(stripped) == 85
+
+    def test_guards_buy_precision(self):
+        result = guards_ablation()
+        with_guards = result["with-guards"]
+        without = result["without-guards"]
+        assert with_guards.precision > without.precision
+        # removing vetoes can only add matches
+        assert without.recall >= with_guards.recall
+
+
+class TestImportInsertion:
+    def test_insertion_removes_dangling_imports(self):
+        result = import_insertion_ablation()
+        assert result.patched_samples > 100
+        assert (
+            result.missing_import_samples_without_insertion
+            > 5 * max(result.missing_import_samples_with_insertion, 1)
+        )
+
+
+class TestStandardization:
+    def test_standardization_lengthens_lcs(self):
+        result = standardization_ablation()
+        assert result.pairs >= 20
+        assert result.mean_lcs_ratio_standardized > result.mean_lcs_ratio_raw
+
+
+class TestIncompleteStudy:
+    def test_ast_tools_fail_on_incomplete(self):
+        rows = {row.tool: row for row in incomplete_snippet_study()}
+        # the paper's central mechanism: AST tools see nothing in snippets
+        assert rows["codeql"].recall_incomplete == 0.0
+        assert rows["bandit"].recall_incomplete == 0.0
+        # PatchitPy's pattern matching barely notices incompleteness
+        assert rows["patchitpy"].recall_incomplete >= 0.75
+        assert rows["patchitpy"].recall_parseable >= 0.8
+        # Semgrep's textual matching also survives snippets
+        assert rows["semgrep"].recall_incomplete > 0.2
+
+
+class TestRulesetSize:
+    def test_extended_trades_precision_for_recall(self):
+        result = ruleset_size_ablation()
+        default = result["default-85"]
+        extended = result["extended"]
+        assert extended.recall >= default.recall
+        assert extended.precision <= default.precision

@@ -1,0 +1,50 @@
+"""Tests for the Cohen's kappa agreement analysis."""
+
+import pytest
+
+from repro.evaluation.agreement import agreement_matrix, cohens_kappa, render_agreement
+
+
+class TestKappa:
+    def test_perfect_agreement(self):
+        result = cohens_kappa([True, False, True], [True, False, True])
+        assert result.kappa == 1.0 and result.raw_agreement == 1.0
+
+    def test_perfect_disagreement(self):
+        result = cohens_kappa([True, False], [False, True])
+        assert result.kappa < 0
+
+    def test_chance_agreement_is_zero(self):
+        # one rater says yes half the time independent of the other
+        a = [True, True, False, False]
+        b = [True, False, True, False]
+        assert cohens_kappa(a, b).kappa == pytest.approx(0.0)
+
+    def test_constant_raters(self):
+        result = cohens_kappa([True, True], [True, True])
+        assert result.kappa == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cohens_kappa([True], [True, False])
+
+    def test_hand_computed_example(self):
+        # observed = 0.6; p_yes = (0.5, 0.6) -> expected = 0.5 -> kappa = 0.2
+        a = [True] * 5 + [False] * 5
+        b = [True, True, True, False, False, False, False, False, True, True]
+        result = cohens_kappa(a, b)
+        assert result.raw_agreement == pytest.approx(0.6)
+        assert result.kappa == pytest.approx(0.2)
+
+
+class TestMatrix:
+    def test_pairs_and_render(self):
+        verdicts = {
+            "t1": {"s1": True, "s2": False},
+            "t2": {"s1": True, "s2": True},
+            "t3": {"s1": False, "s2": False},
+        }
+        matrix = agreement_matrix(verdicts, ["s1", "s2"])
+        assert len(matrix) == 3
+        text = render_agreement(matrix)
+        assert "kappa" in text and "t1" in text

@@ -1,0 +1,103 @@
+"""Cross-tool integration tests over the generated corpus."""
+
+import pytest
+
+from repro.baselines import (
+    MiniBandit,
+    MiniCodeQL,
+    MiniSemgrep,
+    PatchitPyTool,
+    make_chatgpt,
+    make_claude_llm,
+    make_gemini,
+)
+from repro.metrics import from_verdicts
+
+
+@pytest.fixture(scope="module")
+def verdict_table(flat_samples):
+    tools = {
+        "patchitpy": PatchitPyTool(),
+        "codeql": MiniCodeQL(),
+        "semgrep": MiniSemgrep(),
+        "bandit": MiniBandit(),
+        "chatgpt-4o": make_chatgpt(),
+        "claude-3.7": make_claude_llm(),
+        "gemini-2.0": make_gemini(),
+    }
+    return {
+        name: {s.sample_id: tool.is_vulnerable(s) for s in flat_samples}
+        for name, tool in tools.items()
+    }
+
+
+class TestToolInterface:
+    def test_names_stable(self):
+        assert PatchitPyTool().name == "patchitpy"
+        assert MiniCodeQL().name == "codeql"
+        assert MiniSemgrep().name == "semgrep"
+        assert MiniBandit().name == "bandit"
+
+    def test_patch_capability_flags(self):
+        assert PatchitPyTool().can_patch
+        assert make_chatgpt().can_patch
+        assert not MiniCodeQL().can_patch
+        assert not MiniSemgrep().can_patch
+        assert not MiniBandit().can_patch
+
+    def test_detection_only_tools_return_none_patch(self, flat_samples):
+        sample = flat_samples[0]
+        assert MiniCodeQL().patch(sample) is None
+        assert MiniBandit().patch(sample) is None
+
+
+class TestCorpusBehaviour:
+    def test_ast_tools_silent_on_incomplete(self, flat_samples):
+        bandit = MiniBandit()
+        codeql = MiniCodeQL()
+        incomplete = [s for s in flat_samples if s.incomplete]
+        assert incomplete
+        for sample in incomplete[:50]:
+            assert not bandit.is_vulnerable(sample)
+            assert not codeql.is_vulnerable(sample)
+
+    def test_pattern_tools_survive_incomplete(self, flat_samples):
+        patchitpy = PatchitPyTool()
+        incomplete_vulnerable = [
+            s for s in flat_samples if s.incomplete and s.is_vulnerable
+        ]
+        detected = sum(patchitpy.is_vulnerable(s) for s in incomplete_vulnerable)
+        assert detected / len(incomplete_vulnerable) > 0.7
+
+    def test_relative_f1_ordering(self, flat_samples, verdict_table):
+        f1 = {}
+        for tool, verdicts in verdict_table.items():
+            matrix = from_verdicts(
+                (s.is_vulnerable, verdicts[s.sample_id]) for s in flat_samples
+            )
+            f1[tool] = matrix.f1
+        assert f1["patchitpy"] == max(f1.values())
+        for static_tool in ("codeql", "semgrep", "bandit"):
+            for llm in ("chatgpt-4o", "claude-3.7", "gemini-2.0"):
+                assert f1[llm] > f1[static_tool]
+
+    def test_static_tools_mostly_agree_on_safe(self, flat_samples, verdict_table):
+        safe = [s for s in flat_samples if not s.is_vulnerable]
+        for tool in ("codeql", "semgrep", "bandit"):
+            false_alarms = sum(verdict_table[tool][s.sample_id] for s in safe)
+            assert false_alarms / len(safe) < 0.15, tool
+
+    def test_patchitpy_patches_verify_against_oracle(self, flat_samples):
+        from repro.evaluation.oracle import still_vulnerable
+
+        tool = PatchitPyTool()
+        checked = repaired = 0
+        for sample in flat_samples[:120]:
+            if not sample.is_vulnerable or not tool.is_vulnerable(sample):
+                continue
+            checked += 1
+            patched = tool.patch(sample)
+            if patched and not still_vulnerable(patched, sample.true_cwe_ids):
+                repaired += 1
+        assert checked > 40
+        assert repaired / checked > 0.6

@@ -1,0 +1,32 @@
+"""Tests for the per-category breakdown analysis."""
+
+from repro.cwe import OwaspCategory
+from repro.evaluation.breakdown import CategoryRow, category_breakdown, render_breakdown
+
+
+class TestCategoryRow:
+    def test_rates(self):
+        row = CategoryRow(OwaspCategory.A03_INJECTION, vulnerable=10, detected=8, repaired=6)
+        assert row.recall == 0.8
+        assert row.repair_rate == 0.75
+
+    def test_zero_division_safe(self):
+        row = CategoryRow(OwaspCategory.A10_SSRF)
+        assert row.recall == 0.0 and row.repair_rate == 0.0
+
+
+class TestBreakdown:
+    def test_counts_conserved(self, flat_samples, engine):
+        rows = category_breakdown(flat_samples, engine, include_repair=False)
+        total = sum(row.vulnerable for row in rows)
+        labelled = sum(1 for s in flat_samples if s.is_vulnerable)
+        assert total == labelled  # every vulnerable sample maps to a category
+
+    def test_detected_bounded(self, flat_samples, engine):
+        for row in category_breakdown(flat_samples, engine, include_repair=False):
+            assert 0 <= row.detected <= row.vulnerable
+
+    def test_render(self, flat_samples, engine):
+        rows = category_breakdown(flat_samples, engine, include_repair=False)
+        text = render_breakdown(rows)
+        assert "A03" in text and "recall" in text

@@ -1,0 +1,100 @@
+"""Tests for the patchitpy CLI."""
+
+import pytest
+
+from repro.cli import main
+
+VULN = 'import pickle\n\ndata = pickle.loads(blob)\napp.run(debug=True)\n'
+
+
+@pytest.fixture()
+def vulnerable_file(tmp_path):
+    path = tmp_path / "target.py"
+    path.write_text(VULN)
+    return path
+
+
+class TestDetection:
+    def test_findings_printed(self, vulnerable_file, capsys):
+        code = main([str(vulnerable_file)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "CWE-502" in out and "CWE-209" in out
+
+    def test_clean_file_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("print('ok')\n")
+        assert main([str(path)]) == 0
+        assert "no vulnerable patterns" in capsys.readouterr().out
+
+    def test_missing_file_exit_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.py")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestPatching:
+    def test_patch_to_stdout(self, vulnerable_file, capsys):
+        main([str(vulnerable_file), "--patch"])
+        out = capsys.readouterr().out
+        assert "json.loads(blob)" in out
+        assert vulnerable_file.read_text() == VULN  # untouched
+
+    def test_patch_in_place(self, vulnerable_file):
+        main([str(vulnerable_file), "--patch", "--in-place"])
+        text = vulnerable_file.read_text()
+        assert "json.loads(blob)" in text
+        assert "debug=False" in text
+
+
+class TestSelection:
+    def test_line_range_limits_analysis(self, vulnerable_file, capsys):
+        main([str(vulnerable_file), "--lines", "4:4"])
+        out = capsys.readouterr().out
+        assert "CWE-209" in out
+        assert "CWE-502" not in out
+
+    def test_bad_range_rejected(self, vulnerable_file):
+        with pytest.raises(SystemExit):
+            main([str(vulnerable_file), "--lines", "90:99"])
+
+    def test_malformed_range_rejected(self, vulnerable_file):
+        with pytest.raises(SystemExit):
+            main([str(vulnerable_file), "--lines", "abc"])
+
+
+class TestExtended:
+    def test_extended_catalog_flag(self, tmp_path, capsys):
+        path = tmp_path / "ext.py"
+        path.write_text("import sys\nsys.path.insert(0, '/tmp')\n")
+        assert main([str(path)]) == 0  # default ruleset silent
+        assert main([str(path), "--extended"]) == 1  # extended rule fires
+
+
+class TestDirectoryMode:
+    @pytest.fixture()
+    def project(self, tmp_path):
+        (tmp_path / "a.py").write_text("import pickle\nx = pickle.loads(b)\n")
+        (tmp_path / "b.py").write_text("print('ok')\n")
+        return tmp_path
+
+    def test_scan_directory(self, project, capsys):
+        code = main([str(project)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "vulnerable files: 1" in out
+        assert "CWE-502" in out
+
+    def test_patch_directory_in_place(self, project, capsys):
+        main([str(project), "--patch", "--in-place"])
+        assert "json.loads" in (project / "a.py").read_text()
+        assert (project / "a.py.orig").exists()
+
+    def test_clean_directory_exit_zero(self, tmp_path):
+        (tmp_path / "ok.py").write_text("print('fine')\n")
+        assert main([str(tmp_path)]) == 0
+
+    def test_html_report_flag(self, project, tmp_path, capsys):
+        out = tmp_path / "report.html"
+        main([str(project), "--html", str(out)])
+        assert out.exists()
+        assert "<!DOCTYPE html>" in out.read_text()

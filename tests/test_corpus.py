@@ -1,0 +1,190 @@
+"""Corpus integrity tests: prompts, scenarios, and the rule/oracle contract."""
+
+import random
+
+import pytest
+
+from repro.corpus import SCENARIOS, load_prompts, prompt_token_stats, prompts_by_scenario
+from repro.corpus.prompts import get_prompt
+from repro.cwe.top25 import CWE_TOP_25_2021
+from repro.exceptions import CorpusError
+from repro.types import PromptSource
+
+
+class TestPromptCorpus:
+    def test_203_prompts(self, prompts):
+        assert len(prompts) == 203
+
+    def test_split_121_82(self):
+        assert len(load_prompts(PromptSource.SECURITYEVAL)) == 121
+        assert len(load_prompts(PromptSource.LLMSECEVAL)) == 82
+
+    def test_unique_ids(self, prompts):
+        ids = [p.prompt_id for p in prompts]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_prompt_has_known_scenario(self, prompts):
+        for prompt in prompts:
+            assert prompt.scenario_key in SCENARIOS
+
+    def test_every_scenario_has_a_prompt(self):
+        grouped = prompts_by_scenario()
+        assert set(grouped) == set(SCENARIOS.keys())
+
+    def test_prompt_cwes_match_scenario(self, prompts):
+        for prompt in prompts:
+            assert prompt.cwe_ids == SCENARIOS.get(prompt.scenario_key).cwe_ids
+
+    def test_get_prompt(self):
+        assert get_prompt("SE-001").source is PromptSource.SECURITYEVAL
+        with pytest.raises(CorpusError):
+            get_prompt("SE-999")
+
+    def test_llmseceval_top25_derived(self):
+        top25 = set(CWE_TOP_25_2021)
+        exempt = {"flask_cookie_flags", "temp_file_usage", "flask_template_ssti"}
+        for prompt in load_prompts(PromptSource.LLMSECEVAL):
+            if prompt.scenario_key in exempt:
+                continue
+            assert top25 & set(prompt.cwe_ids), prompt.prompt_id
+
+
+class TestTokenStatistics:
+    """§III-A: mean ≈ 21, median 15, min 3, max 63, 75 % below 35."""
+
+    def test_mean(self):
+        stats = prompt_token_stats()
+        assert 19.0 <= stats["mean"] <= 23.0
+
+    def test_median(self):
+        assert 13 <= prompt_token_stats()["median"] <= 17
+
+    def test_min_max(self):
+        stats = prompt_token_stats()
+        assert stats["min"] == 3
+        assert stats["max"] == 63
+
+    def test_share_below_35(self):
+        assert prompt_token_stats()["share_below_35"] >= 0.75
+
+
+class TestScenarioCatalog:
+    def test_63_distinct_cwes(self):
+        # §III-B: prompts triggered code vulnerable to 63 distinct CWEs
+        assert len(SCENARIOS.cwe_union()) == 63
+
+    def test_every_scenario_has_both_pools(self):
+        for scenario in SCENARIOS.all():
+            assert scenario.vulnerable and scenario.safe
+            assert scenario.secure_reference.strip()
+
+    def test_secure_references_parse(self):
+        import ast
+
+        for scenario in SCENARIOS.all():
+            ast.parse(scenario.secure_reference)
+
+    def test_secure_references_clean(self, engine):
+        for scenario in SCENARIOS.all():
+            findings = engine.detect(scenario.secure_reference)
+            assert findings == [], (scenario.key, [f.rule_id for f in findings])
+
+    def test_variant_lookup(self):
+        scenario = SCENARIOS.get("sql_user_lookup")
+        assert scenario.variant("fstring_query").is_vulnerable
+        with pytest.raises(CorpusError):
+            scenario.variant("nope")
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(CorpusError):
+            SCENARIOS.get("not-a-scenario")
+
+    def test_placeholders_are_known(self):
+        allowed = {"fn", "v", "arg", "tbl"}
+        for scenario in SCENARIOS.all():
+            for variant in scenario.all_variants():
+                assert set(variant.placeholders()) <= allowed, (scenario.key, variant.key)
+
+
+class TestRuleContract:
+    """The central consistency contract between corpus and engine:
+
+    - detectable vulnerable variants must trigger the rules;
+    - evasive variants must not;
+    - safe variants must be clean unless marked ``false_alarm``.
+    """
+
+    @pytest.mark.parametrize("style_name", ["copilot", "claude", "deepseek"])
+    def test_variant_detection_contract(self, engine, style_name):
+        from repro.generators.style import CLAUDE_STYLE, COPILOT_STYLE, DEEPSEEK_STYLE, render_variant
+
+        style = {"copilot": COPILOT_STYLE, "claude": CLAUDE_STYLE, "deepseek": DEEPSEEK_STYLE}[style_name]
+        for scenario in SCENARIOS.all():
+            for variant in scenario.all_variants():
+                for trial in range(3):
+                    rng = random.Random(f"{scenario.key}:{variant.key}:{style_name}:{trial}")
+                    code, _ = render_variant(variant, style, rng)
+                    detected = engine.is_vulnerable(code)
+                    expected = (variant.is_vulnerable and variant.detectable) or variant.false_alarm
+                    assert detected == expected, (scenario.key, variant.key, style_name, trial)
+
+
+class TestOracleContract:
+    """The oracle must agree with variant labels and release safe code."""
+
+    def test_oracle_labels(self):
+        from repro.evaluation.oracle import is_cwe_present
+        from repro.generators.style import COPILOT_STYLE, render_variant
+
+        for scenario in SCENARIOS.all():
+            for variant in scenario.all_variants():
+                rng = random.Random(f"oracle:{scenario.key}:{variant.key}")
+                code, _ = render_variant(variant, COPILOT_STYLE, rng)
+                if variant.is_vulnerable:
+                    for cwe in variant.cwe_ids:
+                        assert is_cwe_present(code, cwe), (scenario.key, variant.key, cwe)
+                else:
+                    for cwe in scenario.cwe_ids:
+                        assert not is_cwe_present(code, cwe), (scenario.key, variant.key, cwe)
+
+    def test_oracle_releases_patched_detectable_variants(self, engine):
+        from repro.evaluation.oracle import still_vulnerable
+        from repro.generators.style import CLAUDE_STYLE, render_variant
+
+        releasable = 0
+        total = 0
+        for scenario in SCENARIOS.all():
+            for variant in scenario.vulnerable:
+                if not variant.detectable:
+                    continue
+                rng = random.Random(f"release:{scenario.key}:{variant.key}")
+                code, _ = render_variant(variant, CLAUDE_STYLE, rng)
+                patched = engine.patch(code).patched
+                total += 1
+                if not still_vulnerable(patched, variant.cwe_ids):
+                    releasable += 1
+        # most detectable variants are fully repairable (Table III ceiling)
+        assert releasable / total >= 0.70
+
+
+class TestInventory:
+    def test_render_contains_all_scenarios(self):
+        from repro.corpus.inventory import render_corpus_markdown
+
+        text = render_corpus_markdown()
+        for scenario in SCENARIOS.all():
+            assert f"`{scenario.key}`" in text
+
+    def test_render_contains_stats(self):
+        from repro.corpus.inventory import render_corpus_markdown
+
+        text = render_corpus_markdown()
+        assert "203 NL prompts" in text
+        assert "63 distinct CWEs" in text
+
+    def test_write_roundtrip(self, tmp_path):
+        from repro.corpus.inventory import write_corpus_markdown
+
+        path = tmp_path / "corpus.md"
+        text = write_corpus_markdown(str(path))
+        assert path.read_text() == text

@@ -1,0 +1,42 @@
+"""Tests for the DevAIC predecessor reconstruction."""
+
+from repro.baselines import DevAIC, devaic_ruleset
+from repro.core.rules import default_ruleset
+from repro.metrics import from_verdicts
+
+
+class TestRuleset:
+    def test_same_size_as_default(self):
+        assert len(devaic_ruleset()) == len(default_ruleset()) == 85
+
+    def test_detection_only(self):
+        assert all(not r.patchable for r in devaic_ruleset())
+
+    def test_no_guards_or_prerequisites(self):
+        for rule in devaic_ruleset():
+            assert rule.guards == ()
+            assert rule.prerequisites == ()
+
+    def test_renamed_ids(self):
+        assert all(r.rule_id.startswith("DEVAIC-") for r in devaic_ruleset())
+
+
+class TestLineage:
+    """PatchitPy inherits DevAIC's recall and improves precision (§II-A)."""
+
+    def test_recall_inherited_precision_improved(self, flat_samples, engine):
+        devaic = DevAIC()
+        dev = from_verdicts(
+            (s.is_vulnerable, devaic.is_vulnerable(s)) for s in flat_samples
+        )
+        pit = from_verdicts(
+            (s.is_vulnerable, engine.is_vulnerable(s.source)) for s in flat_samples
+        )
+        # guards/prerequisites can only remove matches → recall >= PatchitPy's
+        assert dev.recall >= pit.recall
+        # ...but the raw patterns over-fire on safe code
+        assert pit.precision > dev.precision
+
+    def test_cannot_patch(self, flat_samples):
+        tool = DevAIC()
+        assert tool.patch(flat_samples[0]) is None

@@ -1,0 +1,53 @@
+"""Tests for the case-study results exporter."""
+
+import json
+
+import pytest
+
+from repro.evaluation.export import (
+    SCHEMA_VERSION,
+    diff_headline,
+    export_results,
+    load_results,
+    result_to_dict,
+)
+
+
+class TestExport:
+    def test_payload_shape(self, case_study):
+        payload = result_to_dict(case_study)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["sample_count"] == 609
+        assert payload["detection"]["patchitpy"]["all"]["f1"] > 0.9
+        assert payload["patching"]["patchitpy"]["all"]["patched_detected"] > 0.7
+
+    def test_json_serializable(self, case_study):
+        json.dumps(result_to_dict(case_study))
+
+    def test_roundtrip(self, case_study, tmp_path):
+        path = tmp_path / "results.json"
+        written = export_results(case_study, path)
+        loaded = load_results(path)
+        assert loaded == json.loads(json.dumps(written))
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema_version": 99}')
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_diff_headline_self_is_ok(self, case_study):
+        payload = result_to_dict(case_study)
+        diff = diff_headline(payload, payload)
+        assert all(entry["ok"] for entry in diff.values())
+
+    def test_diff_headline_flags_regression(self, case_study):
+        payload = result_to_dict(case_study)
+        other = json.loads(json.dumps(payload))
+        other["detection"]["patchitpy"]["all"]["f1"] -= 0.1
+        diff = diff_headline(payload, other)
+        assert not diff["f1"]["ok"]
+
+    def test_manual_section_present(self, case_study):
+        payload = result_to_dict(case_study)
+        assert 0.0 < payload["manual_evaluation"]["discrepancy_rate"] < 0.1

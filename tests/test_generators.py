@@ -1,0 +1,154 @@
+"""Tests for the simulated AI code generators."""
+
+import ast
+import random
+
+import pytest
+
+from repro.corpus import SCENARIOS, load_prompts
+from repro.generators import (
+    DEFAULT_SEED,
+    generate_all_models,
+    make_claude,
+    make_copilot,
+    make_deepseek,
+)
+from repro.generators.base import REPAIR_RESISTANT_SCENARIOS
+from repro.generators.style import (
+    CLAUDE_STYLE,
+    COPILOT_STYLE,
+    DEEPSEEK_STYLE,
+    render_variant,
+)
+from repro.types import GeneratorName
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        a = make_copilot().generate_corpus()
+        b = make_copilot().generate_corpus()
+        assert [s.source for s in a] == [s.source for s in b]
+
+    def test_different_seed_differs(self):
+        a = make_copilot(seed=1).generate_corpus()
+        b = make_copilot(seed=2).generate_corpus()
+        assert [s.source for s in a] != [s.source for s in b]
+
+    def test_single_prompt_consistent_with_corpus(self, prompts):
+        generator = make_claude()
+        corpus = {s.sample_id: s for s in generator.generate_corpus()}
+        one = generator.generate(prompts[10])
+        assert corpus[one.sample_id].source == one.source
+
+
+class TestQuotas:
+    """§III-B: Copilot 169/203, Claude 126/203, DeepSeek 166/203."""
+
+    @pytest.mark.parametrize(
+        "factory,expected",
+        [(make_copilot, 169), (make_claude, 126), (make_deepseek, 166)],
+    )
+    def test_vulnerable_counts_exact(self, factory, expected):
+        samples = factory().generate_corpus()
+        assert sum(1 for s in samples if s.is_vulnerable) == expected
+
+    def test_overall_rate_76_percent(self, flat_samples):
+        vulnerable = sum(1 for s in flat_samples if s.is_vulnerable)
+        assert round(vulnerable / len(flat_samples), 2) == 0.76
+
+    def test_609_total(self, flat_samples):
+        assert len(flat_samples) == 609
+
+
+class TestLabels:
+    def test_labels_match_variant(self, flat_samples):
+        for sample in flat_samples:
+            scenario = SCENARIOS.get(sample.prompt.scenario_key)
+            variant = scenario.variant(sample.variant_key)
+            assert sample.true_cwe_ids == variant.cwe_ids
+
+    def test_63_distinct_cwes_generated(self, flat_samples):
+        cwes = {c for s in flat_samples for c in s.true_cwe_ids}
+        assert len(cwes) == 63
+
+    def test_sample_ids_unique(self, flat_samples):
+        ids = [s.sample_id for s in flat_samples]
+        assert len(set(ids)) == len(ids)
+
+
+class TestIncompleteness:
+    def test_incomplete_flag_matches_parse(self, flat_samples):
+        for sample in flat_samples:
+            parses = True
+            try:
+                ast.parse(sample.source)
+            except SyntaxError:
+                parses = False
+            assert parses == (not sample.incomplete), sample.sample_id
+
+    def test_copilot_most_incomplete(self, corpus_samples):
+        rates = {
+            model.value: sum(s.incomplete for s in items) / len(items)
+            for model, items in corpus_samples.items()
+        }
+        assert rates["copilot"] > rates["deepseek"] > rates["claude"]
+
+
+class TestStyleEngine:
+    def test_render_substitutes_placeholders(self):
+        scenario = SCENARIOS.get("sql_user_lookup")
+        variant = scenario.variant("fstring_query")
+        rng = random.Random("style-test")
+        code, _ = render_variant(variant, COPILOT_STYLE, rng)
+        assert "$" not in code
+
+    def test_styles_use_distinct_name_pools(self):
+        scenario = SCENARIOS.get("sql_user_lookup")
+        variant = scenario.variant("fstring_query")
+        names = set()
+        for style in (COPILOT_STYLE, CLAUDE_STYLE, DEEPSEEK_STYLE):
+            code, _ = render_variant(variant, style, random.Random("x"))
+            names.add(code)
+        assert len(names) == 3
+
+    def test_comment_insertion_stays_parseable(self):
+        scenario = SCENARIOS.get("http_request_timeout")
+        variant = scenario.variant("no_timeout")
+        for trial in range(25):
+            rng = random.Random(f"comment:{trial}")
+            code, incomplete = render_variant(variant, COPILOT_STYLE, rng)
+            if not incomplete:
+                ast.parse(code)
+
+    def test_incomplete_transforms_break_parsing(self):
+        scenario = SCENARIOS.get("pickle_cache")
+        variant = scenario.variant("pickle_loads_request")
+        saw_incomplete = False
+        for trial in range(40):
+            rng = random.Random(f"inc:{trial}")
+            code, incomplete = render_variant(variant, COPILOT_STYLE, rng)
+            if incomplete:
+                saw_incomplete = True
+                with pytest.raises(SyntaxError):
+                    ast.parse(code)
+        assert saw_incomplete
+
+
+class TestGenerateAllModels:
+    def test_three_models(self, corpus_samples):
+        assert set(corpus_samples) == {
+            GeneratorName.COPILOT,
+            GeneratorName.CLAUDE,
+            GeneratorName.DEEPSEEK,
+        }
+
+    def test_each_model_covers_all_prompts(self, corpus_samples, prompts):
+        for items in corpus_samples.values():
+            assert len(items) == len(prompts)
+
+    def test_repair_resistant_set_is_known_scenarios(self):
+        for key in REPAIR_RESISTANT_SCENARIOS:
+            assert key in SCENARIOS
+
+    def test_default_seed_value(self):
+        assert DEFAULT_SEED == 2025

@@ -1,0 +1,59 @@
+"""Tests for the HTML report renderer."""
+
+import pytest
+
+from repro.core.htmlreport import render_html_report, write_html_report
+from repro.core.project import ProjectScanner
+
+
+@pytest.fixture()
+def report(tmp_path):
+    (tmp_path / "a.py").write_text("import pickle\nx = pickle.loads(b)\n")
+    (tmp_path / "b.py").write_text("h = __import__('hashlib').md5\n")
+    (tmp_path / "clean.py").write_text("print('ok')\n")
+    return ProjectScanner().scan(tmp_path)
+
+
+class TestHtmlReport:
+    def test_valid_document_shell(self, report):
+        doc = render_html_report(report)
+        assert doc.startswith("<!DOCTYPE html>")
+        assert doc.rstrip().endswith("</html>")
+
+    def test_summary_tiles(self, report):
+        doc = render_html_report(report)
+        assert "files scanned" in doc and "vulnerable files" in doc
+
+    def test_findings_table(self, report):
+        doc = render_html_report(report)
+        assert "PIT-A08-01" in doc
+        assert "cwe.mitre.org/data/definitions/502" in doc
+
+    def test_severity_badges(self, report):
+        doc = render_html_report(report)
+        assert 'class="badge critical"' in doc
+
+    def test_html_escaping(self, tmp_path):
+        (tmp_path / "x.py").write_text('cur.execute(f"SELECT <b> {q}")\n')
+        scan = ProjectScanner().scan(tmp_path)
+        doc = render_html_report(scan)
+        assert "<b> {q}" not in doc  # escaped
+        assert "&lt;b&gt;" in doc
+
+    def test_clean_project_message(self, tmp_path):
+        (tmp_path / "ok.py").write_text("print('hello')\n")
+        doc = render_html_report(ProjectScanner().scan(tmp_path))
+        assert "No vulnerable patterns detected" in doc
+
+    def test_skipped_files_listed(self, tmp_path):
+        big = tmp_path / "big.py"
+        big.write_text("x = 1\n" * 400000)
+        scanner = ProjectScanner(max_file_bytes=1024)
+        doc = render_html_report(scanner.scan(tmp_path))
+        assert "Skipped files" in doc and "file too large" in doc
+
+    def test_write_roundtrip(self, report, tmp_path):
+        out = tmp_path / "report.html"
+        doc = write_html_report(report, str(out), title="Custom title")
+        assert out.read_text() == doc
+        assert "Custom title" in doc

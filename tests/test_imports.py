@@ -1,0 +1,95 @@
+"""Tests for the import manager (insertion + pruning)."""
+
+from repro.core.imports import ImportManager, insert_imports, prune_unused_imports
+
+
+class TestHasImport:
+    def test_plain_import_detected(self):
+        manager = ImportManager("import os\n")
+        assert manager.has_import("import os")
+
+    def test_from_import_subset(self):
+        manager = ImportManager("from flask import Flask, request\n")
+        assert manager.has_import("from flask import Flask")
+        assert not manager.has_import("from flask import escape")
+
+    def test_missing_module(self):
+        manager = ImportManager("import os\n")
+        assert not manager.has_import("import json")
+
+    def test_aliased_import(self):
+        manager = ImportManager("import numpy as np\n")
+        assert manager.has_import("import numpy")
+
+
+class TestInsertion:
+    def test_after_existing_imports(self):
+        source = "import os\nimport sys\n\nx = 1\n"
+        out = insert_imports(source, ["import json"])
+        lines = out.splitlines()
+        assert lines[:3] == ["import os", "import sys", "import json"]
+
+    def test_after_docstring_when_no_imports(self):
+        source = '"""Module doc."""\n\nx = 1\n'
+        out = insert_imports(source, ["import json"])
+        assert out.splitlines()[1] == "import json" or out.splitlines()[2] == "import json"
+        assert out.index('"""') < out.index("import json")
+
+    def test_at_top_when_bare(self):
+        out = insert_imports("x = 1\n", ["import json"])
+        assert out.startswith("import json\n")
+
+    def test_no_duplicates(self):
+        source = "import json\n\nx = 1\n"
+        out = insert_imports(source, ["import json"])
+        assert out.count("import json") == 1
+
+    def test_multiple_statements_ordered(self):
+        out = insert_imports("x = 1\n", ["import a", "import b"])
+        assert out.index("import a") < out.index("import b")
+
+    def test_indented_import_not_top_level(self):
+        source = "def f():\n    import os\n    return os\n"
+        manager = ImportManager(source)
+        # insertion offset must be 0 (no *top-level* import block)
+        assert manager.insertion_offset() == 0
+
+    def test_missing_deduplicates_requests(self):
+        manager = ImportManager("x = 1\n")
+        assert manager.missing(["import os", "import os", "import re"]) == [
+            "import os",
+            "import re",
+        ]
+
+
+class TestPruning:
+    def test_dead_plain_import_removed(self):
+        source = "import pickle\nimport json\n\ndata = json.loads(x)\n"
+        out = prune_unused_imports(source)
+        assert "import pickle" not in out
+        assert "import json" in out
+
+    def test_from_import_kept_if_any_name_used(self):
+        source = "from flask import Flask, escape\n\napp = Flask(__name__)\n"
+        assert "escape" in prune_unused_imports(source)
+
+    def test_from_import_removed_if_unused(self):
+        source = "from flask import escape\n\nprint('hi')\n"
+        assert "escape" not in prune_unused_imports(source)
+
+    def test_dotted_module_binding(self):
+        source = "import urllib.request\n\nurllib.request.urlopen(u)\n"
+        assert "import urllib.request" in prune_unused_imports(source)
+
+    def test_aliased_binding(self):
+        source = "import numpy as np\n\nprint(np.zeros(3))\n"
+        assert "import numpy as np" in prune_unused_imports(source)
+
+    def test_indented_imports_untouched(self):
+        source = "def f():\n    import os\n    return 1\n"
+        assert prune_unused_imports(source) == source
+
+    def test_word_boundary_respected(self):
+        # "osmium" must not keep "import os" alive
+        source = "import os\n\nosmium = 1\nprint(osmium)\n"
+        assert "import os\n" not in prune_unused_imports(source)

@@ -1,0 +1,104 @@
+"""Tests for the JavaScript rule pack (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core import PatchitPy
+from repro.core.matching import match_rule
+from repro.core.rules.javascript import javascript_ruleset
+
+_RULES = {r.rule_id: r for r in javascript_ruleset()}
+
+CASES = {
+    "PIT-JS-01": (
+        "db.query(`SELECT * FROM users WHERE id = ${id}`)",
+        "db.query('SELECT * FROM users WHERE id = $1', [id])",
+    ),
+    "PIT-JS-02": ("exec(`ping ${host}`)", 'execFile("ping", [host])'),
+    "PIT-JS-03": ("eval(userInput)", "eval('2 + 2')"),
+    "PIT-JS-04": ("const fn = new Function(body)", "const fn = actions[name]"),
+    "PIT-JS-05": ("el.innerHTML = comment", "el.textContent = comment"),
+    "PIT-JS-06": ("document.write(params.get('n'))", "document.write('<hr>')"),
+    "PIT-JS-07": (
+        "const token = Math.random().toString(36)",
+        "const token = crypto.randomBytes(24).toString('hex')",
+    ),
+    "PIT-JS-08": (
+        'const apiKey = "sk-live-12345"',
+        "const apiKey = process.env.API_KEY",
+    ),
+    "PIT-JS-09": ("{ rejectUnauthorized: false }", "{ rejectUnauthorized: true }"),
+    "PIT-JS-10": ('process.env["NODE_TLS_REJECT_UNAUTHORIZED"] = "0"', 'log("tls strict")'),
+    "PIT-JS-11": ("crypto.createHash('md5')", "crypto.createHash('sha256')"),
+    "PIT-JS-12": ("res.sendFile(req.query.path)", "res.sendFile(path.basename(name))"),
+    "PIT-JS-13": ("res.redirect(req.query.next)", "res.redirect('/home')"),
+    "PIT-JS-14": ("unserialize(req.body.data)", "JSON.parse(req.body.data)"),
+    "PIT-JS-15": (
+        "res.cookie('sid', sessionId)",
+        "res.cookie('sid', sessionId, { httpOnly: true, secure: true })",
+    ),
+    "PIT-JS-16": ("res.setHeader('Access-Control-Allow-Origin', '*')",
+                  "res.setHeader('Access-Control-Allow-Origin', origin)"),
+    "PIT-JS-17": ("jwt.verify(token, key, { algorithms: ['none'] })",
+                  "jwt.verify(token, key, { algorithms: ['HS256'] })"),
+    "PIT-JS-18": ("fetch(req.query.url)", "fetch(API_BASE + '/status')"),
+}
+
+
+def test_case_per_rule():
+    assert set(CASES) == set(_RULES)
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_positive(rule_id):
+    positive, _ = CASES[rule_id]
+    source = positive if rule_id != "PIT-JS-07" else positive + "\n// session token"
+    assert match_rule(_RULES[rule_id], source), rule_id
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_negative(rule_id):
+    _, negative = CASES[rule_id]
+    assert not match_rule(_RULES[rule_id], negative), rule_id
+
+
+class TestJavaScriptPatching:
+    def test_sql_template_parameterized(self):
+        engine = PatchitPy(rules=javascript_ruleset(), prune_imports=False)
+        result = engine.patch("db.query(`SELECT * FROM t WHERE id = ${id}`)\n")
+        assert "$1" in result.patched and "[id]" in result.patched
+
+    def test_innerhtml_to_textcontent(self):
+        engine = PatchitPy(rules=javascript_ruleset(), prune_imports=False)
+        result = engine.patch("panel.innerHTML = userComment;\n")
+        assert "panel.textContent = userComment" in result.patched
+
+    def test_cookie_options_added(self):
+        engine = PatchitPy(rules=javascript_ruleset(), prune_imports=False)
+        result = engine.patch("res.cookie('sid', sessionId)\n")
+        assert "httpOnly: true" in result.patched
+
+    def test_hardcoded_secret_to_env(self):
+        engine = PatchitPy(rules=javascript_ruleset(), prune_imports=False)
+        result = engine.patch('const apiKey = "sk-live-12345"\n')
+        assert "process.env.API_KEY" in result.patched
+
+    def test_express_app_end_to_end(self):
+        engine = PatchitPy(rules=javascript_ruleset(), prune_imports=False)
+        app = (
+            "const express = require('express');\n"
+            "const app = express();\n"
+            "app.get('/user', (req, res) => {\n"
+            "  db.query(`SELECT * FROM users WHERE id = ${req.query.id}`)\n"
+            "    .then(rows => { el.innerHTML = rows[0].name; });\n"
+            "  res.cookie('sid', makeSession(), {});\n"
+            "});\n"
+        )
+        findings = engine.detect(app)
+        assert {f.cwe_id for f in findings} >= {"CWE-089", "CWE-079"}
+        patched = engine.patch(app).patched
+        assert "$1" in patched
+        assert "textContent" in patched
+
+    def test_python_rules_unaffected(self, engine):
+        # the default engine must not fire JS rules
+        assert not engine.detect("el.innerHTML = comment\n")

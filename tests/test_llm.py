@@ -1,0 +1,159 @@
+"""Tests for the simulated LLM baselines."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.llm import (
+    CHATGPT_4O,
+    CLAUDE_37,
+    GEMINI_20,
+    SimulatedLLM,
+    make_chatgpt,
+    make_claude_llm,
+    make_gemini,
+)
+from repro.baselines.llm.rewrites import (
+    add_logging_completion,
+    add_validation_guard,
+    wrap_body_in_try_except,
+)
+from repro.metrics.complexity import cyclomatic_complexity
+
+
+class TestDetection:
+    def test_deterministic(self, flat_samples):
+        a = make_chatgpt()
+        b = make_chatgpt()
+        for sample in flat_samples[:40]:
+            assert a.is_vulnerable(sample) == b.is_vulnerable(sample)
+
+    def test_seed_changes_verdicts(self, flat_samples):
+        a = make_gemini(seed=1)
+        b = make_gemini(seed=2)
+        differing = sum(
+            a.is_vulnerable(s) != b.is_vulnerable(s) for s in flat_samples[:100]
+        )
+        assert differing > 0
+
+    def test_suspicion_orders_risk(self):
+        tool = make_chatgpt()
+        risky = "import pickle\nos.system(cmd)\npickle.loads(request.data)\n"
+        bland = "def add(a, b):\n    return a + b\n"
+        assert tool.suspicion_score(risky) > tool.suspicion_score(bland)
+
+    def test_mitigations_lower_score(self):
+        tool = make_claude_llm()
+        raw = 'cur.execute(f"SELECT {x}")\npassword = load()\n'
+        fixed = 'cur.execute("SELECT ?", (x,))\npassword = os.environ["P"]\n'
+        assert tool.suspicion_score(raw) > tool.suspicion_score(fixed)
+
+    def test_recall_high_precision_lower(self, flat_samples, engine):
+        # the Table II LLM signature
+        tool = make_claude_llm()
+        vuln = [s for s in flat_samples if s.is_vulnerable]
+        safe = [s for s in flat_samples if not s.is_vulnerable]
+        recall = sum(tool.is_vulnerable(s) for s in vuln) / len(vuln)
+        fp_rate = sum(tool.is_vulnerable(s) for s in safe) / len(safe)
+        assert recall >= 0.85
+        assert fp_rate >= 0.30  # over-flagging of safe security-themed code
+
+
+class TestPatching:
+    def test_no_patch_when_not_flagged(self, flat_samples):
+        tool = make_chatgpt()
+        clean = next(s for s in flat_samples if not tool.is_vulnerable(s))
+        assert tool.patch(clean) is None
+
+    def test_patch_returns_text_when_flagged(self, flat_samples):
+        tool = make_claude_llm()
+        flagged = next(s for s in flat_samples if tool.is_vulnerable(s))
+        patched = tool.patch(flagged)
+        assert isinstance(patched, str) and patched
+
+    def test_patch_deterministic(self, flat_samples):
+        tool = make_gemini()
+        flagged = next(s for s in flat_samples if tool.is_vulnerable(s))
+        assert tool.patch(flagged) == tool.patch(flagged)
+
+    def test_complexity_inflation_ordering(self, flat_samples):
+        # Fig. 3: claude-3.7 > gemini > chatgpt > generated
+        subset = flat_samples[:120]
+        baseline = sum(cyclomatic_complexity(s.source) for s in subset) / len(subset)
+        means = {}
+        for tool in (make_chatgpt(), make_claude_llm(), make_gemini()):
+            total = 0.0
+            for sample in subset:
+                patched = tool.patch(sample)
+                total += cyclomatic_complexity(patched if patched else sample.source)
+            means[tool.name] = total / len(subset)
+        assert means["claude-3.7"] > means["chatgpt-4o"] > baseline
+        assert means["gemini-2.0"] > baseline
+
+
+class TestProfiles:
+    def test_rule_knowledge_subsets(self):
+        chatgpt = make_chatgpt()
+        full = 85
+        known = len(chatgpt._engine.rules)
+        assert 0 < known < full
+
+    def test_profiles_distinct(self):
+        assert CHATGPT_4O.threshold != CLAUDE_37.threshold
+        assert CLAUDE_37.try_except_rate > GEMINI_20.try_except_rate
+
+    def test_custom_profile(self):
+        profile = dataclasses.replace(CHATGPT_4O, name="custom", threshold=99.0)
+        tool = SimulatedLLM(profile)
+        assert tool.name == "custom"
+
+
+FUNC = '''def process(data, limit):
+    total = data + limit
+    return total
+'''
+
+
+class TestRewrites:
+    def test_try_except_wrap(self):
+        out = wrap_body_in_try_except(FUNC)
+        assert "try:" in out
+        assert "except Exception as exc:" in out
+        assert cyclomatic_complexity(out) > cyclomatic_complexity(FUNC)
+
+    def test_try_except_compiles(self):
+        import ast
+
+        ast.parse(wrap_body_in_try_except(FUNC))
+
+    def test_validation_guard(self):
+        import random
+
+        out = add_validation_guard(FUNC, random.Random(1))
+        assert "raise ValueError" in out
+        import ast
+
+        ast.parse(out)
+
+    def test_validation_guard_respects_docstring(self):
+        import ast
+        import random
+
+        source = 'def f(x):\n    """Doc."""\n    return x\n'
+        out = add_validation_guard(source, random.Random(1))
+        tree = ast.parse(out)
+        assert ast.get_docstring(tree.body[0]) == "Doc."
+
+    def test_logging_completion_appends_helper(self):
+        out = add_logging_completion(FUNC)
+        assert "_log_status" in out
+
+    def test_rewrites_tolerate_incomplete_code(self):
+        snippet = "```python\ndef f(x):\n    return x\n```"
+        wrap_body_in_try_except(snippet)
+        import random
+
+        add_validation_guard(snippet, random.Random(0))
+
+    def test_no_function_no_change(self):
+        assert wrap_body_in_try_except("x = 1\n") == "x = 1\n"

@@ -1,0 +1,212 @@
+"""Tests for the metrics suite: confusion, complexity, quality, stats."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.metrics import (
+    ConfusionMatrix,
+    block_complexities,
+    check_quality,
+    cyclomatic_complexity,
+    describe,
+    from_verdicts,
+    quality_score,
+    total_complexity,
+    wilcoxon_rank_sum,
+)
+
+
+class TestConfusion:
+    def test_perfect(self):
+        matrix = ConfusionMatrix(tp=10, tn=10)
+        assert matrix.precision == matrix.recall == matrix.f1 == matrix.accuracy == 1.0
+
+    def test_paper_headline_values(self):
+        # PatchitPy all-models row of Table II (within rounding)
+        matrix = ConfusionMatrix(tp=407, fp=12, fn=54, tn=136)
+        assert matrix.precision == pytest.approx(0.97, abs=0.005)
+        assert matrix.recall == pytest.approx(0.88, abs=0.005)
+        assert matrix.f1 == pytest.approx(0.93, abs=0.006)
+        assert matrix.accuracy == pytest.approx(0.89, abs=0.005)
+
+    def test_zero_denominators(self):
+        empty = ConfusionMatrix()
+        assert empty.precision == empty.recall == empty.f1 == empty.accuracy == 0.0
+
+    def test_addition(self):
+        total = ConfusionMatrix(tp=1, fp=2) + ConfusionMatrix(tn=3, fn=4)
+        assert (total.tp, total.fp, total.tn, total.fn) == (1, 2, 3, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix(tp=-1)
+
+    def test_from_verdicts(self):
+        matrix = from_verdicts([(True, True), (True, False), (False, True), (False, False)])
+        assert (matrix.tp, matrix.fn, matrix.fp, matrix.tn) == (1, 1, 1, 1)
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), max_size=200))
+    def test_counts_sum(self, pairs):
+        matrix = from_verdicts(pairs)
+        assert matrix.total == len(pairs)
+
+
+class TestComplexity:
+    def test_straight_line_function(self):
+        assert block_complexities("def f():\n    return 1\n") == [1, 1]
+
+    def test_if_adds_one(self):
+        source = "def f(x):\n    if x:\n        return 1\n    return 0\n"
+        assert block_complexities(source)[0] == 2
+
+    def test_bool_op_counts_terms(self):
+        source = "def f(a, b, c):\n    if a and b and c:\n        return 1\n    return 0\n"
+        assert block_complexities(source)[0] == 4  # if +1, two ands +2, base 1
+
+    def test_loop_and_except(self):
+        source = (
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        try:\n"
+            "            g(x)\n"
+            "        except OSError:\n"
+            "            pass\n"
+        )
+        assert block_complexities(source)[0] == 3
+
+    def test_comprehension(self):
+        source = "def f(xs):\n    return [x for x in xs if x]\n"
+        assert block_complexities(source)[0] == 3  # comprehension +1, its if +1, base 1
+
+    def test_module_level_if(self):
+        source = "x = 1\nif x:\n    y = 2\n"
+        blocks = block_complexities(source)
+        assert blocks[-1] == 2
+
+    def test_mean_over_blocks(self):
+        source = "def a():\n    return 1\n\ndef b(x):\n    if x:\n        return 1\n    return 0\n"
+        assert cyclomatic_complexity(source) == pytest.approx((1 + 2 + 1) / 3)
+
+    def test_fallback_on_unparseable(self):
+        estimate = cyclomatic_complexity("```python\ndef f(x):\n    if x:\n        pass\n```")
+        assert estimate >= 1.0
+
+    def test_total_complexity(self):
+        assert total_complexity("def f():\n    return 1\n") == 2
+
+
+class TestQuality:
+    def test_clean_module_scores_10(self):
+        assert quality_score("def f(a, b):\n    return a + b\n") == 10.0
+
+    def test_unused_import_penalized(self):
+        with_unused = "import os\n\ndef f():\n    return 1\n"
+        assert quality_score(with_unused) < 10.0
+
+    def test_bare_except_penalized(self):
+        source = "try:\n    f()\nexcept:\n    g()\n"
+        report = check_quality(source)
+        assert any(m.message_id == "W0702" for m in report.messages)
+
+    def test_eval_warned(self):
+        report = check_quality("x = eval(y)\n")
+        assert any(m.message_id == "W0123" for m in report.messages)
+
+    def test_unparseable_scores_zero(self):
+        report = check_quality("def broken(:\n")
+        assert report.score == 0.0 and report.parse_failed
+
+    def test_fence_cleaned_before_scoring(self):
+        report = check_quality("```python\ndef f():\n    return 1\n```")
+        assert not report.parse_failed
+
+    def test_chat_preamble_cleaned(self):
+        report = check_quality("Here is the code for this task:\n\ndef f():\n    return 1\n")
+        assert not report.parse_failed
+
+    def test_indented_snippet_cleaned(self):
+        report = check_quality("    def f():\n        return 1\n")
+        assert not report.parse_failed
+
+    def test_score_formula(self):
+        # one warning over five statements → 10 - 10*(1/5) = 8
+        source = "import os\n\na = 1\nb = 2\nc = 3\nd = 4\n"
+        report = check_quality(source)
+        assert report.statements == 5
+        assert report.score == pytest.approx(8.0)
+
+    def test_score_never_negative(self):
+        source = "import a\nimport b\nimport c\n"
+        assert check_quality(source).score >= 0.0
+
+
+class TestWilcoxon:
+    def test_matches_scipy(self):
+        rng = random.Random(7)
+        a = [rng.gauss(0, 1) for _ in range(60)]
+        b = [rng.gauss(0.5, 1.2) for _ in range(75)]
+        mine = wilcoxon_rank_sum(a, b)
+        reference = scipy_stats.ranksums(a, b)
+        assert mine.statistic == pytest.approx(reference.statistic, abs=1e-9)
+        assert mine.p_value == pytest.approx(reference.pvalue, abs=1e-9)
+
+    def test_matches_scipy_with_ties(self):
+        # scipy.ranksums applies no tie correction; with ties the corrected
+        # statistic matches mannwhitneyu's asymptotic method instead
+        a = [1, 1, 2, 2, 3, 3, 4]
+        b = [2, 2, 3, 3, 4, 4, 5]
+        mine = wilcoxon_rank_sum(a, b)
+        reference = scipy_stats.mannwhitneyu(
+            a, b, alternative="two-sided", method="asymptotic", use_continuity=False
+        )
+        assert mine.p_value == pytest.approx(reference.pvalue, rel=1e-9)
+
+    def test_identical_samples_not_significant(self):
+        values = [1.0, 2.0, 3.0, 4.0] * 10
+        assert not wilcoxon_rank_sum(values, list(values)).significant()
+
+    def test_shifted_samples_significant(self):
+        a = [float(i) for i in range(50)]
+        b = [float(i) + 30 for i in range(50)]
+        assert wilcoxon_rank_sum(a, b).significant()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            wilcoxon_rank_sum([], [1.0])
+
+    @given(
+        st.lists(st.floats(min_value=-50, max_value=50), min_size=5, max_size=40),
+        st.lists(st.floats(min_value=-50, max_value=50), min_size=5, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_p_value_in_range(self, a, b):
+        result = wilcoxon_rank_sum(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+        assert math.isfinite(result.statistic)
+
+
+class TestDescribe:
+    def test_basic(self):
+        stats = describe([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.median == 3.0
+        assert stats.q1 == 2.0
+        assert stats.q3 == 4.0
+        assert stats.iqr == 2.0
+
+    def test_single_value(self):
+        stats = describe([7.0])
+        assert stats.mean == stats.median == stats.minimum == stats.maximum == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+    def test_interpolated_quartiles(self):
+        stats = describe([1.0, 2.0, 3.0, 4.0])
+        assert stats.q1 == pytest.approx(1.75)
+        assert stats.q3 == pytest.approx(3.25)

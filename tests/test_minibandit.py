@@ -1,0 +1,139 @@
+"""Unit tests for mini-Bandit (AST plugin scanner)."""
+
+import ast
+
+import pytest
+
+from repro.baselines.minibandit import MiniBandit, PLUGINS
+from repro.baselines.minibandit.plugins import PluginContext, call_name
+
+
+def _analyze(source: str):
+    return MiniBandit().analyze_source(source)
+
+
+def _rule_ids(source: str):
+    return {f.rule_id for f in _analyze(source).findings}
+
+
+class TestCallName:
+    def test_dotted(self):
+        node = ast.parse("os.path.join(a)").body[0].value
+        assert call_name(node) == "os.path.join"
+
+    def test_plain(self):
+        node = ast.parse("eval(x)").body[0].value
+        assert call_name(node) == "eval"
+
+
+class TestParseBehaviour:
+    def test_parse_failure_flagged(self):
+        report = _analyze("def broken(:\n")
+        assert report.parse_failed
+        assert report.findings == []
+
+    def test_markdown_fence_unanalyzable(self):
+        report = _analyze("```python\nx = eval(y)\n```")
+        assert report.parse_failed
+
+
+class TestPlugins:
+    @pytest.mark.parametrize(
+        "source,plugin_id",
+        [
+            ("exec(code)", "B102"),
+            ("import os\nos.chmod(p, 0o777)", "B103"),
+            ('s.bind(("0.0.0.0", 80))', "B104"),
+            ('password = "hunter2!"', "B105"),
+            ('ok = password == "x1234"', "B105C"),
+            ('path = "/tmp/scratch.txt"', "B108"),
+            ("try:\n    f()\nexcept OSError:\n    pass", "B110"),
+            ('import requests\nrequests.get("https://x")', "B113"),
+            ("app.run(debug=True)", "B201"),
+            ("import pickle\npickle.loads(b)", "B301"),
+            ("import marshal\nmarshal.loads(b)", "B302"),
+            ("import hashlib\nhashlib.md5(b'')", "B303"),
+            ("from Crypto.Cipher import DES\nDES.new(k)", "B304"),
+            ("from Crypto.Cipher import AES\nAES.new(k, AES.MODE_ECB)", "B305"),
+            ("import tempfile\ntempfile.mktemp()", "B306"),
+            ("import random\nrandom.randint(0, 9)", "B311"),
+            ("from lxml import etree\netree.parse(p)", "B314"),
+            ("import ftplib\nftplib.FTP(h)", "B321"),
+            ("import telnetlib", "B401"),
+            ("import requests\nrequests.get(u, verify=False)", "B501"),
+            ("import ssl\nssl.PROTOCOL_SSLv3", "B502"),
+            ("import ssl\nssl._create_unverified_context()", "B504"),
+            ("import yaml\nyaml.load(fh)", "B506"),
+            ("import subprocess\nsubprocess.run(c, shell=True)", "B602"),
+            ("import os\nos.system(c)", "B605"),
+            ("eval(expr)", "B607"),
+            ("cur.execute(f\"SELECT * FROM t WHERE id={x}\")", "B608"),
+        ],
+    )
+    def test_plugin_fires(self, source, plugin_id):
+        assert plugin_id in _rule_ids(source)
+
+    @pytest.mark.parametrize(
+        "source,plugin_id",
+        [
+            ("import hashlib\nhashlib.md5(b'', usedforsecurity=False)", "B303"),
+            ("import requests\nrequests.get(u, timeout=5)", "B113"),
+            ("import yaml\nyaml.load(fh, Loader=yaml.SafeLoader)", "B506"),
+            ("cur.execute(\"SELECT * FROM t WHERE id=?\", (x,))", "B608"),
+            ("import subprocess\nsubprocess.run(c, shell=False)", "B602"),
+            ("app.run(debug=False)", "B201"),
+        ],
+    )
+    def test_plugin_silent_on_safe_form(self, source, plugin_id):
+        assert plugin_id not in _rule_ids(source)
+
+    def test_defusedxml_suppresses_xml(self):
+        source = "import defusedxml.ElementTree\nfrom lxml import etree\netree.parse(p)"
+        assert "B314" not in _rule_ids(source)
+
+
+class TestSuggestions:
+    def test_suggestion_comment_emitted(self):
+        report = _analyze("import yaml\nyaml.load(fh)")
+        assert any("safe_load" in s.comment for s in report.suggestions)
+
+    def test_annotated_source_is_comment_only(self, flat_samples):
+        tool = MiniBandit()
+        sample = next(
+            s for s in flat_samples if "yaml.load(" in s.source and not s.incomplete
+        )
+        annotated = tool.annotated_source(sample)
+        assert annotated is not None
+        # only comment lines were added: stripping them recovers the code
+        code_lines = [l for l in annotated.splitlines() if not l.lstrip().startswith("# bandit[")]
+        assert "\n".join(code_lines).strip() == sample.source.strip()
+
+    def test_suggestion_rate_about_17_percent(self, flat_samples):
+        tool = MiniBandit()
+        detected = suggested = 0
+        for sample in flat_samples:
+            report = tool.analyze(sample)
+            if report.is_vulnerable:
+                detected += 1
+                if report.suggestions:
+                    suggested += 1
+        assert 0.10 <= suggested / detected <= 0.25  # paper: 17 %
+
+
+class TestDedup:
+    def test_same_plugin_same_offset_once(self):
+        report = _analyze("import pickle\npickle.loads(b)")
+        ids = [f.rule_id for f in report.findings]
+        assert ids.count("B301") == 1
+
+    def test_plugin_registry_ids_unique(self):
+        ids = [p.plugin_id for p in PLUGINS]
+        assert len(set(ids)) == len(ids)
+
+
+class TestContext:
+    def test_span_maps_to_source(self):
+        source = "x = 1\neval(y)\n"
+        report = _analyze(source)
+        finding = next(f for f in report.findings if f.rule_id == "B607")
+        assert source[finding.span.start : finding.span.end] == "eval(y)"

@@ -1,0 +1,150 @@
+"""Unit tests for mini-CodeQL (extractor, taint, queries)."""
+
+import pytest
+
+from repro.baselines.minicodeql import MiniCodeQL, Query, QuerySuite, default_suite, extract
+from repro.exceptions import QueryError
+from repro.types import Severity, Span
+
+
+def _query_ids(source: str):
+    return {f.rule_id for f in MiniCodeQL().analyze_source(source).findings}
+
+
+class TestExtractor:
+    def test_calls_extracted(self):
+        db = extract("import os\nos.system(cmd)\n")
+        assert db.ok
+        assert [c.name for c in db.calls] == ["os.system"]
+        assert db.calls[0].arg_sources == ("cmd",)
+
+    def test_kwargs_extracted(self):
+        db = extract("requests.get(url, verify=False)\n")
+        assert ("verify", "False") in db.calls[0].kwargs
+
+    def test_assignments(self):
+        db = extract("query = f\"SELECT {x}\"\n")
+        assert db.assigns[0].target == "query"
+        assert db.assigns[0].value_source.startswith('f"SELECT')
+
+    def test_imports(self):
+        db = extract("import os\nfrom flask import Flask\n")
+        assert db.has_import("os")
+        assert db.has_import("flask")
+        assert db.has_import("flask.Flask")
+
+    def test_parse_failure(self):
+        db = extract("def broken(:\n")
+        assert not db.ok
+
+    def test_spans_map_to_source(self):
+        source = "x = 1\neval(y)\n"
+        db = extract(source)
+        call = db.calls[0]
+        assert source[call.span.start : call.span.end] == "eval(y)"
+
+
+class TestTaint:
+    def test_request_seed(self):
+        db = extract('target = request.args.get("next")\n')
+        assert "target" in db.tainted_names
+
+    def test_propagation_through_assignment(self):
+        db = extract('a = request.args.get("x")\nb = a\nc = b.strip()\n')
+        assert {"a", "b", "c"} <= db.tainted_names
+
+    def test_clean_names_untainted(self):
+        db = extract("a = 1\nb = a + 2\n")
+        assert db.tainted_names == set()
+
+    def test_is_tainted_expr(self):
+        db = extract('u = request.args.get("u")\n')
+        assert db.is_tainted_expr("u + '/suffix'")
+        assert not db.is_tainted_expr("'constant'")
+
+
+class TestQueries:
+    @pytest.mark.parametrize(
+        "source,query_id",
+        [
+            ('cur.execute(f"SELECT * FROM t WHERE id={x}")', "py/sql-injection"),
+            ("os.system(f\"ping {h}\")", "py/command-line-injection"),
+            ("subprocess.run(c, shell=True)", "py/command-line-injection"),
+            ("eval(expr)", "py/code-injection"),
+            ("pickle.loads(b)", "py/unsafe-deserialization"),
+            ("yaml.load(fh)", "py/unsafe-deserialization"),
+            ("app.run(debug=True)", "py/flask-debug"),
+            ("from Crypto.Cipher import DES\nDES.new(k)", "py/weak-cryptographic-algorithm"),
+            ("import ssl\nx = ssl.PROTOCOL_TLSv1", "py/insecure-protocol"),
+            ("requests.get(u, verify=False)", "py/request-without-cert-validation"),
+            ('password = "letmein1"', "py/hardcoded-credentials"),
+            ("tempfile.mktemp()", "py/insecure-temporary-file"),
+            ("from lxml import etree\netree.parse(p)", "py/xxe"),
+            ('app.run(host="0.0.0.0")', "py/bind-socket-all-network-interfaces"),
+        ],
+    )
+    def test_query_fires(self, source, query_id):
+        assert query_id in _query_ids(source)
+
+    def test_flow_based_sql_injection(self):
+        # the two-step variant the pattern engine misses
+        source = (
+            'query = f"DELETE FROM t WHERE id = {x}"\n'
+            "cur.execute(query)\n"
+        )
+        assert "py/sql-injection" in _query_ids(source)
+
+    def test_tainted_redirect(self):
+        source = (
+            'from flask import request, redirect\n'
+            'target = request.args.get("next")\n'
+            "redirect(target)\n"
+        )
+        assert "py/url-redirection" in _query_ids(source)
+
+    def test_urlparse_suppresses_redirect(self):
+        source = (
+            "from urllib.parse import urlparse\n"
+            'target = request.args.get("next")\n'
+            "if urlparse(target).netloc:\n    target = '/'\n"
+            "redirect(target)\n"
+        )
+        assert "py/url-redirection" not in _query_ids(source)
+
+    def test_parameterized_sql_clean(self):
+        assert "py/sql-injection" not in _query_ids(
+            'cur.execute("SELECT * FROM t WHERE id=?", (x,))'
+        )
+
+    def test_eval_of_literal_clean(self):
+        assert "py/code-injection" not in _query_ids('eval("2 + 2")')
+
+    def test_no_findings_on_parse_failure(self):
+        report = MiniCodeQL().analyze_source("```python\neval(x)\n```")
+        assert report.parse_failed
+        assert report.findings == []
+
+
+class TestQuerySuite:
+    def test_duplicate_ids_rejected(self):
+        q = Query("py/x", "CWE-089", "d", lambda db: [], Severity.LOW)
+        with pytest.raises(QueryError):
+            QuerySuite([q, q])
+
+    def test_default_suite_size(self):
+        assert len(default_suite()) == 20
+
+    def test_custom_suite(self):
+        def body(db):
+            for call in db.calls_named("dangerous"):
+                yield "found", call.span
+
+        suite = QuerySuite([Query("py/custom", "CWE-094", "d", body)])
+        tool = MiniCodeQL(suite=suite)
+        report = tool.analyze_source("dangerous(1)\n")
+        assert [f.rule_id for f in report.findings] == ["py/custom"]
+
+    def test_detection_only(self):
+        tool = MiniCodeQL()
+        assert not tool.can_patch
+        assert tool.patch(None) is None

@@ -1,0 +1,191 @@
+"""Tests for the rule-mining pipeline (Fig. 2, Table I)."""
+
+import pytest
+
+from repro.core import PatchitPy
+from repro.core.rules import RuleSet
+from repro.cwe import OwaspCategory
+from repro.exceptions import MiningError
+from repro.mining import (
+    build_seed_corpus,
+    candidate_pairs,
+    extract_pattern,
+    mine_category,
+    pairs_by_category,
+    synthesize_rules,
+    tokens_to_regex,
+    tokens_to_replacement,
+)
+
+V1 = '''from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    name = request.args.get("name", "")
+    return f"<p>{name}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+'''
+
+V2 = '''from flask import Flask, request, make_response
+appl = Flask(__name__)
+
+@appl.route("/showName")
+def name():
+    username = request.args.get("username")
+    return make_response(f"Hello {username}")
+
+if __name__ == "__main__":
+    appl.run(debug=True)
+'''
+
+S1 = V1.replace("{name}", "{escape(name)}").replace(
+    "import Flask, request", "import Flask, request, escape"
+).replace("debug=True", "debug=False, use_reloader=False")
+
+S2 = V2.replace("{username}", "{escape(username)}").replace(
+    "request, make_response", "request, make_response, escape"
+).replace("debug=True", "debug=False, use_debugger=False, use_reloader=False")
+
+
+class TestSeedCorpus:
+    def test_size_about_240(self):
+        pairs = build_seed_corpus()
+        assert 200 <= len(pairs) <= 240
+
+    def test_pairs_have_both_sides(self):
+        for pair in build_seed_corpus()[:30]:
+            assert pair.vulnerable_code.strip()
+            assert pair.safe_code.strip()
+            assert pair.cwe_ids
+
+    def test_deterministic(self):
+        a = build_seed_corpus()
+        b = build_seed_corpus()
+        assert [p.vulnerable_code for p in a] == [p.vulnerable_code for p in b]
+
+    def test_grouping_by_owasp(self):
+        grouped = pairs_by_category()
+        assert OwaspCategory.A03_INJECTION in grouped
+        assert all(
+            pair.owasp is category
+            for category, pairs in grouped.items()
+            for pair in pairs
+        )
+
+
+class TestPatternExtraction:
+    def test_table1_pipeline(self):
+        pattern = extract_pattern(V1, V2, S1, S2)
+        # the bold common pattern contains the standardized request access
+        assert "request" in pattern.lcs_vulnerable
+        assert "var0" in pattern.lcs_vulnerable
+        # the blue additions include escape import and debug hardening
+        additions = [t for f in pattern.fragments for t in f.safe_tokens]
+        assert "escape" in additions
+        assert "use_reloader" in additions
+
+    def test_lcs_texts_render(self):
+        pattern = extract_pattern(V1, V2, S1, S2)
+        assert "debug" in pattern.lcs_vulnerable_text
+        assert "debug" in pattern.lcs_safe_text
+
+    def test_similarity_scores(self):
+        pattern = extract_pattern(V1, V2, S1, S2)
+        assert 0.4 <= pattern.vulnerable_similarity <= 1.0
+        assert 0.4 <= pattern.safe_similarity <= 1.0
+
+    def test_too_dissimilar_raises(self):
+        with pytest.raises(MiningError):
+            extract_pattern("a = 1\n", "zzz()\n", "b = 2\n", "qqq()\n")
+
+
+class TestPairMiner:
+    def test_candidates_ranked(self):
+        candidates = candidate_pairs(OwaspCategory.A03_INJECTION)
+        similarities = [c.similarity for c in candidates]
+        assert similarities == sorted(similarities, reverse=True)
+        assert candidates, "injection category must have similar pairs"
+
+    def test_same_variant_pairs_excluded(self):
+        for candidate in candidate_pairs(OwaspCategory.A03_INJECTION)[:50]:
+            first = candidate.first.pair_id.rsplit("/", 1)[0]
+            second = candidate.second.pair_id.rsplit("/", 1)[0]
+            assert first != second
+
+    def test_mine_category_yields_patterns(self):
+        mined = list(mine_category(OwaspCategory.A08_INTEGRITY_FAILURES, limit=3))
+        assert mined
+        for candidate, pattern in mined:
+            assert pattern.lcs_vulnerable
+
+
+class TestSynthesis:
+    def test_tokens_to_regex_var_groups(self):
+        regex = tokens_to_regex(("run", "(", "debug", "=", "True", ")"))
+        import re
+
+        assert re.search(regex, "app.run(debug=True)")
+
+    def test_var_capture_and_backref(self):
+        import re
+
+        regex = tokens_to_regex(("check", "(", "var0", ",", "var0", ")"))
+        assert re.search(regex, "check(token, token)")
+        assert not re.search(regex, "check(token, other)")
+
+    def test_replacement_backrefs(self):
+        replacement = tokens_to_replacement(("safe", "(", "var0", ")"))
+        assert replacement == "safe(\\g<var0>)"
+
+    def test_synthesized_rule_detects_and_patches_unseen(self):
+        pattern = extract_pattern(V1, V2, S1, S2)
+        rules = synthesize_rules(pattern, "CWE-209")
+        engine = PatchitPy(rules=RuleSet(rules), prune_imports=False)
+        unseen = V1.replace("/comments", "/hello").replace("name", "visitor")
+        result = engine.patch(unseen)
+        assert "debug=False" in result.patched
+        assert "use_reloader=False" in result.patched
+
+    def test_rules_have_patch_templates(self):
+        pattern = extract_pattern(V1, V2, S1, S2)
+        for rule in synthesize_rules(pattern, "CWE-209"):
+            assert rule.patch is not None
+
+    def test_unsynthesizable_pattern_raises(self):
+        from repro.mining.pattern_extractor import MinedPattern
+
+        empty = MinedPattern((), (), (), 1.0, 1.0)
+        with pytest.raises(MiningError):
+            synthesize_rules(empty, "CWE-079")
+
+
+class TestEndToEndPipeline:
+    def test_mine_ruleset_produces_executable_rules(self):
+        from repro.core import PatchitPy
+        from repro.mining import MiningReport, mine_ruleset
+
+        report = MiningReport()
+        rules = mine_ruleset(report=report)
+        assert len(rules) >= 15
+        assert report.rules_kept == len(rules)
+        engine = PatchitPy(rules=rules, prune_imports=False)
+        engine.detect("x = 1\n")  # executable without errors
+
+    def test_mined_rules_have_unique_ids(self):
+        from repro.mining import mine_ruleset
+
+        rules = list(mine_ruleset())
+        ids = [r.rule_id for r in rules]
+        assert len(set(ids)) == len(ids)
+
+    def test_mined_vs_curated_shape(self):
+        from repro.mining import evaluate_mined_ruleset
+
+        result, report = evaluate_mined_ruleset()
+        assert result.curated_recall > result.mined_recall
+        assert result.curated_precision > result.mined_precision
+        assert 0.3 <= result.recall_recovered <= 0.9
+        assert report.pairs_considered > 30

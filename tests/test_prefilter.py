@@ -1,0 +1,81 @@
+"""Tests for literal prefiltering: correctness is pinned by equivalence."""
+
+import random
+import re
+
+import pytest
+
+from repro.core.prefilter import required_literal
+from repro.core.rules import extended_ruleset
+from repro.core.rules.javascript import javascript_ruleset
+
+
+class TestDerivation:
+    def test_plain_literal(self):
+        assert required_literal(re.compile(r"pickle\.loads\(")) == "pickle.loads("
+
+    def test_longest_run_chosen(self):
+        literal = required_literal(re.compile(r"os\.system\(\s*f['\"]"))
+        assert literal == "os.system("
+
+    def test_branch_requires_all(self):
+        # each alternative has a literal → the weakest guarantee is usable
+        literal = required_literal(re.compile(r"(?:telnetlib\.Telnet|ftplib\.FTP)\("))
+        assert literal is not None
+
+    def test_branch_with_free_alternative(self):
+        # one alternative is pure wildcard → nothing is required
+        assert required_literal(re.compile(r"(?:pickle\.loads|\w+)x")) is None
+
+    def test_optional_group_skipped(self):
+        literal = required_literal(re.compile(r"(?:import\s+)?yaml\.load\("))
+        assert literal == "yaml.load("
+
+    def test_short_literals_rejected(self):
+        assert required_literal(re.compile(r"\bok\b")) is None
+
+    def test_ignorecase_disables(self):
+        assert required_literal(re.compile(r"SELECT", re.IGNORECASE)) is None
+
+    def test_repeat_min_one_contributes(self):
+        literal = required_literal(re.compile(r"(?:abcdef)+\d"))
+        assert literal == "abcdef"
+
+
+class TestSafety:
+    """The safety invariant: if the regex matches, the literal is present."""
+
+    @pytest.mark.parametrize(
+        "ruleset_name,rules",
+        [("python", list(extended_ruleset())), ("javascript", list(javascript_ruleset()))],
+    )
+    def test_literal_present_in_rule_matches(self, ruleset_name, rules, flat_samples):
+        derived = {
+            r.rule_id: required_literal(r.pattern)
+            for r in rules
+            if required_literal(r.pattern) is not None
+        }
+        assert derived, "at least some rules must gain a prefilter"
+        for sample in flat_samples[:150]:
+            for rule in rules:
+                literal = derived.get(rule.rule_id)
+                if literal is None:
+                    continue
+                if rule.pattern.search(sample.source):
+                    assert literal in sample.source, (rule.rule_id, literal)
+
+    def test_corpus_results_identical_with_and_without(self, flat_samples, engine):
+        # equivalence: verdicts through the prefiltered engine path equal
+        # raw regex verdicts
+        for sample in flat_samples[:120]:
+            raw = any(
+                rule.applies_to(sample.source) and rule.pattern.search(sample.source)
+                and not any(g.vetoes(sample.source, m) for m in [rule.pattern.search(sample.source)] for g in rule.all_guards())
+                for rule in engine.rules
+            )
+            assert engine.is_vulnerable(sample.source) == raw
+
+    def test_prefilter_coverage_is_high(self):
+        rules = list(extended_ruleset())
+        covered = sum(required_literal(r.pattern) is not None for r in rules)
+        assert covered / len(rules) > 0.5

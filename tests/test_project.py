@@ -1,0 +1,114 @@
+"""Tests for the project-scale scanner."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.project import ProjectScanner, scan_paths
+
+VULN_A = "import pickle\n\ndata = pickle.loads(blob)\n"
+VULN_B = 'import hashlib\n\nh = hashlib.md5(secret_value)\n'
+CLEAN = "def add(a, b):\n    return a + b\n"
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text(VULN_A)
+    (tmp_path / "pkg" / "clean.py").write_text(CLEAN)
+    (tmp_path / "b.py").write_text(VULN_B)
+    (tmp_path / "notes.txt").write_text("not python")
+    (tmp_path / ".venv").mkdir()
+    (tmp_path / ".venv" / "skip.py").write_text(VULN_A)
+    return tmp_path
+
+
+class TestWalking:
+    def test_only_python_files(self, tree):
+        names = {p.name for p in ProjectScanner().python_files(tree)}
+        assert names == {"a.py", "clean.py", "b.py"}
+
+    def test_excluded_dirs_skipped(self, tree):
+        paths = list(ProjectScanner().python_files(tree))
+        assert not any(".venv" in str(p) for p in paths)
+
+    def test_single_file_root(self, tree):
+        paths = list(ProjectScanner().python_files(tree / "b.py"))
+        assert paths == [tree / "b.py"]
+
+    def test_deterministic_order(self, tree):
+        scanner = ProjectScanner()
+        assert list(scanner.python_files(tree)) == list(scanner.python_files(tree))
+
+
+class TestScan:
+    def test_aggregation(self, tree):
+        report = ProjectScanner().scan(tree)
+        assert report.scanned_count == 3
+        assert len(report.vulnerable_files) == 2
+        assert report.total_findings >= 2
+
+    def test_findings_by_cwe(self, tree):
+        counts = ProjectScanner().scan(tree).findings_by_cwe()
+        assert counts.get("CWE-502") == 1
+        assert counts.get("CWE-328") == 1
+
+    def test_summary_text(self, tree):
+        text = ProjectScanner().scan(tree).summary()
+        assert "vulnerable files: 2" in text
+
+    def test_oversized_file_skipped(self, tmp_path):
+        big = tmp_path / "big.py"
+        big.write_text("x = 1\n" * 300000)
+        scanner = ProjectScanner(max_file_bytes=1024)
+        report = scanner.scan(tmp_path)
+        assert report.files[0].error == "file too large"
+
+    def test_scan_paths_merges(self, tree):
+        report = scan_paths([tree / "pkg", tree / "b.py"])
+        assert report.scanned_count == 3
+
+
+class TestPatchTree:
+    def test_patches_applied_in_place(self, tree):
+        report = ProjectScanner().patch_tree(tree)
+        assert (tree / "pkg" / "a.py").read_text().find("json.loads") != -1
+        assert "sha256" in (tree / "b.py").read_text()
+        patched = [f for f in report.files if f.patched]
+        assert len(patched) == 2
+
+    def test_backups_written(self, tree):
+        ProjectScanner().patch_tree(tree, backup=True)
+        assert (tree / "pkg" / "a.py.orig").read_text() == VULN_A
+
+    def test_no_backup_mode(self, tree):
+        ProjectScanner().patch_tree(tree, backup=False)
+        assert not (tree / "pkg" / "a.py.orig").exists()
+
+    def test_clean_files_untouched(self, tree):
+        ProjectScanner().patch_tree(tree)
+        assert (tree / "pkg" / "clean.py").read_text() == CLEAN
+
+    def test_patched_tree_scans_clean(self, tree):
+        scanner = ProjectScanner()
+        scanner.patch_tree(tree)
+        # remove backups so the rescan only sees patched files
+        for backup in tree.rglob("*.orig"):
+            backup.unlink()
+        rescan = scanner.scan(tree)
+        assert rescan.total_findings == 0
+
+
+class TestParallelScan:
+    def test_parallel_equals_serial(self, tree):
+        scanner = ProjectScanner()
+        serial = scanner.scan(tree, jobs=1)
+        parallel = scanner.scan(tree, jobs=4)
+        assert [f.path for f in serial.files] == [f.path for f in parallel.files]
+        assert [len(f.findings) for f in serial.files] == [
+            len(f.findings) for f in parallel.files
+        ]
+
+    def test_parallel_single_file(self, tree):
+        report = ProjectScanner().scan(tree / "b.py", jobs=8)
+        assert report.scanned_count == 1

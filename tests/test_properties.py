@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import ast
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PatchitPy
+from repro.core.imports import insert_imports, prune_unused_imports
+from repro.metrics.quality import clean_snippet
+from repro.standardize import standardize
+from repro.textutils.lcs import lcs_length, lcs_tokens, similarity_ratio
+from repro.textutils.tokenizer import tokenize
+from repro.types import Span, merge_spans
+
+_ENGINE = PatchitPy()
+
+# small python-flavoured text generator
+_PYTHONISH = st.text(
+    alphabet="abcdefgh_ ().,'\"=:\n0123456789{}fimport password eval",
+    max_size=150,
+)
+
+
+class TestEngineTotality:
+    @given(_PYTHONISH)
+    @settings(max_examples=80, deadline=None)
+    def test_detect_never_raises(self, text):
+        _ENGINE.detect(text)
+
+    @given(_PYTHONISH)
+    @settings(max_examples=50, deadline=None)
+    def test_patch_never_raises_and_terminates(self, text):
+        result = _ENGINE.patch(text)
+        assert isinstance(result.patched, str)
+
+    @given(_PYTHONISH)
+    @settings(max_examples=50, deadline=None)
+    def test_patch_idempotent(self, text):
+        once = _ENGINE.patch(text).patched
+        assert _ENGINE.patch(once).patched == once
+
+
+class TestSpanProperties:
+    spans = st.builds(
+        lambda a, b: Span(min(a, b), max(a, b)),
+        st.integers(0, 500),
+        st.integers(0, 500),
+    )
+
+    @given(st.lists(spans, max_size=20))
+    def test_merge_is_disjoint_and_sorted(self, span_list):
+        merged = merge_spans(span_list)
+        for left, right in zip(merged, merged[1:]):
+            assert left.end < right.start
+
+    @given(st.lists(spans, max_size=20))
+    def test_merge_preserves_coverage(self, span_list):
+        merged = merge_spans(span_list)
+        covered = set()
+        for span in merged:
+            covered.update(range(span.start, span.end))
+        expected = set()
+        for span in span_list:
+            expected.update(range(span.start, span.end))
+        assert covered == expected
+
+    @given(spans, spans)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestLCSProperties:
+    seqs = st.lists(st.sampled_from(["a", "b", "c", "(", ")", "="]), max_size=30)
+
+    @given(seqs, seqs)
+    @settings(max_examples=100, deadline=None)
+    def test_lcs_le_min_length(self, a, b):
+        assert lcs_length(a, b) <= min(len(a), len(b))
+
+    @given(seqs)
+    def test_lcs_with_self_is_identity(self, a):
+        assert lcs_length(a, a) == len(a)
+
+    @given(seqs, seqs)
+    @settings(max_examples=100, deadline=None)
+    def test_lcs_symmetric_length(self, a, b):
+        assert lcs_length(a, b) == lcs_length(b, a)
+
+    @given(seqs, seqs)
+    @settings(max_examples=60, deadline=None)
+    def test_similarity_bounds(self, a, b):
+        ratio = similarity_ratio(a, b)
+        assert 0.0 <= ratio <= 1.0
+
+    @given(seqs, seqs)
+    @settings(max_examples=60, deadline=None)
+    def test_tokens_length_matches(self, a, b):
+        assert len(lcs_tokens(a, b)) == lcs_length(a, b)
+
+
+class TestStandardizerProperties:
+    @given(_PYTHONISH)
+    @settings(max_examples=60, deadline=None)
+    def test_standardize_deterministic(self, text):
+        assert standardize(text).text == standardize(text).text
+
+    @given(_PYTHONISH)
+    @settings(max_examples=60, deadline=None)
+    def test_mapping_values_are_placeholders(self, text):
+        result = standardize(text)
+        for index, placeholder in enumerate(sorted(result.mapping.values(), key=lambda v: int(v[3:]))):
+            assert placeholder == f"var{index}"
+
+
+class TestImportProperties:
+    modules = st.sampled_from(["os", "json", "ast", "hmac", "shlex", "secrets"])
+
+    @given(st.lists(modules, max_size=5, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_inserted_imports_present_and_parse(self, names):
+        statements = [f"import {n}" for n in names]
+        out = insert_imports("x = 1\n", statements)
+        ast.parse(out)
+        for statement in statements:
+            assert statement in out
+
+    @given(st.lists(modules, max_size=5, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_prune_removes_everything_unused(self, names):
+        source = "".join(f"import {n}\n" for n in names) + "\nvalue = 1\n"
+        out = prune_unused_imports(source)
+        for name in names:
+            assert f"import {name}" not in out
+
+
+class TestQualityCleanProperties:
+    @given(_PYTHONISH)
+    @settings(max_examples=60, deadline=None)
+    def test_clean_snippet_total(self, text):
+        cleaned = clean_snippet(text)
+        assert isinstance(cleaned, str)
+
+    def test_clean_preserves_valid_code(self):
+        source = "def f(x):\n    return x + 1\n"
+        assert ast.dump(ast.parse(clean_snippet(source))) == ast.dump(ast.parse(source))
+
+
+class TestCorpusRoundtrip:
+    def test_patched_corpus_subset_stays_text(self, flat_samples):
+        rng = random.Random(0)
+        for sample in rng.sample(flat_samples, 60):
+            patched = _ENGINE.patch(sample.source).patched
+            assert isinstance(patched, str) and patched
+
+    def test_tokenizer_total_on_corpus(self, flat_samples):
+        for sample in flat_samples[:100]:
+            tokens = tokenize(sample.source)
+            assert tokens

@@ -1,0 +1,100 @@
+"""Tests for the LSP-style language-server layer."""
+
+import pytest
+
+from repro.ide.protocol import LanguageServer
+
+VULN = 'import pickle\n\ndef restore(blob):\n    return pickle.loads(blob)\n'
+URI = "file:///w/restore.py"
+
+
+@pytest.fixture()
+def server():
+    return LanguageServer()
+
+
+class TestLifecycle:
+    def test_initialize_capabilities(self, server):
+        response = server.initialize()
+        assert response["capabilities"]["codeActionProvider"]
+        assert response["serverInfo"]["name"] == "patchitpy-ls"
+
+    def test_did_open_publishes_diagnostics(self, server):
+        published = server.did_open(URI, VULN)
+        assert published["uri"] == URI
+        assert len(published["diagnostics"]) == 1
+        diagnostic = published["diagnostics"][0]
+        assert diagnostic["code"] == "CWE-502"
+        assert diagnostic["source"] == "patchitpy"
+        assert diagnostic["severity"] == 1  # critical → Error
+
+    def test_did_change_refreshes(self, server):
+        server.did_open(URI, VULN)
+        published = server.did_change(URI, "x = 1\n")
+        assert published["diagnostics"] == []
+
+    def test_did_close_forgets(self, server):
+        server.did_open(URI, VULN)
+        server.did_close(URI)
+        with pytest.raises(KeyError):
+            server.document_text(URI)
+
+    def test_diagnostic_range_points_at_call(self, server):
+        published = server.did_open(URI, VULN)
+        r = published["diagnostics"][0]["range"]
+        assert r["start"]["line"] == 3
+
+
+class TestCodeActions:
+    def test_quickfix_offered(self, server):
+        server.did_open(URI, VULN)
+        actions = server.code_actions(URI)
+        assert len(actions) == 1
+        action = actions[0]
+        assert action["kind"] == "quickfix"
+        assert "json" in str(action["edit"]).lower()
+
+    def test_range_filtering(self, server):
+        server.did_open(URI, VULN)
+        assert server.code_actions(URI, 0, 5) == []  # import line only
+
+    def test_edit_includes_import_insertion(self, server):
+        server.did_open(URI, VULN)
+        edits = server.code_actions(URI)[0]["edit"]["changes"][URI]
+        assert len(edits) == 2  # replacement + import insertion
+        assert any("import json" in e["newText"] for e in edits)
+
+    def test_detection_only_findings_have_no_action(self, server):
+        server.did_open(URI, "exec(payload)\n")
+        assert server.code_actions(URI) == []
+
+
+class TestApplyEdit:
+    def test_roundtrip_fixes_document(self, server):
+        server.did_open(URI, VULN)
+        action = server.code_actions(URI)[0]
+        outcome = server.apply_workspace_edit(action["edit"])
+        assert outcome["applied"]
+        text = server.document_text(URI)
+        assert "json.loads(blob)" in text
+        assert "import json" in text
+        # refreshed diagnostics show the pickle finding gone
+        assert outcome["diagnostics"][URI]["diagnostics"] == [] or all(
+            d["code"] != "CWE-502" for d in outcome["diagnostics"][URI]["diagnostics"]
+        )
+
+    def test_full_loop_until_clean(self, server):
+        source = (
+            "import pickle\nfrom flask import Flask, request\n\napp = Flask(__name__)\n\n"
+            '@app.route("/x", methods=["POST"])\ndef x():\n'
+            "    state = pickle.loads(request.data)\n"
+            '    return f"<p>{state}</p>"\n\napp.run(debug=True)\n'
+        )
+        server.did_open(URI, source)
+        for _ in range(8):
+            actions = server.code_actions(URI)
+            if not actions:
+                break
+            server.apply_workspace_edit(actions[0]["edit"])
+        final = server.did_change(URI, server.document_text(URI))
+        assert final["diagnostics"] == []

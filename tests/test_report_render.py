@@ -1,0 +1,70 @@
+"""Tests for report rendering (core.report, evaluation.reporting)."""
+
+from repro.core import PatchitPy
+from repro.core.report import format_finding, render_report
+from repro.evaluation.reporting import ascii_boxplot, render_table
+from repro.types import AnalysisReport, Finding, Patch, Span, SuggestionComment
+
+
+class TestFormatFinding:
+    def test_line_and_cwe_name(self):
+        source = "x = 1\npickle.loads(b)\n"
+        finding = Finding("PIT-A08-01", "CWE-502", "msg", Span(6, 21))
+        text = format_finding(finding, source)
+        assert "line   2" in text
+        assert "CWE-502" in text and "Deserialization" in text
+        assert "A08" in text
+
+    def test_unknown_cwe_tolerated(self):
+        finding = Finding("X", "CWE-999", "msg", Span(0, 1))
+        assert "Unknown" in format_finding(finding, "x")
+
+
+class TestRenderReport:
+    def test_clean_report(self):
+        text = render_report(AnalysisReport(tool="patchitpy", source="x = 1\n"))
+        assert "no vulnerable patterns" in text
+
+    def test_findings_and_patches_listed(self):
+        engine = PatchitPy()
+        report = engine.analyze("pickle.loads(b)\n")
+        text = render_report(report)
+        assert "1 finding(s)" in text
+        assert "patch(es) applied" in text
+
+    def test_parse_failed_note(self):
+        report = AnalysisReport(tool="t", source="x", parse_failed=True)
+        assert "pattern mode" in render_report(report)
+
+    def test_suggestions_rendered(self):
+        report = AnalysisReport(
+            tool="bandit",
+            source="yaml.load(f)\n",
+            findings=[Finding("B506", "CWE-502", "m", Span(0, 4))],
+            suggestions=[SuggestionComment("B506", "CWE-502", 1, "# use safe_load")],
+        )
+        assert "use safe_load" in render_report(report)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [["x", 1.5], ["yyyy", 2]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines if l.startswith(("+", "|"))}) == 1
+
+    def test_title(self):
+        text = render_table(["h"], [["v"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_float_formatting(self):
+        assert "0.97" in render_table(["m"], [[0.9713]])
+
+
+class TestAsciiBoxplot:
+    def test_markers_present(self):
+        line = ascii_boxplot("grp", q1=1.0, median=2.0, q3=3.0, lo=0.5, hi=4.0)
+        assert "#" in line and "=" in line and line.startswith("         grp")
+
+    def test_values_clamped(self):
+        line = ascii_boxplot("grp", q1=1, median=2, q3=3, lo=-5, hi=100, scale=8)
+        assert line.count("|") == 2

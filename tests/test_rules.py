@@ -1,0 +1,221 @@
+"""Tests for the rule model and the 85-rule catalog."""
+
+import re
+
+import pytest
+
+from repro.core.matching import match_rule, run_rules
+from repro.core.rules import (
+    EXTENDED_ONLY,
+    DetectionRule,
+    PatchTemplate,
+    RuleSet,
+    default_ruleset,
+    extended_ruleset,
+    rule,
+)
+from repro.cwe import OwaspCategory
+from repro.exceptions import DuplicateRuleError, RuleError
+from repro.types import Severity
+
+
+class TestRuleModel:
+    def test_patch_template_requires_exactly_one(self):
+        with pytest.raises(RuleError):
+            PatchTemplate()
+        with pytest.raises(RuleError):
+            PatchTemplate(replacement="x", builder=lambda m: ("x", ()))
+
+    def test_template_render_expand(self):
+        template = PatchTemplate(replacement=r"safe(\g<arg>)")
+        match = re.match(r"bad\((?P<arg>\w+)\)", "bad(value)")
+        text, imports = template.render(match)
+        assert text == "safe(value)"
+        assert imports == ()
+
+    def test_template_render_builder_merges_imports(self):
+        template = PatchTemplate(
+            builder=lambda m: ("fixed", ("import extra",)), imports=("import base",)
+        )
+        match = re.match("x", "x")
+        text, imports = template.render(match)
+        assert text == "fixed"
+        assert imports == ("import base", "import extra")
+
+    def test_rule_normalizes_cwe(self):
+        r = rule("T-1", "89", "d", "pattern")
+        assert r.cwe_id == "CWE-089"
+
+    def test_rule_owasp_category(self):
+        r = rule("T-2", "CWE-079", "d", "pattern")
+        assert r.owasp is OwaspCategory.A03_INJECTION
+
+    def test_empty_rule_id_rejected(self):
+        with pytest.raises(RuleError):
+            rule("", "CWE-089", "d", "p")
+
+    def test_patchable_property(self):
+        plain = rule("T-3", "CWE-089", "d", "p")
+        fixing = rule("T-4", "CWE-089", "d", "p", patch=PatchTemplate(replacement="x"))
+        assert not plain.patchable and fixing.patchable
+
+
+class TestGuards:
+    def test_not_if_vetoes_match(self):
+        r = rule("T-5", "CWE-079", "d", r"render\(\w+\)", not_if=(r"render\(safe",))
+        assert match_rule(r, "render(safe_value)") == []
+        assert len(match_rule(r, "render(raw_value)")) == 1
+
+    def test_not_on_line(self):
+        r = rule("T-6", "CWE-089", "d", r"execute\(q\)", not_on_line=(r"# reviewed",))
+        assert match_rule(r, "execute(q)  # reviewed") == []
+        assert len(match_rule(r, "execute(q)")) == 1
+
+    def test_not_in_file(self):
+        r = rule("T-7", "CWE-502", "d", r"load\(", not_in_file=(r"SafeLoader",))
+        assert match_rule(r, "load(x)\n# uses SafeLoader elsewhere\n") == []
+
+    def test_nosec_waiver_is_implicit(self):
+        r = rule("T-8", "CWE-095", "d", r"eval\(")
+        assert match_rule(r, "eval(x)  # nosec") == []
+
+    def test_require_in_file(self):
+        r = rule("T-9", "CWE-079", "d", r"return f", require_in_file=(r"flask",))
+        assert match_rule(r, "return f'{x}'") == []
+        assert len(match_rule(r, "import flask\nreturn f'{x}'")) == 1
+
+
+class TestRuleSet:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DuplicateRuleError):
+            RuleSet([rule("X-1", "CWE-089", "d", "p"), rule("X-1", "CWE-079", "d", "p")])
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(RuleError):
+            RuleSet().get("nope")
+
+    def test_by_cwe(self):
+        rs = default_ruleset()
+        for r in rs.by_cwe("CWE-89"):
+            assert r.cwe_id == "CWE-089"
+        assert rs.by_cwe("89")
+
+    def test_by_owasp(self):
+        rs = default_ruleset()
+        injection = rs.by_owasp(OwaspCategory.A03_INJECTION)
+        assert len(injection) >= 15
+
+    def test_without(self):
+        rs = default_ruleset()
+        smaller = rs.without("PIT-A03-01")
+        assert len(smaller) == len(rs) - 1
+        assert "PIT-A03-01" not in smaller
+
+    def test_subset(self):
+        rs = default_ruleset().subset(lambda r: r.severity is Severity.CRITICAL)
+        assert all(r.severity is Severity.CRITICAL for r in rs)
+
+
+class TestCatalog:
+    def test_default_has_85_rules(self):
+        # §II-A: "The tool executes 85 detection rules"
+        assert len(default_ruleset()) == 85
+
+    def test_extended_superset(self):
+        default_ids = {r.rule_id for r in default_ruleset()}
+        extended_ids = {r.rule_id for r in extended_ruleset()}
+        assert default_ids < extended_ids
+        assert extended_ids - default_ids == EXTENDED_ONLY
+
+    def test_covers_51_cwes(self):
+        # §III: PatchitPy identified code vulnerable to 51 distinct CWEs
+        assert len(default_ruleset().cwes()) == 51
+
+    def test_every_category_has_rules(self):
+        rs = default_ruleset()
+        for category in OwaspCategory:
+            assert rs.by_owasp(category), category
+
+    def test_most_rules_patchable(self):
+        rs = default_ruleset()
+        assert len(rs.patchable()) >= 60
+
+    def test_unique_patterns_compile(self):
+        for r in extended_ruleset():
+            assert r.pattern.pattern  # compiled at construction
+
+
+# One positive and one negative snippet per high-traffic rule.
+_RULE_CASES = [
+    ("PIT-A03-01", 'cur.execute(f"SELECT * FROM t WHERE id={x}")', 'cur.execute("SELECT 1")'),
+    ("PIT-A03-02", 'cur.execute("SELECT * FROM t WHERE id=%s" % x)', 'cur.execute("SELECT 1", (x,))'),
+    ("PIT-A03-03", 'cur.execute("SELECT {}".format(x))', 'cur.execute("SELECT ?", (x,))'),
+    ("PIT-A03-04", 'cur.execute("SELECT * FROM t WHERE n=\'" + x + "\'")', 'cur.execute("SELECT ?", (x,))'),
+    ("PIT-A03-07", 'os.system(f"ping {host}")', 'subprocess.run(["ping", host])'),
+    ("PIT-A03-08", 'subprocess.run(cmd, shell=True)', 'subprocess.run(cmd, shell=False)'),
+    ("PIT-A03-09", "os.popen(cmd)", "subprocess.run([cmd])"),
+    ("PIT-A03-11", "eval(expr)", "ast.literal_eval(expr)"),
+    ("PIT-A03-12", "exec(code)", "run_action(code)"),
+    ("PIT-A03-13", 'import flask\nreturn f"<p>{name}</p>"', 'import flask\nreturn f"<p>{escape(name)}</p>"'),
+    ("PIT-A03-18", 'conn.search_s(base, scope, f"(uid={u})")', 'conn.search_s(base, scope, f"(uid={escape_filter_chars(u)})")'),
+    ("PIT-A03-19", 'tree.xpath(f"//u[@n=\'{x}\']")', 'tree.xpath("//u[@n=$n]", n=x)'),
+    ("PIT-A03-21", 'logging.info(f"user {u}")', 'logging.info("user %s", u)'),
+    ("PIT-A02-01", "hashlib.md5(data)", "hashlib.sha256(data)"),
+    ("PIT-A02-02", "hashlib.sha1(data)", "hashlib.sha3_256(data)"),
+    ("PIT-A02-03", 'hashlib.new("md5")', 'hashlib.new("sha256")'),
+    ("PIT-A02-07", "AES.MODE_ECB", "AES.MODE_GCM"),
+    ("PIT-A02-08", 'AES.new(key, AES.MODE_CBC, b"0123456789abcdef")', "AES.new(key, AES.MODE_CBC, os.urandom(16))"),
+    ("PIT-A02-12", "requests.get(url, verify=False)", "requests.get(url, verify=True)"),
+    ("PIT-A02-13", "ssl._create_unverified_context()", "ssl.create_default_context()"),
+    ("PIT-A02-15", "ssl.PROTOCOL_TLSv1", "ssl.PROTOCOL_TLS_CLIENT"),
+    ("PIT-A01-05", "archive.extractall(dest)", 'archive.extractall(dest, filter="data")'),
+    ("PIT-A01-07", "f.save(os.path.join(d, f.filename))", "f.save(os.path.join(d, secure_filename(f.filename)))"),
+    ("PIT-A01-09", 'redirect(request.args.get("next"))', 'redirect(url_for("home"))'),
+    ("PIT-A01-10", "os.chmod(p, 0o777)", "os.chmod(p, 0o600)"),
+    ("PIT-A01-12", "tempfile.mktemp()", "tempfile.mkstemp()"),
+    ("PIT-A04-01", "app.run(debug=True)", "app.run(debug=False)"),
+    ("PIT-A04-02", "return str(e), 500", 'return "error", 500'),
+    ("PIT-A05-05", "resp.set_cookie('sid', v)", "resp.set_cookie('sid', v, secure=True, httponly=True, samesite='Lax')"),
+    ("PIT-A05-09", 'app.run(host="0.0.0.0")', 'app.run(host="127.0.0.1")'),
+    ("PIT-A06-01", "telnetlib.Telnet(host)", "paramiko.SSHClient()"),
+    ("PIT-A06-02", "ftplib.FTP(host)", "ftplib.FTP_TLS(host)"),
+    ("PIT-A07-01", 'password = "hunter2!"', 'password = os.environ.get("PASSWORD", "")'),
+    ("PIT-A07-03", 'password == "letmein"', 'hmac.compare_digest(password, expected)'),
+    ("PIT-A07-05", "len(password) >= 4", "len(password) >= 12"),
+    ("PIT-A08-01", "pickle.loads(blob)", "json.loads(blob)"),
+    ("PIT-A08-02", "pickle.load(fh)", "json.load(fh)"),
+    ("PIT-A08-04", "marshal.loads(blob)", "json.loads(blob)"),
+    ("PIT-A08-06", "yaml.load(fh)", "yaml.safe_load(fh)"),
+    ("PIT-A08-07", "yaml.full_load(fh)", "yaml.safe_load(fh)"),
+    ("PIT-A09-02", "try:\n    go()\nexcept OSError:\n    pass\n", "try:\n    go()\nexcept OSError:\n    logging.exception('x')\n"),
+    ("PIT-A10-01", 'requests.get(request.args.get("url"))', "requests.get(FIXED_URL, timeout=5)"),
+]
+
+
+class TestCatalogRules:
+    @pytest.mark.parametrize("rule_id,positive,negative", _RULE_CASES)
+    def test_positive_matches(self, rule_id, positive, negative):
+        r = default_ruleset().get(rule_id)
+        assert match_rule(r, positive), f"{rule_id} must match: {positive!r}"
+
+    @pytest.mark.parametrize("rule_id,positive,negative", _RULE_CASES)
+    def test_negative_does_not_match(self, rule_id, positive, negative):
+        r = default_ruleset().get(rule_id)
+        assert not match_rule(r, negative), f"{rule_id} must not match: {negative!r}"
+
+
+class TestRunRules:
+    def test_same_cwe_overlap_deduped(self):
+        source = 'cur.execute(f"SELECT {x}")'
+        findings = run_rules(default_ruleset(), source)
+        sql_findings = [f for f in findings if f.cwe_id == "CWE-089"]
+        assert len(sql_findings) == 1
+
+    def test_findings_sorted_by_position(self):
+        source = "eval(a)\npickle.loads(b)\n"
+        findings = run_rules(default_ruleset(), source)
+        starts = [f.span.start for f in findings]
+        assert starts == sorted(starts)
+
+    def test_empty_source(self):
+        assert run_rules(default_ruleset(), "") == []

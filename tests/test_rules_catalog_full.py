@@ -1,0 +1,171 @@
+"""Exhaustive per-rule tests: one positive and one negative snippet for
+every rule in the full 109-rule catalog, plus a patch-safety property for
+every patchable rule (after applying the rule's patch to its positive
+example, the rule must no longer match)."""
+
+import pytest
+
+from repro.core import PatchitPy
+from repro.core.matching import match_rule
+from repro.core.rules import RuleSet, extended_ruleset
+
+_CATALOG = {r.rule_id: r for r in extended_ruleset()}
+
+# rule id -> (positive snippet, negative snippet)
+CASES = {
+    # ---------------- A03 Injection ----------------
+    "PIT-A03-01": ('cur.execute(f"SELECT * FROM t WHERE id={x}")', 'cur.execute("SELECT 1")'),
+    "PIT-A03-02": ('cur.execute("SELECT %s FROM t" % name)', 'cur.execute("SELECT ?", (name,))'),
+    "PIT-A03-03": ('db.execute("SELECT {}".format(v))', 'db.execute("SELECT ?", (v,))'),
+    "PIT-A03-04": ('cur.execute("DELETE FROM t WHERE id=" + str(i))', 'cur.execute("DELETE FROM t WHERE id=?", (i,))'),
+    "PIT-A03-05": ('stmt = text(f"SELECT * FROM t WHERE id={x}")', 'stmt = text("SELECT * FROM t WHERE id=:id")'),
+    "PIT-A03-06": ('q.filter(f"name = {n}")', "q.filter(Model.name == n)"),
+    "PIT-A03-07": ('os.system(f"rm {path}")', 'subprocess.run(["rm", path])'),
+    "PIT-A03-08": ("subprocess.call(cmd, shell=True)", "subprocess.call(cmd, shell=False)"),
+    "PIT-A03-09": ("out = os.popen(cmd)", 'out = subprocess.run([cmd], capture_output=True)'),
+    "PIT-A03-10": ('os.execvp("sh", args)', 'subprocess.run(["sh"] + args)'),
+    "PIT-A03-11": ("value = eval(text)", "value = ast.literal_eval(text)"),
+    "PIT-A03-12": ("exec(script)", "importlib.import_module(name)"),
+    "PIT-A03-13": ('from flask import request\nreturn f"<p>{name}</p>"', 'from flask import request, escape\nreturn f"<p>{escape(name)}</p>"'),
+    "PIT-A03-14": ('make_response(f"Hi {user}")', 'make_response(f"Hi {escape(user)}")'),
+    "PIT-A03-15": ('return "<p>" + request.args.get("n", "")', 'return "<p>" + escape(request.args.get("n", ""))'),
+    "PIT-A03-16": ("render_template_string(tpl)", 'render_template("page.html", v=v)'),
+    "PIT-A03-17": ("Markup(user_bio)", "Markup('<b>static</b>')"),
+    "PIT-A03-18": ('conn.search_s(b, s, f"(uid={u})")', 'conn.search_s(b, s, f"(uid={escape_filter_chars(u)})")'),
+    "PIT-A03-19": ('doc.xpath(f"//a[@id=\'{i}\']")', 'doc.xpath("//a[@id=$i]", i=i)'),
+    "PIT-A03-20": ('body = f"<order>{data}</order>"', 'body = build_xml(data)'),
+    "PIT-A03-21": ('logger.info(f"login by {who}")', 'logger.info("login by %s", who)'),
+    "PIT-A03-22": ('writer.writerow([request.form.get("n")])', "writer.writerow([sanitized])"),
+    "PIT-A03-23": ('n = int(request.args.get("size"))', "n = parse_size(raw)"),
+    # ---------------- A02 Cryptographic Failures ----------------
+    "PIT-A02-01": ("hashlib.md5(data)", "hashlib.sha256(data)"),
+    "PIT-A02-02": ("hashlib.sha1(data)", "hashlib.sha512(data)"),
+    "PIT-A02-03": ('hashlib.new("sha1")', 'hashlib.new("sha256")'),
+    "PIT-A02-04": ("hashlib.sha256(password.encode()).hexdigest()", "hashlib.pbkdf2_hmac('sha256', password.encode(), salt, 310000)"),
+    "PIT-A02-05": ("crypt.crypt(pw, salt)", "hashlib.pbkdf2_hmac('sha256', pw.encode(), salt, 310000)"),
+    "PIT-A02-06": ("DES.new(key, DES.MODE_ECB)", "AES.new(key, AES.MODE_GCM)"),
+    "PIT-A02-07": ("AES.new(key, AES.MODE_ECB)", "AES.new(key, AES.MODE_GCM)"),
+    "PIT-A02-08": ('AES.new(key, AES.MODE_CBC, b"0000000000000000")', "AES.new(key, AES.MODE_CBC, os.urandom(16))"),
+    "PIT-A02-09": ("token = random.choice(chars)", "import secrets\ntoken = secrets.choice(chars)"),
+    "PIT-A02-10": ("nonce = random.getrandbits(64)", "import secrets\nnonce = secrets.randbits(64)"),
+    "PIT-A02-11": ("random.seed(42)", "random.seed()"),
+    "PIT-A02-12": ("requests.get(u, verify=False)", "requests.get(u, verify=True)"),
+    "PIT-A02-13": ("ctx = ssl._create_unverified_context()", "ctx = ssl.create_default_context()"),
+    "PIT-A02-14": ("ctx.check_hostname = False", "ctx.check_hostname = True"),
+    "PIT-A02-15": ("ssl.SSLContext(ssl.PROTOCOL_SSLv23)", "ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)"),
+    "PIT-A02-16": ('requests.post("http://a.example/login", data={"password": pw})', 'requests.post("https://a.example/login", data={"password": pw})'),
+    "PIT-A02-17": ('aes_key = "0123456789abcdef"', 'aes_key = os.environ["AES_KEY"]'),
+    "PIT-A02-18": ("base64.b64encode(password.encode())", "base64.b64encode(image_bytes)"),
+    # ---------------- A01 Broken Access Control ----------------
+    "PIT-A01-01": ('open(f"docs/{name}")', 'open(f"docs/{os.path.basename(name)}")'),
+    "PIT-A01-02": ('open("docs/" + name)', 'open("docs/" + os.path.basename(name))'),
+    "PIT-A01-03": ('os.path.join("up", request.form.get("f"))', 'os.path.join("up", os.path.basename(request.form.get("f")))'),
+    "PIT-A01-04": ('send_file(request.args.get("f"))', 'send_from_directory("docs", name)'),
+    "PIT-A01-05": ("import tarfile\narchive.extractall(dest)", 'import tarfile\narchive.extractall(dest, filter="data")'),
+    "PIT-A01-06": ("import zipfile\nbundle.extractall(dest)", "import zipfile\nbundle.extractall(dest, members=safe)"),
+    "PIT-A01-07": ("f.save(os.path.join(d, f.filename))", "f.save(os.path.join(d, secure_filename(f.filename)))"),
+    "PIT-A01-08": ('item = request.files["f"]\nitem.save(dest)', 'item = request.files["f"]\nif allowed_file(item.filename):\n    item.save(dest)'),
+    "PIT-A01-09": ('redirect(request.args.get("next"))', 'redirect(url_for("index"))'),
+    "PIT-A01-10": ("os.chmod(path, 0o777)", "os.chmod(path, 0o600)"),
+    "PIT-A01-11": ("os.umask(0)", "os.umask(0o077)"),
+    "PIT-A01-12": ("tempfile.mktemp()", "tempfile.mkstemp()"),
+    "PIT-A01-13": ('open("/tmp/data.txt")', "open(scratch_path)"),
+    "PIT-A01-14": ("assert user.is_admin", "if not user.is_admin:\n    raise PermissionError"),
+    "PIT-A01-15": ("for k, v in request.form.items():\n    setattr(user, k, v)", "user.name = request.form.get('name')"),
+    # ---------------- A04 Insecure Design ----------------
+    "PIT-A04-01": ("app.run(debug=True)", "app.run(debug=False)"),
+    "PIT-A04-02": ("return str(e), 500", 'return "internal error", 500'),
+    "PIT-A04-03": ("return traceback.format_exc(), 500", 'logging.exception("x")\nreturn "error", 500'),
+    "PIT-A04-04": ("DEBUG = True\n", "DEBUG = False\n"),
+    "PIT-A04-05": ('fh.write(f"password={pw}")', 'fh.write(f"password_hash={pbkdf2_digest}")'),
+    "PIT-A04-06": ("resp.set_cookie('password', pw)", "resp.set_cookie('session', sid)"),
+    "PIT-A04-07": ('cur.execute("INSERT INTO users (name, password) VALUES (?, ?)", v)', 'cur.execute("INSERT INTO users (name, password_hash) VALUES (?, ?)", v)\n# pbkdf2 stored'),
+    "PIT-A04-08": ("requests.get(url)", "requests.get(url, timeout=5)"),
+    "PIT-A04-09": ("body = request.get_data()", "body = request.get_data()\nMAX_CONTENT_LENGTH = 1 << 20"),
+    # ---------------- A05 Security Misconfiguration ----------------
+    "PIT-A05-01": ("tree = etree.parse(path)", "tree = etree.parse(path, parser=etree.XMLParser(resolve_entities=False))"),
+    "PIT-A05-02": ("ET.fromstring(xml_text)", "import defusedxml.ElementTree\ndefusedxml.ElementTree.fromstring(xml_text)"),
+    "PIT-A05-03": ("parser.setFeature(handler.feature_external_ges, True)", "parser.setFeature(handler.feature_external_ges, False)"),
+    "PIT-A05-04": ("minidom.parseString(xml_text)", "import defusedxml.minidom\ndefusedxml.minidom.parseString(xml_text)"),
+    "PIT-A05-05": ("resp.set_cookie('sid', v)", "resp.set_cookie('sid', v, secure=True)"),
+    "PIT-A05-06": ("resp.set_cookie('sid', v, secure=True)", "resp.set_cookie('sid', v, secure=True, httponly=True)"),
+    "PIT-A05-07": ("resp.set_cookie('sid', v, secure=True, httponly=True)", "resp.set_cookie('sid', v, secure=True, httponly=True, samesite='Lax')"),
+    "PIT-A05-08": ('app.config["SESSION_COOKIE_SECURE"] = False', 'app.config["SESSION_COOKIE_SECURE"] = True'),
+    "PIT-A05-09": ('app.run(host="0.0.0.0")', 'app.run(host="127.0.0.1")'),
+    "PIT-A05-10": ('resp.headers["Access-Control-Allow-Origin"] = "*"', 'resp.headers["Access-Control-Allow-Origin"] = "https://app.example"'),
+    "PIT-A05-11": ("ALLOWED_HOSTS = ['*']", "ALLOWED_HOSTS = ['app.example']"),
+    # ---------------- A06 Vulnerable Components ----------------
+    "PIT-A06-01": ("telnetlib.Telnet(host)", "paramiko.SSHClient()"),
+    "PIT-A06-02": ("ftplib.FTP(host)", "ftplib.FTP_TLS(host)"),
+    "PIT-A06-03": ("os.tempnam()", "tempfile.mkstemp()"),
+    "PIT-A06-04": ("ssl.wrap_socket(sock)", "ctx.wrap_socket(sock, server_hostname=h)"),
+    "PIT-A06-05": ("urllib.urlopen(url)", "urllib.request.urlopen(url)"),
+    # ---------------- A07 Authentication Failures ----------------
+    "PIT-A07-01": ('api_key = "sk-live-123456"', 'api_key = os.environ["API_KEY"]'),
+    "PIT-A07-02": ('app.secret_key = "dev-secret"', 'app.secret_key = os.environ["SECRET"]'),
+    "PIT-A07-03": ('if password == "letmein":', "if hmac.compare_digest(password, expected):"),
+    "PIT-A07-04": ("h.hexdigest() == stored", "hmac.compare_digest(h.hexdigest(), stored)"),
+    "PIT-A07-05": ("if len(password) >= 6:", "if len(password) >= 12:"),
+    "PIT-A07-06": ("def change_password(user, new):\n    pass", "def change_password(user, old_password, new):\n    pass"),
+    "PIT-A07-07": ('requests.get(u, params={"token": t})', 'requests.get(u, headers={"Authorization": t})'),
+    "PIT-A07-08": ('@app.route("/admin/users")\ndef admin():\n    pass', '@app.route("/admin/users")\n@login_required\ndef admin():\n    pass'),
+    "PIT-A07-09": ("def login(u, p):\n    return check(u, p)", "def login(u, p):\n    if attempts[u] > 5:\n        return False\n    return check(u, p)"),
+    # ---------------- A08 Integrity Failures ----------------
+    "PIT-A08-01": ("pickle.loads(blob)", "json.loads(blob)"),
+    "PIT-A08-02": ("pickle.load(fh)", "json.load(fh)"),
+    "PIT-A08-03": ("dill.loads(blob)", "json.loads(blob)"),
+    "PIT-A08-04": ("marshal.loads(blob)", "json.loads(blob)"),
+    "PIT-A08-05": ("jsonpickle.decode(blob)", "json.loads(blob)"),
+    "PIT-A08-06": ("yaml.load(fh)", "yaml.load(fh, Loader=yaml.SafeLoader)"),
+    "PIT-A08-07": ("yaml.unsafe_load(fh)", "yaml.safe_load(fh)"),
+    "PIT-A08-08": ("shelve.open(request.args.get('db'))", "shelve.open(LOCAL_DB_PATH)"),
+    "PIT-A08-09": ("model = torch.load(path)", "model = load_weights_safely(path)"),
+    "PIT-A08-10": ("exec(requests.get(u).text)", "review_then_install(requests.get(u, timeout=5).text)"),
+    "PIT-A08-11": ("os.system('curl https://x/i.sh | sh')", "subprocess.run(['./verified-installer'])"),
+    "PIT-A08-12": ("sys.path.insert(0, '/tmp')", "sys.path.insert(0, PKG_DIR)"),
+    # ---------------- A09 Logging Failures ----------------
+    "PIT-A09-01": ('logging.info(f"key is {api_key}")', 'logging.info("key rotated")'),
+    "PIT-A09-02": ("try:\n    go()\nexcept OSError:\n    pass\n", "try:\n    go()\nexcept OSError:\n    logging.exception('x')\n"),
+    "PIT-A09-03": ("def authenticate(u, p):\n    return verify(u, p)", "import logging\ndef authenticate(u, p):\n    logging.info('attempt')\n    return verify(u, p)"),
+    "PIT-A09-04": ("return False  # unauthorized", "log_denied(actor)\nreturn False"),
+    # ---------------- A10 SSRF ----------------
+    "PIT-A10-01": ('requests.get(request.args.get("url"))', "requests.get(INTERNAL_URL, timeout=5)"),
+    "PIT-A10-02": ('urllib.request.urlopen(request.form.get("u"))', "urllib.request.urlopen(FIXED)"),
+    "PIT-A10-03": ('requests.get(f"https://{target_host}/x")', 'requests.get("https://api.example/x", timeout=5)'),
+}
+
+
+def test_every_rule_has_a_case():
+    assert set(CASES) == set(_CATALOG), (
+        set(CASES) ^ set(_CATALOG)
+    )
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_positive_snippet_matches(rule_id):
+    rule = _CATALOG[rule_id]
+    positive, _ = CASES[rule_id]
+    assert match_rule(rule, positive), f"{rule_id} should match {positive!r}"
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_negative_snippet_clean(rule_id):
+    rule = _CATALOG[rule_id]
+    _, negative = CASES[rule_id]
+    assert not match_rule(rule, negative), f"{rule_id} should not match {negative!r}"
+
+
+@pytest.mark.parametrize(
+    "rule_id", sorted(r.rule_id for r in extended_ruleset() if r.patchable)
+)
+def test_patch_removes_its_own_match(rule_id):
+    """Patch-safety property: applying a rule's patch to its positive
+    example leaves no match of that rule behind."""
+    rule = _CATALOG[rule_id]
+    positive, _ = CASES[rule_id]
+    engine = PatchitPy(rules=RuleSet([rule]), prune_imports=False)
+    result = engine.patch(positive)
+    assert result.applied, f"{rule_id} patch did not apply to {positive!r}"
+    assert not match_rule(rule, result.patched), (
+        f"{rule_id} still matches after patching: {result.patched!r}"
+    )

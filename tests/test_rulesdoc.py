@@ -1,0 +1,42 @@
+"""Tests for the rule-catalog documentation generator."""
+
+from repro.core.rules import RuleSet, default_ruleset
+from repro.core.rulesdoc import render_rules_markdown, write_rules_markdown
+
+
+class TestRulesDoc:
+    def test_contains_every_rule_id(self):
+        text = render_rules_markdown()
+        from repro.core.rules import extended_ruleset
+
+        for rule in extended_ruleset():
+            assert f"`{rule.rule_id}`" in text
+
+    def test_groups_by_owasp(self):
+        text = render_rules_markdown()
+        assert "## A03:2021 Injection" in text
+        assert "## A08:2021 Software and Data Integrity Failures" in text
+
+    def test_marks_extended_rules(self):
+        text = render_rules_markdown()
+        assert "*ext*" in text
+
+    def test_patchability_markers(self):
+        text = render_rules_markdown()
+        assert "✔" in text and "✘" in text
+
+    def test_custom_ruleset(self):
+        subset = RuleSet([default_ruleset().get("PIT-A08-01")])
+        text = render_rules_markdown(subset)
+        assert "PIT-A08-01" in text
+        assert "PIT-A03-01" not in text
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "RULES.md"
+        text = write_rules_markdown(str(path))
+        assert path.read_text() == text
+
+    def test_header_counts(self):
+        text = render_rules_markdown()
+        assert "109 detection rules" in text
+        assert "85 in the paper's default set" in text

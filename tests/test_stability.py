@@ -1,0 +1,27 @@
+"""Tests for the seed-stability analysis."""
+
+from repro.evaluation.stability import MetricSpread, _spread, seed_stability
+
+
+class TestSpread:
+    def test_constant_values(self):
+        spread = _spread([0.9, 0.9, 0.9])
+        assert spread.mean == 0.9 and spread.std == 0.0
+
+    def test_min_max(self):
+        spread = _spread([0.8, 1.0])
+        assert spread.minimum == 0.8 and spread.maximum == 1.0
+        assert abs(spread.mean - 0.9) < 1e-12
+
+    def test_str_format(self):
+        text = str(MetricSpread(0.93, 0.01, 0.92, 0.94))
+        assert "0.930" in text and "±" in text
+
+
+class TestSeedStability:
+    def test_two_seed_run(self):
+        result = seed_stability(seeds=(2025, 7))
+        assert set(result.per_seed) == {2025, 7}
+        assert result.f1.minimum > 0.85
+        assert result.precision.minimum > 0.9
+        assert "Seed stability" in result.summary()

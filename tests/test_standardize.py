@@ -1,0 +1,149 @@
+"""Tests for the named entity tagger (Table I semantics)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.standardize import (
+    NamedEntityTagger,
+    is_config_keyword,
+    is_protected_name,
+    standardize,
+)
+
+
+class TestProtectionRules:
+    def test_config_keywords(self):
+        assert is_config_keyword("True")
+        assert is_config_keyword("False")
+        assert is_config_keyword("None")
+        assert not is_config_keyword("true")
+
+    def test_framework_objects_protected(self):
+        for name in ("app", "db", "cursor", "self"):
+            assert is_protected_name(name)
+
+    def test_api_names_protected(self):
+        for name in ("request", "Flask", "escape", "execute", "pickle"):
+            assert is_protected_name(name)
+
+    def test_dunders_protected(self):
+        assert is_protected_name("__name__")
+        assert is_protected_name("__main__")
+
+    def test_data_names_not_protected(self):
+        for name in ("username", "visitor", "payload_blob", "order_total"):
+            assert not is_protected_name(name)
+
+
+class TestTaggerBehaviour:
+    def test_table1_example(self):
+        code = (
+            "from flask import Flask, request\n"
+            "app = Flask(__name__)\n"
+            '@app.route("/comments")\n'
+            "def comments():\n"
+            "    name = request.args.get('name', '')\n"
+            "    return f'<p>{name}</p>'\n"
+            "if __name__ == '__main__':\n"
+            "    app.run(debug=True)\n"
+        )
+        result = standardize(code)
+        assert "var0 = request.args.get(var1, var2)" in result.text
+        assert "f'<p>{var0}</p>'" in result.text
+        # configuration parameter preserved (recognized by '=')
+        assert "debug=True" in result.text
+        # decorator route string preserved
+        assert '"/comments"' in result.text
+        assert result.mapping["name"] == "var0"
+
+    def test_numbering_by_first_appearance(self):
+        result = standardize("alpha = beta\ngamma = alpha\n")
+        assert result.mapping["alpha"] == "var0"
+        assert result.mapping["beta"] == "var1"
+        assert result.mapping["gamma"] == "var2"
+
+    def test_same_token_same_placeholder(self):
+        result = standardize("val = load()\nstore(val)\nprint(val)\n")
+        assert result.text.count("var0") == 3
+
+    def test_callee_names_preserved(self):
+        result = standardize("outcome = compute_total(amount)\n")
+        assert "compute_total(" in result.text
+        assert result.mapping.get("amount") == "var1" or "amount" in result.mapping
+
+    def test_attribute_names_preserved(self):
+        result = standardize("row = cursor.fetchone()\n")
+        assert "cursor.fetchone()" in result.text
+
+    def test_kwarg_names_preserved(self):
+        result = standardize("resp = post(endpoint, json=payload_data, timeout=10)\n")
+        assert "json=" in result.text
+        assert "timeout=10" in result.text
+
+    def test_kwarg_literal_values_preserved(self):
+        result = standardize("conn.run(retries=3, verbose=False)\n")
+        assert "retries=3" in result.text
+        assert "verbose=False" in result.text
+
+    def test_positional_string_arg_standardized(self):
+        result = standardize("row = fetch('customer-42')\n")
+        assert "'customer-42'" in result.mapping
+
+    def test_module_level_string_preserved(self):
+        result = standardize('GREETING = "hello world"\n')
+        assert '"hello world"' in result.text
+
+    def test_fstring_fields_standardized(self):
+        result = standardize("def f():\n    who = get_user()\n    return f'<b>{who}</b>'\n")
+        assert "{var0}" in result.text
+
+    def test_fstring_call_wrapped_field(self):
+        result = standardize(
+            "def f():\n    who = request.args.get('w')\n    return f'<b>{escape(who)}</b>'\n"
+        )
+        assert "{escape(var0)}" in result.text
+
+    def test_fstring_format_spec_kept(self):
+        result = standardize("def f(total):\n    return f'{total:.2f}'\n")
+        assert ":.2f}" in result.text
+
+    def test_import_names_preserved(self):
+        result = standardize("import os\nfrom flask import Flask\n")
+        assert "import os" in result.text
+        assert "from flask import Flask" in result.text
+
+    def test_def_name_preserved(self):
+        result = standardize("def handle_order(order_code):\n    return order_code\n")
+        assert "def handle_order(" in result.text
+
+    def test_extra_protected_names(self):
+        tagger = NamedEntityTagger(extra_protected={"special_var"})
+        result = tagger.standardize("special_var = other_var\n")
+        assert "special_var" in result.text
+        assert result.mapping.get("other_var") == "var0"
+
+    def test_placeholder_count(self):
+        result = standardize("first = second\n")
+        assert result.placeholder_count == 2
+        assert result.placeholder_for("first") == "var0"
+
+    def test_comments_removed_by_normalization(self):
+        result = standardize("x_value = 1  # remove me\n")
+        assert "remove me" not in result.text
+
+    def test_deterministic(self):
+        code = "def f():\n    item_name = request.args.get('n')\n    return f'{item_name}'\n"
+        assert standardize(code).text == standardize(code).text
+
+    @given(st.text(alphabet="abcxyz_ =('\")\n.,f", max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_total_on_arbitrary_text(self, text):
+        # the tagger must never raise, even on junk input
+        standardize(text)
+
+    def test_two_samples_align_after_standardization(self):
+        # the purpose of standardization: different identifiers, same shape
+        a = standardize("def f():\n    alpha = request.args.get('a')\n    return f'<p>{alpha}</p>'\n")
+        b = standardize("def g():\n    beta = request.args.get('b')\n    return f'<p>{beta}</p>'\n")
+        assert "var0 = request.args.get(var1)" in a.text
+        assert "var0 = request.args.get(var1)" in b.text

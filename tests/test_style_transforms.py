@@ -1,0 +1,86 @@
+"""Focused tests for the generator style transforms."""
+
+import ast
+import random
+
+import pytest
+
+from repro.corpus.scenarios import SCENARIOS
+from repro.generators.style import (
+    CLAUDE_STYLE,
+    COPILOT_STYLE,
+    DEEPSEEK_STYLE,
+    _apply_incompleteness,
+    _insert_comment,
+    _insert_docstring,
+)
+
+CODE = "import os\n\ndef run(task):\n    if task:\n        return os.getpid()\n    return 0\n"
+
+
+class TestDocstringInsertion:
+    def test_module_docstring_added(self):
+        out = _insert_docstring(CODE, "Generated.")
+        tree = ast.parse(out)
+        assert ast.get_docstring(tree) == "Generated."
+
+    def test_original_code_preserved(self):
+        out = _insert_docstring(CODE, "Generated.")
+        assert CODE in out
+
+
+class TestCommentInsertion:
+    def test_comment_lands_after_colon_line(self):
+        rng = random.Random(3)
+        out = _insert_comment(CODE, "# main logic", rng)
+        lines = out.splitlines()
+        for index, line in enumerate(lines):
+            if line.strip() == "# main logic":
+                assert lines[index - 1].rstrip().endswith(":")
+                break
+        else:
+            pytest.fail("comment not inserted")
+
+    def test_result_parses(self):
+        for trial in range(20):
+            out = _insert_comment(CODE, "# note", random.Random(trial))
+            ast.parse(out)
+
+    def test_no_candidates_no_change(self):
+        flat = "x = 1\ny = 2\n"
+        assert _insert_comment(flat, "# c", random.Random(0)) == flat
+
+
+class TestIncompletenessTransforms:
+    @pytest.mark.parametrize("style", [COPILOT_STYLE, CLAUDE_STYLE, DEEPSEEK_STYLE])
+    def test_always_breaks_parsing(self, style):
+        for trial in range(20):
+            rng = random.Random(f"{style.name}:{trial}")
+            out = _apply_incompleteness(CODE, style, rng)
+            with pytest.raises(SyntaxError):
+                ast.parse(out)
+
+    def test_original_body_survives_textually(self):
+        rng = random.Random(5)
+        out = _apply_incompleteness(CODE, COPILOT_STYLE, rng)
+        assert "os.getpid()" in out
+
+    def test_copilot_never_emits_chat(self):
+        # inline completions carry no chat preamble
+        for trial in range(40):
+            rng = random.Random(f"c:{trial}")
+            out = _apply_incompleteness(CODE, COPILOT_STYLE, rng)
+            assert "Here" not in out and "Sure" not in out
+
+
+class TestNamePools:
+    def test_no_login_like_function_names(self):
+        # fn pools must not collide with the auth-logging rule's name list
+        forbidden = {"login", "authenticate", "verify_user", "check_credentials"}
+        for style in (COPILOT_STYLE, CLAUDE_STYLE, DEEPSEEK_STYLE):
+            assert not (set(style.fn_names) & forbidden)
+
+    def test_no_credential_like_variable_names(self):
+        for style in (COPILOT_STYLE, CLAUDE_STYLE, DEEPSEEK_STYLE):
+            for name in style.var_names + style.arg_names:
+                assert "password" not in name and "secret" not in name

@@ -1,0 +1,215 @@
+"""Unit + property tests for the text substrate (tokenizer, LCS, diff)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textutils import (
+    DiffFragment,
+    TokenKind,
+    collapse_blank_lines,
+    detokenize,
+    extract_additions,
+    lcs_length,
+    lcs_tokens,
+    longest_common_substring,
+    normalize_snippet,
+    opcode_summary,
+    strip_comments,
+    tokenize,
+)
+from repro.textutils.lcs import lcs_table, similarity_ratio
+from repro.textutils.normalize import indent_of, split_logical_lines, strip_markdown_fences
+from repro.textutils.tokenizer import significant_tokens, token_texts
+
+
+class TestTokenizer:
+    def test_simple_statement(self):
+        kinds = [t.kind for t in tokenize("x = 1")]
+        assert kinds == [TokenKind.NAME, TokenKind.OP, TokenKind.NUMBER]
+
+    def test_keyword_classified(self):
+        tokens = tokenize("def f(): return None")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].text == "def"
+
+    def test_fstring_token(self):
+        tokens = tokenize('x = f"hello {name}"')
+        assert tokens[-1].kind is TokenKind.FSTRING
+
+    def test_string_with_embedded_quote(self):
+        tokens = tokenize('q = "it\'s fine"')
+        assert tokens[-1].kind is TokenKind.STRING
+        assert tokens[-1].text == '"it\'s fine"'
+
+    def test_comment_token(self):
+        tokens = tokenize("x = 1  # note")
+        assert tokens[-1].kind is TokenKind.COMMENT
+
+    def test_never_raises_on_malformed(self):
+        for bad in ("def f(:", "```python", "x = (((", "…", "'unterminated"):
+            assert isinstance(tokenize(bad), list)
+
+    def test_offsets_cover_text(self):
+        source = "value = compute(1, 2)"
+        for token in tokenize(source):
+            assert source[token.start : token.end] == token.text
+
+    def test_walrus_and_arrow_ops(self):
+        texts = [t.text for t in tokenize("def f(x) -> int: return (y := x)")]
+        assert "->" in texts and ":=" in texts
+
+    def test_triple_quoted_string(self):
+        tokens = tokenize('"""docstring\nwith lines"""')
+        assert tokens[0].kind is TokenKind.STRING
+
+    def test_significant_drops_comments(self):
+        tokens = significant_tokens("x = 1  # comment")
+        assert all(t.kind is not TokenKind.COMMENT for t in tokens)
+
+    def test_token_texts(self):
+        assert token_texts(tokenize("a + b")) == ("a", "+", "b")
+
+    def test_keep_whitespace_mode(self):
+        tokens = tokenize("if x:\n    y = 1\n", keep_whitespace=True)
+        kinds = {t.kind for t in tokens}
+        assert TokenKind.NEWLINE in kinds and TokenKind.INDENT in kinds
+
+
+class TestDetokenize:
+    def test_roundtrip_compact(self):
+        source = "result = fn(a, b)"
+        assert detokenize(tokenize(source, keep_whitespace=True)) == "result = fn(a, b)"
+
+    def test_kwarg_spacing(self):
+        source = "app.run(debug=True)"
+        assert detokenize(tokenize(source, keep_whitespace=True)) == "app.run(debug=True)"
+
+    def test_statement_assignment_spaced(self):
+        out = detokenize(tokenize("x=1", keep_whitespace=True))
+        assert out == "x = 1"
+
+    def test_decorator_not_spaced(self):
+        out = detokenize(tokenize("@app.route('/x')\ndef f():\n    pass\n", keep_whitespace=True))
+        assert out.startswith("@app.route('/x')")
+
+    @given(st.text(alphabet="abcdef (),=+:\n'\"0123456789_", max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_detokenize_total(self, text):
+        # detokenize must never crash on any tokenization
+        detokenize(tokenize(text, keep_whitespace=True))
+
+
+class TestLCS:
+    def test_classic(self):
+        assert "".join(lcs_tokens("ABCBDAB", "BDCABA")) in ("BCBA", "BCAB", "BDAB")
+
+    def test_length_matches_tokens(self):
+        a, b = list("stonewall"), list("wallstone")
+        assert len(lcs_tokens(a, b)) == lcs_length(a, b)
+
+    def test_empty(self):
+        assert lcs_tokens([], ["a"]) == ()
+        assert lcs_length([], []) == 0
+
+    def test_identical(self):
+        seq = ["x", "y", "z"]
+        assert lcs_tokens(seq, seq) == ("x", "y", "z")
+
+    def test_table_final_cell(self):
+        table = lcs_table("abc", "abc")
+        assert table[-1][-1] == 3
+
+    def test_lcs_is_subsequence(self):
+        a = "the quick brown fox".split()
+        b = "the slow brown dog fox".split()
+        result = lcs_tokens(a, b)
+        assert _is_subsequence(result, a) and _is_subsequence(result, b)
+
+    @given(
+        st.lists(st.sampled_from("abcde"), max_size=40),
+        st.lists(st.sampled_from("abcde"), max_size=40),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_hunt_szymanski_agrees_with_dp(self, a, b):
+        from repro.textutils.lcs import _lcs_backtrack, _lcs_hunt_szymanski
+
+        dp = _lcs_backtrack(a, b) if a and b else ()
+        hs = _lcs_hunt_szymanski(a, b) if a and b else ()
+        assert len(dp) == len(hs) == lcs_length(a, b)
+        assert _is_subsequence(hs, a) and _is_subsequence(hs, b)
+
+    def test_large_inputs_use_hs_path(self):
+        a = (["x"] * 30 + ["y"] * 40) * 2
+        b = (["y"] * 30 + ["x"] * 40) * 2
+        result = lcs_tokens(a, b)
+        assert len(result) == lcs_length(a, b)
+
+    def test_longest_common_substring(self):
+        assert "".join(longest_common_substring("xabcdz", "yabcdw")) == "abcd"
+
+    def test_similarity_bounds(self):
+        assert similarity_ratio("aaa", "aaa") == 1.0
+        assert similarity_ratio("abc", "xyz") == 0.0
+
+
+def _is_subsequence(sub, seq):
+    it = iter(seq)
+    return all(item in it for item in sub)
+
+
+class TestDiffing:
+    def test_insert_fragment(self):
+        fragments = extract_additions(["a", "b", "c"], ["a", "x", "b", "c"])
+        assert len(fragments) == 1
+        assert fragments[0].kind == "insert"
+        assert fragments[0].safe_tokens == ("x",)
+
+    def test_replace_fragment(self):
+        fragments = extract_additions(["a", "b", "c"], ["a", "z", "c"])
+        assert fragments[0].kind == "replace"
+        assert fragments[0].vulnerable_tokens == ("b",)
+        assert fragments[0].safe_tokens == ("z",)
+
+    def test_delete_ignored(self):
+        assert extract_additions(["a", "b", "c"], ["a", "c"]) == []
+
+    def test_anchors(self):
+        fragments = extract_additions(["p", "q", "r", "s"], ["p", "q", "NEW", "r", "s"])
+        assert fragments[0].anchor_before[-1] == "q"
+        assert fragments[0].anchor_after[0] == "r"
+
+    def test_added_text(self):
+        fragment = DiffFragment("insert", (), ("x", "y"), (), ())
+        assert fragment.added_text == "x y"
+
+    def test_opcode_summary(self):
+        summary = opcode_summary(["a", "b"], ["a", "c"])
+        assert ("equal", 1, 1) in summary
+
+
+class TestNormalize:
+    def test_strip_comments(self):
+        assert strip_comments("x = 1  # note\n") == "x = 1\n"
+
+    def test_comment_hash_inside_string_kept(self):
+        assert strip_comments("x = 'a#b'\n") == "x = 'a#b'\n"
+
+    def test_strip_fences(self):
+        out = strip_markdown_fences("```python\nx = 1\n```\n")
+        assert "```" not in out
+
+    def test_collapse_blank_lines(self):
+        assert collapse_blank_lines("a\n\n\n\nb") == "a\n\nb"
+
+    def test_normalize_pipeline(self):
+        out = normalize_snippet("```python\nx = 1  # c\n\n\n\ny = 2\n```")
+        assert out == "x = 1\n\ny = 2\n"
+
+    def test_split_logical_lines(self):
+        rows = split_logical_lines("a\n\n  b\n")
+        assert rows == [(0, "a"), (3, "  b")]
+
+    def test_indent_of(self):
+        assert indent_of("    x") == "    "
+        assert indent_of("x") == ""
