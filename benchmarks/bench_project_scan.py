@@ -1,0 +1,176 @@
+"""E11 — project-scan performance: process parallelism and the warm cache.
+
+Measures the three regimes of :meth:`ProjectScanner.scan` on a synthetic
+repository (unique per-file contents, mixed vulnerable/clean):
+
+- **cold serial** — every file analyzed on one core, no cache;
+- **cold parallel** — same work fanned out over a process pool
+  (``jobs=N, processes=True``), the CPU-scaling claim;
+- **warm cached** — a second scan of the unchanged tree through the
+  persistent content-hash cache, which must perform *zero* detect calls.
+
+``run_project_scan_benchmark`` is importable without pytest so the tier-1
+suite can run it in smoke mode (tests/test_bench_project_scan.py) while
+the full benchmark run records the headline numbers as an artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.core import PatchitPy
+from repro.core.project import ProjectScanner
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+_VULNERABLE_BODY = '''\
+import hashlib
+import pickle
+import subprocess
+
+
+def load_session(blob):
+    return pickle.loads(blob)
+
+
+def fingerprint(secret_value):
+    return hashlib.md5(secret_value).hexdigest()
+
+
+def run(cmd):
+    return subprocess.call(cmd, shell=True)
+
+
+def helper_{index}_{line}(value):
+    return value * {line}
+'''
+
+_CLEAN_BODY = '''\
+def add_{index}_{line}(a, b):
+    """Pure helper; nothing to report."""
+    return a + b
+
+
+def mul_{index}_{line}(a, b):
+    return a * b
+'''
+
+
+class CountingEngine(PatchitPy):
+    """Engine that counts detect() calls (picklable, module level)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.detect_calls = 0
+
+    def detect(self, source):
+        self.detect_calls += 1
+        return super().detect(source)
+
+
+def build_corpus(root: Path, files: int, sections: int = 12) -> None:
+    """Write ``files`` unique Python files (2/3 vulnerable, 1/3 clean)."""
+    root.mkdir(parents=True, exist_ok=True)
+    for index in range(files):
+        body = _VULNERABLE_BODY if index % 3 else _CLEAN_BODY
+        text = "".join(
+            body.format(index=index, line=section) for section in range(sections)
+        )
+        (root / f"module_{index:04d}.py").write_text(text + f"\n# uid {index}\n")
+
+
+def run_project_scan_benchmark(
+    corpus_root: Path, files: int = 160, jobs: int = 4, sections: int = 12
+) -> Dict[str, float]:
+    """Build a corpus and time cold-serial / cold-parallel / warm scans."""
+    corpus = corpus_root / "corpus"
+    build_corpus(corpus, files=files, sections=sections)
+
+    serial_scanner = ProjectScanner()
+    t0 = time.perf_counter()
+    serial = serial_scanner.scan(corpus, jobs=1)
+    cold_serial = time.perf_counter() - t0
+
+    parallel_scanner = ProjectScanner()
+    t0 = time.perf_counter()
+    parallel = parallel_scanner.scan(corpus, jobs=jobs, processes=True)
+    cold_parallel = time.perf_counter() - t0
+
+    assert [f.path for f in serial.files] == [f.path for f in parallel.files]
+    assert [
+        [fi.to_dict() for fi in f.findings] for f in serial.files
+    ] == [[fi.to_dict() for fi in f.findings] for f in parallel.files]
+
+    counting = CountingEngine()
+    cached_scanner = ProjectScanner(engine=counting)
+    t0 = time.perf_counter()
+    cold_cached = cached_scanner.scan(corpus, use_cache=True)
+    cold_cache_time = time.perf_counter() - t0
+    cold_detect_calls = counting.detect_calls
+
+    counting.detect_calls = 0
+    t0 = time.perf_counter()
+    warm = cached_scanner.scan(corpus, use_cache=True)
+    warm_time = time.perf_counter() - t0
+
+    assert warm.total_findings == serial.total_findings
+    assert cold_cached.cache_misses == files
+
+    return {
+        "files": files,
+        "jobs": jobs,
+        "cpus": _available_cpus(),
+        "findings": serial.total_findings,
+        "cold_serial_s": cold_serial,
+        "cold_parallel_s": cold_parallel,
+        "cold_cached_s": cold_cache_time,
+        "warm_s": warm_time,
+        "parallel_speedup": cold_serial / cold_parallel,
+        "warm_speedup": cold_serial / warm_time,
+        "cold_detect_calls": cold_detect_calls,
+        "warm_detect_calls": counting.detect_calls,
+        "warm_cache_hits": warm.cache_hits,
+    }
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def format_report(results: Dict[str, float]) -> str:
+    return (
+        f"Project scan benchmark ({results['files']:.0f} files, "
+        f"{results['findings']:.0f} findings, jobs={results['jobs']:.0f}, "
+        f"cpus={results['cpus']:.0f}):\n"
+        f"  cold serial        : {results['cold_serial_s']:.3f}s\n"
+        f"  cold parallel      : {results['cold_parallel_s']:.3f}s "
+        f"(x{results['parallel_speedup']:.2f})\n"
+        f"  cold cached        : {results['cold_cached_s']:.3f}s "
+        f"({results['cold_detect_calls']:.0f} detect calls)\n"
+        f"  warm cached        : {results['warm_s']:.3f}s "
+        f"(x{results['warm_speedup']:.2f}, "
+        f"{results['warm_detect_calls']:.0f} detect calls)"
+    )
+
+
+def test_project_scan_benchmark(tmp_path):
+    """Full benchmark: records cold/parallel/warm numbers as an artifact."""
+    results = run_project_scan_benchmark(tmp_path, files=160, jobs=4)
+    text = format_report(results)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "project_scan.txt"
+    path.write_text(text + "\n")
+    print(f"\n[artifact written: {path}]")
+    print(text)
+    assert results["warm_detect_calls"] == 0
+    assert results["warm_speedup"] > 2.0
+    # Process-pool wall-clock scaling only manifests with real cores; on
+    # single-CPU CI runners the parallel number is reported, not asserted.
+    if results["cpus"] >= 4:
+        assert results["parallel_speedup"] >= 2.0

@@ -57,6 +57,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="report format (text findings, plain JSON, or SARIF 2.1.0)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="directory mode: analyze files on N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="directory mode: disable the persistent scan result cache",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="directory mode: delete the persistent cache before scanning",
+    )
     return parser
 
 
@@ -123,22 +141,41 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _scan_directory(args) -> int:
-    """Project mode: scan (and optionally patch) a whole tree."""
+    """Project mode: scan (and optionally patch) a whole tree.
+
+    Uses the persistent result cache by default (``--no-cache`` opts out;
+    ``--clear-cache`` wipes it first) and fans the analysis out over
+    ``--jobs`` worker processes.
+    """
+    from repro.core.cache import ScanCache
     from repro.core.project import ProjectScanner
 
+    if args.clear_cache:
+        ScanCache.clear(args.path)
+    use_cache = not args.no_cache
+    jobs = max(1, args.jobs)
     engine = PatchitPy(rules=extended_ruleset() if args.extended else None)
     scanner = ProjectScanner(engine=engine)
     if args.patch and args.in_place:
-        report = scanner.patch_tree(args.path)
+        report = scanner.patch_tree(args.path, use_cache=use_cache)
         print(report.summary())
         patched = [f for f in report.files if f.patched]
         print(f"patched {len(patched)} file(s) in place (.orig backups written)")
     else:
-        report = scanner.scan(args.path)
+        report = scanner.scan(
+            args.path, jobs=jobs, processes=jobs > 1, use_cache=use_cache
+        )
         print(report.summary())
         for result in report.vulnerable_files:
             print(f"\n{result.path}:")
-            source = result.path.read_text()
+            try:
+                source = result.path.read_text()
+            except (OSError, UnicodeDecodeError):
+                # the file vanished or changed since the scan; report the
+                # findings without line positions rather than crashing
+                for finding in result.findings:
+                    print(f"  [{finding.cwe_id} {finding.rule_id}] {finding.message}")
+                continue
             for finding in result.findings:
                 print("  " + format_finding(finding, source))
     if args.html:

@@ -7,11 +7,12 @@ rewrites the vulnerable pattern into a safe alternative and contributes any
 imports the safe code needs.
 """
 
+from repro.core.cache import ScanCache
 from repro.core.engine import PatchitPy, PatchResult
 from repro.core.imports import ImportManager
 from repro.core.matching import match_rule, run_rules
 from repro.core.patcher import apply_patches
-from repro.core.project import ProjectReport, ProjectScanner
+from repro.core.project import ProjectReport, ProjectScanner, scan_paths
 from repro.core.sarif import dumps_plain, dumps_sarif, to_plain_json, to_sarif
 from repro.core.rules import DetectionRule, PatchTemplate, RuleSet, default_ruleset
 
@@ -24,6 +25,8 @@ __all__ = [
     "ProjectReport",
     "ProjectScanner",
     "RuleSet",
+    "ScanCache",
+    "scan_paths",
     "apply_patches",
     "default_ruleset",
     "dumps_plain",

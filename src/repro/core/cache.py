@@ -1,0 +1,216 @@
+"""Persistent scan-result cache: content-hash keyed, ruleset-versioned.
+
+Re-scanning a repository is the dominant workload of a production scanner
+(IDE save loops, CI runs, pre-commit hooks), and most files do not change
+between runs.  :class:`ScanCache` makes repeat sweeps incremental: detect
+results are stored per *content digest* (SHA-256 of the file bytes) in a
+JSON store under ``.patchitpy-cache/`` at the scan root, so an unchanged
+file costs one hash instead of an 85-rule regex pass — and a renamed or
+copied file still hits, because the key is the content, not the path.
+
+Invalidation is by construction:
+
+- **file edits** change the digest, so stale entries are simply never
+  looked up again (and a bounded-size store evicts them eventually);
+- **rule changes** change the ruleset fingerprint
+  (:meth:`~repro.core.rules.base.RuleSet.fingerprint`); a store written
+  under a different fingerprint is discarded wholesale on load;
+- **schema changes** bump :data:`CACHE_SCHEMA_VERSION` with the same
+  wholesale-discard behavior.
+
+A secondary ``stat hints`` table maps absolute paths to
+``(mtime_ns, size, digest)`` so warm scans of untouched files skip even
+the read+hash — the mtime fast path every production scanner ships.  The
+hint is only trusted when both mtime and size match; the authoritative
+key remains the content digest.
+
+The cache degrades gracefully: corrupt or unreadable stores load as
+empty, and save failures (read-only trees) are swallowed — a scan never
+fails because of its cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.types import Finding
+
+CACHE_DIR_NAME = ".patchitpy-cache"
+CACHE_FILE_NAME = "scan-cache.json"
+CACHE_SCHEMA_VERSION = 1
+
+# Entries beyond this are dropped (oldest-inserted first) at save time so
+# the store cannot grow without bound on long-lived checkouts.
+DEFAULT_MAX_ENTRIES = 50_000
+
+
+def hash_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of raw file bytes — the cache key."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_source(source: str) -> str:
+    """Digest of a decoded source string (UTF-8 re-encoded)."""
+    return hash_bytes(source.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """The stored outcome of analyzing one file content."""
+
+    findings: List[Finding]
+    error: Optional[str] = None
+
+
+class ScanCache:
+    """Content-addressed store of per-file detect results.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the ``.patchitpy-cache/`` store (normally the
+        scan root).
+    fingerprint:
+        The active ruleset fingerprint; a persisted store written under a
+        different fingerprint is ignored and overwritten on save.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        fingerprint: str,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, dict] = {}
+        self._stat_hints: Dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    # ------------------------------------------------------------- paths
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.root / CACHE_DIR_NAME
+
+    @property
+    def cache_file(self) -> Path:
+        return self.cache_dir / CACHE_FILE_NAME
+
+    # ------------------------------------------------------------ lookup
+
+    def lookup(self, digest: str) -> Optional[CachedResult]:
+        """Stored result for a content digest, or ``None`` on a miss."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = [Finding.from_dict(item) for item in entry.get("findings", ())]
+        return CachedResult(findings=findings, error=entry.get("error"))
+
+    def store(
+        self,
+        digest: str,
+        findings: Sequence[Finding],
+        error: Optional[str] = None,
+    ) -> None:
+        """Record the analysis outcome for a content digest."""
+        self._entries[digest] = {
+            "findings": [finding.to_dict() for finding in findings],
+            "error": error,
+        }
+        self._dirty = True
+
+    # --------------------------------------------------- stat fast path
+
+    def stat_digest(self, path: Path, stat: os.stat_result) -> Optional[str]:
+        """Digest recorded for ``path`` if its mtime+size are unchanged."""
+        hint = self._stat_hints.get(str(path.absolute()))
+        if hint is None:
+            return None
+        if hint.get("mtime_ns") != stat.st_mtime_ns or hint.get("size") != stat.st_size:
+            return None
+        return hint.get("digest")
+
+    def remember_stat(self, path: Path, stat: os.stat_result, digest: str) -> None:
+        """Record the mtime/size → digest hint for a path."""
+        self._stat_hints[str(path.absolute())] = {
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+            "digest": digest,
+        }
+        self._dirty = True
+
+    def forget_path(self, path: Path) -> None:
+        """Drop the stat hint for a path (e.g. after patching it)."""
+        if self._stat_hints.pop(str(path.absolute()), None) is not None:
+            self._dirty = True
+
+    # ------------------------------------------------------- persistence
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.cache_file.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict):
+            return
+        if raw.get("schema") != CACHE_SCHEMA_VERSION:
+            return
+        if raw.get("fingerprint") != self.fingerprint:
+            return  # ruleset changed: every stored verdict is suspect
+        entries = raw.get("entries")
+        hints = raw.get("stat_hints")
+        if isinstance(entries, dict):
+            self._entries = entries
+        if isinstance(hints, dict):
+            self._stat_hints = hints
+
+    def save(self) -> bool:
+        """Persist the store atomically; returns False when skipped/failed."""
+        if not self._dirty:
+            return False
+        if len(self._entries) > self.max_entries:
+            overflow = len(self._entries) - self.max_entries
+            for digest in list(self._entries)[:overflow]:
+                del self._entries[digest]
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "entries": self._entries,
+            "stat_hints": self._stat_hints,
+        }
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            tmp = self.cache_file.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(payload, separators=(",", ":")), encoding="utf-8")
+            os.replace(tmp, self.cache_file)
+        except OSError:
+            return False
+        self._dirty = False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # --------------------------------------------------------- lifecycle
+
+    @classmethod
+    def clear(cls, root: Path) -> bool:
+        """Delete the persisted store under ``root``; True if one existed."""
+        directory = Path(root) / CACHE_DIR_NAME
+        if not directory.is_dir():
+            return False
+        shutil.rmtree(directory, ignore_errors=True)
+        return True

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 from repro.core.matching import run_rules
 from repro.core.patcher import apply_patches
 from repro.core.rules import RuleSet, default_ruleset
-from repro.types import AnalysisReport, Finding, Patch
+from repro.types import AnalysisReport, Finding, Patch, Span
 
 
 @dataclass
@@ -86,12 +86,20 @@ class PatchitPy:
                 match = rule.pattern.search(source, finding.span.start)
             if match is None:
                 continue
+            span = finding.span
+            if match.start() != span.start or match.end() != span.end:
+                # The fallback search landed on a different (possibly later)
+                # match than the finding's recorded span — rendering from
+                # that match but splicing at the stale span would corrupt
+                # the file.  Re-anchor the patch to the text the
+                # replacement was actually rendered from.
+                span = Span(match.start(), match.end())
             replacement, imports = rule.patch.render(match)
             patches.append(
                 Patch(
                     rule_id=rule.rule_id,
                     cwe_id=rule.cwe_id,
-                    span=finding.span,
+                    span=span,
                     replacement=replacement,
                     new_imports=imports,
                     description=rule.patch.description,

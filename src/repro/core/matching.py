@@ -8,25 +8,22 @@ generated code.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List, Optional
 
-from repro.core.prefilter import required_literal
 from repro.core.rules.base import DetectionRule
 from repro.types import Finding, Span
 
-# pattern id → (pattern, required literal or None); one atomic entry per
-# compiled pattern so concurrent scanners never observe a half-written
-# cache (the pattern object is kept to guard against id() reuse)
-_PREFILTER_CACHE: Dict[int, tuple] = {}
-
 
 def _prefilter_for(rule: DetectionRule) -> Optional[str]:
-    key = id(rule.pattern)
-    entry = _PREFILTER_CACHE.get(key)
-    if entry is None or entry[0] is not rule.pattern:
-        entry = (rule.pattern, required_literal(rule.pattern))
-        _PREFILTER_CACHE[key] = entry
-    return entry[1]
+    """The rule's required literal, precomputed at rule construction.
+
+    Rules carry their prefilter as a frozen field (see
+    :class:`~repro.core.rules.base.DetectionRule`), so there is no shared
+    mutable cache here: matching is thread-safe and rules pickle cleanly
+    into worker processes.  This indirection survives as a seam for the
+    prefilter-ablation benchmark, which monkeypatches it to ``None``.
+    """
+    return rule.prefilter
 
 
 def match_rule(rule: DetectionRule, source: str) -> List[Finding]:

@@ -5,20 +5,49 @@ must also sweep a repository.  :class:`ProjectScanner` walks a tree,
 analyzes every Python file with the engine, aggregates findings per file
 and per CWE, and can apply patches in place (writing ``.orig`` backups
 when asked).
+
+Two production features make repeated sweeps cheap:
+
+- **Process parallelism** — ``scan(jobs=N, processes=True)`` fans file
+  batches out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Regex matching is pure CPU, so threads are GIL-bound; processes scale
+  with cores.  The scanner (engine and rules included) is pickled once
+  per worker via the pool initializer, and results come back as the
+  ordinary :class:`~repro.types.Finding` dataclasses.  Report order is
+  always the deterministic walk order, whatever the completion order.
+- **Incremental scanning** — ``scan(use_cache=True)`` consults a
+  persistent :class:`~repro.core.cache.ScanCache` keyed by file content
+  digest and versioned by the ruleset fingerprint, so a warm scan of an
+  unchanged tree performs zero detect calls.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.core.cache import CACHE_DIR_NAME, ScanCache
 from repro.core.engine import PatchitPy
 from repro.types import Finding
 
 DEFAULT_EXCLUDED_DIRS = frozenset(
-    {".git", ".hg", ".tox", ".venv", "venv", "__pycache__", "node_modules", ".eggs", "build", "dist"}
+    {
+        ".git",
+        ".hg",
+        ".tox",
+        ".venv",
+        "venv",
+        "__pycache__",
+        "node_modules",
+        ".eggs",
+        "build",
+        "dist",
+        CACHE_DIR_NAME,
+    }
 )
 
 
@@ -31,6 +60,7 @@ class FileResult:
     patched: bool = False
     applied_patches: int = 0
     error: Optional[str] = None
+    from_cache: bool = False
 
     @property
     def is_vulnerable(self) -> bool:
@@ -44,6 +74,8 @@ class ProjectReport:
 
     root: Path
     files: List[FileResult] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def scanned_count(self) -> int:
@@ -79,7 +111,29 @@ class ProjectReport:
         errors = [f for f in self.files if f.error]
         if errors:
             lines.append(f"unreadable files: {len(errors)}")
+        if self.cache_hits or self.cache_misses:
+            lines.append(f"cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es)")
         return "\n".join(lines)
+
+
+# One scanner per worker process, installed by the pool initializer so the
+# engine (85 compiled rules) is unpickled once per worker, not per file.
+_WORKER_SCANNER: Optional["ProjectScanner"] = None
+
+
+def _worker_init(pickled_scanner: bytes) -> None:
+    global _WORKER_SCANNER
+    _WORKER_SCANNER = pickle.loads(pickled_scanner)
+
+
+def _worker_analyze(path: Path) -> "_Analysis":
+    assert _WORKER_SCANNER is not None, "worker initializer did not run"
+    return _WORKER_SCANNER._analyze_one(path)
+
+
+# (result, content digest, (mtime_ns, size)); the latter two are None when
+# the file could not be read.
+_Analysis = Tuple[FileResult, Optional[str], Optional[Tuple[int, int]]]
 
 
 class ProjectScanner:
@@ -110,71 +164,262 @@ class ProjectScanner:
 
     # ------------------------------------------------------------ actions
 
-    def scan(self, root: Path, jobs: int = 1) -> ProjectReport:
+    def scan(
+        self,
+        root: Path,
+        jobs: int = 1,
+        processes: bool = False,
+        use_cache: bool = False,
+    ) -> ProjectReport:
         """Analyze every file; no modification.
 
-        ``jobs > 1`` analyzes files on a thread pool; results keep the
-        deterministic walk order regardless of completion order.
+        ``jobs > 1`` analyzes files in parallel: on a thread pool by
+        default, or — with ``processes=True`` — on a process pool that
+        sidesteps the GIL for the CPU-bound regex pass.  Either way the
+        report keeps the deterministic walk order.  ``use_cache=True``
+        reuses (and refreshes) the persistent result cache at the scan
+        root, so only changed files are re-analyzed.
         """
         report = ProjectReport(root=root)
         paths = list(self.python_files(root))
-        if jobs <= 1 or len(paths) < 2:
-            report.files = [self._analyze_file(path) for path in paths]
-            return report
-        from concurrent.futures import ThreadPoolExecutor
+        cache = self.open_cache(root) if use_cache else None
 
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            report.files = list(pool.map(self._analyze_file, paths))
+        slots: List[Optional[FileResult]] = [None] * len(paths)
+        pending: List[Tuple[int, Path]] = []
+        if cache is None:
+            pending = list(enumerate(paths))
+        else:
+            for index, path in enumerate(paths):
+                hit = self._cached_result(cache, path)
+                if hit is None:
+                    pending.append((index, path))
+                else:
+                    slots[index] = hit
+
+        if pending:
+            outcomes = self._analyze_batch([p for _, p in pending], jobs, processes)
+            for (index, path), (result, digest, stat_key) in zip(pending, outcomes):
+                slots[index] = result
+                if cache is not None and digest is not None:
+                    cache.store(digest, result.findings, result.error)
+                    if stat_key is not None:
+                        cache.remember_stat(path, _FakeStat(*stat_key), digest)
+
+        report.files = [slot for slot in slots if slot is not None]
+        if cache is not None:
+            report.cache_hits = cache.hits
+            report.cache_misses = cache.misses
+            cache.save()
         return report
 
-    def patch_tree(self, root: Path, backup: bool = True) -> ProjectReport:
+    def patch_tree(
+        self,
+        root: Path,
+        backup: bool = True,
+        use_cache: bool = False,
+    ) -> ProjectReport:
         """Patch every vulnerable file in place.
 
         With ``backup`` a ``<name>.py.orig`` copy of each modified file is
-        written beside it.
+        written beside it.  Each file is read exactly once: the patch pass
+        reuses the source that detection analyzed (no re-read between
+        detect and patch, so no decode/TOCTOU window), and write failures
+        are recorded on the file's result instead of aborting the tree.
+        With ``use_cache=True`` unchanged files reuse cached detect
+        results.
         """
         report = ProjectReport(root=root)
+        cache = self.open_cache(root) if use_cache else None
         for path in self.python_files(root):
-            result = self._analyze_file(path)
+            result = FileResult(path=path)
             report.files.append(result)
-            if result.error or not result.findings:
+            error, source, digest, stat = self._load(path)
+            if error is not None:
+                result.error = error
                 continue
-            source = path.read_text()
+            cached = cache.lookup(digest) if cache is not None else None
+            if cached is not None and cached.error is None:
+                result.findings = cached.findings
+                result.from_cache = True
+            else:
+                result.findings = self.engine.detect(source)
+                if cache is not None:
+                    cache.store(digest, result.findings)
+            if not result.findings:
+                if cache is not None and stat is not None:
+                    cache.remember_stat(path, stat, digest)
+                continue
             outcome = self.engine.patch(source, result.findings)
-            if outcome.patched != source:
+            if outcome.patched == source:
+                continue
+            try:
                 if backup:
                     path.with_suffix(path.suffix + ".orig").write_text(source)
                 path.write_text(outcome.patched)
-                result.patched = True
-                result.applied_patches = len(outcome.applied)
+            except OSError as write_error:
+                result.error = str(write_error)
+                continue
+            result.patched = True
+            result.applied_patches = len(outcome.applied)
+            if cache is not None:
+                cache.forget_path(path)
+        if cache is not None:
+            report.cache_hits = cache.hits
+            report.cache_misses = cache.misses
+            cache.save()
         return report
+
+    # ------------------------------------------------------------ caching
+
+    def open_cache(self, root: Path) -> ScanCache:
+        """The persistent cache for a scan root (parent dir for file roots)."""
+        base = root if root.is_dir() else root.parent
+        return ScanCache(base, self.engine.rules.fingerprint())
+
+    def _cached_result(self, cache: ScanCache, path: Path) -> Optional[FileResult]:
+        """Cache-only lookup: a FileResult on a hit, ``None`` on a miss.
+
+        Unreadable and oversized files short-circuit to error results here
+        (they never reach the analysis pool); undecodable files hit the
+        cache by raw content without ever being decoded.
+        """
+        try:
+            stat = path.stat()
+            if stat.st_size > self.max_file_bytes:
+                return FileResult(path=path, error="file too large")
+            digest = cache.stat_digest(path, stat)
+            if digest is None:
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        except OSError as error:
+            return FileResult(path=path, error=str(error))
+        entry = cache.lookup(digest)
+        if entry is None:
+            return None
+        cache.remember_stat(path, stat, digest)
+        return FileResult(
+            path=path, findings=list(entry.findings), error=entry.error, from_cache=True
+        )
 
     # ------------------------------------------------------------ helpers
 
-    def _analyze_file(self, path: Path) -> FileResult:
-        result = FileResult(path=path)
+    def _analyze_batch(
+        self, paths: List[Path], jobs: int, processes: bool
+    ) -> List[_Analysis]:
+        if jobs <= 1 or len(paths) < 2:
+            return [self._analyze_one(path) for path in paths]
+        if processes and self._picklable():
+            from concurrent.futures import ProcessPoolExecutor
+
+            chunksize = max(1, -(-len(paths) // (jobs * 4)))
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_worker_init,
+                initargs=(pickle.dumps(self),),
+            ) as pool:
+                return list(pool.map(_worker_analyze, paths, chunksize=chunksize))
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(self._analyze_one, paths))
+
+    def _picklable(self) -> bool:
+        """True when this scanner can be shipped to worker processes.
+
+        Custom engines may carry unpicklable state (e.g. closure-based
+        patch builders); those fall back to the thread pool rather than
+        crashing the scan.
+        """
         try:
-            if path.stat().st_size > self.max_file_bytes:
-                result.error = "file too large"
-                return result
-            source = path.read_text()
-        except (OSError, UnicodeDecodeError) as error:
-            result.error = str(error)
-            return result
+            pickle.dumps(self)
+            return True
+        except Exception:
+            return False
+
+    def _load(
+        self, path: Path
+    ) -> Tuple[Optional[str], Optional[str], Optional[str], Optional[os.stat_result]]:
+        """Read+hash a file: ``(error, source, digest, stat)``.
+
+        Undecodable files still return their content digest so the error
+        outcome is cacheable; oversized and unreadable files return no
+        digest at all.
+        """
+        try:
+            stat = path.stat()
+            if stat.st_size > self.max_file_bytes:
+                return "file too large", None, None, None
+            data = path.read_bytes()
+        except OSError as error:
+            return str(error), None, None, None
+        digest = hashlib.sha256(data).hexdigest()
+        try:
+            return None, data.decode("utf-8"), digest, stat
+        except UnicodeDecodeError as error:
+            return str(error), None, digest, stat
+
+    def _analyze_one(self, path: Path) -> _Analysis:
+        result = FileResult(path=path)
+        error, source, digest, stat = self._load(path)
+        if error is not None:
+            result.error = error
+            # undecodable content is still cacheable by its raw digest
+            if digest is not None and stat is not None:
+                return result, digest, (stat.st_mtime_ns, stat.st_size)
+            return result, None, None
         result.findings = self.engine.detect(source)
+        assert stat is not None and digest is not None
+        return result, digest, (stat.st_mtime_ns, stat.st_size)
+
+    def _analyze_file(self, path: Path) -> FileResult:
+        result, _digest, _stat = self._analyze_one(path)
         return result
 
 
-def scan_paths(paths: Iterable[Path], engine: Optional[PatchitPy] = None) -> ProjectReport:
-    """Scan several roots into one merged report."""
+class _FakeStat:
+    """Minimal stand-in for ``os.stat_result`` built from worker output."""
+
+    __slots__ = ("st_mtime_ns", "st_size")
+
+    def __init__(self, mtime_ns: int, size: int) -> None:
+        self.st_mtime_ns = mtime_ns
+        self.st_size = size
+
+
+def scan_paths(
+    paths: Iterable[Path],
+    engine: Optional[PatchitPy] = None,
+    jobs: int = 1,
+    processes: bool = False,
+    use_cache: bool = False,
+) -> ProjectReport:
+    """Scan several roots into one merged report.
+
+    Overlapping roots (e.g. ``repo/`` and ``repo/src/``) are deduplicated
+    by resolved file path, so no file is analyzed or counted twice, and
+    parallelism/cache options are forwarded to each root's scan.
+    """
     scanner = ProjectScanner(engine=engine)
     merged: Optional[ProjectReport] = None
+    seen: set = set()
     for root in paths:
-        report = scanner.scan(root)
+        report = scanner.scan(root, jobs=jobs, processes=processes, use_cache=use_cache)
+        fresh: List[FileResult] = []
+        for result in report.files:
+            try:
+                key = result.path.resolve()
+            except OSError:
+                key = result.path.absolute()
+            if key in seen:
+                continue
+            seen.add(key)
+            fresh.append(result)
         if merged is None:
             merged = report
+            merged.files = fresh
         else:
-            merged.files.extend(report.files)
+            merged.files.extend(fresh)
+            merged.cache_hits += report.cache_hits
+            merged.cache_misses += report.cache_misses
     if merged is None:
         raise ValueError("no paths given")
     return merged

@@ -10,10 +10,12 @@ of the reasons the paper's repair rate sits below 100 %.
 
 from __future__ import annotations
 
+import hashlib
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.prefilter import required_literal
 from repro.cwe import OwaspCategory, normalize_cwe_id, owasp_category_for
 from repro.exceptions import DuplicateRuleError, RuleError
 from repro.types import Confidence, Severity
@@ -99,6 +101,11 @@ class DetectionRule:
     guards: Tuple[Guard, ...] = ()
     prerequisites: Tuple["re.Pattern[str]", ...] = ()
     message: str = ""
+    # Literal prefilter (the longest substring every match must contain),
+    # derived once at construction.  Storing it on the rule keeps matching
+    # free of shared mutable caches and survives pickling into worker
+    # processes, unlike the previous module-global id()-keyed cache.
+    prefilter: Optional[str] = field(default=None, compare=False, repr=False)
 
     def applies_to(self, source: str) -> bool:
         """True when every file-scope prerequisite is satisfied."""
@@ -108,6 +115,7 @@ class DetectionRule:
         object.__setattr__(self, "cwe_id", normalize_cwe_id(self.cwe_id))
         if not self.rule_id:
             raise RuleError("rule_id must be non-empty")
+        object.__setattr__(self, "prefilter", required_literal(self.pattern))
 
     @property
     def owasp(self) -> Optional[OwaspCategory]:
@@ -214,6 +222,32 @@ class RuleSet:
     def subset(self, predicate: Callable[[DetectionRule], bool]) -> "RuleSet":
         """Copy of the set filtered by a predicate."""
         return RuleSet(r for r in self._rules if predicate(r))
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 digest of the rules' observable behavior.
+
+        Two rule sets share a fingerprint exactly when they would produce
+        the same findings and patches: rule order, ids, patterns, guards,
+        prerequisites, severities and patch presence all contribute.  The
+        persistent scan cache uses this to invalidate stored results when
+        the catalog changes.
+        """
+        digest = hashlib.sha256()
+        for item in self._rules:
+            descriptor = (
+                item.rule_id,
+                item.cwe_id,
+                item.pattern.pattern,
+                item.pattern.flags,
+                str(item.severity),
+                str(item.confidence),
+                item.patchable,
+                item.message,
+                tuple((g.pattern.pattern, g.pattern.flags, g.scope) for g in item.guards),
+                tuple((p.pattern, p.flags) for p in item.prerequisites),
+            )
+            digest.update(repr(descriptor).encode("utf-8"))
+        return digest.hexdigest()
 
     def __iter__(self) -> Iterator[DetectionRule]:
         return iter(self._rules)

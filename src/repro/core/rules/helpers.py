@@ -11,6 +11,7 @@ transformations; each takes the rule's regex match and returns
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import List, Tuple
 
 _FIELD_RE = re.compile(r"\{([^{}]+)\}")
@@ -118,25 +119,56 @@ def shell_false_fix(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
     return text, ()
 
 
-def wrap_fstring_fields(wrapper: str, imports: Tuple[str, ...] = ()):
-    """Builder factory: wrap every ``{field}`` of a matched f-string.
+@dataclass(frozen=True)
+class _WrapFstringFields:
+    """Picklable builder produced by :func:`wrap_fstring_fields`."""
 
-    ``wrapper`` is a callable name, e.g. ``"escape"`` turning ``{name}``
-    into ``{escape(name)}``.  Fields already wrapped are left alone.
-    """
+    wrapper: str
+    imports: Tuple[str, ...] = ()
 
-    def build(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+    def __call__(self, match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
         text = match.group(0)
 
         def wrap(field: "re.Match[str]") -> str:
             inner = _strip_format_spec(field.group(1))
-            if inner.startswith(f"{wrapper}("):
+            if inner.startswith(f"{self.wrapper}("):
                 return field.group(0)
-            return "{" + f"{wrapper}({inner})" + "}"
+            return "{" + f"{self.wrapper}({inner})" + "}"
 
-        return _FIELD_RE.sub(wrap, text), imports
+        return _FIELD_RE.sub(wrap, text), self.imports
 
-    return build
+
+def wrap_fstring_fields(wrapper: str, imports: Tuple[str, ...] = ()):
+    """Builder factory: wrap every ``{field}`` of a matched f-string.
+
+    ``wrapper`` is a callable name, e.g. ``"escape"`` turning ``{name}``
+    into ``{escape(name)}``.  Fields already wrapped are left alone.  The
+    returned builder is a module-level class instance (not a closure) so
+    rules using it pickle into scan worker processes.
+    """
+    return _WrapFstringFields(wrapper, tuple(imports))
+
+
+@dataclass(frozen=True)
+class _AddCallKwargs:
+    """Picklable builder produced by :func:`add_call_kwargs`."""
+
+    pairs: Tuple[Tuple[str, str], ...]
+
+    def __call__(self, match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
+        text = match.group(0)
+        if not text.endswith(")"):
+            return text, ()
+        additions = [
+            f"{name}={value}"
+            for name, value in self.pairs
+            if f"{name}=" not in text.replace(" ", "")
+        ]
+        if not additions:
+            return text, ()
+        inner = text[:-1].rstrip()
+        separator = ", " if not inner.endswith("(") else ""
+        return inner + separator + ", ".join(additions) + ")", ()
 
 
 def add_call_kwargs(*pairs: Tuple[str, str]):
@@ -144,21 +176,10 @@ def add_call_kwargs(*pairs: Tuple[str, str]):
 
     The match must cover the full call up to and including its closing
     parenthesis; each ``(name, value)`` pair is appended unless ``name=``
-    already appears in the call.
+    already appears in the call.  Returns a picklable module-level class
+    instance rather than a closure.
     """
-
-    def build(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:
-        text = match.group(0)
-        if not text.endswith(")"):
-            return text, ()
-        additions = [f"{name}={value}" for name, value in pairs if f"{name}=" not in text.replace(" ", "")]
-        if not additions:
-            return text, ()
-        inner = text[:-1].rstrip()
-        separator = ", " if not inner.endswith("(") else ""
-        return inner + separator + ", ".join(additions) + ")", ()
-
-    return build
+    return _AddCallKwargs(tuple(pairs))
 
 
 def env_var_credential(match: "re.Match[str]") -> Tuple[str, Tuple[str, ...]]:

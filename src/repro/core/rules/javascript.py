@@ -38,6 +38,21 @@ def _parameterize_sql_template(match: "re.Match[str]"):
     return f"{call}('{new_body}', [{args}])", ()
 
 
+def _env_credential_js(match: "re.Match[str]"):
+    """``const apiKey = "..."`` → ``const apiKey = process.env.API_KEY``."""
+    name = match.group("name")
+    env = re.sub(r"(?<!^)(?=[A-Z])", "_", name).upper()
+    return f"const {name} = process.env.{env}", ()
+
+
+def _harden_cookie_options(match: "re.Match[str]"):
+    """Append ``httpOnly/secure/sameSite`` options to a ``res.cookie`` call."""
+    return (
+        match.group(0)[:-1] + ", { httpOnly: true, secure: true, sameSite: 'lax' })",
+        (),
+    )
+
+
 def build_rules() -> List[DetectionRule]:
     """All JavaScript rules, in catalog order."""
     return [
@@ -109,13 +124,7 @@ def build_rules() -> List[DetectionRule]:
             severity=Severity.HIGH,
             not_on_line=(r"process\.env",),
             patch=PatchTemplate(
-                builder=lambda match: (
-                    "const {name} = process.env.{env}".format(
-                        name=match.group("name"),
-                        env=re.sub(r"(?<!^)(?=[A-Z])", "_", match.group("name")).upper(),
-                    ),
-                    (),
-                ),
+                builder=_env_credential_js,
                 description="Load the credential from the environment",
             ),
         ),
@@ -178,10 +187,7 @@ def build_rules() -> List[DetectionRule]:
             severity=Severity.MEDIUM,
             not_if=(r"httpOnly|secure",),
             patch=PatchTemplate(
-                builder=lambda match: (
-                    match.group(0)[:-1] + ", { httpOnly: true, secure: true, sameSite: 'lax' })",
-                    (),
-                ),
+                builder=_harden_cookie_options,
                 description="Set httpOnly/secure/sameSite on the cookie",
             ),
         ),

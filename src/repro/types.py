@@ -103,6 +103,39 @@ class Finding:
             fixable=self.fixable,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (see :meth:`from_dict`).
+
+        The persistent scan cache stores findings in this form; enum
+        fields serialize to their string values, the span to a two-element
+        list.
+        """
+        return {
+            "rule_id": self.rule_id,
+            "cwe_id": self.cwe_id,
+            "message": self.message,
+            "span": [self.span.start, self.span.end],
+            "snippet": self.snippet,
+            "severity": self.severity.value,
+            "confidence": self.confidence.value,
+            "fixable": self.fixable,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (raises on malformed input)."""
+        start, end = data["span"]
+        return cls(
+            rule_id=data["rule_id"],
+            cwe_id=data["cwe_id"],
+            message=data["message"],
+            span=Span(int(start), int(end)),
+            snippet=data.get("snippet", ""),
+            severity=Severity(data.get("severity", Severity.MEDIUM.value)),
+            confidence=Confidence(data.get("confidence", Confidence.MEDIUM.value)),
+            fixable=bool(data.get("fixable", False)),
+        )
+
 
 @dataclass(frozen=True)
 class Patch:

@@ -1,0 +1,41 @@
+"""Smoke-mode run of the project-scan benchmark under the tier-1 suite.
+
+The full benchmark lives in ``benchmarks/bench_project_scan.py`` and is
+sized for meaningful timings; this test imports it directly and runs a
+tiny corpus so every CI run still exercises the cold/parallel/warm scan
+paths end to end and publishes the measured numbers as a build artifact
+(``benchmarks/output/project_scan_smoke.txt``).
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_project_scan.py"
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_project_scan", _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.benchmark_smoke
+def test_project_scan_benchmark_smoke(tmp_path):
+    bench = _load_bench_module()
+    results = bench.run_project_scan_benchmark(tmp_path, files=12, jobs=2, sections=4)
+
+    # correctness invariants hold even at smoke scale
+    assert results["warm_detect_calls"] == 0
+    assert results["cold_detect_calls"] == 12
+    assert results["warm_cache_hits"] == 12
+    assert results["warm_s"] < results["cold_cached_s"]
+
+    text = bench.format_report(results)
+    bench.OUTPUT_DIR.mkdir(exist_ok=True)
+    artifact = bench.OUTPUT_DIR / "project_scan_smoke.txt"
+    artifact.write_text(text + "\n")
+    assert artifact.exists()
+    assert "warm cached" in text

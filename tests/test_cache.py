@@ -1,0 +1,234 @@
+"""Tests for the persistent scan-result cache and incremental scanning."""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import PatchitPy
+from repro.core.cache import (
+    CACHE_DIR_NAME,
+    CACHE_FILE_NAME,
+    CACHE_SCHEMA_VERSION,
+    ScanCache,
+    hash_source,
+)
+from repro.core.project import ProjectScanner
+from repro.core.rules import default_ruleset
+from repro.types import Confidence, Finding, Severity, Span
+
+VULN = "import pickle\n\ndata = pickle.loads(blob)\n"
+CLEAN = "def add(a, b):\n    return a + b\n"
+
+
+class CountingEngine(PatchitPy):
+    """Engine that counts detect() calls (module level, so it pickles)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.detect_calls = 0
+
+    def detect(self, source):
+        self.detect_calls += 1
+        return super().detect(source)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    (tmp_path / "vuln.py").write_text(VULN)
+    (tmp_path / "clean.py").write_text(CLEAN)
+    return tmp_path
+
+
+class TestScanCacheStore:
+    def test_round_trips_findings(self, tmp_path):
+        finding = Finding(
+            rule_id="PIT-A08-01",
+            cwe_id="CWE-502",
+            message="pickle.loads on untrusted data",
+            span=Span(15, 27),
+            snippet="pickle.loads",
+            severity=Severity.HIGH,
+            confidence=Confidence.HIGH,
+            fixable=True,
+        )
+        cache = ScanCache(tmp_path, "fp")
+        cache.store("digest-1", [finding])
+        assert cache.save()
+        reloaded = ScanCache(tmp_path, "fp")
+        entry = reloaded.lookup("digest-1")
+        assert entry is not None
+        assert entry.findings == [finding]
+        assert entry.error is None
+
+    def test_error_outcomes_cached(self, tmp_path):
+        cache = ScanCache(tmp_path, "fp")
+        cache.store("digest-bad", [], error="decode failed")
+        cache.save()
+        entry = ScanCache(tmp_path, "fp").lookup("digest-bad")
+        assert entry.error == "decode failed"
+        assert entry.findings == []
+
+    def test_fingerprint_mismatch_discards_store(self, tmp_path):
+        cache = ScanCache(tmp_path, "fp-old")
+        cache.store("digest-1", [])
+        cache.save()
+        assert ScanCache(tmp_path, "fp-old").lookup("digest-1") is not None
+        assert ScanCache(tmp_path, "fp-new").lookup("digest-1") is None
+
+    def test_corrupt_store_loads_empty(self, tmp_path):
+        cache_dir = tmp_path / CACHE_DIR_NAME
+        cache_dir.mkdir()
+        (cache_dir / CACHE_FILE_NAME).write_text("{not json")
+        cache = ScanCache(tmp_path, "fp")
+        assert len(cache) == 0
+
+    def test_schema_bump_discards_store(self, tmp_path):
+        cache = ScanCache(tmp_path, "fp")
+        cache.store("digest-1", [])
+        cache.save()
+        raw = json.loads((tmp_path / CACHE_DIR_NAME / CACHE_FILE_NAME).read_text())
+        raw["schema"] = CACHE_SCHEMA_VERSION + 1
+        (tmp_path / CACHE_DIR_NAME / CACHE_FILE_NAME).write_text(json.dumps(raw))
+        assert len(ScanCache(tmp_path, "fp")) == 0
+
+    def test_clear_removes_store(self, tmp_path):
+        cache = ScanCache(tmp_path, "fp")
+        cache.store("digest-1", [])
+        cache.save()
+        assert ScanCache.clear(tmp_path)
+        assert not (tmp_path / CACHE_DIR_NAME).exists()
+        assert not ScanCache.clear(tmp_path)
+
+    def test_eviction_bounds_store(self, tmp_path):
+        cache = ScanCache(tmp_path, "fp", max_entries=3)
+        for i in range(5):
+            cache.store(f"digest-{i}", [])
+        cache.save()
+        reloaded = ScanCache(tmp_path, "fp", max_entries=3)
+        assert len(reloaded) == 3
+        assert reloaded.lookup("digest-4") is not None
+        assert reloaded.lookup("digest-0") is None
+
+    def test_stat_hint_requires_unchanged_mtime_and_size(self, tmp_path):
+        target = tmp_path / "f.py"
+        target.write_text(CLEAN)
+        stat = target.stat()
+        cache = ScanCache(tmp_path, "fp")
+        cache.remember_stat(target, stat, "digest-1")
+        assert cache.stat_digest(target, stat) == "digest-1"
+        target.write_text(CLEAN + "# more\n")
+        assert cache.stat_digest(target, target.stat()) is None
+
+    def test_hash_source_matches_bytes(self):
+        import hashlib
+
+        assert hash_source(VULN) == hashlib.sha256(VULN.encode()).hexdigest()
+
+
+class TestIncrementalScan:
+    def test_warm_scan_performs_zero_detect_calls(self, tree):
+        engine = CountingEngine()
+        scanner = ProjectScanner(engine=engine)
+        cold = scanner.scan(tree, use_cache=True)
+        assert engine.detect_calls == 2
+        assert cold.cache_misses == 2 and cold.cache_hits == 0
+
+        engine.detect_calls = 0
+        warm = scanner.scan(tree, use_cache=True)
+        assert engine.detect_calls == 0
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert warm.total_findings == cold.total_findings
+        assert all(f.from_cache for f in warm.files)
+
+    def test_warm_report_identical_to_cold(self, tree):
+        scanner = ProjectScanner()
+        cold = scanner.scan(tree, use_cache=True)
+        warm = scanner.scan(tree, use_cache=True)
+        assert [f.path for f in cold.files] == [f.path for f in warm.files]
+        assert [
+            [fi.to_dict() for fi in f.findings] for f in cold.files
+        ] == [[fi.to_dict() for fi in f.findings] for f in warm.files]
+
+    def test_modified_file_reanalyzed(self, tree):
+        engine = CountingEngine()
+        scanner = ProjectScanner(engine=engine)
+        scanner.scan(tree, use_cache=True)
+        (tree / "clean.py").write_text("import pickle\nx = pickle.loads(y)\n")
+        engine.detect_calls = 0
+        rescan = scanner.scan(tree, use_cache=True)
+        assert engine.detect_calls == 1
+        assert rescan.cache_hits == 1 and rescan.cache_misses == 1
+        assert rescan.total_findings == 2
+
+    def test_rule_change_invalidates_cache(self, tree):
+        scanner = ProjectScanner()
+        scanner.scan(tree, use_cache=True)
+
+        engine = CountingEngine(rules=default_ruleset().without("PIT-A08-01"))
+        changed = ProjectScanner(engine=engine)
+        report = changed.scan(tree, use_cache=True)
+        assert engine.detect_calls == 2  # nothing reused across fingerprints
+        assert report.cache_misses == 2
+
+    def test_touched_but_unchanged_content_still_hits(self, tree):
+        scanner = ProjectScanner()
+        scanner.scan(tree, use_cache=True)
+        # rewrite identical bytes with a new mtime: stat hint misses, the
+        # content digest still hits
+        os.utime(tree / "vuln.py", ns=(1, 1))
+        (tree / "vuln.py").write_text(VULN)
+        engine = CountingEngine()
+        warm = ProjectScanner(engine=engine).scan(tree, use_cache=True)
+        assert engine.detect_calls == 0
+        assert warm.cache_hits == 2
+
+    def test_cache_dir_not_scanned(self, tree):
+        scanner = ProjectScanner()
+        scanner.scan(tree, use_cache=True)
+        # plant a vulnerable .py inside the cache dir; it must be ignored
+        (tree / CACHE_DIR_NAME / "planted.py").write_text(VULN)
+        report = scanner.scan(tree, use_cache=True)
+        assert len(report.files) == 2
+
+    def test_undecodable_file_cached_as_error(self, tree):
+        (tree / "bad.py").write_bytes(b"\xff\xfe\x00 junk")
+        engine = CountingEngine()
+        scanner = ProjectScanner(engine=engine)
+        cold = scanner.scan(tree, use_cache=True)
+        assert sum(1 for f in cold.files if f.error) == 1
+        engine.detect_calls = 0
+        warm = scanner.scan(tree, use_cache=True)
+        assert engine.detect_calls == 0
+        assert warm.cache_misses == 0
+        bad = [f for f in warm.files if f.path.name == "bad.py"][0]
+        assert bad.error
+
+    def test_cache_survives_readonly_root(self, tree, monkeypatch):
+        """Save failures degrade to an uncached scan, not an exception."""
+        scanner = ProjectScanner()
+        report = scanner.scan(tree, use_cache=True)
+        assert report.total_findings >= 1
+        # simulate unwritable store: save() returns False instead of raising
+        cache = scanner.open_cache(tree)
+        monkeypatch.setattr(
+            Path, "mkdir", lambda *a, **k: (_ for _ in ()).throw(OSError("ro"))
+        )
+        cache.store("d", [])
+        assert cache.save() is False
+
+
+class TestPatchTreeCache:
+    def test_patch_tree_reuses_cached_detect(self, tree):
+        engine = CountingEngine()
+        scanner = ProjectScanner(engine=engine)
+        scanner.scan(tree, use_cache=True)
+        engine.detect_calls = 0
+        report = scanner.patch_tree(tree, use_cache=True)
+        # detection reused from cache for both files; the patch pass
+        # itself still re-detects internally on the vulnerable file only
+        assert report.cache_hits == 2
+        patched = [f for f in report.files if f.patched]
+        assert len(patched) == 1
+        assert all(f.from_cache for f in report.files if f.error is None)

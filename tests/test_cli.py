@@ -98,3 +98,34 @@ class TestDirectoryMode:
         main([str(project), "--html", str(out)])
         assert out.exists()
         assert "<!DOCTYPE html>" in out.read_text()
+
+    def test_jobs_flag(self, project, capsys):
+        code = main([str(project), "--jobs", "2", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "vulnerable files: 1" in out
+
+    def test_cache_written_and_reused(self, project, capsys):
+        from repro.core.cache import CACHE_DIR_NAME
+
+        main([str(project)])
+        assert (project / CACHE_DIR_NAME).is_dir()
+        main([str(project)])
+        out = capsys.readouterr().out
+        assert "cache: 2 hit(s), 0 miss(es)" in out
+
+    def test_no_cache_flag(self, project, capsys):
+        from repro.core.cache import CACHE_DIR_NAME
+
+        main([str(project), "--no-cache"])
+        assert not (project / CACHE_DIR_NAME).exists()
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_clear_cache_flag(self, project, capsys):
+        main([str(project)])
+        capsys.readouterr()  # drain the cold-scan output
+        code = main([str(project), "--clear-cache"])
+        out = capsys.readouterr().out
+        assert code == 1
+        # the wiped cache forces a full re-analysis
+        assert "cache: 0 hit(s), 2 miss(es)" in out

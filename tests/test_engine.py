@@ -118,6 +118,44 @@ class TestPatch:
         assert all(p.rule_id.startswith("PIT-") for p in result.applied)
 
 
+class TestRenderPatchesSpanAnchoring:
+    """Regression: the search fallback must not render a patch from one
+    match and splice it at another finding's stale span."""
+
+    def test_stale_span_reanchors_to_actual_match(self, engine):
+        source = "data = pickle.loads(blob)\n"
+        [finding] = [f for f in engine.detect(source) if f.cwe_id == "CWE-502"]
+        stale = finding.with_span(
+            Span(finding.span.start - 3, finding.span.end - 3)
+        )
+        patches = engine.render_patches(source, [stale])
+        assert len(patches) == 1
+        # the patch is anchored where the pattern actually matched, not at
+        # the stale span it was handed
+        assert patches[0].span == finding.span
+        patched = apply_patches(source, patches).source
+        assert "json.loads(blob)" in patched
+        assert "pickle.loads" not in patched
+
+    def test_stale_span_does_not_corrupt_earlier_text(self, engine):
+        source = "safe = 1  # placeholder\nx = pickle.loads(a)\n"
+        [finding] = [f for f in engine.detect(source) if f.cwe_id == "CWE-502"]
+        # a span pointing at the harmless first line: the pattern's only
+        # match is later, so the patch must land there
+        stale = finding.with_span(Span(0, 8))
+        patches = engine.render_patches(source, [stale])
+        assert len(patches) == 1
+        patched = apply_patches(source, patches).source
+        assert "safe = 1  # placeholder\n" in patched
+        assert "json.loads(a)" in patched
+
+    def test_exact_span_unchanged(self, engine):
+        source = "data = pickle.loads(blob)\n"
+        [finding] = [f for f in engine.detect(source) if f.cwe_id == "CWE-502"]
+        patches = engine.render_patches(source, [finding])
+        assert patches[0].span == finding.span
+
+
 class TestAnalyze:
     def test_report_includes_patches(self, engine):
         report = engine.analyze(SQLI)

@@ -112,3 +112,79 @@ class TestParallelScan:
     def test_parallel_single_file(self, tree):
         report = ProjectScanner().scan(tree / "b.py", jobs=8)
         assert report.scanned_count == 1
+
+    def test_process_mode_equals_serial(self, tree):
+        scanner = ProjectScanner()
+        serial = scanner.scan(tree, jobs=1)
+        procs = scanner.scan(tree, jobs=4, processes=True)
+        assert [f.path for f in serial.files] == [f.path for f in procs.files]
+        assert [
+            [fi.to_dict() for fi in f.findings] for f in serial.files
+        ] == [[fi.to_dict() for fi in f.findings] for f in procs.files]
+
+    def test_process_mode_with_unpicklable_engine_falls_back(self, tree):
+        from repro.core import PatchitPy
+
+        engine = PatchitPy()
+        engine.unpicklable = lambda: None  # closures do not pickle
+        scanner = ProjectScanner(engine=engine)
+        report = scanner.scan(tree, jobs=4, processes=True)
+        assert report.scanned_count == 3
+
+    def test_process_mode_reports_errors(self, tree):
+        (tree / "bad.py").write_bytes(b"\xff\xfe\x00 junk")
+        report = ProjectScanner().scan(tree, jobs=4, processes=True)
+        errors = [f for f in report.files if f.error]
+        assert len(errors) == 1 and errors[0].path.name == "bad.py"
+
+
+class TestPatchTreeRobustness:
+    def test_undecodable_file_does_not_abort_tree(self, tree):
+        (tree / "bad.py").write_bytes(b"\xff\xfe\x00 junk")
+        report = ProjectScanner().patch_tree(tree)
+        bad = [f for f in report.files if f.path.name == "bad.py"][0]
+        assert bad.error and not bad.patched
+        # the rest of the tree was still patched
+        assert "json.loads" in (tree / "pkg" / "a.py").read_text()
+        assert "sha256" in (tree / "b.py").read_text()
+
+    def test_single_read_no_toctou_reread(self, tree, monkeypatch):
+        """patch_tree must not re-read a file between detect and patch."""
+        from pathlib import Path as PathType
+
+        reads = []
+        original = PathType.read_bytes
+
+        def counting_read_bytes(self):
+            reads.append(self.name)
+            return original(self)
+
+        monkeypatch.setattr(PathType, "read_bytes", counting_read_bytes)
+        monkeypatch.setattr(
+            PathType,
+            "read_text",
+            lambda self, *a, **k: (_ for _ in ()).throw(
+                AssertionError(f"re-read of {self}")
+            ),
+        )
+        ProjectScanner().patch_tree(tree, backup=False)
+        assert reads.count("a.py") == 1
+        assert reads.count("b.py") == 1
+
+
+class TestScanPaths:
+    def test_overlapping_roots_deduplicated(self, tree):
+        report = scan_paths([tree, tree / "pkg"])
+        names = [f.path.name for f in report.files]
+        assert sorted(names) == ["a.py", "b.py", "clean.py"]
+        assert report.scanned_count == 3
+
+    def test_jobs_forwarded(self, tree):
+        serial = scan_paths([tree])
+        parallel = scan_paths([tree], jobs=4, processes=True)
+        assert [f.path for f in serial.files] == [f.path for f in parallel.files]
+        assert serial.total_findings == parallel.total_findings
+
+    def test_no_paths_raises(self):
+        with pytest.raises(ValueError):
+            scan_paths([])
