@@ -7,7 +7,18 @@ repository (unique per-file contents, mixed vulnerable/clean):
 - **cold parallel** — same work fanned out over a process pool
   (``jobs=N, processes=True``), the CPU-scaling claim;
 - **warm cached** — a second scan of the unchanged tree through the
-  persistent content-hash cache, which must perform *zero* detect calls.
+  persistent content-hash cache, which must perform *zero* detect calls;
+- **instrumented serial** — the cold-serial scan again but with an
+  enabled :class:`~repro.observability.ScanMetrics` collector, so the
+  observability overhead is itself benchmarked (the default disabled
+  collector runs the pre-observability code path, so cold-serial *is*
+  the disabled-collector number).
+
+The full run writes two artifacts: the human-readable table
+(``project_scan.txt``) and a BENCH JSON (``project_scan.json``) that
+embeds the metrics snapshot — per-rule times, prefilter-skip counts,
+cache hit/miss counters — so the perf trajectory of this benchmark is
+self-documenting across PRs.
 
 ``run_project_scan_benchmark`` is importable without pytest so the tier-1
 suite can run it in smoke mode (tests/test_bench_project_scan.py) while
@@ -16,13 +27,14 @@ the full benchmark run records the headline numbers as an artifact.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
 from typing import Dict
 
-from repro.core import PatchitPy
-from repro.core.project import ProjectScanner
+from repro import PatchitPy, ProjectScanner, ScanMetrics
+from repro.observability import metrics_to_dict
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
@@ -119,6 +131,15 @@ def run_project_scan_benchmark(
     assert warm.total_findings == serial.total_findings
     assert cold_cached.cache_misses == files
 
+    collector = ScanMetrics()
+    instrumented_scanner = ProjectScanner(metrics=collector)
+    t0 = time.perf_counter()
+    instrumented = instrumented_scanner.scan(corpus, jobs=1)
+    instrumented_serial = time.perf_counter() - t0
+
+    assert instrumented.total_findings == serial.total_findings
+    assert collector.counters["detect_calls"] == files
+
     return {
         "files": files,
         "jobs": jobs,
@@ -128,11 +149,14 @@ def run_project_scan_benchmark(
         "cold_parallel_s": cold_parallel,
         "cold_cached_s": cold_cache_time,
         "warm_s": warm_time,
+        "instrumented_serial_s": instrumented_serial,
         "parallel_speedup": cold_serial / cold_parallel,
         "warm_speedup": cold_serial / warm_time,
+        "stats_overhead": instrumented_serial / cold_serial,
         "cold_detect_calls": cold_detect_calls,
         "warm_detect_calls": counting.detect_calls,
         "warm_cache_hits": warm.cache_hits,
+        "metrics": metrics_to_dict(collector),
     }
 
 
@@ -155,7 +179,9 @@ def format_report(results: Dict[str, float]) -> str:
         f"({results['cold_detect_calls']:.0f} detect calls)\n"
         f"  warm cached        : {results['warm_s']:.3f}s "
         f"(x{results['warm_speedup']:.2f}, "
-        f"{results['warm_detect_calls']:.0f} detect calls)"
+        f"{results['warm_detect_calls']:.0f} detect calls)\n"
+        f"  instrumented serial: {results['instrumented_serial_s']:.3f}s "
+        f"(x{results['stats_overhead']:.2f} of disabled-collector serial)"
     )
 
 
@@ -166,10 +192,14 @@ def test_project_scan_benchmark(tmp_path):
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / "project_scan.txt"
     path.write_text(text + "\n")
-    print(f"\n[artifact written: {path}]")
+    json_path = OUTPUT_DIR / "project_scan.json"
+    json_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\n[artifacts written: {path}, {json_path}]")
     print(text)
     assert results["warm_detect_calls"] == 0
     assert results["warm_speedup"] > 2.0
+    # the snapshot embedded in the BENCH JSON must carry per-rule data
+    assert results["metrics"]["rules"], "instrumented scan recorded no rules"
     # Process-pool wall-clock scaling only manifests with real cores; on
     # single-CPU CI runners the parallel number is reported, not asserted.
     if results["cpus"] >= 4:

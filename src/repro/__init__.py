@@ -8,20 +8,33 @@ the full evaluation substrate: a 203-prompt security corpus, three
 simulated AI code generators, six baseline tools, and the metrics suite
 needed to regenerate every table and figure of the paper.
 
+This module is the library's **stable public API**: everything a caller
+needs — the engine, the project scanner, the observability collector and
+the data types that flow between them — is re-exported here under
+``__all__``.  Import from ``repro``; the ``repro.core.*`` module layout
+is an implementation detail that may move between releases.
+
 Quickstart::
 
-    from repro import PatchitPy
+    from repro import PatchitPy, ProjectScanner, ScanMetrics
 
     engine = PatchitPy()
     findings = engine.detect(source_code)
     result = engine.patch(source_code)
     print(result.patched)
+
+    metrics = ScanMetrics()                     # rule-level observability
+    scanner = ProjectScanner(metrics=metrics)
+    report = scanner.scan(project_root, jobs=4, processes=True)
+    print(metrics.top_rules(5))
 """
 
 from repro.core import PatchitPy, PatchResult, default_ruleset
-from repro.core.project import ProjectReport, ProjectScanner
+from repro.core.cache import ScanCache
+from repro.core.project import FileResult, ProjectReport, ProjectScanner, scan_paths
 from repro.ide import LanguageServer
 from repro.core.rules import DetectionRule, PatchTemplate, RuleSet, extended_ruleset
+from repro.observability import NULL_METRICS, RuleStats, ScanMetrics
 from repro.types import (
     AnalysisReport,
     CodeSample,
@@ -35,16 +48,18 @@ from repro.types import (
     Span,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisReport",
     "CodeSample",
     "Confidence",
     "DetectionRule",
+    "FileResult",
     "Finding",
     "GeneratorName",
     "LanguageServer",
+    "NULL_METRICS",
     "Patch",
     "PatchResult",
     "ProjectReport",
@@ -54,9 +69,13 @@ __all__ = [
     "Prompt",
     "PromptSource",
     "RuleSet",
+    "RuleStats",
+    "ScanCache",
+    "ScanMetrics",
     "Severity",
     "Span",
     "__version__",
     "default_ruleset",
     "extended_ruleset",
+    "scan_paths",
 ]

@@ -3,6 +3,12 @@
 Mirrors the workflow the VS Code extension drives (§II-B): analyze a file
 (or a selected line range), report findings, and optionally apply patches
 in place or to stdout.
+
+Exit-code contract (documented in ``--help`` and enforced by tests):
+
+- ``0`` — analysis ran and found nothing;
+- ``1`` — analysis ran and reported findings;
+- ``2`` — the tool could not run (bad arguments, unreadable input).
 """
 
 from __future__ import annotations
@@ -12,9 +18,14 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core import PatchitPy
+from repro import PatchitPy, ScanMetrics, extended_ruleset
 from repro.core.report import format_finding
-from repro.core.rules import extended_ruleset
+from repro.observability import dumps_json, format_stats, to_prometheus
+
+EXIT_CODE_CONTRACT = (
+    "exit codes: 0 = no findings, 1 = findings reported, 2 = error "
+    "(bad arguments or unreadable input)"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -22,6 +33,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="patchitpy",
         description="Pattern-based vulnerability detection and patching for Python.",
+        epilog=EXIT_CODE_CONTRACT,
     )
     parser.add_argument(
         "path", type=Path, help="Python file or project directory to analyze"
@@ -34,7 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--in-place",
         action="store_true",
-        help="with --patch, rewrite the file instead of printing",
+        help="with --patch, rewrite the file instead of printing "
+        "(rejected without --patch or combined with --lines)",
     )
     parser.add_argument(
         "--extended",
@@ -75,7 +88,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="directory mode: delete the persistent cache before scanning",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print scan statistics: per-rule timing/match/prefilter-skip "
+        "counts, cache hit rate, and the slowest rules",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="export the metrics snapshot to FILE (Prometheus text format "
+        "for .prom/.txt suffixes, JSON otherwise)",
+    )
+    parser.add_argument(
+        "--top-rules",
+        type=int,
+        default=10,
+        metavar="N",
+        help="with --stats, size of the top-rules-by-time section (default 10)",
+    )
     return parser
+
+
+def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Reject silently-ignored flag combinations (exit code 2)."""
+    if args.in_place and not args.patch:
+        parser.error("--in-place requires --patch")
+    if args.in_place and args.lines:
+        parser.error("--in-place cannot be combined with --lines "
+                     "(a partial rewrite would corrupt the file)")
 
 
 def _select_lines(source: str, spec: str) -> str:
@@ -91,9 +132,31 @@ def _select_lines(source: str, spec: str) -> str:
     return "".join(lines[start - 1 : end])
 
 
+def _wants_metrics(args: argparse.Namespace) -> bool:
+    return bool(args.stats or args.metrics)
+
+
+def _emit_metrics(args: argparse.Namespace, metrics: Optional[ScanMetrics]) -> None:
+    """Print the --stats summary and/or write the --metrics export."""
+    if metrics is None:
+        return
+    if args.stats:
+        print(format_stats(metrics, top=max(1, args.top_rules)))
+    if args.metrics:
+        target = Path(args.metrics)
+        if target.suffix in (".prom", ".txt"):
+            payload = to_prometheus(metrics)
+        else:
+            payload = dumps_json(metrics)
+        target.write_text(payload if payload.endswith("\n") else payload + "\n")
+        print(f"metrics written to {target}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate(parser, args)
 
     if args.path.is_dir():
         return _scan_directory(args)
@@ -105,7 +168,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     analyzed = _select_lines(source, args.lines) if args.lines else source
-    engine = PatchitPy(rules=extended_ruleset() if args.extended else None)
+    collector = ScanMetrics() if _wants_metrics(args) else None
+    engine = PatchitPy(
+        rules=extended_ruleset() if args.extended else None, metrics=collector
+    )
     findings = engine.detect(analyzed)
 
     if args.format != "text":
@@ -115,10 +181,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = AnalysisReport(tool="patchitpy", source=analyzed, findings=findings)
         renderer = dumps_sarif if args.format == "sarif" else dumps_plain
         print(renderer(report, artifact_uri=str(args.path)))
+        _emit_metrics(args, collector)
         return 1 if findings else 0
 
     if not findings:
         print("no vulnerable patterns detected")
+        _emit_metrics(args, collector)
         return 0
 
     for finding in findings:
@@ -126,7 +194,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.patch:
         result = engine.patch(analyzed, findings)
-        if args.in_place and not args.lines:
+        if args.in_place:
             args.path.write_text(result.patched)
             print(f"patched {len(result.applied)} finding(s) in {args.path}")
         else:
@@ -137,25 +205,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"note: {len(result.unpatchable)} finding(s) have no automated patch",
                 file=sys.stderr,
             )
+    _emit_metrics(args, collector)
     return 1
 
 
-def _scan_directory(args) -> int:
+def _scan_directory(args: argparse.Namespace) -> int:
     """Project mode: scan (and optionally patch) a whole tree.
 
     Uses the persistent result cache by default (``--no-cache`` opts out;
     ``--clear-cache`` wipes it first) and fans the analysis out over
-    ``--jobs`` worker processes.
+    ``--jobs`` worker processes.  ``--stats``/``--metrics`` enable the
+    observability collector for the scan.
     """
-    from repro.core.cache import ScanCache
-    from repro.core.project import ProjectScanner
+    from repro import ProjectScanner, ScanCache
 
     if args.clear_cache:
         ScanCache.clear(args.path)
     use_cache = not args.no_cache
     jobs = max(1, args.jobs)
+    collector = ScanMetrics() if _wants_metrics(args) else None
     engine = PatchitPy(rules=extended_ruleset() if args.extended else None)
-    scanner = ProjectScanner(engine=engine)
+    scanner = ProjectScanner(engine=engine, metrics=collector)
     if args.patch and args.in_place:
         report = scanner.patch_tree(args.path, use_cache=use_cache)
         print(report.summary())
@@ -183,6 +253,7 @@ def _scan_directory(args) -> int:
 
         write_html_report(report, args.html)
         print(f"HTML report written to {args.html}")
+    _emit_metrics(args, report.metrics if report.metrics is not None else collector)
     return 1 if report.vulnerable_files else 0
 
 

@@ -92,6 +92,7 @@ class ScanCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.stale_hints = 0
         self._entries: Dict[str, dict] = {}
         self._stat_hints: Dict[str, dict] = {}
         self._dirty = False
@@ -135,11 +136,17 @@ class ScanCache:
     # --------------------------------------------------- stat fast path
 
     def stat_digest(self, path: Path, stat: os.stat_result) -> Optional[str]:
-        """Digest recorded for ``path`` if its mtime+size are unchanged."""
+        """Digest recorded for ``path`` if its mtime+size are unchanged.
+
+        A hint whose mtime or size no longer matches counts as *stale*
+        (``self.stale_hints``): the file changed on disk, so the caller
+        falls back to the read-and-hash path.
+        """
         hint = self._stat_hints.get(str(path.absolute()))
         if hint is None:
             return None
         if hint.get("mtime_ns") != stat.st_mtime_ns or hint.get("size") != stat.st_size:
+            self.stale_hints += 1
             return None
         return hint.get("digest")
 

@@ -8,12 +8,14 @@ imports the patch requires — the end-to-end flow of Fig. 1.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.matching import run_rules
 from repro.core.patcher import apply_patches
 from repro.core.rules import RuleSet, default_ruleset
+from repro.observability.collector import NULL_METRICS, ScanMetrics, clock
 from repro.types import AnalysisReport, Finding, Patch, Span
 
 
@@ -48,6 +50,13 @@ class PatchitPy:
     max_passes:
         Patching repeats detect→patch until a fixed point (or this limit),
         because one applied patch can reveal or shift later matches.
+    metrics:
+        A :class:`~repro.observability.ScanMetrics` collector that every
+        detect/patch call reports into.  Defaults to the shared no-op
+        collector, which keeps instrumentation off the hot path entirely.
+        Per-call ``metrics=`` arguments on :meth:`detect`/:meth:`patch`/
+        :meth:`analyze` override it (the project scanner uses that to give
+        each file its own snapshot without mutating shared state).
     """
 
     def __init__(
@@ -55,18 +64,44 @@ class PatchitPy:
         rules: Optional[RuleSet] = None,
         max_passes: int = 3,
         prune_imports: bool = True,
+        metrics: Optional[ScanMetrics] = None,
     ) -> None:
         if max_passes < 1:
             raise ValueError("max_passes must be >= 1")
         self.rules = rules if rules is not None else default_ruleset()
         self.max_passes = max_passes
         self.prune_imports = prune_imports
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+
+    def _metrics(self, override: Optional[ScanMetrics]) -> ScanMetrics:
+        return override if override is not None else self.metrics
+
+    def _detect_with(self, source: str, m: ScanMetrics) -> List[Finding]:
+        """Internal detect that omits ``metrics`` when disabled.
+
+        Subclasses that predate observability override ``detect(source)``
+        with no metrics parameter; never handing them the extra argument
+        on the disabled path keeps those engines working unchanged.
+        """
+        if m.enabled:
+            return self.detect(source, m)
+        return self.detect(source)
 
     # ------------------------------------------------------------- detect
 
-    def detect(self, source: str) -> List[Finding]:
+    def detect(
+        self, source: str, metrics: Optional[ScanMetrics] = None
+    ) -> List[Finding]:
         """Phase 1: all findings for ``source``."""
-        return run_rules(self.rules, source)
+        m = self._metrics(metrics)
+        if not m.enabled:
+            return run_rules(self.rules, source)
+        start = clock()
+        findings = run_rules(self.rules, source, m)
+        m.count("detect_calls")
+        m.count("findings", len(findings))
+        m.add_time("detect_time_s", clock() - start)
+        return findings
 
     def is_vulnerable(self, source: str) -> bool:
         """Sample-level verdict used by the evaluation (§III-B)."""
@@ -107,36 +142,54 @@ class PatchitPy:
             )
         return patches
 
-    def patch(self, source: str, findings: Optional[Sequence[Finding]] = None) -> PatchResult:
+    def patch(
+        self,
+        source: str,
+        findings: Optional[Sequence[Finding]] = None,
+        metrics: Optional[ScanMetrics] = None,
+    ) -> PatchResult:
         """Phase 2: substitute safe alternatives for detected patterns.
 
         Runs repeated passes until no patchable finding remains or
         ``max_passes`` is reached; overlapping patches in one pass are
         retried on the next pass against the updated text.
         """
+        m = self._metrics(metrics)
+        start = clock() if m.enabled else 0.0
         current = source
         all_applied: List[Patch] = []
         last_skipped: List[Patch] = []
-        pass_findings = list(findings) if findings is not None else self.detect(current)
+        passes = 0
+        pass_findings = (
+            list(findings) if findings is not None else self._detect_with(current, m)
+        )
         for _ in range(self.max_passes):
             patches = self.render_patches(current, pass_findings)
             if not patches:
                 break
+            passes += 1
             outcome = apply_patches(current, patches)
             all_applied.extend(outcome.applied)
             last_skipped = outcome.skipped
             if not outcome.changed:
                 break
             current = outcome.source
-            pass_findings = self.detect(current)
+            pass_findings = self._detect_with(current, m)
             if not pass_findings:
                 break
         if all_applied and self.prune_imports:
             from repro.core.imports import prune_unused_imports
 
             current = prune_unused_imports(current)
-        final_findings = self.detect(current)
+        final_findings = self._detect_with(current, m)
         unpatchable = [f for f in final_findings if not f.fixable]
+        if m.enabled:
+            m.count("patch_calls")
+            m.count("patch_passes", passes)
+            m.count("patches_applied", len(all_applied))
+            m.count("patches_skipped", len(last_skipped))
+            m.count("findings_unpatchable", len(unpatchable))
+            m.add_time("patch_time_s", clock() - start)
         return PatchResult(
             original=source,
             patched=current,
@@ -147,12 +200,33 @@ class PatchitPy:
 
     # ------------------------------------------------------------ analyze
 
-    def analyze(self, source: str, apply_patches_flag: bool = True) -> AnalysisReport:
-        """Full detect(+patch) pipeline returning a consolidated report."""
-        findings = self.detect(source)
+    def analyze(
+        self,
+        source: str,
+        *,
+        patch: bool = True,
+        metrics: Optional[ScanMetrics] = None,
+        apply_patches_flag: Optional[bool] = None,
+    ) -> AnalysisReport:
+        """Full detect(+patch) pipeline returning a consolidated report.
+
+        ``patch=False`` stops after detection.  The pre-1.1 spelling
+        ``apply_patches_flag=`` still works but emits a
+        ``DeprecationWarning``; it will be removed in 2.0.
+        """
+        if apply_patches_flag is not None:
+            warnings.warn(
+                "PatchitPy.analyze(apply_patches_flag=...) is deprecated; "
+                "use analyze(patch=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            patch = apply_patches_flag
+        m = self._metrics(metrics)
+        findings = self._detect_with(source, m)
         report = AnalysisReport(tool="patchitpy", source=source, findings=findings)
-        if apply_patches_flag and findings:
-            result = self.patch(source, findings)
+        if patch and findings:
+            result = self.patch(source, findings, m)
             report.patches = result.applied
             report.patched_source = result.patched
         return report

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 from repro.core.rules.base import DetectionRule
+from repro.observability.collector import ScanMetrics, clock
 from repro.types import Finding, Span
 
 
@@ -26,13 +27,42 @@ def _prefilter_for(rule: DetectionRule) -> Optional[str]:
     return rule.prefilter
 
 
-def match_rule(rule: DetectionRule, source: str) -> List[Finding]:
+def match_rule(
+    rule: DetectionRule, source: str, metrics: Optional[ScanMetrics] = None
+) -> List[Finding]:
     """All non-vetoed matches of ``rule`` in ``source`` as findings.
 
     A literal prefilter (the longest substring every match must contain)
     skips the regex entirely on files that cannot match — the same
-    optimization production scanners use.
+    optimization production scanners use.  With an enabled ``metrics``
+    collector the call also records per-rule wall time, match count, and
+    how each skip/veto mechanism fired; without one the uninstrumented
+    fast path runs.
     """
+    if metrics is None or not metrics.enabled:
+        return _match_rule_fast(rule, source)
+    start = clock()
+    stats = metrics.rule_stats(rule.rule_id)
+    stats.calls += 1
+    findings: List[Finding] = []
+    literal = _prefilter_for(rule)
+    if literal is not None and literal not in source:
+        stats.prefilter_skips += 1
+    elif not rule.applies_to(source):
+        stats.prereq_skips += 1
+    else:
+        for match in rule.pattern.finditer(source):
+            if any(guard.vetoes(source, match) for guard in rule.all_guards()):
+                stats.guard_vetoes += 1
+                continue
+            findings.append(_finding_for(rule, match))
+        stats.matches += len(findings)
+    stats.time_s += clock() - start
+    return findings
+
+
+def _match_rule_fast(rule: DetectionRule, source: str) -> List[Finding]:
+    """The metrics-free hot path (identical behavior, no bookkeeping)."""
     findings: List[Finding] = []
     literal = _prefilter_for(rule)
     if literal is not None and literal not in source:
@@ -42,23 +72,28 @@ def match_rule(rule: DetectionRule, source: str) -> List[Finding]:
     for match in rule.pattern.finditer(source):
         if any(guard.vetoes(source, match) for guard in rule.all_guards()):
             continue
-        span = Span(match.start(), match.end())
-        findings.append(
-            Finding(
-                rule_id=rule.rule_id,
-                cwe_id=rule.cwe_id,
-                message=rule.message,
-                span=span,
-                snippet=_clip(match.group(0)),
-                severity=rule.severity,
-                confidence=rule.confidence,
-                fixable=rule.patchable,
-            )
-        )
+        findings.append(_finding_for(rule, match))
     return findings
 
 
-def run_rules(rules: Iterable[DetectionRule], source: str) -> List[Finding]:
+def _finding_for(rule: DetectionRule, match) -> Finding:
+    return Finding(
+        rule_id=rule.rule_id,
+        cwe_id=rule.cwe_id,
+        message=rule.message,
+        span=Span(match.start(), match.end()),
+        snippet=_clip(match.group(0)),
+        severity=rule.severity,
+        confidence=rule.confidence,
+        fixable=rule.patchable,
+    )
+
+
+def run_rules(
+    rules: Iterable[DetectionRule],
+    source: str,
+    metrics: Optional[ScanMetrics] = None,
+) -> List[Finding]:
     """Run every rule and return findings ordered by position then rule id.
 
     When two rules of the *same CWE* match overlapping spans, only the
@@ -66,8 +101,12 @@ def run_rules(rules: Iterable[DetectionRule], source: str) -> List[Finding]:
     vulnerable line does not inflate the report.
     """
     findings: List[Finding] = []
-    for rule in rules:
-        findings.extend(match_rule(rule, source))
+    if metrics is None or not metrics.enabled:
+        for rule in rules:
+            findings.extend(_match_rule_fast(rule, source))
+    else:
+        for rule in rules:
+            findings.extend(match_rule(rule, source, metrics))
     findings.sort(key=lambda f: (f.span.start, f.span.end, f.rule_id))
     return _dedupe_same_cwe_overlaps(findings)
 

@@ -32,6 +32,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.cache import CACHE_DIR_NAME, ScanCache
 from repro.core.engine import PatchitPy
+from repro.observability.collector import NULL_METRICS, ScanMetrics, clock
 from repro.types import Finding
 
 DEFAULT_EXCLUDED_DIRS = frozenset(
@@ -70,12 +71,19 @@ class FileResult:
 
 @dataclass
 class ProjectReport:
-    """Aggregated outcome of one scan."""
+    """Aggregated outcome of one scan.
+
+    ``metrics`` carries the scan's merged
+    :class:`~repro.observability.ScanMetrics` snapshot when the scanner
+    ran with an enabled collector; with the default no-op collector it
+    stays ``None`` and the report is exactly its pre-observability shape.
+    """
 
     root: Path
     files: List[FileResult] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    metrics: Optional[ScanMetrics] = None
 
     @property
     def scanned_count(self) -> int:
@@ -131,23 +139,41 @@ def _worker_analyze(path: Path) -> "_Analysis":
     return _WORKER_SCANNER._analyze_one(path)
 
 
-# (result, content digest, (mtime_ns, size)); the latter two are None when
-# the file could not be read.
-_Analysis = Tuple[FileResult, Optional[str], Optional[Tuple[int, int]]]
+# (result, content digest, (mtime_ns, size), per-file metrics snapshot);
+# digest/stat are None when the file could not be read, the snapshot is
+# None when observability is disabled.
+_Analysis = Tuple[
+    FileResult,
+    Optional[str],
+    Optional[Tuple[int, int]],
+    Optional[ScanMetrics],
+]
 
 
 class ProjectScanner:
-    """Walks a directory tree and runs the engine on every ``.py`` file."""
+    """Walks a directory tree and runs the engine on every ``.py`` file.
+
+    ``metrics`` is the scan-level
+    :class:`~repro.observability.ScanMetrics` collector.  Every file is
+    analyzed against its *own* fresh snapshot collector (created only when
+    the scan-level collector is enabled) and the snapshots are merged
+    into ``self.metrics`` in walk order — the same fold whether the
+    snapshots were produced serially, on a thread pool, or in
+    ``ProcessPoolExecutor`` workers, which is what makes ``--jobs 1`` and
+    ``--jobs 4`` produce identical merged totals.
+    """
 
     def __init__(
         self,
         engine: Optional[PatchitPy] = None,
         excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
         max_file_bytes: int = 1 << 20,
+        metrics: Optional[ScanMetrics] = None,
     ) -> None:
         self.engine = engine if engine is not None else PatchitPy()
         self.excluded_dirs = frozenset(excluded_dirs)
         self.max_file_bytes = max_file_bytes
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # ------------------------------------------------------------ walking
 
@@ -181,6 +207,7 @@ class ProjectScanner:
         root, so only changed files are re-analyzed.
         """
         report = ProjectReport(root=root)
+        scan_start = clock() if self.metrics.enabled else 0.0
         paths = list(self.python_files(root))
         cache = self.open_cache(root) if use_cache else None
 
@@ -198,8 +225,11 @@ class ProjectScanner:
 
         if pending:
             outcomes = self._analyze_batch([p for _, p in pending], jobs, processes)
-            for (index, path), (result, digest, stat_key) in zip(pending, outcomes):
+            for (index, path), (result, digest, stat_key, snapshot) in zip(
+                pending, outcomes
+            ):
                 slots[index] = result
+                self.metrics.merge(snapshot)
                 if cache is not None and digest is not None:
                     cache.store(digest, result.findings, result.error)
                     if stat_key is not None:
@@ -210,7 +240,25 @@ class ProjectScanner:
             report.cache_hits = cache.hits
             report.cache_misses = cache.misses
             cache.save()
+        self._finish_metrics(report, cache, scan_start)
         return report
+
+    def _finish_metrics(
+        self, report: ProjectReport, cache: Optional[ScanCache], started: float
+    ) -> None:
+        """Fold scan-level counters into the collector and stamp the report."""
+        if not self.metrics.enabled:
+            return
+        m = self.metrics
+        m.count("files_scanned", sum(1 for f in report.files if f.error is None))
+        m.count("files_from_cache", sum(1 for f in report.files if f.from_cache))
+        m.count("file_errors", sum(1 for f in report.files if f.error is not None))
+        if cache is not None:
+            m.count("cache_hits", cache.hits)
+            m.count("cache_misses", cache.misses)
+            m.count("cache_stale_hints", cache.stale_hints)
+        m.add_time("scan_time_s", clock() - started)
+        report.metrics = m
 
     def patch_tree(
         self,
@@ -229,18 +277,27 @@ class ProjectScanner:
         results.
         """
         report = ProjectReport(root=root)
+        m = self.metrics
+        start = clock() if m.enabled else 0.0
         cache = self.open_cache(root) if use_cache else None
         for path in self.python_files(root):
+            file_start = clock() if m.enabled else 0.0
             result = FileResult(path=path)
             report.files.append(result)
             error, source, digest, stat = self._load(path)
             if error is not None:
                 result.error = error
+                if m.enabled:
+                    m.record_file(str(path), clock() - file_start)
                 continue
             cached = cache.lookup(digest) if cache is not None else None
             if cached is not None and cached.error is None:
                 result.findings = cached.findings
                 result.from_cache = True
+            elif m.enabled:
+                result.findings = self.engine.detect(source, metrics=m)
+                if cache is not None:
+                    cache.store(digest, result.findings)
             else:
                 result.findings = self.engine.detect(source)
                 if cache is not None:
@@ -248,8 +305,14 @@ class ProjectScanner:
             if not result.findings:
                 if cache is not None and stat is not None:
                     cache.remember_stat(path, stat, digest)
+                if m.enabled:
+                    m.record_file(str(path), clock() - file_start)
                 continue
-            outcome = self.engine.patch(source, result.findings)
+            if m.enabled:
+                outcome = self.engine.patch(source, result.findings, metrics=m)
+                m.record_file(str(path), clock() - file_start)
+            else:
+                outcome = self.engine.patch(source, result.findings)
             if outcome.patched == source:
                 continue
             try:
@@ -267,6 +330,9 @@ class ProjectScanner:
             report.cache_hits = cache.hits
             report.cache_misses = cache.misses
             cache.save()
+        if m.enabled:
+            m.count("files_patched", sum(1 for f in report.files if f.patched))
+        self._finish_metrics(report, cache, start)
         return report
 
     # ------------------------------------------------------------ caching
@@ -358,20 +424,36 @@ class ProjectScanner:
             return str(error), None, digest, stat
 
     def _analyze_one(self, path: Path) -> _Analysis:
+        """Analyze one file, optionally into a fresh metrics snapshot.
+
+        The snapshot (rather than the shared collector) is what makes the
+        instrumentation safe under thread pools and meaningful under
+        process pools: each file's counters travel with its result and
+        are merged by the coordinating process in deterministic walk
+        order.
+        """
+        snapshot = ScanMetrics() if self.metrics.enabled else None
+        start = clock() if snapshot is not None else 0.0
         result = FileResult(path=path)
         error, source, digest, stat = self._load(path)
         if error is not None:
             result.error = error
+            if snapshot is not None:
+                snapshot.record_file(str(path), clock() - start)
             # undecodable content is still cacheable by its raw digest
             if digest is not None and stat is not None:
-                return result, digest, (stat.st_mtime_ns, stat.st_size)
-            return result, None, None
-        result.findings = self.engine.detect(source)
+                return result, digest, (stat.st_mtime_ns, stat.st_size), snapshot
+            return result, None, None, snapshot
+        if snapshot is None:
+            result.findings = self.engine.detect(source)
+        else:
+            result.findings = self.engine.detect(source, metrics=snapshot)
+            snapshot.record_file(str(path), clock() - start)
         assert stat is not None and digest is not None
-        return result, digest, (stat.st_mtime_ns, stat.st_size)
+        return result, digest, (stat.st_mtime_ns, stat.st_size), snapshot
 
     def _analyze_file(self, path: Path) -> FileResult:
-        result, _digest, _stat = self._analyze_one(path)
+        result, _digest, _stat, _metrics = self._analyze_one(path)
         return result
 
 
@@ -391,14 +473,18 @@ def scan_paths(
     jobs: int = 1,
     processes: bool = False,
     use_cache: bool = False,
+    metrics: Optional[ScanMetrics] = None,
 ) -> ProjectReport:
     """Scan several roots into one merged report.
 
     Overlapping roots (e.g. ``repo/`` and ``repo/src/``) are deduplicated
     by resolved file path, so no file is analyzed or counted twice, and
-    parallelism/cache options are forwarded to each root's scan.
+    parallelism/cache/metrics options are forwarded to each root's scan
+    (the collector records the work actually performed, so a file reached
+    through two roots is counted once per analysis even though it appears
+    once in the report).
     """
-    scanner = ProjectScanner(engine=engine)
+    scanner = ProjectScanner(engine=engine, metrics=metrics)
     merged: Optional[ProjectReport] = None
     seen: set = set()
     for root in paths:

@@ -1,0 +1,47 @@
+"""Rule-level observability for the detect → patch pipeline.
+
+A production scanner sweeping millions of heterogeneous files (the
+workload profiled by the large-scale GitHub studies of AI-generated code)
+cannot be optimized blind: which of the 85+ rules burn the wall time, how
+often the literal prefilter actually skips a regex pass, what the warm
+cache hit rate is — these are the numbers every tuning decision needs.
+DeVAIC-style per-rule breakdowns are a first-class output here too.
+
+The subsystem has two halves:
+
+- :mod:`repro.observability.collector` — :class:`ScanMetrics`, a
+  pickle-safe counter/timer collector threaded through matching, the
+  engine, the scan cache and the project scanner.  Collectors merge
+  associatively, so per-file snapshots gathered in
+  ``ProcessPoolExecutor`` workers fold back into one report regardless
+  of completion order.  The default is :data:`NULL_METRICS`, a no-op
+  collector; every instrumented hot path checks ``metrics.enabled``
+  first, so disabled observability costs one attribute check.
+- :mod:`repro.observability.exporters` — plain-JSON and Prometheus
+  text-format exporters plus the human ``--stats`` summary (with its
+  *top rules by time* section).
+"""
+
+from repro.observability.collector import (
+    NULL_METRICS,
+    NullScanMetrics,
+    RuleStats,
+    ScanMetrics,
+)
+from repro.observability.exporters import (
+    dumps_json,
+    format_stats,
+    metrics_to_dict,
+    to_prometheus,
+)
+
+__all__ = [
+    "NULL_METRICS",
+    "NullScanMetrics",
+    "RuleStats",
+    "ScanMetrics",
+    "dumps_json",
+    "format_stats",
+    "metrics_to_dict",
+    "to_prometheus",
+]

@@ -1,0 +1,249 @@
+"""The :class:`ScanMetrics` collector and its no-op twin.
+
+Design constraints, in priority order:
+
+1. **Zero cost when disabled.**  The default collector on every
+   instrumented component is :data:`NULL_METRICS`; hot paths guard their
+   instrumentation behind ``metrics.enabled`` so a disabled scan runs the
+   exact pre-observability code path (one truthiness check per call, no
+   ``perf_counter`` traffic, no allocation).
+2. **Pickle safety.**  Collectors cross process boundaries twice: the
+   :class:`~repro.core.project.ProjectScanner` (collector included) is
+   pickled into pool workers, and per-file snapshot collectors travel
+   back with each result.  ``ScanMetrics`` holds only plain dicts of
+   ints/floats; ``NullScanMetrics`` reduces to the module singleton so a
+   round-trip never resurrects a parallel "disabled" instance that would
+   then be mistaken for live state.
+3. **Associative merge.**  Worker snapshots arrive in completion order,
+   which is nondeterministic; :meth:`ScanMetrics.merge` is a pure
+   key-wise sum, so any grouping of merges yields the same totals (the
+   property ``tests/test_observability.py`` pins).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["NULL_METRICS", "NullScanMetrics", "RuleStats", "ScanMetrics"]
+
+
+@dataclass
+class RuleStats:
+    """Accumulated execution statistics for one detection rule.
+
+    ``calls`` counts files the rule was offered; ``prefilter_skips`` and
+    ``prereq_skips`` count the files where the literal prefilter or a
+    file-scope prerequisite spared the regex pass entirely;
+    ``guard_vetoes`` counts individual matches suppressed by guards (the
+    ``# nosec`` waiver included); ``matches`` counts surviving findings.
+    """
+
+    calls: int = 0
+    time_s: float = 0.0
+    matches: int = 0
+    prefilter_skips: int = 0
+    prereq_skips: int = 0
+    guard_vetoes: int = 0
+
+    def merge(self, other: "RuleStats") -> None:
+        """Fold another rule's accumulator into this one (key-wise sum)."""
+        self.calls += other.calls
+        self.time_s += other.time_s
+        self.matches += other.matches
+        self.prefilter_skips += other.prefilter_skips
+        self.prereq_skips += other.prereq_skips
+        self.guard_vetoes += other.guard_vetoes
+
+    def to_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "time_s": self.time_s,
+            "matches": self.matches,
+            "prefilter_skips": self.prefilter_skips,
+            "prereq_skips": self.prereq_skips,
+            "guard_vetoes": self.guard_vetoes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RuleStats":
+        return cls(
+            calls=int(data.get("calls", 0)),
+            time_s=float(data.get("time_s", 0.0)),
+            matches=int(data.get("matches", 0)),
+            prefilter_skips=int(data.get("prefilter_skips", 0)),
+            prereq_skips=int(data.get("prereq_skips", 0)),
+            guard_vetoes=int(data.get("guard_vetoes", 0)),
+        )
+
+
+class ScanMetrics:
+    """Mutable metrics accumulator for one scan (or one slice of one).
+
+    Four tables, all plain data:
+
+    - ``rules``   — rule id → :class:`RuleStats`
+    - ``counters``— event name → int (``detect_calls``, ``cache_hits``,
+      ``patches_applied``, ``files_scanned``, …)
+    - ``timers``  — phase name → accumulated seconds (``detect_time_s``,
+      ``patch_time_s``, ``scan_time_s``, ``file_time_s``, …)
+    - ``files``   — file path → analysis duration in seconds
+
+    Instrumented code never assumes a key exists; every accessor
+    get-or-creates, so a collector that saw no traffic exports empty
+    tables rather than zeros for every conceivable event.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.rules: Dict[str, RuleStats] = {}
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+        self.files: Dict[str, float] = {}
+
+    # -------------------------------------------------------- recording
+
+    def rule_stats(self, rule_id: str) -> RuleStats:
+        """The (created-on-first-use) accumulator for a rule id."""
+        stats = self.rules.get(rule_id)
+        if stats is None:
+            stats = self.rules[rule_id] = RuleStats()
+        return stats
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to a named event counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to a named phase timer."""
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def record_file(self, path: str, seconds: float) -> None:
+        """Record one file's analysis duration (summed on re-analysis)."""
+        self.files[path] = self.files.get(path, 0.0) + seconds
+        self.add_time("file_time_s", seconds)
+
+    # --------------------------------------------------------- merging
+
+    def merge(self, other: Optional["ScanMetrics"]) -> "ScanMetrics":
+        """Fold ``other`` into this collector; returns ``self``.
+
+        A key-wise sum over all four tables: commutative and associative
+        up to float addition, so worker snapshots can be folded in any
+        completion order.  Merging ``None`` or a disabled collector is a
+        no-op, which lets callers merge optional snapshots unconditionally.
+        """
+        if other is None or not other.enabled:
+            return self
+        for rule_id, stats in other.rules.items():
+            self.rule_stats(rule_id).merge(stats)
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, seconds in other.timers.items():
+            # file_time_s is re-derived by the files merge below
+            if name != "file_time_s":
+                self.add_time(name, seconds)
+        for path, seconds in other.files.items():
+            self.record_file(path, seconds)
+        return self
+
+    # -------------------------------------------------------- reading
+
+    def top_rules(self, n: int = 10) -> List[Tuple[str, RuleStats]]:
+        """The ``n`` slowest rules by accumulated wall time."""
+        ranked = sorted(
+            self.rules.items(), key=lambda item: (-item[1].time_s, item[0])
+        )
+        return ranked[: max(0, n)]
+
+    def cache_hit_rate(self) -> Optional[float]:
+        """Hits / lookups, or ``None`` when the cache saw no traffic."""
+        hits = self.counters.get("cache_hits", 0)
+        misses = self.counters.get("cache_misses", 0)
+        total = hits + misses
+        if total == 0:
+            return None
+        return hits / total
+
+    def total_rule_time(self) -> float:
+        """Wall seconds accumulated across every rule."""
+        return sum(stats.time_s for stats in self.rules.values())
+
+    # ---------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "rules": {rule_id: s.to_dict() for rule_id, s in sorted(self.rules.items())},
+            "counters": dict(sorted(self.counters.items())),
+            "timers": dict(sorted(self.timers.items())),
+            "files": dict(sorted(self.files.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanMetrics":
+        metrics = cls()
+        for rule_id, raw in data.get("rules", {}).items():
+            metrics.rules[rule_id] = RuleStats.from_dict(raw)
+        metrics.counters.update(data.get("counters", {}))
+        metrics.timers.update(data.get("timers", {}))
+        metrics.files.update(data.get("files", {}))
+        return metrics
+
+    def snapshot(self) -> "ScanMetrics":
+        """Independent copy safe to mutate or ship elsewhere."""
+        return ScanMetrics().merge(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ScanMetrics rules={len(self.rules)} "
+            f"counters={dict(self.counters)!r}>"
+        )
+
+
+def _resurrect_null() -> "NullScanMetrics":
+    return NULL_METRICS
+
+
+class NullScanMetrics(ScanMetrics):
+    """The disabled collector: records nothing, merges to nothing.
+
+    Instrumented hot paths check ``metrics.enabled`` before doing any
+    timing work, so with this collector installed the executed code is
+    byte-for-byte the uninstrumented path.  The mutators are still
+    overridden to no-ops as a second line of defense: code that forgets
+    the guard degrades to wasted work, never to phantom metrics.
+    """
+
+    enabled = False
+
+    def rule_stats(self, rule_id: str) -> RuleStats:
+        return RuleStats()  # throwaway: never retained
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def add_time(self, name: str, seconds: float) -> None:
+        pass
+
+    def record_file(self, path: str, seconds: float) -> None:
+        pass
+
+    def merge(self, other: Optional[ScanMetrics]) -> "NullScanMetrics":
+        return self
+
+    def __reduce__(self):
+        # Unpickling in a worker process yields that process's singleton,
+        # never a fresh mutable "disabled" collector.
+        return (_resurrect_null, ())
+
+
+#: The shared no-op collector — the default everywhere metrics are accepted.
+NULL_METRICS = NullScanMetrics()
+
+
+def clock() -> float:
+    """The monotonic clock used by all instrumentation sites."""
+    return time.perf_counter()

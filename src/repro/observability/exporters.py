@@ -1,0 +1,165 @@
+"""Exporters for :class:`~repro.observability.collector.ScanMetrics`.
+
+Three output shapes:
+
+- :func:`metrics_to_dict` / :func:`dumps_json` — the plain-JSON snapshot
+  (the format the benchmark artifacts embed);
+- :func:`to_prometheus` — Prometheus text exposition format, one gauge
+  family per counter/timer plus labelled per-rule families, for scrape
+  endpoints and pushgateways;
+- :func:`format_stats` — the human ``--stats`` summary, including the
+  *top rules by time* table and the cache hit rate.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import List
+
+from repro.observability.collector import ScanMetrics
+
+__all__ = ["dumps_json", "format_stats", "metrics_to_dict", "to_prometheus"]
+
+_PROM_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metrics_to_dict(metrics: ScanMetrics) -> dict:
+    """JSON-ready snapshot of a collector (empty tables when disabled)."""
+    return metrics.to_dict()
+
+
+def dumps_json(metrics: ScanMetrics, indent: int = 2) -> str:
+    """The snapshot as a JSON document."""
+    return json.dumps(metrics_to_dict(metrics), indent=indent, sort_keys=True)
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_NAME_OK.sub("_", name)
+
+
+def _prom_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def to_prometheus(metrics: ScanMetrics, prefix: str = "patchitpy") -> str:
+    """The snapshot in Prometheus text exposition format.
+
+    Counters and timers export as ``<prefix>_<name>``; per-rule fields
+    export as labelled families (``<prefix>_rule_time_seconds{rule="..."}``
+    etc.).  Per-file durations are deliberately not exported — file paths
+    make unbounded-cardinality label values, the classic Prometheus
+    anti-pattern; use the JSON snapshot for per-file data.
+    """
+    lines: List[str] = []
+
+    for name, value in sorted(metrics.counters.items()):
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# HELP {metric} Event counter from a patchitpy scan.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+
+    for name, seconds in sorted(metrics.timers.items()):
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# HELP {metric} Accumulated phase wall time.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {seconds:.9f}")
+
+    rule_families = (
+        ("rule_time_seconds", "Wall time accumulated by a rule.", "time_s", "{:.9f}"),
+        ("rule_calls", "Files the rule was offered.", "calls", "{}"),
+        ("rule_matches", "Findings the rule produced.", "matches", "{}"),
+        (
+            "rule_prefilter_skips",
+            "Files skipped by the literal prefilter.",
+            "prefilter_skips",
+            "{}",
+        ),
+        (
+            "rule_prereq_skips",
+            "Files skipped by file-scope prerequisites.",
+            "prereq_skips",
+            "{}",
+        ),
+        ("rule_guard_vetoes", "Matches vetoed by guards.", "guard_vetoes", "{}"),
+    )
+    for family, help_text, attribute, fmt in rule_families:
+        if not metrics.rules:
+            break
+        metric = f"{prefix}_{_prom_name(family)}"
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} counter")
+        for rule_id, stats in sorted(metrics.rules.items()):
+            value = fmt.format(getattr(stats, attribute))
+            lines.append(f'{metric}{{rule="{_prom_label(rule_id)}"}} {value}')
+
+    return "\n".join(lines) + "\n"
+
+
+def format_stats(metrics: ScanMetrics, top: int = 10) -> str:
+    """Multi-line human summary — the CLI ``--stats`` payload."""
+    counters = metrics.counters
+    lines: List[str] = ["scan statistics:"]
+
+    files_scanned = counters.get("files_scanned", 0)
+    if files_scanned or metrics.files:
+        parts = [f"  files analyzed: {files_scanned}"]
+        if counters.get("files_from_cache"):
+            parts.append(f"{counters['files_from_cache']} from cache")
+        if counters.get("file_errors"):
+            parts.append(f"{counters['file_errors']} unreadable")
+        lines.append(", ".join(parts))
+
+    rate = metrics.cache_hit_rate()
+    if rate is not None:
+        hits = counters.get("cache_hits", 0)
+        misses = counters.get("cache_misses", 0)
+        stale = counters.get("cache_stale_hints", 0)
+        lines.append(
+            f"  cache: {hits} hit(s) / {misses} miss(es) "
+            f"(hit rate {rate:.1%}), {stale} stale hint(s)"
+        )
+
+    detect_calls = counters.get("detect_calls", 0)
+    if detect_calls:
+        lines.append(
+            f"  detect: {detect_calls} call(s), "
+            f"{counters.get('findings', 0)} finding(s), "
+            f"{metrics.timers.get('detect_time_s', 0.0):.3f}s"
+        )
+    patch_passes = counters.get("patch_passes", 0)
+    if patch_passes or counters.get("patch_calls"):
+        lines.append(
+            f"  patch: {counters.get('patch_calls', 0)} call(s), "
+            f"{patch_passes} pass(es), "
+            f"{counters.get('patches_applied', 0)} applied, "
+            f"{counters.get('patches_skipped', 0)} skipped, "
+            f"{metrics.timers.get('patch_time_s', 0.0):.3f}s"
+        )
+
+    if metrics.rules:
+        total_time = metrics.total_rule_time()
+        total_skips = sum(s.prefilter_skips for s in metrics.rules.values())
+        total_prereq = sum(s.prereq_skips for s in metrics.rules.values())
+        total_vetoes = sum(s.guard_vetoes for s in metrics.rules.values())
+        lines.append(
+            f"  rules: {len(metrics.rules)} executed, {total_time:.3f}s total, "
+            f"{total_skips} prefilter skip(s), {total_prereq} prereq skip(s), "
+            f"{total_vetoes} guard veto(es)"
+        )
+        lines.append(f"  top {min(top, len(metrics.rules))} rules by time:")
+        header = (
+            f"    {'rule':<28} {'time':>9} {'calls':>7} {'matches':>8} "
+            f"{'pf-skip':>8} {'vetoes':>7}"
+        )
+        lines.append(header)
+        for rule_id, stats in metrics.top_rules(top):
+            lines.append(
+                f"    {rule_id:<28} {stats.time_s:>8.4f}s {stats.calls:>7} "
+                f"{stats.matches:>8} {stats.prefilter_skips:>8} "
+                f"{stats.guard_vetoes:>7}"
+            )
+
+    if len(lines) == 1:
+        lines.append("  (no metrics recorded)")
+    return "\n".join(lines)

@@ -6,7 +6,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import PatchitPy
+from repro import PatchitPy, ProjectScanner, default_ruleset
 from repro.core.cache import (
     CACHE_DIR_NAME,
     CACHE_FILE_NAME,
@@ -14,8 +14,6 @@ from repro.core.cache import (
     ScanCache,
     hash_source,
 )
-from repro.core.project import ProjectScanner
-from repro.core.rules import default_ruleset
 from repro.types import Confidence, Finding, Severity, Span
 
 VULN = "import pickle\n\ndata = pickle.loads(blob)\n"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import PatchitPy, default_ruleset
+from repro import PatchitPy, default_ruleset
 from repro.core.patcher import apply_patches
 from repro.core.rules import RuleSet
 from repro.types import Patch, Span
@@ -163,8 +163,16 @@ class TestAnalyze:
         assert report.patched_source is not None
 
     def test_report_without_patching(self, engine):
-        report = engine.analyze(SQLI, apply_patches_flag=False)
+        report = engine.analyze(SQLI, patch=False)
         assert report.findings and not report.patches
+
+    def test_legacy_flag_warns_and_still_works(self, engine):
+        with pytest.warns(DeprecationWarning, match="apply_patches_flag"):
+            report = engine.analyze(SQLI, apply_patches_flag=False)
+        assert report.findings and not report.patches
+        with pytest.warns(DeprecationWarning):
+            patched = engine.analyze(SQLI, apply_patches_flag=True)
+        assert patched.patches
 
 
 class TestApplyPatches:

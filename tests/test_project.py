@@ -4,7 +4,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.project import ProjectScanner, scan_paths
+from repro import ProjectScanner, scan_paths
 
 VULN_A = "import pickle\n\ndata = pickle.loads(blob)\n"
 VULN_B = 'import hashlib\n\nh = hashlib.md5(secret_value)\n'
@@ -123,7 +123,7 @@ class TestParallelScan:
         ] == [[fi.to_dict() for fi in f.findings] for f in procs.files]
 
     def test_process_mode_with_unpicklable_engine_falls_back(self, tree):
-        from repro.core import PatchitPy
+        from repro import PatchitPy
 
         engine = PatchitPy()
         engine.unpicklable = lambda: None  # closures do not pickle
