@@ -12,7 +12,13 @@ repository (unique per-file contents, mixed vulnerable/clean):
   enabled :class:`~repro.observability.ScanMetrics` collector, so the
   observability overhead is itself benchmarked (the default disabled
   collector runs the pre-observability code path, so cold-serial *is*
-  the disabled-collector number).
+  the disabled-collector number);
+- **traced serial** — the cold-serial scan with an enabled
+  :class:`~repro.observability.TraceRecorder`, which additionally emits
+  structured span events and attaches per-finding provenance; its
+  overhead ratio and event count land in the BENCH JSON (the disabled
+  recorder runs the pre-tracing code path, so cold-serial is also the
+  disabled-trace number).
 
 The full run writes two artifacts: the human-readable table
 (``project_scan.txt``) and a BENCH JSON (``project_scan.json``) that
@@ -33,7 +39,7 @@ import time
 from pathlib import Path
 from typing import Dict
 
-from repro import PatchitPy, ProjectScanner, ScanMetrics
+from repro import PatchitPy, ProjectScanner, ScanMetrics, TraceRecorder
 from repro.observability import metrics_to_dict
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
@@ -140,6 +146,15 @@ def run_project_scan_benchmark(
     assert instrumented.total_findings == serial.total_findings
     assert collector.counters["detect_calls"] == files
 
+    recorder = TraceRecorder()
+    traced_scanner = ProjectScanner(trace=recorder)
+    t0 = time.perf_counter()
+    traced = traced_scanner.scan(corpus, jobs=1)
+    traced_serial = time.perf_counter() - t0
+
+    assert traced.total_findings == serial.total_findings
+    assert recorder.events, "traced scan emitted no events"
+
     return {
         "files": files,
         "jobs": jobs,
@@ -150,9 +165,12 @@ def run_project_scan_benchmark(
         "cold_cached_s": cold_cache_time,
         "warm_s": warm_time,
         "instrumented_serial_s": instrumented_serial,
+        "traced_serial_s": traced_serial,
+        "trace_events": len(recorder.events),
         "parallel_speedup": cold_serial / cold_parallel,
         "warm_speedup": cold_serial / warm_time,
         "stats_overhead": instrumented_serial / cold_serial,
+        "trace_overhead": traced_serial / cold_serial,
         "cold_detect_calls": cold_detect_calls,
         "warm_detect_calls": counting.detect_calls,
         "warm_cache_hits": warm.cache_hits,
@@ -181,7 +199,10 @@ def format_report(results: Dict[str, float]) -> str:
         f"(x{results['warm_speedup']:.2f}, "
         f"{results['warm_detect_calls']:.0f} detect calls)\n"
         f"  instrumented serial: {results['instrumented_serial_s']:.3f}s "
-        f"(x{results['stats_overhead']:.2f} of disabled-collector serial)"
+        f"(x{results['stats_overhead']:.2f} of disabled-collector serial)\n"
+        f"  traced serial      : {results['traced_serial_s']:.3f}s "
+        f"(x{results['trace_overhead']:.2f} of disabled-trace serial, "
+        f"{results['trace_events']:.0f} events)"
     )
 
 
@@ -200,6 +221,7 @@ def test_project_scan_benchmark(tmp_path):
     assert results["warm_speedup"] > 2.0
     # the snapshot embedded in the BENCH JSON must carry per-rule data
     assert results["metrics"]["rules"], "instrumented scan recorded no rules"
+    assert results["trace_events"] > results["files"]
     # Process-pool wall-clock scaling only manifests with real cores; on
     # single-CPU CI runners the parallel number is reported, not asserted.
     if results["cpus"] >= 4:

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Lint: the disabled scan path must not touch the tracing machinery.
+
+The observability contract (PR 2, extended by the tracing PR) says a scan
+with tracing disabled executes exactly the pre-tracing code.  Two
+grep-level properties keep that honest, and this script asserts both:
+
+1. ``repro/core/matching.py`` has no *module-level* import of
+   ``repro.observability.trace`` or ``repro.observability.provenance`` —
+   the traced path imports them function-locally, so the disabled path
+   never pays the import (and never can, even by accident, reference a
+   tracing symbol at module scope).
+2. The body of ``_match_rule_fast`` — the hot loop every disabled scan
+   runs per rule per file — contains no ``trace``, ``provenance``,
+   ``span_id`` or ``metrics`` token: zero instrumentation, zero
+   bookkeeping.
+
+Exit code 0 when clean, 1 with a report when violated.  Run from the
+repository root (CI does); takes an optional path to the repo root.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+FORBIDDEN_MODULE_IMPORTS = (
+    "repro.observability.trace",
+    "repro.observability.provenance",
+)
+
+HOT_LOOP_TOKENS = ("trace", "provenance", "span_id", "metrics")
+
+
+def _function_body(source: str, name: str) -> str:
+    """The *code* of top-level function ``name`` — docstring and comments
+    stripped, so prose mentioning a forbidden token does not trip the lint."""
+    lines = source.splitlines()
+    body: list[str] = []
+    inside = False
+    for line in lines:
+        if line.startswith(f"def {name}("):
+            inside = True
+            continue
+        if inside:
+            if line and not line.startswith((" ", "\t", ")")):
+                break
+            body.append(line.split("#", 1)[0])
+    if not body:
+        raise SystemExit(f"lint error: function {name} not found in matching.py")
+    code = "\n".join(body)
+    # drop the docstring (first triple-quoted literal, if any)
+    return re.sub(r'^\s*(?:"""|\'\'\')(?s:.*?)(?:"""|\'\'\')', "", code, count=1)
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    matching = root / "src" / "repro" / "core" / "matching.py"
+    source = matching.read_text()
+    problems: list[str] = []
+
+    # 1. No module-level tracing imports.  Function-local imports are
+    # indented; module-level ones start at column zero.
+    for number, line in enumerate(source.splitlines(), start=1):
+        if not line.startswith(("import ", "from ")):
+            continue
+        for module in FORBIDDEN_MODULE_IMPORTS:
+            if module in line:
+                problems.append(
+                    f"{matching}:{number}: module-level import of {module} "
+                    "(must be local to the traced path)"
+                )
+
+    # 2. The hot loop stays uninstrumented.
+    hot = _function_body(source, "_match_rule_fast")
+    for token in HOT_LOOP_TOKENS:
+        if re.search(rf"\b{token}\b", hot):
+            problems.append(
+                f"{matching}: _match_rule_fast mentions '{token}' — the "
+                "disabled hot loop must carry no instrumentation"
+            )
+
+    if problems:
+        print("hot-path isolation violated:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("hot-path isolation ok: matching.py imports no tracing modules at "
+          "module level; _match_rule_fast is instrumentation-free")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

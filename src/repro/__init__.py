@@ -34,7 +34,17 @@ from repro.core.cache import ScanCache
 from repro.core.project import FileResult, ProjectReport, ProjectScanner, scan_paths
 from repro.ide import LanguageServer
 from repro.core.rules import DetectionRule, PatchTemplate, RuleSet, extended_ruleset
-from repro.observability import NULL_METRICS, RuleStats, ScanMetrics
+from repro.observability import (
+    DEFAULT_SLOW_RULE_BUDGET_MS,
+    NULL_METRICS,
+    NULL_TRACE,
+    Provenance,
+    RuleHealth,
+    RuleStats,
+    ScanMetrics,
+    TraceRecorder,
+    render_explain,
+)
 from repro.types import (
     AnalysisReport,
     CodeSample,
@@ -48,18 +58,20 @@ from repro.types import (
     Span,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalysisReport",
     "CodeSample",
     "Confidence",
+    "DEFAULT_SLOW_RULE_BUDGET_MS",
     "DetectionRule",
     "FileResult",
     "Finding",
     "GeneratorName",
     "LanguageServer",
     "NULL_METRICS",
+    "NULL_TRACE",
     "Patch",
     "PatchResult",
     "ProjectReport",
@@ -68,14 +80,18 @@ __all__ = [
     "PatchitPy",
     "Prompt",
     "PromptSource",
+    "Provenance",
+    "RuleHealth",
     "RuleSet",
     "RuleStats",
     "ScanCache",
     "ScanMetrics",
     "Severity",
     "Span",
+    "TraceRecorder",
     "__version__",
     "default_ruleset",
     "extended_ruleset",
+    "render_explain",
     "scan_paths",
 ]

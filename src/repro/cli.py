@@ -20,7 +20,14 @@ from typing import List, Optional
 
 from repro import PatchitPy, ScanMetrics, extended_ruleset
 from repro.core.report import format_finding
-from repro.observability import dumps_json, format_stats, to_prometheus
+from repro.observability import (
+    DEFAULT_SLOW_RULE_BUDGET_MS,
+    TraceRecorder,
+    dumps_json,
+    format_stats,
+    render_explain,
+    to_prometheus,
+)
 
 EXIT_CODE_CONTRACT = (
     "exit codes: 0 = no findings, 1 = findings reported, 2 = error "
@@ -107,6 +114,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="with --stats, size of the top-rules-by-time section (default 10)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a structured JSONL scan trace to FILE (one span event "
+        "per line: scan, file, rule, guard-decision, patch-render, "
+        "cache-lookup)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print each finding's provenance: prefilter, prerequisite and "
+        "guard verdicts plus the rendered patch",
+    )
+    parser.add_argument(
+        "--slow-rule-budget-ms",
+        type=float,
+        default=DEFAULT_SLOW_RULE_BUDGET_MS,
+        metavar="MS",
+        help="directory mode with --stats/--metrics: flag rules spending "
+        "more than MS milliseconds on a single file in the rule-health "
+        f"section (default {DEFAULT_SLOW_RULE_BUDGET_MS:g}; 0 disables)",
+    )
     return parser
 
 
@@ -152,6 +181,14 @@ def _emit_metrics(args: argparse.Namespace, metrics: Optional[ScanMetrics]) -> N
         print(f"metrics written to {target}")
 
 
+def _emit_trace(args: argparse.Namespace, tracer: Optional[TraceRecorder]) -> None:
+    """Write the --trace JSONL file when tracing was requested."""
+    if tracer is None or not args.trace:
+        return
+    target = tracer.write_jsonl(Path(args.trace))
+    print(f"trace written to {target} ({len(tracer.events)} event(s))")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -169,31 +206,46 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     analyzed = _select_lines(source, args.lines) if args.lines else source
     collector = ScanMetrics() if _wants_metrics(args) else None
+    tracer = TraceRecorder() if args.trace else None
     engine = PatchitPy(
         rules=extended_ruleset() if args.extended else None, metrics=collector
     )
-    findings = engine.detect(analyzed)
+    if tracer is not None:
+        findings = engine.detect(analyzed, trace=tracer)
+    else:
+        findings = engine.detect(analyzed)
+    if args.explain or args.format != "text":
+        # Findings from the untraced fast path carry no provenance;
+        # reconstruct it so --explain and the JSON/SARIF exports are
+        # complete either way.
+        findings = engine._ensure_provenance(analyzed, findings)
 
     if args.format != "text":
         from repro.core.sarif import dumps_plain, dumps_sarif
         from repro.types import AnalysisReport
 
         report = AnalysisReport(tool="patchitpy", source=analyzed, findings=findings)
-        renderer = dumps_sarif if args.format == "sarif" else dumps_plain
-        print(renderer(report, artifact_uri=str(args.path)))
+        if args.format == "sarif":
+            print(dumps_sarif(report, artifact_uri=str(args.path), metrics=collector))
+        else:
+            print(dumps_plain(report, artifact_uri=str(args.path)))
         _emit_metrics(args, collector)
+        _emit_trace(args, tracer)
         return 1 if findings else 0
 
     if not findings:
         print("no vulnerable patterns detected")
         _emit_metrics(args, collector)
+        _emit_trace(args, tracer)
         return 0
 
     for finding in findings:
         print(format_finding(finding, analyzed))
+        if args.explain:
+            print(render_explain(finding))
 
     if args.patch:
-        result = engine.patch(analyzed, findings)
+        result = engine.patch(analyzed, findings, trace=tracer)
         if args.in_place:
             args.path.write_text(result.patched)
             print(f"patched {len(result.applied)} finding(s) in {args.path}")
@@ -206,6 +258,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
     _emit_metrics(args, collector)
+    _emit_trace(args, tracer)
     return 1
 
 
@@ -224,8 +277,12 @@ def _scan_directory(args: argparse.Namespace) -> int:
     use_cache = not args.no_cache
     jobs = max(1, args.jobs)
     collector = ScanMetrics() if _wants_metrics(args) else None
+    tracer = TraceRecorder() if args.trace else None
+    budget = args.slow_rule_budget_ms if args.slow_rule_budget_ms > 0 else None
     engine = PatchitPy(rules=extended_ruleset() if args.extended else None)
-    scanner = ProjectScanner(engine=engine, metrics=collector)
+    scanner = ProjectScanner(
+        engine=engine, metrics=collector, trace=tracer, slow_rule_budget_ms=budget
+    )
     if args.patch and args.in_place:
         report = scanner.patch_tree(args.path, use_cache=use_cache)
         print(report.summary())
@@ -248,12 +305,17 @@ def _scan_directory(args: argparse.Namespace) -> int:
                 continue
             for finding in result.findings:
                 print("  " + format_finding(finding, source))
+                if args.explain:
+                    # cache hits persisted their provenance; anything
+                    # without one is reconstructed from the source
+                    print(engine.explain(source, finding))
     if args.html:
         from repro.core.htmlreport import write_html_report
 
         write_html_report(report, args.html)
         print(f"HTML report written to {args.html}")
     _emit_metrics(args, report.metrics if report.metrics is not None else collector)
+    _emit_trace(args, tracer)
     return 1 if report.vulnerable_files else 0
 
 

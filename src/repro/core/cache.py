@@ -27,6 +27,12 @@ key remains the content digest.
 The cache degrades gracefully: corrupt or unreadable stores load as
 empty, and save failures (read-only trees) are swallowed — a scan never
 fails because of its cache.
+
+Findings round-trip through :meth:`~repro.types.Finding.to_dict`, which
+includes any attached provenance record — so a traced scan's audit
+trails survive into warm scans, and ``--explain`` on a fully-cached scan
+still names every guard verdict without re-matching.  Findings stored
+without provenance (untraced scans) keep the pre-1.2 entry shape.
 """
 
 from __future__ import annotations

@@ -15,7 +15,14 @@ from typing import List, Optional, Sequence
 from repro.core.matching import run_rules
 from repro.core.patcher import apply_patches
 from repro.core.rules import RuleSet, default_ruleset
+from repro.exceptions import ReproError
 from repro.observability.collector import NULL_METRICS, ScanMetrics, clock
+from repro.observability.provenance import (
+    PatchProvenance,
+    provenance_from_match,
+    render_explain,
+)
+from repro.observability.trace import NULL_TRACE, TraceRecorder
 from repro.types import AnalysisReport, Finding, Patch, Span
 
 
@@ -57,6 +64,13 @@ class PatchitPy:
         Per-call ``metrics=`` arguments on :meth:`detect`/:meth:`patch`/
         :meth:`analyze` override it (the project scanner uses that to give
         each file its own snapshot without mutating shared state).
+    trace:
+        A :class:`~repro.observability.TraceRecorder` that detect/patch
+        calls emit structured span events into.  Defaults to the shared
+        no-op recorder (:data:`~repro.observability.NULL_TRACE`); with an
+        enabled recorder every finding additionally carries a
+        :class:`~repro.observability.Provenance` record.  Per-call
+        ``trace=`` arguments override it, mirroring ``metrics``.
     """
 
     def __init__(
@@ -65,6 +79,7 @@ class PatchitPy:
         max_passes: int = 3,
         prune_imports: bool = True,
         metrics: Optional[ScanMetrics] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         if max_passes < 1:
             raise ValueError("max_passes must be >= 1")
@@ -72,17 +87,26 @@ class PatchitPy:
         self.max_passes = max_passes
         self.prune_imports = prune_imports
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.trace = trace if trace is not None else NULL_TRACE
 
     def _metrics(self, override: Optional[ScanMetrics]) -> ScanMetrics:
         return override if override is not None else self.metrics
 
-    def _detect_with(self, source: str, m: ScanMetrics) -> List[Finding]:
-        """Internal detect that omits ``metrics`` when disabled.
+    def _trace(self, override: Optional[TraceRecorder]) -> TraceRecorder:
+        return override if override is not None else self.trace
+
+    def _detect_with(
+        self, source: str, m: ScanMetrics, t: TraceRecorder = NULL_TRACE
+    ) -> List[Finding]:
+        """Internal detect that omits disabled observability arguments.
 
         Subclasses that predate observability override ``detect(source)``
-        with no metrics parameter; never handing them the extra argument
-        on the disabled path keeps those engines working unchanged.
+        with no metrics/trace parameters; never handing them the extra
+        arguments on the disabled path keeps those engines working
+        unchanged.
         """
+        if t.enabled:
+            return self.detect(source, metrics=m if m.enabled else None, trace=t)
         if m.enabled:
             return self.detect(source, m)
         return self.detect(source)
@@ -90,17 +114,22 @@ class PatchitPy:
     # ------------------------------------------------------------- detect
 
     def detect(
-        self, source: str, metrics: Optional[ScanMetrics] = None
+        self,
+        source: str,
+        metrics: Optional[ScanMetrics] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> List[Finding]:
         """Phase 1: all findings for ``source``."""
         m = self._metrics(metrics)
-        if not m.enabled:
+        t = self._trace(trace)
+        if not m.enabled and not t.enabled:
             return run_rules(self.rules, source)
         start = clock()
-        findings = run_rules(self.rules, source, m)
-        m.count("detect_calls")
-        m.count("findings", len(findings))
-        m.add_time("detect_time_s", clock() - start)
+        findings = run_rules(self.rules, source, m if m.enabled else None, t)
+        if m.enabled:
+            m.count("detect_calls")
+            m.count("findings", len(findings))
+            m.add_time("detect_time_s", clock() - start)
         return findings
 
     def is_vulnerable(self, source: str) -> bool:
@@ -109,8 +138,20 @@ class PatchitPy:
 
     # -------------------------------------------------------------- patch
 
-    def render_patches(self, source: str, findings: Sequence[Finding]) -> List[Patch]:
-        """Render the safe alternative for each patchable finding."""
+    def render_patches(
+        self,
+        source: str,
+        findings: Sequence[Finding],
+        trace: Optional[TraceRecorder] = None,
+    ) -> List[Patch]:
+        """Render the safe alternative for each patchable finding.
+
+        Findings carrying a provenance record get its ``patch`` section
+        updated in place with the actually-rendered replacement (which may
+        differ from the detection-time preview when the span re-anchors);
+        an enabled ``trace`` emits one ``patch-render`` event per patch.
+        """
+        t = self._trace(trace)
         patches: List[Patch] = []
         for finding in findings:
             rule = self.rules.get(finding.rule_id)
@@ -130,6 +171,21 @@ class PatchitPy:
                 # replacement was actually rendered from.
                 span = Span(match.start(), match.end())
             replacement, imports = rule.patch.render(match)
+            if finding.provenance is not None:
+                finding.provenance.patch = PatchProvenance(
+                    description=rule.patch.description,
+                    replacement=replacement,
+                    imports=tuple(imports),
+                )
+            if t.enabled:
+                t.event(
+                    "patch-render",
+                    rule.rule_id,
+                    start=span.start,
+                    end=span.end,
+                    replacement=replacement,
+                    imports=list(imports),
+                )
             patches.append(
                 Patch(
                     rule_id=rule.rule_id,
@@ -147,6 +203,7 @@ class PatchitPy:
         source: str,
         findings: Optional[Sequence[Finding]] = None,
         metrics: Optional[ScanMetrics] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> PatchResult:
         """Phase 2: substitute safe alternatives for detected patterns.
 
@@ -155,16 +212,17 @@ class PatchitPy:
         retried on the next pass against the updated text.
         """
         m = self._metrics(metrics)
+        t = self._trace(trace)
         start = clock() if m.enabled else 0.0
         current = source
         all_applied: List[Patch] = []
         last_skipped: List[Patch] = []
         passes = 0
         pass_findings = (
-            list(findings) if findings is not None else self._detect_with(current, m)
+            list(findings) if findings is not None else self._detect_with(current, m, t)
         )
         for _ in range(self.max_passes):
-            patches = self.render_patches(current, pass_findings)
+            patches = self.render_patches(current, pass_findings, t)
             if not patches:
                 break
             passes += 1
@@ -174,14 +232,14 @@ class PatchitPy:
             if not outcome.changed:
                 break
             current = outcome.source
-            pass_findings = self._detect_with(current, m)
+            pass_findings = self._detect_with(current, m, t)
             if not pass_findings:
                 break
         if all_applied and self.prune_imports:
             from repro.core.imports import prune_unused_imports
 
             current = prune_unused_imports(current)
-        final_findings = self._detect_with(current, m)
+        final_findings = self._detect_with(current, m, t)
         unpatchable = [f for f in final_findings if not f.fixable]
         if m.enabled:
             m.count("patch_calls")
@@ -200,18 +258,61 @@ class PatchitPy:
 
     # ------------------------------------------------------------ analyze
 
+    def _ensure_provenance(self, source: str, findings: List[Finding]) -> List[Finding]:
+        """Attach provenance records to findings that lack one.
+
+        Reconstructs the audit trail post hoc by re-matching each
+        finding's rule at its recorded span — O(findings), not O(rules),
+        so :meth:`analyze` affords it without slowing the detect hot
+        path.  Findings whose rule is unknown or no longer matches (e.g.
+        hand-built ones) pass through untouched.
+        """
+        enriched: List[Finding] = []
+        for finding in findings:
+            if finding.provenance is not None:
+                enriched.append(finding)
+                continue
+            try:
+                rule = self.rules.get(finding.rule_id)
+            except ReproError:
+                enriched.append(finding)
+                continue
+            match = rule.pattern.match(source, finding.span.start)
+            if match is None or match.end() != finding.span.end:
+                match = rule.pattern.search(source, finding.span.start)
+            if match is None:
+                enriched.append(finding)
+                continue
+            enriched.append(
+                finding.with_provenance(provenance_from_match(rule, source, match))
+            )
+        return enriched
+
+    def explain(self, source: str, finding: Finding) -> str:
+        """Human-readable "why it fired" block for one finding.
+
+        Findings without an attached provenance record (cache hits,
+        untraced scans) get one reconstructed from ``source`` first.
+        """
+        if finding.provenance is None:
+            finding = self._ensure_provenance(source, [finding])[0]
+        return render_explain(finding)
+
     def analyze(
         self,
         source: str,
         *,
         patch: bool = True,
         metrics: Optional[ScanMetrics] = None,
+        trace: Optional[TraceRecorder] = None,
         apply_patches_flag: Optional[bool] = None,
     ) -> AnalysisReport:
         """Full detect(+patch) pipeline returning a consolidated report.
 
-        ``patch=False`` stops after detection.  The pre-1.1 spelling
-        ``apply_patches_flag=`` still works but emits a
+        ``patch=False`` stops after detection.  Every finding in the
+        report carries a provenance record — recorded inline when tracing
+        is enabled, reconstructed post hoc otherwise.  The pre-1.1
+        spelling ``apply_patches_flag=`` still works but emits a
         ``DeprecationWarning``; it will be removed in 2.0.
         """
         if apply_patches_flag is not None:
@@ -223,10 +324,11 @@ class PatchitPy:
             )
             patch = apply_patches_flag
         m = self._metrics(metrics)
-        findings = self._detect_with(source, m)
+        t = self._trace(trace)
+        findings = self._ensure_provenance(source, self._detect_with(source, m, t))
         report = AnalysisReport(tool="patchitpy", source=source, findings=findings)
         if patch and findings:
-            result = self.patch(source, findings, m)
+            result = self.patch(source, findings, m, t)
             report.patches = result.applied
             report.patched_source = result.patched
         return report

@@ -34,7 +34,48 @@ code { background: #f4f4fa; padding: 0.1rem 0.3rem; border-radius: 4px; }
 .badge.low { background: #8a8aa0; } .badge.medium { background: #c78a00; }
 .badge.high { background: #c74e00; } .badge.critical { background: #b00020; }
 .clean { color: #2e7d32; }
+details.prov { margin: 0; } details.prov summary { cursor: pointer;
+         color: #5a5a72; font-size: 0.8rem; }
+details.prov ul { margin: 0.3rem 0 0.3rem 1rem; padding: 0;
+         list-style: none; font-size: 0.8rem; }
+.veto { color: #b00020; font-weight: 600; }
+.pass { color: #2e7d32; }
 """
+
+
+def _provenance_details(provenance) -> str:
+    """The collapsible "why it fired" block for one finding row."""
+    items: List[str] = []
+    if provenance.prefilter is None:
+        items.append("<li>prefilter: none</li>")
+    else:
+        items.append(
+            f"<li>prefilter: <code>{html.escape(provenance.prefilter)}</code></li>"
+        )
+    if provenance.prerequisites:
+        verdict = "satisfied" if provenance.prerequisites_passed else "unsatisfied"
+        items.append(
+            f"<li>prerequisites: {provenance.prerequisites} ({verdict})</li>"
+        )
+    for decision in provenance.guards:
+        css = "veto" if decision.vetoed else "pass"
+        verdict = "veto" if decision.vetoed else "pass"
+        items.append(
+            f'<li><span class="{css}">[{verdict}]</span> ({html.escape(decision.scope)}) '
+            f"{html.escape(decision.description)}</li>"
+        )
+    if provenance.patch is not None:
+        items.append(
+            f"<li>patch: <code>{html.escape(provenance.patch.replacement[:80])}</code></li>"
+        )
+        if provenance.patch.imports:
+            imports = ", ".join(provenance.patch.imports)
+            items.append(f"<li>imports: <code>{html.escape(imports)}</code></li>")
+    return (
+        '<details class="prov"><summary>provenance</summary><ul>'
+        + "".join(items)
+        + "</ul></details>"
+    )
 
 
 def _severity_badge(severity: Severity) -> str:
@@ -93,13 +134,36 @@ def render_html_report(report: ProjectReport, title: str = "PatchitPy scan repor
             "<th>message</th><th>snippet</th></tr>"
         )
         for finding in result.findings:
+            message = html.escape(finding.message)
+            provenance = getattr(finding, "provenance", None)
+            if provenance is not None:
+                message += _provenance_details(provenance)
             parts.append(
                 "<tr>"
                 f"<td><code>{html.escape(finding.rule_id)}</code></td>"
                 f"<td>{_cwe_link(finding.cwe_id)}</td>"
                 f"<td>{_severity_badge(finding.severity)}</td>"
-                f"<td>{html.escape(finding.message)}</td>"
+                f"<td>{message}</td>"
                 f"<td><code>{html.escape(finding.snippet[:80])}</code></td>"
+                "</tr>"
+            )
+        parts.append("</table>")
+
+    health = getattr(report.metrics, "rule_health", None) if report.metrics else None
+    if health:
+        parts.append(
+            "<h2>Rule health</h2>"
+            "<table><tr><th>rule</th><th>budget breaches</th>"
+            "<th>worst file</th><th>worst ms</th></tr>"
+        )
+        for rule_id in sorted(health):
+            entry = health[rule_id]
+            parts.append(
+                "<tr>"
+                f"<td><code>{html.escape(rule_id)}</code></td>"
+                f"<td>{entry.breaches}</td>"
+                f"<td><code>{html.escape(entry.worst_file)}</code></td>"
+                f"<td>{entry.worst_ms:.1f}</td>"
                 "</tr>"
             )
         parts.append("</table>")

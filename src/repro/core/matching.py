@@ -93,15 +93,24 @@ def run_rules(
     rules: Iterable[DetectionRule],
     source: str,
     metrics: Optional[ScanMetrics] = None,
+    trace: Optional["object"] = None,
 ) -> List[Finding]:
     """Run every rule and return findings ordered by position then rule id.
 
     When two rules of the *same CWE* match overlapping spans, only the
     earlier (more specific, per catalog order) finding is kept, so a single
     vulnerable line does not inflate the report.
+
+    With an enabled ``trace`` recorder every rule execution, guard
+    verdict and match is additionally emitted as a structured span event
+    and each surviving finding carries a full provenance record; the
+    tracing machinery is imported only on that path, so the disabled scan
+    runs exactly the pre-tracing code.
     """
     findings: List[Finding] = []
-    if metrics is None or not metrics.enabled:
+    if trace is not None and getattr(trace, "enabled", False):
+        findings = _run_rules_traced(rules, source, metrics, trace)
+    elif metrics is None or not metrics.enabled:
         for rule in rules:
             findings.extend(_match_rule_fast(rule, source))
     else:
@@ -111,15 +120,102 @@ def run_rules(
     return _dedupe_same_cwe_overlaps(findings)
 
 
+def _run_rules_traced(
+    rules: Iterable[DetectionRule],
+    source: str,
+    metrics: Optional[ScanMetrics],
+    trace,
+) -> List[Finding]:
+    """The traced matching path: events + provenance, same findings.
+
+    Behavior-identical to the fast path (guard vetoes, prefilter and
+    prerequisite skips produce the same finding set) but every decision
+    is recorded: a ``rule`` span per rule with its outcome, a
+    ``guard-decision`` event per guard per candidate match (all guards
+    are evaluated rather than short-circuiting, because the audit trail
+    names each verdict), and a :class:`Provenance` record attached to
+    every surviving finding.  Feeds ``metrics`` too when enabled, so a
+    traced scan still produces the aggregate counters.
+    """
+    # Local import by design: the disabled hot path must not touch the
+    # tracing modules (scripts/check_hot_path_isolation.py enforces it).
+    from repro.observability.provenance import guard_decisions, provenance_from_match
+
+    findings: List[Finding] = []
+    record_metrics = metrics is not None and metrics.enabled
+    for rule in rules:
+        start = clock()
+        stats = metrics.rule_stats(rule.rule_id) if record_metrics else None
+        if stats is not None:
+            stats.calls += 1
+        sid = trace.begin("rule", rule.rule_id)
+        outcome = "no-match"
+        rule_findings: List[Finding] = []
+        vetoes = 0
+        literal = _prefilter_for(rule)
+        if literal is not None and literal not in source:
+            outcome = "prefilter-skip"
+            if stats is not None:
+                stats.prefilter_skips += 1
+        elif not rule.applies_to(source):
+            outcome = "prereq-skip"
+            if stats is not None:
+                stats.prereq_skips += 1
+        else:
+            for match in rule.pattern.finditer(source):
+                decisions = guard_decisions(rule, source, match)
+                for decision in decisions:
+                    trace.event(
+                        "guard-decision",
+                        decision.description,
+                        rule=rule.rule_id,
+                        scope=decision.scope,
+                        vetoed=decision.vetoed,
+                        start=match.start(),
+                        end=match.end(),
+                    )
+                if any(decision.vetoed for decision in decisions):
+                    vetoes += 1
+                    if stats is not None:
+                        stats.guard_vetoes += 1
+                    continue
+                provenance = provenance_from_match(rule, source, match, decisions)
+                rule_findings.append(_finding_for(rule, match).with_provenance(provenance))
+            if rule_findings:
+                outcome = "matched"
+            if stats is not None:
+                stats.matches += len(rule_findings)
+        trace.end(sid, outcome=outcome, matches=len(rule_findings), vetoes=vetoes)
+        if stats is not None:
+            stats.time_s += clock() - start
+        findings.extend(rule_findings)
+    return findings
+
+
 def _dedupe_same_cwe_overlaps(findings: List[Finding]) -> List[Finding]:
+    """Drop same-CWE findings overlapping an already-kept span.
+
+    Findings arrive sorted by ``(start, end, rule_id)``, so per CWE the
+    kept spans are pairwise disjoint with non-decreasing starts — and a
+    candidate can therefore only overlap the *most recent* active spans.
+    Tracking a per-CWE active list (pruned as starts advance) makes the
+    pass linear instead of the old all-kept-findings scan, which went
+    quadratic on pattern-dense files.
+    """
     kept: List[Finding] = []
+    active: dict = {}
     for finding in findings:
-        duplicate = any(
-            other.cwe_id == finding.cwe_id and other.span.overlaps(finding.span)
-            for other in kept
-        )
-        if not duplicate:
-            kept.append(finding)
+        spans = active.get(finding.cwe_id)
+        if spans is None:
+            spans = active[finding.cwe_id] = []
+        if spans:
+            # Spans ending at or before this start can never overlap this
+            # candidate nor any later one (starts are non-decreasing).
+            spans[:] = [s for s in spans if s.end > finding.span.start]
+        if any(s.overlaps(finding.span) for s in spans):
+            continue
+        spans.append(finding.span)
+        kept.append(finding)
     return kept
 
 

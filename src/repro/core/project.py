@@ -32,7 +32,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.cache import CACHE_DIR_NAME, ScanCache
 from repro.core.engine import PatchitPy
-from repro.observability.collector import NULL_METRICS, ScanMetrics, clock
+from repro.observability.collector import (
+    DEFAULT_SLOW_RULE_BUDGET_MS,
+    NULL_METRICS,
+    ScanMetrics,
+    clock,
+)
+from repro.observability.trace import NULL_TRACE, TraceRecorder
 from repro.types import Finding
 
 DEFAULT_EXCLUDED_DIRS = frozenset(
@@ -139,14 +145,16 @@ def _worker_analyze(path: Path) -> "_Analysis":
     return _WORKER_SCANNER._analyze_one(path)
 
 
-# (result, content digest, (mtime_ns, size), per-file metrics snapshot);
-# digest/stat are None when the file could not be read, the snapshot is
-# None when observability is disabled.
+# (result, content digest, (mtime_ns, size), per-file metrics snapshot,
+# per-file trace buffer); digest/stat are None when the file could not be
+# read, the snapshot/buffer are None when the matching collector/recorder
+# is disabled.
 _Analysis = Tuple[
     FileResult,
     Optional[str],
     Optional[Tuple[int, int]],
     Optional[ScanMetrics],
+    Optional[TraceRecorder],
 ]
 
 
@@ -161,6 +169,21 @@ class ProjectScanner:
     snapshots were produced serially, on a thread pool, or in
     ``ProcessPoolExecutor`` workers, which is what makes ``--jobs 1`` and
     ``--jobs 4`` produce identical merged totals.
+
+    ``trace`` is the scan-level
+    :class:`~repro.observability.TraceRecorder`.  It follows the same
+    per-file-snapshot discipline: each file is traced into its own fresh
+    recorder (created only when the scan-level recorder is enabled), the
+    buffers travel back with the file results, and they are merged under
+    the ``scan`` span in walk order — span ids are content-derived, so
+    serial and process-pool scans of the same tree emit byte-identical
+    traces modulo timing fields.
+
+    ``slow_rule_budget_ms`` is the per-rule per-file watchdog budget:
+    with an enabled metrics collector, any rule spending more than the
+    budget on a single file is recorded in the collector's rule-health
+    table (breach count + worst-file exemplar).  ``None`` disables the
+    watchdog.
     """
 
     def __init__(
@@ -169,11 +192,15 @@ class ProjectScanner:
         excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
         max_file_bytes: int = 1 << 20,
         metrics: Optional[ScanMetrics] = None,
+        trace: Optional[TraceRecorder] = None,
+        slow_rule_budget_ms: Optional[float] = DEFAULT_SLOW_RULE_BUDGET_MS,
     ) -> None:
         self.engine = engine if engine is not None else PatchitPy()
         self.excluded_dirs = frozenset(excluded_dirs)
         self.max_file_bytes = max_file_bytes
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.slow_rule_budget_ms = slow_rule_budget_ms
 
     # ------------------------------------------------------------ walking
 
@@ -207,7 +234,9 @@ class ProjectScanner:
         root, so only changed files are re-analyzed.
         """
         report = ProjectReport(root=root)
+        trace = self.trace
         scan_start = clock() if self.metrics.enabled else 0.0
+        scan_sid = trace.begin("scan", str(root)) if trace.enabled else ""
         paths = list(self.python_files(root))
         cache = self.open_cache(root) if use_cache else None
 
@@ -218,6 +247,14 @@ class ProjectScanner:
         else:
             for index, path in enumerate(paths):
                 hit = self._cached_result(cache, path)
+                if trace.enabled:
+                    if hit is None:
+                        outcome = "miss"
+                    elif hit.error is not None:
+                        outcome = "error"
+                    else:
+                        outcome = "hit"
+                    trace.event("cache-lookup", str(path), outcome=outcome)
                 if hit is None:
                     pending.append((index, path))
                 else:
@@ -225,11 +262,12 @@ class ProjectScanner:
 
         if pending:
             outcomes = self._analyze_batch([p for _, p in pending], jobs, processes)
-            for (index, path), (result, digest, stat_key, snapshot) in zip(
+            for (index, path), (result, digest, stat_key, snapshot, buffer) in zip(
                 pending, outcomes
             ):
                 slots[index] = result
                 self.metrics.merge(snapshot)
+                trace.merge(buffer, parent=scan_sid or None)
                 if cache is not None and digest is not None:
                     cache.store(digest, result.findings, result.error)
                     if stat_key is not None:
@@ -240,6 +278,14 @@ class ProjectScanner:
             report.cache_hits = cache.hits
             report.cache_misses = cache.misses
             cache.save()
+        if trace.enabled:
+            trace.end(
+                scan_sid,
+                files=len(report.files),
+                findings=report.total_findings,
+                cache_hits=report.cache_hits,
+                cache_misses=report.cache_misses,
+            )
         self._finish_metrics(report, cache, scan_start)
         return report
 
@@ -278,7 +324,9 @@ class ProjectScanner:
         """
         report = ProjectReport(root=root)
         m = self.metrics
+        t = self.trace
         start = clock() if m.enabled else 0.0
+        scan_sid = t.begin("scan", str(root)) if t.enabled else ""
         cache = self.open_cache(root) if use_cache else None
         for path in self.python_files(root):
             file_start = clock() if m.enabled else 0.0
@@ -287,32 +335,53 @@ class ProjectScanner:
             error, source, digest, stat = self._load(path)
             if error is not None:
                 result.error = error
+                if t.enabled:
+                    t.event("file", str(path), error=error, findings=0)
                 if m.enabled:
                     m.record_file(str(path), clock() - file_start)
                 continue
+            file_sid = t.begin("file", str(path)) if t.enabled else ""
             cached = cache.lookup(digest) if cache is not None else None
             if cached is not None and cached.error is None:
+                if t.enabled:
+                    t.event("cache-lookup", str(path), outcome="hit")
                 result.findings = cached.findings
                 result.from_cache = True
-            elif m.enabled:
-                result.findings = self.engine.detect(source, metrics=m)
-                if cache is not None:
-                    cache.store(digest, result.findings)
             else:
-                result.findings = self.engine.detect(source)
+                if t.enabled and cache is not None:
+                    t.event("cache-lookup", str(path), outcome="miss")
+                if t.enabled:
+                    result.findings = self.engine.detect(
+                        source, metrics=m if m.enabled else None, trace=t
+                    )
+                elif m.enabled:
+                    result.findings = self.engine.detect(source, metrics=m)
+                else:
+                    result.findings = self.engine.detect(source)
                 if cache is not None:
                     cache.store(digest, result.findings)
             if not result.findings:
+                if t.enabled:
+                    t.end(file_sid, findings=0)
                 if cache is not None and stat is not None:
                     cache.remember_stat(path, stat, digest)
                 if m.enabled:
                     m.record_file(str(path), clock() - file_start)
                 continue
+            outcome = self.engine.patch(
+                source,
+                result.findings,
+                metrics=m if m.enabled else None,
+                trace=t if t.enabled else None,
+            )
+            if t.enabled:
+                t.end(
+                    file_sid,
+                    findings=len(result.findings),
+                    applied=len(outcome.applied),
+                )
             if m.enabled:
-                outcome = self.engine.patch(source, result.findings, metrics=m)
                 m.record_file(str(path), clock() - file_start)
-            else:
-                outcome = self.engine.patch(source, result.findings)
             if outcome.patched == source:
                 continue
             try:
@@ -330,6 +399,13 @@ class ProjectScanner:
             report.cache_hits = cache.hits
             report.cache_misses = cache.misses
             cache.save()
+        if t.enabled:
+            t.end(
+                scan_sid,
+                files=len(report.files),
+                findings=report.total_findings,
+                patched=sum(1 for f in report.files if f.patched),
+            )
         if m.enabled:
             m.count("files_patched", sum(1 for f in report.files if f.patched))
         self._finish_metrics(report, cache, start)
@@ -424,36 +500,50 @@ class ProjectScanner:
             return str(error), None, digest, stat
 
     def _analyze_one(self, path: Path) -> _Analysis:
-        """Analyze one file, optionally into a fresh metrics snapshot.
+        """Analyze one file into fresh metrics/trace snapshots.
 
-        The snapshot (rather than the shared collector) is what makes the
-        instrumentation safe under thread pools and meaningful under
-        process pools: each file's counters travel with its result and
-        are merged by the coordinating process in deterministic walk
-        order.
+        The snapshots (rather than the shared collector/recorder) are
+        what makes the instrumentation safe under thread pools and
+        meaningful under process pools: each file's counters and trace
+        events travel with its result and are merged by the coordinating
+        process in deterministic walk order.  With an enabled collector
+        the slow-rule watchdog runs here, against this file's isolated
+        per-rule timings.
         """
         snapshot = ScanMetrics() if self.metrics.enabled else None
+        buffer = TraceRecorder() if self.trace.enabled else None
         start = clock() if snapshot is not None else 0.0
         result = FileResult(path=path)
         error, source, digest, stat = self._load(path)
         if error is not None:
             result.error = error
+            if buffer is not None:
+                buffer.event("file", str(path), error=error, findings=0)
             if snapshot is not None:
                 snapshot.record_file(str(path), clock() - start)
             # undecodable content is still cacheable by its raw digest
             if digest is not None and stat is not None:
-                return result, digest, (stat.st_mtime_ns, stat.st_size), snapshot
-            return result, None, None, snapshot
-        if snapshot is None:
-            result.findings = self.engine.detect(source)
-        else:
+                return result, digest, (stat.st_mtime_ns, stat.st_size), snapshot, buffer
+            return result, None, None, snapshot, buffer
+        if buffer is not None:
+            file_sid = buffer.begin("file", str(path))
+            result.findings = self.engine.detect(
+                source, metrics=snapshot, trace=buffer
+            )
+            buffer.end(file_sid, findings=len(result.findings))
+        elif snapshot is not None:
             result.findings = self.engine.detect(source, metrics=snapshot)
+        else:
+            result.findings = self.engine.detect(source)
+        if snapshot is not None:
             snapshot.record_file(str(path), clock() - start)
+            if self.slow_rule_budget_ms is not None:
+                snapshot.flag_slow_rules(str(path), self.slow_rule_budget_ms)
         assert stat is not None and digest is not None
-        return result, digest, (stat.st_mtime_ns, stat.st_size), snapshot
+        return result, digest, (stat.st_mtime_ns, stat.st_size), snapshot, buffer
 
     def _analyze_file(self, path: Path) -> FileResult:
-        result, _digest, _stat, _metrics = self._analyze_one(path)
+        result, _digest, _stat, _metrics, _trace = self._analyze_one(path)
         return result
 
 
@@ -474,6 +564,8 @@ def scan_paths(
     processes: bool = False,
     use_cache: bool = False,
     metrics: Optional[ScanMetrics] = None,
+    trace: Optional[TraceRecorder] = None,
+    slow_rule_budget_ms: Optional[float] = DEFAULT_SLOW_RULE_BUDGET_MS,
 ) -> ProjectReport:
     """Scan several roots into one merged report.
 
@@ -484,7 +576,12 @@ def scan_paths(
     through two roots is counted once per analysis even though it appears
     once in the report).
     """
-    scanner = ProjectScanner(engine=engine, metrics=metrics)
+    scanner = ProjectScanner(
+        engine=engine,
+        metrics=metrics,
+        trace=trace,
+        slow_rule_budget_ms=slow_rule_budget_ms,
+    )
     merged: Optional[ProjectReport] = None
     seen: set = set()
     for root in paths:

@@ -66,8 +66,16 @@ def to_sarif(
     report: AnalysisReport,
     artifact_uri: str = "target.py",
     tool_version: str = "1.0.0",
+    metrics=None,
 ) -> Dict[str, object]:
-    """Render ``report`` as a SARIF 2.1.0 log dictionary."""
+    """Render ``report`` as a SARIF 2.1.0 log dictionary.
+
+    Findings carrying a provenance record export it under each result's
+    ``properties.provenance``, and an enabled ``metrics`` collector embeds
+    its snapshot under ``runs[0].invocations[0].properties.metrics`` — so
+    one SARIF file carries both the findings and the observability data
+    of the scan that produced them.
+    """
     rules: List[Dict[str, object]] = []
     rule_index: Dict[str, int] = {}
     results: List[Dict[str, object]] = []
@@ -77,6 +85,13 @@ def to_sarif(
             rule_index[finding.rule_id] = len(rules)
             rules.append(_rule_metadata(finding))
         start_line = line_of_offset(report.source, finding.span.start)
+        properties: Dict[str, object] = {
+            "cwe": finding.cwe_id,
+            "confidence": str(finding.confidence),
+            "fixable": finding.fixable,
+        }
+        if finding.provenance is not None:
+            properties["provenance"] = finding.provenance.to_dict()
         results.append(
             {
                 "ruleId": finding.rule_id,
@@ -97,11 +112,7 @@ def to_sarif(
                         }
                     }
                 ],
-                "properties": {
-                    "cwe": finding.cwe_id,
-                    "confidence": str(finding.confidence),
-                    "fixable": finding.fixable,
-                },
+                "properties": properties,
             }
         )
 
@@ -116,21 +127,21 @@ def to_sarif(
         },
         "results": results,
     }
+    invocation: Dict[str, object] = {"executionSuccessful": True}
     if report.parse_failed:
-        run["invocations"] = [
+        invocation["toolExecutionNotifications"] = [
             {
-                "executionSuccessful": True,
-                "toolExecutionNotifications": [
-                    {
-                        "level": "note",
-                        "message": {
-                            "text": "source does not parse as a full module; "
-                            "pattern matching was applied to raw text"
-                        },
-                    }
-                ],
+                "level": "note",
+                "message": {
+                    "text": "source does not parse as a full module; "
+                    "pattern matching was applied to raw text"
+                },
             }
         ]
+    if metrics is not None and getattr(metrics, "enabled", False):
+        invocation["properties"] = {"metrics": metrics.to_dict()}
+    if report.parse_failed or "properties" in invocation:
+        run["invocations"] = [invocation]
     return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]}
 
 
@@ -160,9 +171,13 @@ def to_plain_json(report: AnalysisReport, artifact_uri: str = "target.py") -> Di
     }
 
 
-def dumps_sarif(report: AnalysisReport, artifact_uri: str = "target.py") -> str:
+def dumps_sarif(
+    report: AnalysisReport, artifact_uri: str = "target.py", metrics=None
+) -> str:
     """SARIF log as a JSON string."""
-    return json.dumps(to_sarif(report, artifact_uri), indent=2, sort_keys=True)
+    return json.dumps(
+        to_sarif(report, artifact_uri, metrics=metrics), indent=2, sort_keys=True
+    )
 
 
 def dumps_plain(report: AnalysisReport, artifact_uri: str = "target.py") -> str:

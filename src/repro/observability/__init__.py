@@ -7,7 +7,7 @@ often the literal prefilter actually skips a regex pass, what the warm
 cache hit rate is — these are the numbers every tuning decision needs.
 DeVAIC-style per-rule breakdowns are a first-class output here too.
 
-The subsystem has two halves:
+The subsystem has four halves:
 
 - :mod:`repro.observability.collector` — :class:`ScanMetrics`, a
   pickle-safe counter/timer collector threaded through matching, the
@@ -16,15 +16,30 @@ The subsystem has two halves:
   ``ProcessPoolExecutor`` workers fold back into one report regardless
   of completion order.  The default is :data:`NULL_METRICS`, a no-op
   collector; every instrumented hot path checks ``metrics.enabled``
-  first, so disabled observability costs one attribute check.
+  first, so disabled observability costs one attribute check.  The
+  collector also hosts the slow-rule watchdog: per-file rule timings
+  over :data:`DEFAULT_SLOW_RULE_BUDGET_MS` land in its
+  :class:`RuleHealth` table with a worst-file exemplar.
+- :mod:`repro.observability.trace` — :class:`TraceRecorder`, structured
+  JSONL span events (``scan`` → ``file`` → ``rule`` →
+  ``guard-decision`` / ``patch-render`` / ``cache-lookup``) with
+  content-derived ids, so serial and process-pool scans of the same
+  tree emit byte-identical traces modulo timing fields.  The default is
+  :data:`NULL_TRACE`, the no-op recorder.
+- :mod:`repro.observability.provenance` — :class:`Provenance`, the
+  per-finding audit trail (prefilter literal, prerequisite and guard
+  verdicts, matched span, rendered patch) behind the CLI ``--explain``
+  flag, rendered by :func:`render_explain`.
 - :mod:`repro.observability.exporters` — plain-JSON and Prometheus
   text-format exporters plus the human ``--stats`` summary (with its
-  *top rules by time* section).
+  *top rules by time* and *rule health* sections).
 """
 
 from repro.observability.collector import (
+    DEFAULT_SLOW_RULE_BUDGET_MS,
     NULL_METRICS,
     NullScanMetrics,
+    RuleHealth,
     RuleStats,
     ScanMetrics,
 )
@@ -34,14 +49,36 @@ from repro.observability.exporters import (
     metrics_to_dict,
     to_prometheus,
 )
+from repro.observability.provenance import (
+    GuardDecision,
+    PatchProvenance,
+    Provenance,
+    render_explain,
+)
+from repro.observability.trace import (
+    NULL_TRACE,
+    NullTraceRecorder,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+)
 
 __all__ = [
+    "DEFAULT_SLOW_RULE_BUDGET_MS",
+    "GuardDecision",
     "NULL_METRICS",
+    "NULL_TRACE",
     "NullScanMetrics",
+    "NullTraceRecorder",
+    "PatchProvenance",
+    "Provenance",
+    "RuleHealth",
     "RuleStats",
     "ScanMetrics",
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
     "dumps_json",
     "format_stats",
     "metrics_to_dict",
+    "render_explain",
     "to_prometheus",
 ]

@@ -26,7 +26,17 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["NULL_METRICS", "NullScanMetrics", "RuleStats", "ScanMetrics"]
+__all__ = [
+    "DEFAULT_SLOW_RULE_BUDGET_MS",
+    "NULL_METRICS",
+    "NullScanMetrics",
+    "RuleHealth",
+    "RuleStats",
+    "ScanMetrics",
+]
+
+#: Default per-file wall-time budget (ms) for the slow-rule watchdog.
+DEFAULT_SLOW_RULE_BUDGET_MS = 50.0
 
 
 @dataclass
@@ -78,10 +88,60 @@ class RuleStats:
         )
 
 
+@dataclass
+class RuleHealth:
+    """Slow-rule watchdog record for one rule.
+
+    ``breaches`` counts per-file executions that exceeded the configured
+    wall-time budget; ``worst_ms``/``worst_file`` pin the most pathological
+    exemplar so a regression report can name the exact file that made a
+    regex blow up.  The worst-exemplar fold is a max (ties broken toward
+    the lexicographically smaller path), so merging worker snapshots in
+    any order yields the same record.
+    """
+
+    breaches: int = 0
+    worst_ms: float = 0.0
+    worst_file: str = ""
+
+    def note(self, path: str, ms: float) -> None:
+        """Record one budget breach of ``ms`` milliseconds on ``path``."""
+        self.breaches += 1
+        self._consider(path, ms)
+
+    def _consider(self, path: str, ms: float) -> None:
+        if ms > self.worst_ms or (
+            ms == self.worst_ms and (not self.worst_file or path < self.worst_file)
+        ):
+            self.worst_ms = ms
+            self.worst_file = path
+
+    def merge(self, other: "RuleHealth") -> None:
+        """Fold another record in (breach sum, deterministic worst max)."""
+        self.breaches += other.breaches
+        if other.worst_file:
+            self._consider(other.worst_file, other.worst_ms)
+
+    def to_dict(self) -> dict:
+        return {
+            "breaches": self.breaches,
+            "worst_ms": self.worst_ms,
+            "worst_file": self.worst_file,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RuleHealth":
+        return cls(
+            breaches=int(data.get("breaches", 0)),
+            worst_ms=float(data.get("worst_ms", 0.0)),
+            worst_file=str(data.get("worst_file", "")),
+        )
+
+
 class ScanMetrics:
     """Mutable metrics accumulator for one scan (or one slice of one).
 
-    Four tables, all plain data:
+    Five tables, all plain data:
 
     - ``rules``   — rule id → :class:`RuleStats`
     - ``counters``— event name → int (``detect_calls``, ``cache_hits``,
@@ -89,6 +149,8 @@ class ScanMetrics:
     - ``timers``  — phase name → accumulated seconds (``detect_time_s``,
       ``patch_time_s``, ``scan_time_s``, ``file_time_s``, …)
     - ``files``   — file path → analysis duration in seconds
+    - ``rule_health`` — rule id → :class:`RuleHealth` (slow-rule
+      watchdog: budget breaches and the worst-file exemplar)
 
     Instrumented code never assumes a key exists; every accessor
     get-or-creates, so a collector that saw no traffic exports empty
@@ -102,6 +164,7 @@ class ScanMetrics:
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, float] = {}
         self.files: Dict[str, float] = {}
+        self.rule_health: Dict[str, RuleHealth] = {}
 
     # -------------------------------------------------------- recording
 
@@ -125,6 +188,33 @@ class ScanMetrics:
         self.files[path] = self.files.get(path, 0.0) + seconds
         self.add_time("file_time_s", seconds)
 
+    def health_for(self, rule_id: str) -> RuleHealth:
+        """The (created-on-first-use) watchdog record for a rule id."""
+        health = self.rule_health.get(rule_id)
+        if health is None:
+            health = self.rule_health[rule_id] = RuleHealth()
+        return health
+
+    def flag_slow_rules(self, path: str, budget_ms: Optional[float]) -> int:
+        """Slow-rule watchdog: flag rules whose wall time broke the budget.
+
+        Meant to run on a *per-file* snapshot collector right after the
+        file's detect pass, when every entry in ``rules`` is that one
+        file's regex time — so a breach can be attributed to a concrete
+        (rule, file) pair.  Returns the number of rules flagged.
+        """
+        if budget_ms is None:
+            return 0
+        flagged = 0
+        for rule_id, stats in self.rules.items():
+            ms = stats.time_s * 1000.0
+            if ms > budget_ms:
+                self.health_for(rule_id).note(path, ms)
+                flagged += 1
+        if flagged:
+            self.count("slow_rule_breaches", flagged)
+        return flagged
+
     # --------------------------------------------------------- merging
 
     def merge(self, other: Optional["ScanMetrics"]) -> "ScanMetrics":
@@ -147,6 +237,8 @@ class ScanMetrics:
                 self.add_time(name, seconds)
         for path, seconds in other.files.items():
             self.record_file(path, seconds)
+        for rule_id, health in other.rule_health.items():
+            self.health_for(rule_id).merge(health)
         return self
 
     # -------------------------------------------------------- reading
@@ -180,6 +272,9 @@ class ScanMetrics:
             "counters": dict(sorted(self.counters.items())),
             "timers": dict(sorted(self.timers.items())),
             "files": dict(sorted(self.files.items())),
+            "rule_health": {
+                rule_id: h.to_dict() for rule_id, h in sorted(self.rule_health.items())
+            },
         }
 
     @classmethod
@@ -190,6 +285,8 @@ class ScanMetrics:
         metrics.counters.update(data.get("counters", {}))
         metrics.timers.update(data.get("timers", {}))
         metrics.files.update(data.get("files", {}))
+        for rule_id, raw in data.get("rule_health", {}).items():
+            metrics.rule_health[rule_id] = RuleHealth.from_dict(raw)
         return metrics
 
     def snapshot(self) -> "ScanMetrics":
@@ -221,6 +318,12 @@ class NullScanMetrics(ScanMetrics):
 
     def rule_stats(self, rule_id: str) -> RuleStats:
         return RuleStats()  # throwaway: never retained
+
+    def health_for(self, rule_id: str) -> RuleHealth:
+        return RuleHealth()  # throwaway: never retained
+
+    def flag_slow_rules(self, path: str, budget_ms: Optional[float]) -> int:
+        return 0
 
     def count(self, name: str, n: int = 1) -> None:
         pass

@@ -93,6 +93,25 @@ def to_prometheus(metrics: ScanMetrics, prefix: str = "patchitpy") -> str:
             value = fmt.format(getattr(stats, attribute))
             lines.append(f'{metric}{{rule="{_prom_label(rule_id)}"}} {value}')
 
+    health = getattr(metrics, "rule_health", {})
+    if health:
+        metric = f"{prefix}_rule_slow_breaches"
+        lines.append(f"# HELP {metric} Files where the rule exceeded the slow-rule budget.")
+        lines.append(f"# TYPE {metric} counter")
+        for rule_id in sorted(health):
+            lines.append(
+                f'{metric}{{rule="{_prom_label(rule_id)}"}} {health[rule_id].breaches}'
+            )
+        metric = f"{prefix}_rule_worst_file_ms"
+        lines.append(f"# HELP {metric} Worst single-file wall time observed for the rule.")
+        lines.append(f"# TYPE {metric} gauge")
+        for rule_id in sorted(health):
+            entry = health[rule_id]
+            lines.append(
+                f'{metric}{{rule="{_prom_label(rule_id)}",'
+                f'file="{_prom_label(entry.worst_file)}"}} {entry.worst_ms:.3f}'
+            )
+
     return "\n".join(lines) + "\n"
 
 
@@ -158,6 +177,20 @@ def format_stats(metrics: ScanMetrics, top: int = 10) -> str:
                 f"    {rule_id:<28} {stats.time_s:>8.4f}s {stats.calls:>7} "
                 f"{stats.matches:>8} {stats.prefilter_skips:>8} "
                 f"{stats.guard_vetoes:>7}"
+            )
+
+    health = getattr(metrics, "rule_health", {})
+    if health:
+        total_breaches = sum(entry.breaches for entry in health.values())
+        lines.append(
+            f"  rule health: {len(health)} rule(s) over budget, "
+            f"{total_breaches} breach(es)"
+        )
+        for rule_id in sorted(health):
+            entry = health[rule_id]
+            lines.append(
+                f"    {rule_id:<28} {entry.breaches:>3} breach(es), "
+                f"worst {entry.worst_ms:.1f}ms on {entry.worst_file}"
             )
 
     if len(lines) == 1:

@@ -1,0 +1,229 @@
+"""Structured scan tracing: JSONL span events with stable ids.
+
+``ScanMetrics`` (PR 2) answers *how much*: aggregate counters and timers.
+This module answers *what happened*: an ordered stream of span events —
+
+``scan`` → ``file`` → ``rule`` → ``guard-decision`` / ``patch-render`` /
+``cache-lookup``
+
+— each a single JSON object on its own line, carrying a stable id, a
+parent link, and event-specific fields.  A trace of a scan is a tree you
+can replay: which files were visited in which order, which rules ran on
+each, which prefilters skipped, which guards vetoed which candidate
+matches, what each patch rendered.
+
+Design constraints (the PR 2 contract, extended):
+
+1. **Zero cost when disabled.**  The default recorder everywhere is
+   :data:`NULL_TRACE`; instrumented code checks ``trace.enabled`` and
+   falls through to the uninstrumented path.  The matching hot loop never
+   even imports this module on the disabled path
+   (``scripts/check_hot_path_isolation.py`` enforces that).
+2. **Deterministic ids.**  A span's id is a content hash of
+   ``(parent id, kind, name, per-parent ordinal)``, never a counter or a
+   clock.  Two scans of the same tree — serial or fanned out over a
+   process pool — produce byte-identical traces modulo the timing fields
+   (``dur_ms``), which :meth:`TraceRecorder.canonical_jsonl` strips for
+   comparison.
+3. **Pickle safety.**  Per-file recorders are created inside pool
+   workers and travel back with the file's result; they hold only plain
+   lists/dicts.  The coordinator merges them in deterministic walk order
+   and re-parents top-level spans under the scan span.
+   ``NullTraceRecorder`` reduces to the module singleton, mirroring
+   ``NullScanMetrics``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.observability.collector import clock
+
+__all__ = [
+    "NULL_TRACE",
+    "NullTraceRecorder",
+    "TRACE_SCHEMA_VERSION",
+    "TIMING_FIELDS",
+    "TraceRecorder",
+    "span_id",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+#: Event fields carrying wall-clock measurements — the only fields allowed
+#: to differ between two traces of the same scan.
+TIMING_FIELDS = frozenset({"dur_ms"})
+
+
+def span_id(parent: str, kind: str, name: str, ordinal: int) -> str:
+    """Stable 12-hex-digit id for a span.
+
+    Derived purely from the span's position in the trace tree — parent
+    id, kind, name, and the ordinal among same-named siblings — so the
+    same scan always yields the same ids regardless of worker count or
+    completion order.
+    """
+    basis = "\x1f".join((parent, kind, name, str(ordinal)))
+    return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:12]
+
+
+class TraceRecorder:
+    """Collects span events for one scan (or one slice of one).
+
+    Spans are emitted as *one line each, at completion* — children
+    therefore precede their parent in the stream, and a point event
+    (:meth:`event`) appears exactly where it happened.  The open-span
+    stack supplies parent links: a ``rule`` span begun while a ``file``
+    span is open is parented to that file.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self._stack: List[str] = []
+        self._open: Dict[str, Tuple[str, str, Optional[str], float, Dict[str, Any]]] = {}
+        self._ordinals: Dict[Tuple[str, str, str], int] = {}
+
+    # -------------------------------------------------------- recording
+
+    def _allocate(self, kind: str, name: str) -> Tuple[str, Optional[str]]:
+        parent = self._stack[-1] if self._stack else ""
+        key = (parent, kind, name)
+        ordinal = self._ordinals.get(key, 0)
+        self._ordinals[key] = ordinal + 1
+        return span_id(parent, kind, name, ordinal), (parent or None)
+
+    def begin(self, kind: str, name: str, **fields: Any) -> str:
+        """Open a span; returns its id (pass it to :meth:`end`)."""
+        sid, parent = self._allocate(kind, name)
+        self._open[sid] = (kind, name, parent, clock(), dict(fields))
+        self._stack.append(sid)
+        return sid
+
+    def end(self, sid: str, **fields: Any) -> None:
+        """Close a span, emitting its event line with ``dur_ms``."""
+        kind, name, parent, started, opened = self._open.pop(sid)
+        if self._stack and self._stack[-1] == sid:
+            self._stack.pop()
+        event: Dict[str, Any] = {"id": sid, "parent": parent, "kind": kind, "name": name}
+        event.update(opened)
+        event.update(fields)
+        event["dur_ms"] = round((clock() - started) * 1000.0, 3)
+        self.events.append(event)
+
+    def event(self, kind: str, name: str, **fields: Any) -> str:
+        """Emit a point event under the currently open span."""
+        sid, parent = self._allocate(kind, name)
+        record: Dict[str, Any] = {"id": sid, "parent": parent, "kind": kind, "name": name}
+        record.update(fields)
+        self.events.append(record)
+        return sid
+
+    # ---------------------------------------------------------- merging
+
+    def merge(
+        self, other: Optional["TraceRecorder"], parent: Optional[str] = None
+    ) -> "TraceRecorder":
+        """Append another recorder's events; returns ``self``.
+
+        Top-level events of ``other`` (those with no parent — e.g. the
+        ``file`` span a pool worker opened with an empty stack) are
+        re-parented under ``parent`` so a merged scan trace stays one
+        connected tree.  Merging ``None`` or a disabled recorder is a
+        no-op, so callers can merge optional per-file buffers
+        unconditionally.
+        """
+        if other is None or not other.enabled:
+            return self
+        for item in other.events:
+            if parent is not None and item.get("parent") is None:
+                item = dict(item)
+                item["parent"] = parent
+            self.events.append(item)
+        return self
+
+    # ------------------------------------------------------ serialization
+
+    def to_jsonl(self) -> str:
+        """The trace as JSONL — one ``json.dumps(sort_keys=True)`` per event."""
+        return "".join(
+            json.dumps(event, sort_keys=True, default=str) + "\n" for event in self.events
+        )
+
+    def canonical_jsonl(self) -> str:
+        """The trace with timing fields stripped — the byte-comparable form.
+
+        Two scans of the same tree must produce identical canonical
+        traces whatever the job count; only :data:`TIMING_FIELDS` may
+        differ between runs.
+        """
+        return "".join(
+            json.dumps(
+                {k: v for k, v in event.items() if k not in TIMING_FIELDS},
+                sort_keys=True,
+                default=str,
+            )
+            + "\n"
+            for event in self.events
+        )
+
+    def write_jsonl(self, path) -> Path:
+        """Write the trace to ``path``; returns the path written."""
+        target = Path(path)
+        target.write_text(self.to_jsonl())
+        return target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceRecorder events={len(self.events)} open={len(self._open)}>"
+
+
+def _resurrect_null_trace() -> "NullTraceRecorder":
+    return NULL_TRACE
+
+
+class NullTraceRecorder(TraceRecorder):
+    """The disabled recorder: records nothing, merges to nothing.
+
+    Instrumented paths check ``trace.enabled`` before doing any work, so
+    with this recorder installed the executed code is the uninstrumented
+    path.  The methods are still overridden to no-ops as a second line of
+    defense, and unpickling always yields the module singleton.
+    """
+
+    enabled = False
+    #: Class-level empty tuple so accidental reads see no events.
+    events: Tuple = ()  # type: ignore[assignment]
+
+    def __init__(self) -> None:  # no mutable state at all
+        pass
+
+    def begin(self, kind: str, name: str, **fields: Any) -> str:
+        return ""
+
+    def end(self, sid: str, **fields: Any) -> None:
+        pass
+
+    def event(self, kind: str, name: str, **fields: Any) -> str:
+        return ""
+
+    def merge(
+        self, other: Optional[TraceRecorder], parent: Optional[str] = None
+    ) -> "NullTraceRecorder":
+        return self
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def canonical_jsonl(self) -> str:
+        return ""
+
+    def __reduce__(self):
+        return (_resurrect_null_trace, ())
+
+
+#: The shared no-op recorder — the default everywhere a trace is accepted.
+NULL_TRACE = NullTraceRecorder()

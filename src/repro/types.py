@@ -89,6 +89,11 @@ class Finding:
     severity: Severity = Severity.MEDIUM
     confidence: Confidence = Confidence.MEDIUM
     fixable: bool = False
+    # Optional audit trail (repro.observability.provenance.Provenance):
+    # which prefilter/prerequisites/guards the match survived and what the
+    # patch renders.  Excluded from equality and repr so findings with and
+    # without a recorded trail compare as the same detection.
+    provenance: Optional[object] = field(default=None, compare=False, repr=False)
 
     def with_span(self, span: Span) -> "Finding":
         """Copy of the finding anchored at a different span."""
@@ -101,6 +106,21 @@ class Finding:
             severity=self.severity,
             confidence=self.confidence,
             fixable=self.fixable,
+            provenance=self.provenance,
+        )
+
+    def with_provenance(self, provenance: Optional[object]) -> "Finding":
+        """Copy of the finding carrying the given provenance record."""
+        return Finding(
+            rule_id=self.rule_id,
+            cwe_id=self.cwe_id,
+            message=self.message,
+            span=self.span,
+            snippet=self.snippet,
+            severity=self.severity,
+            confidence=self.confidence,
+            fixable=self.fixable,
+            provenance=provenance,
         )
 
     def to_dict(self) -> dict:
@@ -108,9 +128,11 @@ class Finding:
 
         The persistent scan cache stores findings in this form; enum
         fields serialize to their string values, the span to a two-element
-        list.
+        list.  A ``provenance`` key is present only when a record is
+        attached, so findings from untraced scans keep their pre-1.2
+        serialized shape byte for byte.
         """
-        return {
+        data = {
             "rule_id": self.rule_id,
             "cwe_id": self.cwe_id,
             "message": self.message,
@@ -120,11 +142,22 @@ class Finding:
             "confidence": self.confidence.value,
             "fixable": self.fixable,
         }
+        if self.provenance is not None:
+            data["provenance"] = self.provenance.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Finding":
         """Inverse of :meth:`to_dict` (raises on malformed input)."""
         start, end = data["span"]
+        raw_provenance = data.get("provenance")
+        provenance = None
+        if raw_provenance is not None:
+            # Imported lazily: repro.types must stay importable without
+            # pulling the observability package in.
+            from repro.observability.provenance import Provenance
+
+            provenance = Provenance.from_dict(raw_provenance)
         return cls(
             rule_id=data["rule_id"],
             cwe_id=data["cwe_id"],
@@ -134,6 +167,7 @@ class Finding:
             severity=Severity(data.get("severity", Severity.MEDIUM.value)),
             confidence=Confidence(data.get("confidence", Confidence.MEDIUM.value)),
             fixable=bool(data.get("fixable", False)),
+            provenance=provenance,
         )
 
 

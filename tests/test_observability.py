@@ -54,7 +54,11 @@ def tree(tmp_path):
 
 
 def _counter_view(metrics: ScanMetrics) -> dict:
-    """The deterministic slice of a snapshot: every count, no wall times."""
+    """The deterministic slice of a snapshot: every count, no wall times.
+
+    ``slow_rule_breaches`` is a count *of* wall-time events (watchdog
+    budget overruns), so it is excluded along with the timings.
+    """
     return {
         "rules": {
             rule_id: {
@@ -62,7 +66,9 @@ def _counter_view(metrics: ScanMetrics) -> dict:
             }
             for rule_id, stats in metrics.rules.items()
         },
-        "counters": dict(metrics.counters),
+        "counters": {
+            k: v for k, v in metrics.counters.items() if k != "slow_rule_breaches"
+        },
         "file_paths": sorted(metrics.files),
     }
 
@@ -170,6 +176,7 @@ class TestMerge:
             "counters": {},
             "timers": {},
             "files": {},
+            "rule_health": {},
         }
 
 
@@ -255,6 +262,7 @@ class TestDisabledCollector:
             "counters": {},
             "timers": {},
             "files": {},
+            "rule_health": {},
         }
 
     def test_null_collector_pickles_to_singleton(self):
