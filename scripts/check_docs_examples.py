@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Lint every fenced code block in README.md and docs/*.md.
+
+Documentation examples rot silently: a renamed flag or a moved module
+keeps rendering fine while misleading every reader.  This check extracts
+each fenced block and validates it by language:
+
+- ``python`` / ``pycon-free`` python blocks → ``compile()`` (syntax, not
+  execution — examples may reference servers and files that don't exist
+  here);
+- ``json`` → ``json.loads``;
+- ``bash`` / ``sh`` / ``shell`` → ``bash -n`` (parse-only);
+- ``console`` / ``text`` with ``$ ``-prefixed commands → the commands are
+  stripped of their prompt and parsed with ``bash -n``; output lines are
+  ignored;
+- anything else (``ini``, ``yaml``, diagrams, untagged) is skipped.
+
+Exit status is the number of broken blocks (0 = clean), and every
+failure is reported as ``file:line: message`` so editors can jump to it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FENCE = re.compile(r"^(```+)\s*([A-Za-z0-9_+-]*)\s*$")
+
+# (path, 1-based line of the opening fence, language tag, block text)
+Block = Tuple[Path, int, str, str]
+
+
+def iter_blocks(path: Path) -> Iterator[Block]:
+    language = None
+    fence = ""
+    start = 0
+    buffer: List[str] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        match = FENCE.match(line)
+        if language is None:
+            if match:
+                fence, language = match.group(1), match.group(2).lower()
+                start = number
+                buffer = []
+        elif match and match.group(1).startswith(fence) and not match.group(2):
+            yield path, start, language, "\n".join(buffer) + "\n"
+            language = None
+        else:
+            buffer.append(line)
+
+
+def check_python(block: str) -> str:
+    try:
+        compile(block, "<doc-example>", "exec")
+    except SyntaxError as error:
+        return f"python example does not compile: {error}"
+    return ""
+
+
+def check_json(block: str) -> str:
+    try:
+        json.loads(block)
+    except ValueError as error:
+        return f"json example does not parse: {error}"
+    return ""
+
+
+def check_bash(script: str) -> str:
+    result = subprocess.run(
+        ["bash", "-n"], input=script, capture_output=True, text=True
+    )
+    if result.returncode != 0:
+        return f"bash example does not parse: {result.stderr.strip()}"
+    return ""
+
+
+def check_console(block: str) -> str:
+    commands = []
+    for line in block.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("$ "):
+            commands.append(stripped[2:])
+    if not commands:
+        return ""  # pure output transcript: nothing to validate
+    return check_bash("\n".join(commands) + "\n")
+
+
+CHECKERS = {
+    "python": check_python,
+    "py": check_python,
+    "json": check_json,
+    "bash": check_bash,
+    "sh": check_bash,
+    "shell": check_bash,
+    "console": check_console,
+    "text": check_console,
+    "": check_console,
+}
+
+
+def main() -> int:
+    targets = [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+    failures = 0
+    checked = 0
+    for path in targets:
+        if not path.exists():
+            continue
+        for _path, line, language, block in iter_blocks(path):
+            checker = CHECKERS.get(language)
+            if checker is None:
+                continue
+            checked += 1
+            message = checker(block)
+            if message:
+                failures += 1
+                rel = path.relative_to(REPO_ROOT)
+                print(f"{rel}:{line}: [{language or 'untagged'}] {message}")
+    print(f"checked {checked} documentation example(s); {failures} broken")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,8 +32,15 @@ Quickstart::
 from repro.core import PatchitPy, PatchResult, default_ruleset
 from repro.core.cache import ScanCache
 from repro.core.project import FileResult, ProjectReport, ProjectScanner, scan_paths
-from repro.ide import LanguageServer
+from repro.ide import LanguageServer, ServerTransport
 from repro.core.rules import DetectionRule, PatchTemplate, RuleSet, extended_ruleset
+from repro.server import (
+    BackgroundServer,
+    PatchitPyServer,
+    ServerClient,
+    ServerConfig,
+    ServerError,
+)
 from repro.observability import (
     DEFAULT_SLOW_RULE_BUDGET_MS,
     NULL_METRICS,
@@ -58,10 +65,11 @@ from repro.types import (
     Span,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnalysisReport",
+    "BackgroundServer",
     "CodeSample",
     "Confidence",
     "DEFAULT_SLOW_RULE_BUDGET_MS",
@@ -78,6 +86,7 @@ __all__ = [
     "ProjectScanner",
     "PatchTemplate",
     "PatchitPy",
+    "PatchitPyServer",
     "Prompt",
     "PromptSource",
     "Provenance",
@@ -86,6 +95,10 @@ __all__ = [
     "RuleStats",
     "ScanCache",
     "ScanMetrics",
+    "ServerClient",
+    "ServerConfig",
+    "ServerError",
+    "ServerTransport",
     "Severity",
     "Span",
     "TraceRecorder",

@@ -2,7 +2,9 @@
 
 Mirrors the workflow the VS Code extension drives (§II-B): analyze a file
 (or a selected line range), report findings, and optionally apply patches
-in place or to stdout.
+in place or to stdout.  ``patchitpy serve`` instead starts the persistent
+scan server (see :mod:`repro.server.daemon`), which keeps a warm engine
+and open caches behind HTTP endpoints.
 
 Exit-code contract (documented in ``--help`` and enforced by tests):
 
@@ -40,7 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="patchitpy",
         description="Pattern-based vulnerability detection and patching for Python.",
-        epilog=EXIT_CODE_CONTRACT,
+        epilog=EXIT_CODE_CONTRACT
+        + "  Run 'patchitpy serve --help' for the persistent scan server.",
     )
     parser.add_argument(
         "path", type=Path, help="Python file or project directory to analyze"
@@ -191,6 +194,12 @@ def _emit_trace(args: argparse.Namespace, tracer: Optional[TraceRecorder]) -> No
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        from repro.server.daemon import main as serve_main
+
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     _validate(parser, args)

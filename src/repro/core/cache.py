@@ -28,6 +28,14 @@ The cache degrades gracefully: corrupt or unreadable stores load as
 empty, and save failures (read-only trees) are swallowed — a scan never
 fails because of its cache.
 
+The store is safe to share between concurrent readers/writers *within
+one process*: every public operation takes the instance lock, which is
+what lets the scan daemon hold one cache open across overlapping HTTP
+requests where the CLI opened one per run.  :meth:`ScanCache.close` is
+idempotent (it persists once and turns every later mutation into a
+no-op), so belt-and-braces shutdown paths can close the same cache from
+several places without double-writing.
+
 Findings round-trip through :meth:`~repro.types.Finding.to_dict`, which
 includes any attached provenance record — so a traced scan's audit
 trails survive into warm scans, and ``--explain`` on a fully-cached scan
@@ -41,6 +49,7 @@ import hashlib
 import json
 import os
 import shutil
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -102,6 +111,9 @@ class ScanCache:
         self._entries: Dict[str, dict] = {}
         self._stat_hints: Dict[str, dict] = {}
         self._dirty = False
+        self._closed = False
+        # Reentrant: save() runs under the lock and close() calls save().
+        self._lock = threading.RLock()
         self._load()
 
     # ------------------------------------------------------------- paths
@@ -118,11 +130,12 @@ class ScanCache:
 
     def lookup(self, digest: str) -> Optional[CachedResult]:
         """Stored result for a content digest, or ``None`` on a miss."""
-        entry = self._entries.get(digest)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
         findings = [Finding.from_dict(item) for item in entry.get("findings", ())]
         return CachedResult(findings=findings, error=entry.get("error"))
 
@@ -133,11 +146,15 @@ class ScanCache:
         error: Optional[str] = None,
     ) -> None:
         """Record the analysis outcome for a content digest."""
-        self._entries[digest] = {
+        entry = {
             "findings": [finding.to_dict() for finding in findings],
             "error": error,
         }
-        self._dirty = True
+        with self._lock:
+            if self._closed:
+                return
+            self._entries[digest] = entry
+            self._dirty = True
 
     # --------------------------------------------------- stat fast path
 
@@ -148,27 +165,36 @@ class ScanCache:
         (``self.stale_hints``): the file changed on disk, so the caller
         falls back to the read-and-hash path.
         """
-        hint = self._stat_hints.get(str(path.absolute()))
-        if hint is None:
-            return None
-        if hint.get("mtime_ns") != stat.st_mtime_ns or hint.get("size") != stat.st_size:
-            self.stale_hints += 1
-            return None
-        return hint.get("digest")
+        with self._lock:
+            hint = self._stat_hints.get(str(path.absolute()))
+            if hint is None:
+                return None
+            if (
+                hint.get("mtime_ns") != stat.st_mtime_ns
+                or hint.get("size") != stat.st_size
+            ):
+                self.stale_hints += 1
+                return None
+            return hint.get("digest")
 
     def remember_stat(self, path: Path, stat: os.stat_result, digest: str) -> None:
         """Record the mtime/size → digest hint for a path."""
-        self._stat_hints[str(path.absolute())] = {
+        hint = {
             "mtime_ns": stat.st_mtime_ns,
             "size": stat.st_size,
             "digest": digest,
         }
-        self._dirty = True
+        with self._lock:
+            if self._closed:
+                return
+            self._stat_hints[str(path.absolute())] = hint
+            self._dirty = True
 
     def forget_path(self, path: Path) -> None:
         """Drop the stat hint for a path (e.g. after patching it)."""
-        if self._stat_hints.pop(str(path.absolute()), None) is not None:
-            self._dirty = True
+        with self._lock:
+            if self._stat_hints.pop(str(path.absolute()), None) is not None:
+                self._dirty = True
 
     # ------------------------------------------------------- persistence
 
@@ -192,32 +218,64 @@ class ScanCache:
 
     def save(self) -> bool:
         """Persist the store atomically; returns False when skipped/failed."""
-        if not self._dirty:
-            return False
-        if len(self._entries) > self.max_entries:
-            overflow = len(self._entries) - self.max_entries
-            for digest in list(self._entries)[:overflow]:
-                del self._entries[digest]
-        payload = {
-            "schema": CACHE_SCHEMA_VERSION,
-            "fingerprint": self.fingerprint,
-            "entries": self._entries,
-            "stat_hints": self._stat_hints,
-        }
-        try:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            tmp = self.cache_file.with_suffix(".json.tmp")
-            tmp.write_text(json.dumps(payload, separators=(",", ":")), encoding="utf-8")
-            os.replace(tmp, self.cache_file)
-        except OSError:
-            return False
-        self._dirty = False
-        return True
+        with self._lock:
+            if not self._dirty:
+                return False
+            if len(self._entries) > self.max_entries:
+                overflow = len(self._entries) - self.max_entries
+                for digest in list(self._entries)[:overflow]:
+                    del self._entries[digest]
+            payload = {
+                "schema": CACHE_SCHEMA_VERSION,
+                "fingerprint": self.fingerprint,
+                "entries": self._entries,
+                "stat_hints": self._stat_hints,
+            }
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                tmp = self.cache_file.with_suffix(".json.tmp")
+                tmp.write_text(
+                    json.dumps(payload, separators=(",", ":")), encoding="utf-8"
+                )
+                os.replace(tmp, self.cache_file)
+            except OSError:
+                return False
+            self._dirty = False
+            return True
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # --------------------------------------------------------- lifecycle
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> bool:
+        """Persist pending writes and retire the store; idempotent.
+
+        The first call saves (when dirty) and marks the cache closed;
+        every later call — and every later :meth:`store`/
+        :meth:`remember_stat`/:meth:`save` — is a no-op, so multiple
+        shutdown paths (request handler, drain hook, ``atexit``) can all
+        close the same instance safely.  Lookups keep working read-only.
+        Returns True when this call performed the persisting save.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            saved = self.save()
+            self._closed = True
+            return saved
+
+    def __enter__(self) -> "ScanCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     @classmethod
     def clear(cls, root: Path) -> bool:

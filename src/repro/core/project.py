@@ -223,6 +223,7 @@ class ProjectScanner:
         jobs: int = 1,
         processes: bool = False,
         use_cache: bool = False,
+        cache: Optional[ScanCache] = None,
     ) -> ProjectReport:
         """Analyze every file; no modification.
 
@@ -232,13 +233,21 @@ class ProjectScanner:
         report keeps the deterministic walk order.  ``use_cache=True``
         reuses (and refreshes) the persistent result cache at the scan
         root, so only changed files are re-analyzed.
+
+        A caller that keeps a cache open across scans (the scan daemon)
+        passes it via ``cache=``; it is used instead of opening one and
+        is *not* closed here (saves still happen — they are cheap no-ops
+        when nothing changed), and the report carries this scan's
+        hit/miss deltas rather than the cache's lifetime totals.
         """
         report = ProjectReport(root=root)
         trace = self.trace
         scan_start = clock() if self.metrics.enabled else 0.0
         scan_sid = trace.begin("scan", str(root)) if trace.enabled else ""
         paths = list(self.python_files(root))
-        cache = self.open_cache(root) if use_cache else None
+        if cache is None and use_cache:
+            cache = self.open_cache(root)
+        counts_before = _cache_counts(cache)
 
         slots: List[Optional[FileResult]] = [None] * len(paths)
         pending: List[Tuple[int, Path]] = []
@@ -275,8 +284,9 @@ class ProjectScanner:
 
         report.files = [slot for slot in slots if slot is not None]
         if cache is not None:
-            report.cache_hits = cache.hits
-            report.cache_misses = cache.misses
+            hits, misses, _ = _cache_delta(cache, counts_before)
+            report.cache_hits = hits
+            report.cache_misses = misses
             cache.save()
         if trace.enabled:
             trace.end(
@@ -286,11 +296,15 @@ class ProjectScanner:
                 cache_hits=report.cache_hits,
                 cache_misses=report.cache_misses,
             )
-        self._finish_metrics(report, cache, scan_start)
+        self._finish_metrics(report, cache, scan_start, counts_before)
         return report
 
     def _finish_metrics(
-        self, report: ProjectReport, cache: Optional[ScanCache], started: float
+        self,
+        report: ProjectReport,
+        cache: Optional[ScanCache],
+        started: float,
+        counts_before: Tuple[int, int, int] = (0, 0, 0),
     ) -> None:
         """Fold scan-level counters into the collector and stamp the report."""
         if not self.metrics.enabled:
@@ -300,9 +314,10 @@ class ProjectScanner:
         m.count("files_from_cache", sum(1 for f in report.files if f.from_cache))
         m.count("file_errors", sum(1 for f in report.files if f.error is not None))
         if cache is not None:
-            m.count("cache_hits", cache.hits)
-            m.count("cache_misses", cache.misses)
-            m.count("cache_stale_hints", cache.stale_hints)
+            hits, misses, stale = _cache_delta(cache, counts_before)
+            m.count("cache_hits", hits)
+            m.count("cache_misses", misses)
+            m.count("cache_stale_hints", stale)
         m.add_time("scan_time_s", clock() - started)
         report.metrics = m
 
@@ -311,6 +326,7 @@ class ProjectScanner:
         root: Path,
         backup: bool = True,
         use_cache: bool = False,
+        cache: Optional[ScanCache] = None,
     ) -> ProjectReport:
         """Patch every vulnerable file in place.
 
@@ -320,14 +336,17 @@ class ProjectScanner:
         detect and patch, so no decode/TOCTOU window), and write failures
         are recorded on the file's result instead of aborting the tree.
         With ``use_cache=True`` unchanged files reuse cached detect
-        results.
+        results; ``cache=`` supplies a caller-held open cache instead
+        (same contract as :meth:`scan`).
         """
         report = ProjectReport(root=root)
         m = self.metrics
         t = self.trace
         start = clock() if m.enabled else 0.0
         scan_sid = t.begin("scan", str(root)) if t.enabled else ""
-        cache = self.open_cache(root) if use_cache else None
+        if cache is None and use_cache:
+            cache = self.open_cache(root)
+        counts_before = _cache_counts(cache)
         for path in self.python_files(root):
             file_start = clock() if m.enabled else 0.0
             result = FileResult(path=path)
@@ -396,8 +415,9 @@ class ProjectScanner:
             if cache is not None:
                 cache.forget_path(path)
         if cache is not None:
-            report.cache_hits = cache.hits
-            report.cache_misses = cache.misses
+            hits, misses, _ = _cache_delta(cache, counts_before)
+            report.cache_hits = hits
+            report.cache_misses = misses
             cache.save()
         if t.enabled:
             t.end(
@@ -408,7 +428,7 @@ class ProjectScanner:
             )
         if m.enabled:
             m.count("files_patched", sum(1 for f in report.files if f.patched))
-        self._finish_metrics(report, cache, start)
+        self._finish_metrics(report, cache, start, counts_before)
         return report
 
     # ------------------------------------------------------------ caching
@@ -545,6 +565,30 @@ class ProjectScanner:
     def _analyze_file(self, path: Path) -> FileResult:
         result, _digest, _stat, _metrics, _trace = self._analyze_one(path)
         return result
+
+
+def _cache_counts(cache: Optional[ScanCache]) -> Tuple[int, int, int]:
+    """Snapshot of a cache's ``(hits, misses, stale_hints)`` counters.
+
+    A fresh per-scan cache starts at zero, so the delta against this
+    snapshot equals the lifetime counters; a long-lived cache shared by
+    a daemon does not, which is why reports subtract rather than read
+    the counters directly.
+    """
+    if cache is None:
+        return (0, 0, 0)
+    return (cache.hits, cache.misses, cache.stale_hints)
+
+
+def _cache_delta(
+    cache: ScanCache, before: Tuple[int, int, int]
+) -> Tuple[int, int, int]:
+    """Counter movement on ``cache`` since a ``_cache_counts`` snapshot."""
+    return (
+        cache.hits - before[0],
+        cache.misses - before[1],
+        cache.stale_hints - before[2],
+    )
 
 
 class _FakeStat:

@@ -11,11 +11,12 @@ and testable.
 from repro.ide.document import Position, Range, Selection, TextDocument
 from repro.ide.edits import EditBuilder, TextEdit, WorkspaceEdit
 from repro.ide.extension import ExtensionSession, PatchitPyExtension, Popup
-from repro.ide.protocol import LanguageServer
+from repro.ide.protocol import LanguageServer, ServerTransport
 
 __all__ = [
     "EditBuilder",
     "LanguageServer",
+    "ServerTransport",
     "ExtensionSession",
     "PatchitPyExtension",
     "Popup",

@@ -13,17 +13,25 @@ document model:
 
 Payloads are plain dicts in LSP 3.17 shapes, so a thin stdio transport
 can serve any LSP-capable editor.
+
+The language server normally embeds an in-process engine; pointing it at
+a running scan daemon instead is one line —
+``LanguageServer(engine=ServerTransport(ServerClient(port=8753)))`` —
+because :class:`ServerTransport` exposes the two engine methods the
+server calls (``detect`` and ``render_patches``) over the daemon's
+``/v1/analyze`` endpoint.  Many editor windows then share one warm
+engine instead of each paying rule-compilation at startup.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core import PatchitPy
 from repro.core.imports import ImportManager
 from repro.ide.document import TextDocument
-from repro.types import Finding, Severity
+from repro.types import Finding, Patch, Severity, Span
 
 # LSP DiagnosticSeverity: 1=Error, 2=Warning, 3=Information, 4=Hint
 _LSP_SEVERITY = {
@@ -195,3 +203,55 @@ def _to_position(document: TextDocument, payload: Dict[str, int]):
     from repro.ide.document import Position
 
     return Position(payload["line"], payload["character"])
+
+
+class ServerTransport:
+    """An engine-shaped adapter that analyzes on a running scan daemon.
+
+    Implements exactly the :class:`~repro.core.PatchitPy` surface
+    :class:`LanguageServer` touches — :meth:`detect` and
+    :meth:`render_patches` — by calling the daemon's ``/v1/analyze``
+    endpoint and rebuilding the wire payloads into the ordinary
+    :class:`~repro.types.Finding`/:class:`~repro.types.Patch`
+    dataclasses.  ``client`` is any object with the
+    :class:`~repro.server.client.ServerClient` ``analyze()`` signature.
+    """
+
+    def __init__(self, client) -> None:
+        self.client = client
+
+    def detect(self, source: str) -> List[Finding]:
+        payload = self.client.analyze(source, patch=False)
+        return [Finding.from_dict(raw) for raw in payload.get("findings", [])]
+
+    def render_patches(
+        self, source: str, findings: Sequence[Finding]
+    ) -> List[Patch]:
+        payload = self.client.analyze(source, patch=True)
+        rendered = [
+            Patch(
+                rule_id=raw["rule_id"],
+                cwe_id=raw["cwe_id"],
+                span=Span(raw["span"][0], raw["span"][1]),
+                replacement=raw["replacement"],
+                new_imports=tuple(raw.get("imports", ())),
+                description=raw.get("description", ""),
+            )
+            for raw in payload.get("patches", [])
+        ]
+        # The daemon rendered patches for every finding in the source;
+        # keep only those belonging to the findings asked about (matched
+        # by rule at the finding's span — the daemon may re-anchor spans,
+        # so fall back to the rule alone when no span-exact patch exists).
+        wanted: List[Patch] = []
+        for finding in findings:
+            exact = [
+                p
+                for p in rendered
+                if p.rule_id == finding.rule_id and p.span.start == finding.span.start
+            ]
+            by_rule = exact or [p for p in rendered if p.rule_id == finding.rule_id]
+            for patch in by_rule[:1]:
+                if patch not in wanted:
+                    wanted.append(patch)
+        return wanted

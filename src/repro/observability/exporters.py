@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import List
+from typing import List, Mapping, Optional
 
 from repro.observability.collector import ScanMetrics
 
@@ -42,7 +42,11 @@ def _prom_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def to_prometheus(metrics: ScanMetrics, prefix: str = "patchitpy") -> str:
+def to_prometheus(
+    metrics: ScanMetrics,
+    prefix: str = "patchitpy",
+    extra_gauges: Optional[Mapping[str, float]] = None,
+) -> str:
     """The snapshot in Prometheus text exposition format.
 
     Counters and timers export as ``<prefix>_<name>``; per-rule fields
@@ -50,6 +54,10 @@ def to_prometheus(metrics: ScanMetrics, prefix: str = "patchitpy") -> str:
     etc.).  Per-file durations are deliberately not exported — file paths
     make unbounded-cardinality label values, the classic Prometheus
     anti-pattern; use the JSON snapshot for per-file data.
+
+    ``extra_gauges`` appends point-in-time gauge families the collector
+    cannot accumulate (a server's uptime, in-flight request count, queue
+    capacity); each exports as ``<prefix>_<name>`` with gauge type.
     """
     lines: List[str] = []
 
@@ -111,6 +119,12 @@ def to_prometheus(metrics: ScanMetrics, prefix: str = "patchitpy") -> str:
                 f'{metric}{{rule="{_prom_label(rule_id)}",'
                 f'file="{_prom_label(entry.worst_file)}"}} {entry.worst_ms:.3f}'
             )
+
+    for name, value in sorted((extra_gauges or {}).items()):
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# HELP {metric} Point-in-time gauge from a patchitpy process.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
 
     return "\n".join(lines) + "\n"
 

@@ -1,0 +1,27 @@
+"""The persistent scan server (``patchitpy serve``) and its client.
+
+Layering:
+
+- :mod:`repro.server.http11` — minimal HTTP/1.1 framing over asyncio
+  streams (limits, timeouts, keep-alive);
+- :mod:`repro.server.app` — :class:`PatchitPyServer`: the warm engine,
+  open caches, worker pool, endpoints, backpressure, deadlines, and
+  graceful drain; :class:`BackgroundServer` embeds one on a thread;
+- :mod:`repro.server.daemon` — the ``patchitpy serve`` argument parser
+  and foreground process glue (signals, event loop);
+- :mod:`repro.server.client` — a stdlib keep-alive JSON client
+  (:class:`ServerClient`), over TCP or a unix socket.
+
+See ``docs/server.md`` for the operational guide.
+"""
+
+from repro.server.app import BackgroundServer, PatchitPyServer, ServerConfig
+from repro.server.client import ServerClient, ServerError
+
+__all__ = [
+    "BackgroundServer",
+    "PatchitPyServer",
+    "ServerClient",
+    "ServerConfig",
+    "ServerError",
+]

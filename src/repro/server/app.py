@@ -1,0 +1,685 @@
+"""The persistent scan server: a warm engine behind HTTP endpoints.
+
+Every CLI entry point is a cold process: import the ruleset, open the
+cache, analyze, tear down.  :class:`PatchitPyServer` keeps all of that
+alive for the process lifetime — one warm :class:`~repro.PatchitPy`
+engine (rules compiled once, primed by :meth:`~repro.PatchitPy.warmup`),
+one open :class:`~repro.ScanCache` per scan root, and one reusable
+worker pool — and serves the paper's IDE-extension request shape
+(PAPER.md §V) over plain HTTP:
+
+========================  =====================================================
+``POST /v1/analyze``      one snippet → findings (+ patches when asked)
+``POST /v1/batch``        N snippets fanned across the worker pool
+``POST /v1/scan``         a project tree, incremental through the open cache
+``GET /healthz``          liveness/readiness (reports ``draining``)
+``GET /metrics``          Prometheus text format (the PR 2/3 exporter)
+========================  =====================================================
+
+Robustness contract (exercised by ``tests/test_server.py``):
+
+- **Backpressure** — at most ``queue_depth`` analysis units may be
+  queued or running; a request that would exceed it is refused with
+  ``429`` and a ``Retry-After`` hint instead of growing an unbounded
+  queue.
+- **Deadlines** — every analysis request carries a deadline
+  (``deadline_ms`` in the body, defaulting to the server-wide setting);
+  expiry answers ``504`` while the already-submitted work is left to
+  drain in the pool.
+- **Body/header limits and read timeouts** — enforced by the framing
+  layer (:mod:`repro.server.http11`).
+- **Graceful drain** — :meth:`PatchitPyServer.shutdown` (wired to
+  SIGTERM/SIGINT by the daemon) stops accepting, lets in-flight
+  requests finish up to ``drain_timeout_s``, persists every open cache,
+  and only then stops the loop.
+
+Observability is threaded through the existing layer, not re-invented:
+each request runs against a fresh per-request :class:`ScanMetrics`
+snapshot that is merged into the server-lifetime collector (the same
+associative fold the process-pool scanner uses), every response carries
+an ``X-Patchitpy-Trace-Id``, and ``/metrics`` is the PR 2/3 Prometheus
+exporter over the lifetime collector plus point-in-time server gauges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import sys
+import threading
+import time
+import uuid
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.core.cache import ScanCache
+from repro.core.engine import PatchitPy
+from repro.core.project import ProjectScanner
+from repro.observability.collector import ScanMetrics, clock
+from repro.observability.exporters import to_prometheus
+from repro.observability.trace import TraceRecorder
+from repro.server.http11 import (
+    HttpError,
+    Request,
+    Response,
+    read_request,
+    write_response,
+)
+
+__all__ = ["BackgroundServer", "PatchitPyServer", "ServerConfig"]
+
+_Handler = Callable[[Request], Awaitable[Response]]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`PatchitPyServer` instance.
+
+    ``jobs`` sizes the analysis pool: 1 keeps a single worker thread
+    (the event loop stays responsive while regex work runs), >1 fans
+    snippets out over a process pool when the engine is picklable (regex
+    matching is CPU-bound, so threads would be GIL-bound) and falls back
+    to threads otherwise.  ``queue_depth`` bounds queued-plus-running
+    analysis units; ``default_deadline_ms`` applies when a request does
+    not carry its own (0 disables).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8753
+    unix_socket: Optional[str] = None
+    jobs: int = 1
+    queue_depth: int = 64
+    default_deadline_ms: float = 30_000.0
+    max_body_bytes: int = 2 * 1024 * 1024
+    io_timeout_s: float = 30.0
+    idle_timeout_s: float = 120.0
+    drain_timeout_s: float = 10.0
+    access_log: bool = False
+
+
+# One engine per pool worker, installed by the initializer so the 85
+# compiled rules are unpickled once per worker, not once per snippet —
+# the same discipline ProjectScanner uses for tree scans.
+_WORKER_ENGINE: Optional[PatchitPy] = None
+
+
+def _pool_init(pickled_engine: bytes) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = pickle.loads(pickled_engine)
+    _WORKER_ENGINE.warmup()
+
+
+def _pool_analyze(source: str, patch: bool) -> Tuple[dict, dict]:
+    assert _WORKER_ENGINE is not None, "pool initializer did not run"
+    return analyze_payload(_WORKER_ENGINE, source, patch)
+
+
+def analyze_payload(
+    engine: PatchitPy,
+    source: str,
+    patch: bool,
+    trace: Optional[TraceRecorder] = None,
+) -> Tuple[dict, dict]:
+    """Run detect(+patch) and shape the JSON payload for one snippet.
+
+    Returns ``(payload, metrics_snapshot_dict)``; the snapshot travels
+    as plain data so the result crosses the process-pool pickle boundary
+    cheaply and the caller merges it into the lifetime collector.  The
+    ``patches`` list is rendered against the *submitted* source (spans
+    anchored to it) so IDE clients can apply the edits verbatim; the
+    fully patched text additionally lands in ``patched_source``.
+    """
+    metrics = ScanMetrics()
+    findings = engine.detect(source, metrics=metrics, trace=trace)
+    payload: dict = {
+        "vulnerable": bool(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    if patch and findings:
+        rendered = engine.render_patches(source, findings, trace=trace)
+        payload["patches"] = [
+            {
+                "rule_id": p.rule_id,
+                "cwe_id": p.cwe_id,
+                "span": [p.span.start, p.span.end],
+                "replacement": p.replacement,
+                "imports": list(p.new_imports),
+                "description": p.description,
+            }
+            for p in rendered
+        ]
+        result = engine.patch(source, findings, metrics=metrics, trace=trace)
+        payload["patched_source"] = result.patched
+        payload["patches_applied"] = len(result.applied)
+        payload["unpatchable"] = len(result.unpatchable)
+    elif patch:
+        payload["patches"] = []
+        payload["patched_source"] = source
+        payload["patches_applied"] = 0
+        payload["unpatchable"] = 0
+    if trace is not None and trace.enabled:
+        payload["trace_events"] = list(trace.events)
+    return payload, metrics.to_dict()
+
+
+class PatchitPyServer:
+    """A warm-engine scan daemon over asyncio (see module docstring)."""
+
+    def __init__(
+        self,
+        engine: Optional[PatchitPy] = None,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else PatchitPy()
+        self.config = config if config is not None else ServerConfig()
+        #: Server-lifetime metrics — per-request snapshots merge in here.
+        self.metrics = ScanMetrics()
+        self._caches: Dict[Path, ScanCache] = {}
+        self._pool: Optional[Executor] = None
+        self._pool_kind = "none"
+        self._uses_process_pool = False
+        self._asyncio_server: Optional[asyncio.AbstractServer] = None
+        self._started_at = 0.0
+        self._pending = 0  # queued-or-running analysis units (backpressure)
+        self._inflight = 0  # HTTP requests currently being handled
+        self._conn_tasks: set = set()  # connection handler tasks, for drain
+        self._idle: Optional[asyncio.Event] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self.draining = False
+        self._routes: Dict[Tuple[str, str], _Handler] = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("POST", "/v1/analyze"): self._handle_analyze,
+            ("POST", "/v1/batch"): self._handle_batch,
+            ("POST", "/v1/scan"): self._handle_scan,
+        }
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound TCP port (``None`` before start / on unix sockets)."""
+        if self._asyncio_server is None or self.config.unix_socket:
+            return None
+        sockets = self._asyncio_server.sockets or []
+        return sockets[0].getsockname()[1] if sockets else None
+
+    async def start(self) -> "PatchitPyServer":
+        """Warm the engine, build the pool, and bind the listener."""
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self.engine.warmup()
+        self._pool, self._pool_kind = self._build_pool()
+        if self.config.unix_socket:
+            self._asyncio_server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.unix_socket
+            )
+        else:
+            self._asyncio_server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host, port=self.config.port
+            )
+        self._started_at = time.monotonic()
+        return self
+
+    def _build_pool(self) -> Tuple[Executor, str]:
+        jobs = max(1, self.config.jobs)
+        if jobs > 1 and self._engine_picklable():
+            pool = ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_pool_init,
+                initargs=(pickle.dumps(self.engine),),
+            )
+            self._uses_process_pool = True
+            return pool, "process"
+        return ThreadPoolExecutor(max_workers=jobs), "thread"
+
+    def _engine_picklable(self) -> bool:
+        try:
+            pickle.dumps(self.engine)
+            return True
+        except Exception:
+            return False
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`shutdown` has fully drained the server."""
+        assert self._stopped is not None, "server not started"
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, persist.
+
+        Idempotent — SIGTERM followed by SIGINT (or a test calling it
+        twice) runs the drain once.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+        assert self._idle is not None and self._stopped is not None
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=self.config.drain_timeout_s
+            )
+        except asyncio.TimeoutError:
+            pass  # drain budget spent; abandon stragglers
+        # In-flight requests are done (or abandoned); what remains are
+        # idle keep-alive connections parked in read_request.  Cancel
+        # them so no handler task outlives the loop.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        for cache in self._caches.values():
+            cache.close()
+        self._stopped.set()
+
+    # ---------------------------------------------------------- connection
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        cfg = self.config
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, cfg.max_body_bytes, cfg.idle_timeout_s, cfg.io_timeout_s
+                    )
+                except HttpError as error:
+                    await write_response(writer, Response.from_error(error), False)
+                    break
+                if request is None:
+                    break
+                trace_id = uuid.uuid4().hex[:16]
+                started = clock()
+                self._inflight += 1
+                assert self._idle is not None
+                self._idle.clear()
+                try:
+                    response = await self._dispatch(request)
+                except HttpError as error:
+                    response = Response.from_error(error)
+                except Exception as error:  # noqa: BLE001 - must answer 500
+                    response = Response.from_error(
+                        HttpError(500, f"internal error: {error}")
+                    )
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                self._account(request, response, trace_id, clock() - started)
+                keep = request.keep_alive and not self.draining
+                try:
+                    await write_response(
+                        writer,
+                        response,
+                        keep,
+                        extra_headers={"X-Patchitpy-Trace-Id": trace_id},
+                    )
+                except (ConnectionError, OSError):
+                    break
+                if not keep:
+                    break
+        except asyncio.CancelledError:
+            pass  # drain cancelled an idle keep-alive connection
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    def _account(
+        self, request: Request, response: Response, trace_id: str, seconds: float
+    ) -> None:
+        """Fold one request into the lifetime collector and access log."""
+        m = self.metrics
+        m.count("server_requests")
+        m.count(f"server_responses_{response.status // 100}xx")
+        m.add_time("server_request_time_s", seconds)
+        if self.config.access_log:
+            print(
+                f"[{trace_id}] {request.method} {request.path} "
+                f"{response.status} {seconds * 1000.0:.1f}ms",
+                file=sys.stderr,
+            )
+
+    async def _dispatch(self, request: Request) -> Response:
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            if any(path == request.path for _, path in self._routes):
+                raise HttpError(405, f"method {request.method} not allowed")
+            raise HttpError(404, f"no such endpoint: {request.path}")
+        if self.draining and request.path.startswith("/v1/"):
+            raise HttpError(503, "server is draining", headers={"Retry-After": "1"})
+        return await handler(request)
+
+    # ------------------------------------------------------------- workers
+
+    def _acquire_slots(self, units: int) -> None:
+        """Reserve ``units`` queue slots or refuse with 429."""
+        depth = self.config.queue_depth
+        if units > depth:
+            raise HttpError(
+                429,
+                f"request needs {units} analysis slot(s) but the queue depth "
+                f"is {depth}",
+                headers={"Retry-After": "1"},
+            )
+        if self._pending + units > depth:
+            self.metrics.count("server_backpressure_rejections")
+            raise HttpError(
+                429,
+                f"analysis queue is full ({self._pending}/{depth} slots in use)",
+                headers={"Retry-After": "1"},
+            )
+        self._pending += units
+
+    def _submit_analysis(self, source: str, patch: bool) -> "asyncio.Future":
+        """One snippet onto the pool; the slot frees when the work ends."""
+        loop = asyncio.get_running_loop()
+        if self._uses_process_pool:
+            future = loop.run_in_executor(self._pool, _pool_analyze, source, patch)
+        else:
+            future = loop.run_in_executor(
+                self._pool, analyze_payload, self.engine, source, patch
+            )
+        future.add_done_callback(lambda _f: self._release_slot())
+        return future
+
+    def _release_slot(self) -> None:
+        self._pending = max(0, self._pending - 1)
+
+    def _deadline_s(self, body: dict) -> Optional[float]:
+        raw = body.get("deadline_ms", self.config.default_deadline_ms)
+        try:
+            deadline_ms = float(raw)
+        except (TypeError, ValueError):
+            raise HttpError(400, f"deadline_ms must be a number, got {raw!r}")
+        return deadline_ms / 1000.0 if deadline_ms > 0 else None
+
+    @staticmethod
+    def _require_source(payload: dict, where: str = "request") -> str:
+        source = payload.get("source")
+        if not isinstance(source, str):
+            raise HttpError(400, f"{where} must carry a string 'source' field")
+        return source
+
+    # ------------------------------------------------------------ handlers
+
+    async def _handle_healthz(self, request: Request) -> Response:
+        status = "draining" if self.draining else "ok"
+        from repro import __version__
+
+        return Response.json_response(
+            {
+                "status": status,
+                "version": __version__,
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "rules": len(self.engine.rules),
+                "pool": self._pool_kind,
+                "jobs": max(1, self.config.jobs),
+                "queue_depth": self.config.queue_depth,
+                "queued": self._pending,
+                "inflight": self._inflight,
+                "requests_total": self.metrics.counters.get("server_requests", 0),
+                "open_caches": len(self._caches),
+            },
+            status=503 if self.draining else 200,
+        )
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        gauges = {
+            "server_uptime_seconds": time.monotonic() - self._started_at,
+            "server_inflight_requests": float(self._inflight),
+            "server_queued_units": float(self._pending),
+            "server_queue_capacity": float(self.config.queue_depth),
+            "server_open_caches": float(len(self._caches)),
+        }
+        return Response.text_response(to_prometheus(self.metrics, extra_gauges=gauges))
+
+    async def _handle_analyze(self, request: Request) -> Response:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        source = self._require_source(body)
+        patch = bool(body.get("patch", False))
+        want_trace = bool(body.get("trace", False))
+        deadline = self._deadline_s(body)
+        started = clock()
+
+        if want_trace:
+            # Traced analysis runs inline on the loop's default executor:
+            # the recorder's event buffer must come back with the result,
+            # and the trace is a debugging surface, not the hot path.
+            self._acquire_slots(1)
+            recorder = TraceRecorder()
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(
+                None, analyze_payload, self.engine, source, patch, recorder
+            )
+            future.add_done_callback(lambda _f: self._release_slot())
+        else:
+            self._acquire_slots(1)
+            future = self._submit_analysis(source, patch)
+        try:
+            payload, snapshot = await self._await_deadline(future, deadline)
+        except asyncio.TimeoutError:
+            raise HttpError(
+                504, f"analysis missed its deadline of {deadline * 1000.0:g}ms"
+            )
+        self.metrics.merge(ScanMetrics.from_dict(snapshot))
+        payload["duration_ms"] = round((clock() - started) * 1000.0, 3)
+        return Response.json_response(payload)
+
+    async def _handle_batch(self, request: Request) -> Response:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        items = body.get("items")
+        if not isinstance(items, list) or not items:
+            raise HttpError(400, "batch requests need a non-empty 'items' list")
+        patch = bool(body.get("patch", False))
+        deadline = self._deadline_s(body)
+        started = clock()
+
+        sources: List[str] = []
+        ids: List[Any] = []
+        for index, item in enumerate(items):
+            if not isinstance(item, dict):
+                raise HttpError(400, f"items[{index}] must be a JSON object")
+            sources.append(self._require_source(item, where=f"items[{index}]"))
+            ids.append(item.get("id", index))
+
+        self._acquire_slots(len(sources))
+        futures = [self._submit_analysis(source, patch) for source in sources]
+        gathered = asyncio.gather(*futures, return_exceptions=True)
+        try:
+            outcomes = await self._await_deadline(gathered, deadline)
+        except asyncio.TimeoutError:
+            gathered.cancel()
+            raise HttpError(
+                504,
+                f"batch of {len(sources)} missed its deadline of "
+                f"{deadline * 1000.0:g}ms",
+            )
+
+        results: List[dict] = []
+        failed = 0
+        for item_id, outcome in zip(ids, outcomes):
+            if isinstance(outcome, BaseException):
+                failed += 1
+                results.append({"id": item_id, "error": str(outcome)})
+                continue
+            payload, snapshot = outcome
+            self.metrics.merge(ScanMetrics.from_dict(snapshot))
+            payload["id"] = item_id
+            results.append(payload)
+        return Response.json_response(
+            {
+                "results": results,
+                "count": len(results),
+                "failed": failed,
+                "duration_ms": round((clock() - started) * 1000.0, 3),
+            }
+        )
+
+    async def _handle_scan(self, request: Request) -> Response:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        raw_root = body.get("root")
+        if not isinstance(raw_root, str) or not raw_root:
+            raise HttpError(400, "scan requests need a string 'root' field")
+        root = Path(raw_root)
+        if not root.is_dir():
+            raise HttpError(400, f"scan root is not a directory: {root}")
+        jobs = max(1, int(body.get("jobs", 1)))
+        use_cache = bool(body.get("use_cache", True))
+        deadline = self._deadline_s(body)
+        started = clock()
+
+        collector = ScanMetrics()
+        scanner = ProjectScanner(engine=self.engine, metrics=collector)
+        cache = self._cache_for(root) if use_cache else None
+
+        def run_scan():
+            return scanner.scan(root, jobs=jobs, processes=False, cache=cache)
+
+        # Tree scans run on the loop's default thread executor, not the
+        # analysis pool: a scan inside a process-pool worker could not
+        # itself fan out, and one scan must not starve snippet analyses.
+        self._acquire_slots(1)
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(None, run_scan)
+        future.add_done_callback(lambda _f: self._release_slot())
+        try:
+            report = await self._await_deadline(future, deadline)
+        except asyncio.TimeoutError:
+            raise HttpError(
+                504, f"scan missed its deadline of {deadline * 1000.0:g}ms"
+            )
+        self.metrics.merge(collector)
+        return Response.json_response(
+            {
+                "root": str(report.root),
+                "files_scanned": report.scanned_count,
+                "vulnerable_files": len(report.vulnerable_files),
+                "total_findings": report.total_findings,
+                "findings_by_cwe": report.findings_by_cwe(),
+                "cache_hits": report.cache_hits,
+                "cache_misses": report.cache_misses,
+                "files": [
+                    {
+                        "path": str(result.path),
+                        "findings": [f.to_dict() for f in result.findings],
+                        "error": result.error,
+                        "from_cache": result.from_cache,
+                    }
+                    for result in report.files
+                    if result.is_vulnerable or result.error
+                ],
+                "duration_ms": round((clock() - started) * 1000.0, 3),
+            }
+        )
+
+    def _cache_for(self, root: Path) -> ScanCache:
+        """The open, shared cache for a scan root (created on first use)."""
+        key = root.resolve()
+        cache = self._caches.get(key)
+        if cache is None or cache.closed:
+            cache = ScanCache(key, self.engine.rules.fingerprint())
+            self._caches[key] = cache
+        return cache
+
+    @staticmethod
+    async def _await_deadline(awaitable, deadline_s: Optional[float]):
+        if deadline_s is None:
+            return await awaitable
+        return await asyncio.wait_for(awaitable, timeout=deadline_s)
+
+
+class BackgroundServer:
+    """Run a :class:`PatchitPyServer` on a thread — tests and benchmarks.
+
+    The daemon proper (``patchitpy serve``) owns the main thread; this
+    helper is for embedding: it spins the event loop on a daemon thread,
+    blocks until the listener is bound, and exposes the address.  Use as
+    a context manager::
+
+        with BackgroundServer(PatchitPyServer()) as handle:
+            client = ServerClient(port=handle.port)
+            ...
+    """
+
+    def __init__(self, server: PatchitPyServer) -> None:
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = None
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        return self.server.port
+
+    @property
+    def unix_socket(self) -> Optional[str]:
+        return self.server.config.unix_socket
+
+    def start(self) -> "BackgroundServer":
+        ready = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as error:  # noqa: BLE001 - reported to caller
+                self._startup_error = error
+                ready.set()
+                return
+            ready.set()
+            try:
+                loop.run_until_complete(self.server.wait_stopped())
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="patchitpy-server", daemon=True
+        )
+        self._thread.start()
+        ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.shutdown(), self._loop)
+        try:
+            future.result(timeout=timeout)
+        except Exception:
+            pass
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

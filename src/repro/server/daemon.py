@@ -1,0 +1,175 @@
+"""``patchitpy serve`` — run the scan daemon in the foreground.
+
+This module owns the serve-mode argument parser and the process-level
+glue (signal handling, event loop lifetime) around
+:class:`~repro.server.app.PatchitPyServer`.  The CLI dispatches here
+when the first argument is ``serve``; everything else about the daemon
+lives in :mod:`repro.server.app`.
+
+Exit codes mirror the main CLI contract: ``0`` for a clean (signalled)
+shutdown, ``2`` when the server cannot start (bad arguments, bind
+failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import List, Optional
+
+from repro.server.app import PatchitPyServer, ServerConfig
+
+__all__ = ["build_serve_parser", "main"]
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Construct the ``patchitpy serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="patchitpy serve",
+        description=(
+            "Run the persistent scan server: one warm engine, an open "
+            "result cache per scan root, and a reusable worker pool "
+            "behind POST /v1/analyze, /v1/batch, /v1/scan plus "
+            "GET /healthz and /metrics."
+        ),
+        epilog=(
+            "exit codes: 0 = clean shutdown (SIGTERM/SIGINT drain), "
+            "2 = server could not start"
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default 127.0.0.1; ignored with --unix-socket)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8753,
+        metavar="N",
+        help="TCP port to listen on (default 8753; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--unix-socket",
+        metavar="PATH",
+        help="listen on a unix domain socket at PATH instead of TCP",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analysis pool size: 1 = a single worker thread, N>1 = a "
+        "process pool of N warm engines (default 1)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max queued-plus-running analysis units before requests are "
+        "refused with 429 (default 64)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=30_000.0,
+        metavar="MS",
+        help="default per-request deadline; expiry answers 504 "
+        "(default 30000; 0 disables, requests may override)",
+    )
+    parser.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=2 * 1024 * 1024,
+        metavar="N",
+        help="largest accepted request body; bigger answers 413 "
+        "(default 2097152)",
+    )
+    parser.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="on SIGTERM/SIGINT, how long to wait for in-flight requests "
+        "before stopping anyway (default 10)",
+    )
+    parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="serve the extended rule catalog instead of the paper's 85 rules",
+    )
+    parser.add_argument(
+        "--access-log",
+        action="store_true",
+        help="log one line per request (trace id, method, path, status, "
+        "duration) to stderr",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServerConfig:
+    """Map parsed serve-mode arguments onto a :class:`ServerConfig`."""
+    return ServerConfig(
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        jobs=max(1, args.jobs),
+        queue_depth=max(1, args.queue_depth),
+        default_deadline_ms=max(0.0, args.deadline_ms),
+        max_body_bytes=max(1, args.max_body_bytes),
+        drain_timeout_s=max(0.0, args.drain_timeout_s),
+        access_log=args.access_log,
+    )
+
+
+async def _serve(server: PatchitPyServer) -> None:
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(server.shutdown())
+            )
+        except (NotImplementedError, RuntimeError):
+            # Non-main thread or platforms without loop signal support;
+            # the embedder stops the server via shutdown() directly.
+            pass
+    where = (
+        server.config.unix_socket
+        if server.config.unix_socket
+        else f"http://{server.config.host}:{server.port}"
+    )
+    print(
+        f"patchitpy server listening on {where} "
+        f"({len(server.engine.rules)} rules, pool={server._pool_kind}, "
+        f"jobs={max(1, server.config.jobs)}, "
+        f"queue_depth={server.config.queue_depth})",
+        file=sys.stderr,
+    )
+    await server.wait_stopped()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``patchitpy serve`` entry point; returns the process exit code."""
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    from repro import PatchitPy, extended_ruleset
+
+    engine = PatchitPy(rules=extended_ruleset() if args.extended else None)
+    server = PatchitPyServer(engine=engine, config=config_from_args(args))
+    try:
+        asyncio.run(_serve(server))
+    except OSError as error:
+        print(f"error: cannot start server: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

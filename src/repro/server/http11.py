@@ -1,0 +1,242 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The scan daemon deliberately does not use ``http.server`` (blocking, one
+thread per connection) or any third-party framework (the repository is
+stdlib-only by contract).  What a JSON-over-HTTP analyzer service needs
+from HTTP is small and this module implements exactly that:
+
+- request parsing (request line, headers, ``Content-Length`` bodies)
+  with hard limits — header size, body size, and read deadlines — so a
+  slow or hostile client cannot pin a connection open or balloon memory;
+- response serialization with correct ``Content-Length`` framing and
+  explicit keep-alive control;
+- a typed :class:`HttpError` that handlers raise and the connection loop
+  turns into the matching status response.
+
+No chunked transfer, no TLS, no HTTP/2: the daemon sits on loopback or a
+unix socket behind whatever real ingress the deployment already has
+(see ``docs/server.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+#: Reason phrases for every status the daemon emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+MAX_REQUEST_LINE_BYTES = 8 * 1024
+MAX_HEADER_BYTES = 16 * 1024
+
+
+class HttpError(Exception):
+    """A protocol- or handler-level failure with an HTTP status.
+
+    ``detail`` lands in the JSON error body; ``headers`` (e.g.
+    ``Retry-After`` on 429) are merged into the response.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        detail: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """The body decoded as JSON (400 on undecodable/invalid input)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise HttpError(400, "request body is not valid JSON")
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to reuse the connection."""
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One HTTP response ready to serialize."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json_response(
+        cls,
+        payload: Any,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "Response":
+        """A JSON body response (sorted keys, trailing newline)."""
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return cls(status=status, body=body, headers=dict(headers or {}))
+
+    @classmethod
+    def text_response(cls, text: str, status: int = 200) -> "Response":
+        """A plain-text response (the ``/metrics`` exposition format)."""
+        return cls(
+            status=status,
+            body=text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    @classmethod
+    def from_error(cls, error: HttpError) -> "Response":
+        """The JSON error body for a raised :class:`HttpError`."""
+        return cls.json_response(
+            {"error": error.detail, "status": error.status},
+            status=error.status,
+            headers=error.headers,
+        )
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int,
+    idle_timeout_s: float,
+    io_timeout_s: float,
+) -> Optional[Request]:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean close (EOF before any bytes of a new
+    request, or an idle keep-alive connection timing out) — the caller
+    just drops the connection.  Anything malformed or over-limit raises
+    :class:`HttpError`, which the caller answers before closing:
+    408 for a client that stalls mid-request, 413/431 for over-limit
+    payloads/headers, 400 for unparseable framing.
+    """
+    try:
+        line = await asyncio.wait_for(reader.readline(), timeout=idle_timeout_s)
+    except asyncio.TimeoutError:
+        return None  # idle keep-alive connection: close without a response
+    if not line.strip():
+        # EOF or a bare CRLF between requests followed by EOF
+        if not line:
+            return None
+        try:
+            line = await asyncio.wait_for(reader.readline(), timeout=io_timeout_s)
+        except asyncio.TimeoutError:
+            return None
+        if not line.strip():
+            return None
+    if len(line) > MAX_REQUEST_LINE_BYTES:
+        raise HttpError(431, "request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            raw = await asyncio.wait_for(reader.readline(), timeout=io_timeout_s)
+        except asyncio.TimeoutError:
+            raise HttpError(408, "timed out reading request headers")
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            raise HttpError(400, "connection closed mid-headers")
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(431, "request headers too large")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(400, "malformed Content-Length")
+    if length < 0:
+        raise HttpError(400, "negative Content-Length")
+    if length > max_body_bytes:
+        raise HttpError(
+            413, f"request body of {length} bytes exceeds limit {max_body_bytes}"
+        )
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    body = b""
+    if length:
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=io_timeout_s
+            )
+        except asyncio.TimeoutError:
+            raise HttpError(408, "timed out reading request body")
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "connection closed mid-body")
+
+    path, query = _split_target(target)
+    return Request(
+        method=method.upper(), path=path, query=query, headers=headers, body=body
+    )
+
+
+def _split_target(target: str) -> Tuple[str, Dict[str, str]]:
+    parts = urlsplit(target)
+    return parts.path or "/", dict(parse_qsl(parts.query))
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    response: Response,
+    keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Serialize ``response`` onto the stream and flush it."""
+    reason = REASONS.get(response.status, "Unknown")
+    headers = {
+        "Content-Type": response.content_type,
+        "Content-Length": str(len(response.body)),
+        "Connection": "keep-alive" if keep_alive else "close",
+        **response.headers,
+        **(extra_headers or {}),
+    }
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    head.extend(f"{name}: {value}" for name, value in headers.items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(response.body)
+    await writer.drain()

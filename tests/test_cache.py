@@ -230,3 +230,91 @@ class TestPatchTreeCache:
         patched = [f for f in report.files if f.patched]
         assert len(patched) == 1
         assert all(f.from_cache for f in report.files if f.error is None)
+
+
+class TestScanCacheLifecycle:
+    """The open/close contract the scan daemon relies on."""
+
+    def test_close_persists_and_is_idempotent(self, tmp_path):
+        cache = ScanCache(tmp_path, "fp")
+        cache.store("d1", [])
+        assert cache.close() is True  # first close performs the save
+        assert cache.closed
+        assert cache.close() is False  # second close is a no-op
+        reloaded = ScanCache(tmp_path, "fp")
+        assert reloaded.lookup("d1") is not None
+
+    def test_mutations_after_close_are_noops(self, tmp_path):
+        cache = ScanCache(tmp_path, "fp")
+        cache.store("kept", [])
+        cache.close()
+        cache.store("dropped", [])
+        cache.remember_stat(tmp_path / "f.py", os.stat(tmp_path), "dropped")
+        assert cache.save() is False
+        reloaded = ScanCache(tmp_path, "fp")
+        assert reloaded.lookup("kept") is not None
+        assert reloaded.lookup("dropped") is None
+        # direct misses, because the post-close lookup above also counted
+        assert reloaded.misses >= 1
+
+    def test_lookups_keep_working_after_close(self, tmp_path):
+        cache = ScanCache(tmp_path, "fp")
+        cache.store("d1", [])
+        cache.close()
+        assert cache.lookup("d1") is not None
+
+    def test_context_manager_closes(self, tmp_path):
+        with ScanCache(tmp_path, "fp") as cache:
+            cache.store("d1", [])
+        assert cache.closed
+        assert ScanCache(tmp_path, "fp").lookup("d1") is not None
+
+    def test_concurrent_readers_and_writers_one_process(self, tmp_path):
+        """Overlapping store/lookup threads never corrupt the tables.
+
+        This is the daemon's exact sharing pattern: one open cache, many
+        request threads hitting it concurrently.
+        """
+        import threading
+
+        cache = ScanCache(tmp_path, "fp")
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(slot):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(200):
+                    digest = f"w{slot}-{i}"
+                    cache.store(digest, [])
+                    assert cache.lookup(digest) is not None
+                    cache.lookup(f"missing-{slot}-{i}")
+                    if i % 50 == 0:
+                        cache.save()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) == 8 * 200
+        assert cache.hits == 8 * 200
+        assert cache.misses == 8 * 200
+        assert cache.close() in (True, False)
+        reloaded = ScanCache(tmp_path, "fp")
+        assert len(reloaded) == 8 * 200
+
+    def test_scanner_accepts_caller_held_cache(self, tree):
+        """scan(cache=...) reuses the open cache and reports per-scan deltas."""
+        scanner = ProjectScanner()
+        cache = scanner.open_cache(tree)
+        cold = scanner.scan(tree, cache=cache)
+        warm = scanner.scan(tree, cache=cache)
+        assert not cache.closed  # caller-held caches are never closed
+        assert cold.cache_misses == 2 and cold.cache_hits == 0
+        # deltas, not the cache's lifetime totals
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        cache.close()
