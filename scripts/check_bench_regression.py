@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""CI gate: the candidate-indexed engine must not lose to the naive path.
+
+Reads the BENCH JSON written by ``benchmarks/bench_candidate_index.py``
+and fails (exit 1) when any recorded speedup falls below the floor — an
+indexed engine slower than per-rule prefilters means the index has
+regressed into pure overhead and the PR should not merge.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        [benchmarks/output/candidate_index.json] [--min-speedup 1.0]
+
+The default floor of 1.0 only demands "no slower"; the benchmark's own
+assertions already require a strict win at full scale, so this gate is
+the belt to that suspender on noisy CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_ARTIFACT = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "output"
+    / "candidate_index.json"
+)
+
+GATED_SPEEDUPS = ("single_file_speedup", "project_scan_speedup")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "artifact",
+        nargs="?",
+        type=Path,
+        default=DEFAULT_ARTIFACT,
+        help=f"BENCH JSON to gate on (default: {DEFAULT_ARTIFACT})",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail when any gated speedup is below this ratio (default 1.0)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    if not args.artifact.exists():
+        print(f"bench regression gate: artifact not found: {args.artifact}")
+        print("run: PYTHONPATH=src python -m pytest -q benchmarks/bench_candidate_index.py")
+        return 1
+    try:
+        results = json.loads(args.artifact.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"bench regression gate: unreadable artifact {args.artifact}: {error}")
+        return 1
+
+    problems = []
+    for key in GATED_SPEEDUPS:
+        value = results.get(key)
+        if not isinstance(value, (int, float)):
+            problems.append(f"{key}: missing from artifact")
+        elif value < args.min_speedup:
+            problems.append(
+                f"{key}: x{value:.3f} is below the x{args.min_speedup:.2f} floor "
+                "— the indexed path lost to the naive per-rule prefilters"
+            )
+
+    if problems:
+        print(f"bench regression gate FAILED ({args.artifact}):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    gated = ", ".join(f"{key}=x{results[key]:.2f}" for key in GATED_SPEEDUPS)
+    print(f"bench regression gate ok: {gated} (floor x{args.min_speedup:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

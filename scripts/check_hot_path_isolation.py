@@ -2,18 +2,23 @@
 """Lint: the disabled scan path must not touch the tracing machinery.
 
 The observability contract (PR 2, extended by the tracing PR) says a scan
-with tracing disabled executes exactly the pre-tracing code.  Two
-grep-level properties keep that honest, and this script asserts both:
+with tracing disabled executes exactly the pre-tracing code.  Three
+grep-level properties keep that honest, and this script asserts all of
+them:
 
 1. ``repro/core/matching.py`` has no *module-level* import of
    ``repro.observability.trace`` or ``repro.observability.provenance`` —
    the traced path imports them function-locally, so the disabled path
    never pays the import (and never can, even by accident, reference a
    tracing symbol at module scope).
-2. The body of ``_match_rule_fast`` — the hot loop every disabled scan
-   runs per rule per file — contains no ``trace``, ``provenance``,
-   ``span_id`` or ``metrics`` token: zero instrumentation, zero
-   bookkeeping.
+2. The bodies of ``_match_rule_fast`` and ``_match_candidate_fast`` —
+   the hot loops every disabled scan runs per rule per file — contain no
+   ``trace``, ``provenance``, ``span_id`` or ``metrics`` token: zero
+   instrumentation, zero bookkeeping.
+3. ``repro/core/candidates.py`` (the candidate index every untraced scan
+   now consults) imports nothing from ``repro.observability`` at all —
+   at module level or otherwise — so tracing symbols cannot leak into
+   the hot path through it.
 
 Exit code 0 when clean, 1 with a report when violated.  Run from the
 repository root (CI does); takes an optional path to the repo root.
@@ -31,6 +36,8 @@ FORBIDDEN_MODULE_IMPORTS = (
 )
 
 HOT_LOOP_TOKENS = ("trace", "provenance", "span_id", "metrics")
+
+HOT_LOOP_FUNCTIONS = ("_match_rule_fast", "_match_candidate_fast")
 
 
 def _function_body(source: str, name: str) -> str:
@@ -72,13 +79,25 @@ def main(argv: list[str]) -> int:
                     "(must be local to the traced path)"
                 )
 
-    # 2. The hot loop stays uninstrumented.
-    hot = _function_body(source, "_match_rule_fast")
-    for token in HOT_LOOP_TOKENS:
-        if re.search(rf"\b{token}\b", hot):
+    # 2. The hot loops stay uninstrumented.
+    for function in HOT_LOOP_FUNCTIONS:
+        hot = _function_body(source, function)
+        for token in HOT_LOOP_TOKENS:
+            if re.search(rf"\b{token}\b", hot):
+                problems.append(
+                    f"{matching}: {function} mentions '{token}' — the "
+                    "disabled hot loop must carry no instrumentation"
+                )
+
+    # 3. The candidate index must not pull in observability at all —
+    # comments/docstrings excepted, import statements anywhere included.
+    candidates = root / "src" / "repro" / "core" / "candidates.py"
+    for number, line in enumerate(candidates.read_text().splitlines(), start=1):
+        code = line.split("#", 1)[0]
+        if "repro.observability" in code and ("import" in code or "from" in code):
             problems.append(
-                f"{matching}: _match_rule_fast mentions '{token}' — the "
-                "disabled hot loop must carry no instrumentation"
+                f"{candidates}:{number}: imports from repro.observability — "
+                "the candidate index is on the untraced hot path"
             )
 
     if problems:
@@ -87,7 +106,8 @@ def main(argv: list[str]) -> int:
             print(f"  {problem}")
         return 1
     print("hot-path isolation ok: matching.py imports no tracing modules at "
-          "module level; _match_rule_fast is instrumentation-free")
+          "module level; _match_rule_fast/_match_candidate_fast are "
+          "instrumentation-free; candidates.py imports no observability")
     return 0
 
 

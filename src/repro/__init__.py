@@ -65,7 +65,7 @@ from repro.types import (
     Span,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnalysisReport",

@@ -99,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory mode: delete the persistent cache before scanning",
     )
     parser.add_argument(
+        "--no-index",
+        action="store_true",
+        help="disable the single-pass candidate index and fall back to "
+        "per-rule literal prefilters (ablation/debugging; findings are "
+        "identical either way)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print scan statistics: per-rule timing/match/prefilter-skip "
@@ -217,7 +224,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     collector = ScanMetrics() if _wants_metrics(args) else None
     tracer = TraceRecorder() if args.trace else None
     engine = PatchitPy(
-        rules=extended_ruleset() if args.extended else None, metrics=collector
+        rules=extended_ruleset() if args.extended else None,
+        metrics=collector,
+        use_index=not args.no_index,
     )
     if tracer is not None:
         findings = engine.detect(analyzed, trace=tracer)
@@ -288,7 +297,10 @@ def _scan_directory(args: argparse.Namespace) -> int:
     collector = ScanMetrics() if _wants_metrics(args) else None
     tracer = TraceRecorder() if args.trace else None
     budget = args.slow_rule_budget_ms if args.slow_rule_budget_ms > 0 else None
-    engine = PatchitPy(rules=extended_ruleset() if args.extended else None)
+    engine = PatchitPy(
+        rules=extended_ruleset() if args.extended else None,
+        use_index=not args.no_index,
+    )
     scanner = ProjectScanner(
         engine=engine, metrics=collector, trace=tracer, slow_rule_budget_ms=budget
     )

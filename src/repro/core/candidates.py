@@ -1,0 +1,387 @@
+"""Single-pass multi-literal candidate selection for the rule engine.
+
+Every ``run_rules`` call used to perform one ``literal in source`` scan
+*per rule* — ~85 passes over each file before a single regex ran.  This
+module collapses those scans into one multi-pattern pass, the way
+production scanners in the Semgrep/ripgrep lineage do:
+
+- :class:`AhoCorasick` — a pure-Python, pickle-safe Aho–Corasick
+  automaton over every rule's required literals.  It defines the
+  *semantics* of a lookup: which literals occur anywhere in the source,
+  discovered in one left-to-right pass.
+- :class:`RuleIndex` — compiled once per :class:`~repro.core.rules.base.RuleSet`
+  (and carried through pickling into ``ProcessPoolExecutor`` workers and
+  the warm scan-server engine), it maps one pass over a source to the
+  exact candidate rule subset.  A rule is a candidate iff *all* of its
+  required literals are present; rules with no derivable literal live in
+  an always-run bucket, so index-on and index-off matching provably
+  produce identical findings.
+
+CPython detail: a character-at-a-time automaton walk in Python is slower
+than C substring scans, so :meth:`RuleIndex.lookup` evaluates the same
+literal set through a C-accelerated equivalent (:class:`_TrieScanner`):
+high-frequency word-shaped literals are probed with single ``in`` checks
+and the selective remainder is swept by one trie-factored alternation
+regex with substring-implication closure.  The scanner is
+behavior-identical to the automaton — ``lookup(reference=True)`` runs
+the automaton instead, and the equivalence is pinned by tests.
+
+``IGNORECASE`` rules get case-folded literals (lowercased, checked
+against a lowercased copy of the source).  The fold is only trusted for
+ASCII sources, where ``str.lower()`` agrees exactly with the regex
+engine's case-insensitivity; a non-ASCII source simply promotes every
+folded-requirement rule to candidate (correct, never fast-and-wrong).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.core.prefilter import required_literal_groups, required_literals
+
+__all__ = ["AhoCorasick", "IndexLookup", "RuleIndex"]
+
+
+class AhoCorasick:
+    """A pure-Python Aho–Corasick automaton over a set of literals.
+
+    Plain-data representation (per-node ``dict`` transition tables, flat
+    failure/output lists) so instances pickle cleanly into worker
+    processes.  Duplicate literals share a terminal node; empty literals
+    are rejected.
+    """
+
+    def __init__(self, literals: Sequence[str]) -> None:
+        self._literals: Tuple[str, ...] = tuple(literals)
+        if any(not literal for literal in self._literals):
+            raise ValueError("Aho-Corasick literals must be non-empty")
+        goto: List[Dict[str, int]] = [{}]
+        output: List[List[int]] = [[]]
+        for literal_id, literal in enumerate(self._literals):
+            node = 0
+            for char in literal:
+                nxt = goto[node].get(char)
+                if nxt is None:
+                    goto.append({})
+                    output.append([])
+                    nxt = len(goto) - 1
+                    goto[node][char] = nxt
+                node = nxt
+            output[node].append(literal_id)
+        fail = [0] * len(goto)
+        queue: "deque[int]" = deque()
+        for child in goto[0].values():
+            queue.append(child)
+        while queue:
+            node = queue.popleft()
+            for char, child in goto[node].items():
+                queue.append(child)
+                link = fail[node]
+                while link and char not in goto[link]:
+                    link = fail[link]
+                fail[child] = goto[link].get(char, 0) if node else 0
+                output[child].extend(output[fail[child]])
+        self._goto: Tuple[Dict[str, int], ...] = tuple(goto)
+        self._fail: Tuple[int, ...] = tuple(fail)
+        self._output: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(ids) for ids in output
+        )
+
+    @property
+    def literals(self) -> Tuple[str, ...]:
+        """The automaton's literal set, in id order."""
+        return self._literals
+
+    def __len__(self) -> int:
+        return len(self._literals)
+
+    def iter_matches(self, text: str) -> Iterator[Tuple[int, int]]:
+        """Yield ``(end_offset, literal_id)`` for every occurrence.
+
+        The classic automaton output: all occurrences of all literals —
+        overlapping ones included — discovered in one pass over ``text``.
+        """
+        goto, fail, output = self._goto, self._fail, self._output
+        state = 0
+        for offset, char in enumerate(text):
+            nxt = goto[state].get(char)
+            while nxt is None and state:
+                state = fail[state]
+                nxt = goto[state].get(char)
+            state = nxt if nxt is not None else 0
+            for literal_id in output[state]:
+                yield offset + 1, literal_id
+
+    def present(self, text: str) -> Set[int]:
+        """Ids of every literal occurring anywhere in ``text``.
+
+        One pass, early exit once every literal has been seen.
+        """
+        goto, fail, output = self._goto, self._fail, self._output
+        total = len(self._literals)
+        found: Set[int] = set()
+        state = 0
+        for char in text:
+            nxt = goto[state].get(char)
+            while nxt is None and state:
+                state = fail[state]
+                nxt = goto[state].get(char)
+            state = nxt if nxt is not None else 0
+            if output[state]:
+                found.update(output[state])
+                if len(found) == total:
+                    break
+        return found
+
+
+# Literals shaped like bare identifiers ("return", "password") occur in
+# most Python files; probing each with one C-level ``in`` beats putting
+# them in the swept alternation, where their occurrences dominate the
+# match-event loop.  Punctuated literals ("pickle.loads(") are selective
+# and belong in the single swept pass.
+_WORDLIKE = re.compile(r"[A-Za-z_]+\Z")
+
+
+def _trie_pattern(literals: Sequence[str]) -> str:
+    """A trie-factored alternation matching exactly the given literals.
+
+    Factoring shared prefixes means the regex engine descends one
+    branch per position instead of attempting every alternative, which
+    is what makes the single sweep cheaper than per-literal scans.
+    Greedy descent with an optional tail makes each match the *longest*
+    literal starting at its position; shorter same-start literals are
+    recovered through the substring-implication closure.
+    """
+    root: Dict[str, dict] = {}
+    for literal in literals:
+        node = root
+        for char in literal:
+            node = node.setdefault(char, {})
+        node[""] = {}
+
+    def emit(node: Dict[str, dict]) -> str:
+        terminal = "" in node
+        branches = [
+            re.escape(char) + emit(child)
+            for char, child in sorted(node.items())
+            if char != ""
+        ]
+        if not branches:
+            return ""
+        if len(branches) == 1 and not terminal:
+            return branches[0]
+        body = "(?:" + "|".join(branches) + ")"
+        return body + ("?" if terminal else "")
+
+    return emit(root)
+
+
+class _TrieScanner:
+    """C-accelerated equivalent of :meth:`AhoCorasick.present`.
+
+    Returns the found-literal set as a bitmask (bit ``i`` set iff
+    literal ``i`` occurs in the text).  Word-shaped literals are probed
+    with direct ``in`` checks; the rest are swept by one trie-factored
+    alternation, resuming one character past each match start so
+    overlapping occurrences cannot be skipped.  Every hit folds in its
+    substring-implication mask, so literals contained in a longer found
+    literal are marked without their own scan.
+    """
+
+    def __init__(self, literals: Sequence[str]) -> None:
+        self._literals = tuple(literals)
+        implied: List[int] = []
+        for i, literal in enumerate(self._literals):
+            mask = 1 << i
+            for j, other in enumerate(self._literals):
+                if i != j and other in literal:
+                    mask |= 1 << j
+            implied.append(mask)
+        self._implied: Tuple[int, ...] = tuple(implied)
+        probe_ids = [i for i, lit in enumerate(self._literals) if _WORDLIKE.match(lit)]
+        sweep_ids = [i for i in range(len(self._literals)) if i not in set(probe_ids)]
+        self._probes: Tuple[Tuple[int, str], ...] = tuple(
+            (i, self._literals[i]) for i in probe_ids
+        )
+        sweep_mask = 0
+        for i in sweep_ids:
+            sweep_mask |= 1 << i
+        self._sweep_mask = sweep_mask
+        self._sweep_by_text: Dict[str, int] = {self._literals[i]: i for i in sweep_ids}
+        self._sweep_regex = (
+            re.compile(_trie_pattern([self._literals[i] for i in sweep_ids]))
+            if sweep_ids
+            else None
+        )
+
+    def present_mask(self, text: str) -> int:
+        """Bitmask of every literal occurring anywhere in ``text``."""
+        implied = self._implied
+        found = 0
+        for literal_id, literal in self._probes:
+            if literal in text:
+                found |= implied[literal_id]
+        regex = self._sweep_regex
+        if regex is None:
+            return found
+        pending = self._sweep_mask & ~found
+        by_text = self._sweep_by_text
+        search = regex.search
+        position = 0
+        while pending:
+            match = search(text, position)
+            if match is None:
+                break
+            mask = implied[by_text[match.group(0)]]
+            if mask & pending:
+                found |= mask
+                pending &= ~mask
+            position = match.start() + 1
+        return found
+
+
+@dataclass
+class IndexLookup:
+    """One source's candidate partition, in catalog order.
+
+    ``candidates`` must run (every required literal present, or no
+    requirement derivable); ``skipped`` provably cannot match (at least
+    one required literal absent).
+    """
+
+    candidates: List["object"]
+    skipped: List["object"]
+
+
+class RuleIndex:
+    """Maps one pass over a source to the exact candidate rule subset.
+
+    Built once from a rule collection: every rule's required literals
+    (conjunction, :func:`repro.core.prefilter.required_literals`) and
+    disjunction groups (one-of,
+    :func:`repro.core.prefilter.required_literal_groups`) are pooled
+    into two literal tables — case-sensitive and case-folded — each
+    compiled into an :class:`AhoCorasick` automaton plus its accelerated
+    scanner.  Per rule, the requirement is a bitmask conjunction over
+    table ids plus an any-bit check per group; rules contributing no
+    literal at all form the always-run bucket.
+
+    The whole structure is plain data (dicts, tuples, ints, compiled
+    regexes), so a built index survives pickling into worker processes
+    unchanged.
+    """
+
+    def __init__(self, rules: Iterable["object"]) -> None:
+        self._rules = tuple(rules)
+        exact_ids: Dict[str, int] = {}
+        folded_ids: Dict[str, int] = {}
+        entries: List[Tuple[object, int, int, Tuple[Tuple[int, int], ...]]] = []
+        always: List[object] = []
+
+        def _intern(requirement) -> Tuple[int, int]:
+            """(exact_bit, folded_bit) for one literal requirement."""
+            table = folded_ids if requirement.folded else exact_ids
+            literal_id = table.setdefault(requirement.text, len(table))
+            bit = 1 << literal_id
+            return (0, bit) if requirement.folded else (bit, 0)
+
+        for rule in self._rules:
+            exact_mask = 0
+            folded_mask = 0
+            for requirement in required_literals(rule.pattern):
+                exact_bit, folded_bit = _intern(requirement)
+                exact_mask |= exact_bit
+                folded_mask |= folded_bit
+            groups: List[Tuple[int, int]] = []
+            for group in required_literal_groups(rule.pattern):
+                group_exact = 0
+                group_folded = 0
+                for requirement in group:
+                    exact_bit, folded_bit = _intern(requirement)
+                    group_exact |= exact_bit
+                    group_folded |= folded_bit
+                groups.append((group_exact, group_folded))
+            entries.append((rule, exact_mask, folded_mask, tuple(groups)))
+            if not exact_mask and not folded_mask and not groups:
+                always.append(rule)
+        self._entries: Tuple[
+            Tuple[object, int, int, Tuple[Tuple[int, int], ...]], ...
+        ] = tuple(entries)
+        self.exact_literals: Tuple[str, ...] = tuple(exact_ids)
+        self.folded_literals: Tuple[str, ...] = tuple(folded_ids)
+        self.always_run: Tuple[object, ...] = tuple(always)
+        self.automaton = AhoCorasick(self.exact_literals)
+        self.folded_automaton = AhoCorasick(self.folded_literals)
+        self._exact_scanner = _TrieScanner(self.exact_literals)
+        self._folded_scanner = _TrieScanner(self.folded_literals)
+        self._folded_all = (1 << len(self.folded_literals)) - 1
+
+    @property
+    def rules(self) -> Tuple["object", ...]:
+        """The indexed rules, in catalog order."""
+        return self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def lookup(self, source: str, reference: bool = False) -> IndexLookup:
+        """Partition the rules into candidates and provable skips.
+
+        ``reference=True`` evaluates literal presence through the
+        Aho–Corasick automatons instead of the accelerated scanners —
+        same result by construction (tests pin it), useful for
+        verification and as a semantic oracle.
+        """
+        if reference:
+            exact_found = _mask_of(self.automaton.present(source))
+        else:
+            exact_found = self._exact_scanner.present_mask(source)
+        folded_found = 0
+        if self.folded_literals:
+            if source.isascii():
+                lowered = source.lower()
+                if reference:
+                    folded_found = _mask_of(self.folded_automaton.present(lowered))
+                else:
+                    folded_found = self._folded_scanner.present_mask(lowered)
+            else:
+                # A non-ASCII source can satisfy IGNORECASE literals
+                # through one-to-many Unicode case mappings a substring
+                # check cannot model; run those rules rather than risk a
+                # wrong skip.
+                folded_found = self._folded_all
+        candidates: List[object] = []
+        skipped: List[object] = []
+        for rule, exact_mask, folded_mask, groups in self._entries:
+            if (
+                exact_mask & exact_found == exact_mask
+                and folded_mask & folded_found == folded_mask
+                and all(
+                    group_exact & exact_found or group_folded & folded_found
+                    for group_exact, group_folded in groups
+                )
+            ):
+                candidates.append(rule)
+            else:
+                skipped.append(rule)
+        return IndexLookup(candidates=candidates, skipped=skipped)
+
+    def describe(self) -> Dict[str, int]:
+        """Size counters for benchmarks and reports."""
+        return {
+            "rules": len(self._rules),
+            "always_run": len(self.always_run),
+            "exact_literals": len(self.exact_literals),
+            "folded_literals": len(self.folded_literals),
+            "or_groups": sum(len(entry[3]) for entry in self._entries),
+        }
+
+
+def _mask_of(ids: Set[int]) -> int:
+    mask = 0
+    for literal_id in ids:
+        mask |= 1 << literal_id
+    return mask

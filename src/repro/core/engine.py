@@ -71,6 +71,11 @@ class PatchitPy:
         enabled recorder every finding additionally carries a
         :class:`~repro.observability.Provenance` record.  Per-call
         ``trace=`` arguments override it, mirroring ``metrics``.
+    use_index:
+        When on (the default) and the rule set exposes a candidate index
+        (:class:`RuleSet` does), each detect consults one multi-literal
+        pass instead of per-rule literal checks.  ``use_index=False`` is
+        the ablation seam: identical findings, naive per-rule path.
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class PatchitPy:
         prune_imports: bool = True,
         metrics: Optional[ScanMetrics] = None,
         trace: Optional[TraceRecorder] = None,
+        use_index: bool = True,
     ) -> None:
         if max_passes < 1:
             raise ValueError("max_passes must be >= 1")
@@ -88,6 +94,7 @@ class PatchitPy:
         self.prune_imports = prune_imports
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.trace = trace if trace is not None else NULL_TRACE
+        self.use_index = use_index
 
     def _metrics(self, override: Optional[ScanMetrics]) -> ScanMetrics:
         return override if override is not None else self.metrics
@@ -123,9 +130,11 @@ class PatchitPy:
         m = self._metrics(metrics)
         t = self._trace(trace)
         if not m.enabled and not t.enabled:
-            return run_rules(self.rules, source)
+            return run_rules(self.rules, source, use_index=self.use_index)
         start = clock()
-        findings = run_rules(self.rules, source, m if m.enabled else None, t)
+        findings = run_rules(
+            self.rules, source, m if m.enabled else None, t, use_index=self.use_index
+        )
         if m.enabled:
             m.count("detect_calls")
             m.count("findings", len(findings))
@@ -139,12 +148,16 @@ class PatchitPy:
     def warmup(self) -> int:
         """Prime the engine so the first real request pays no lazy costs.
 
-        Rule patterns compile at construction, but the first detect call
-        still touches per-rule prefilter fields and module-level matcher
-        state; a long-lived process (the scan daemon) runs this once at
-        startup so its first served request is already on the warm path.
-        Returns the number of rules primed.
+        Builds the candidate index (when in use) and runs one probe
+        detect, so a long-lived process (the scan daemon) pays the index
+        compilation and module-level matcher setup once at startup — the
+        built index then serves every request.  Returns the number of
+        rules primed.
         """
+        if self.use_index:
+            builder = getattr(self.rules, "candidate_index", None)
+            if builder is not None:
+                builder()
         self.detect("# patchitpy warmup probe\n")
         return len(self.rules)
 

@@ -8,7 +8,7 @@ generated code.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.rules.base import DetectionRule
 from repro.observability.collector import ScanMetrics, clock
@@ -25,6 +25,43 @@ def _prefilter_for(rule: DetectionRule) -> Optional[str]:
     prefilter-ablation benchmark, which monkeypatches it to ``None``.
     """
     return rule.prefilter
+
+
+def _index_for(rules: Iterable[DetectionRule]):
+    """The collection's candidate index, or ``None`` for plain iterables.
+
+    :class:`~repro.core.rules.base.RuleSet` exposes a cached
+    ``candidate_index()``; lists and generators of rules have no such
+    method and fall back to per-rule prefilter checks.  Like
+    :func:`_prefilter_for`, the indirection doubles as the
+    index-ablation seam — benchmarks monkeypatch it to ``None``.
+    """
+    builder = getattr(rules, "candidate_index", None)
+    if builder is None:
+        return None
+    return builder()
+
+
+def _applies(
+    rule: DetectionRule,
+    source: str,
+    memo: Dict[Tuple[str, int], bool],
+) -> bool:
+    """``rule.applies_to`` with a per-source prerequisite memo.
+
+    Prerequisites are file-scope patterns shared across rules (e.g. a
+    framework-import check), so within one ``run_rules`` call each
+    distinct ``(pattern, flags)`` prerequisite is searched at most once
+    however many rules require it.
+    """
+    for prerequisite in rule.prerequisites:
+        key = (prerequisite.pattern, prerequisite.flags)
+        verdict = memo.get(key)
+        if verdict is None:
+            verdict = memo[key] = prerequisite.search(source) is not None
+        if not verdict:
+            return False
+    return True
 
 
 def match_rule(
@@ -76,6 +113,27 @@ def _match_rule_fast(rule: DetectionRule, source: str) -> List[Finding]:
     return findings
 
 
+def _match_candidate_fast(
+    rule: DetectionRule,
+    source: str,
+    memo: Dict[Tuple[str, int], bool],
+) -> List[Finding]:
+    """Hot path for an index-proven candidate (no literal re-check).
+
+    The candidate index already established that every literal the rule
+    requires is present, so the per-rule substring check is skipped and
+    prerequisite verdicts come from the shared per-source ``memo``.
+    """
+    findings: List[Finding] = []
+    if not _applies(rule, source, memo):
+        return findings
+    for match in rule.pattern.finditer(source):
+        if any(guard.vetoes(source, match) for guard in rule.all_guards()):
+            continue
+        findings.append(_finding_for(rule, match))
+    return findings
+
+
 def _finding_for(rule: DetectionRule, match) -> Finding:
     return Finding(
         rule_id=rule.rule_id,
@@ -94,12 +152,20 @@ def run_rules(
     source: str,
     metrics: Optional[ScanMetrics] = None,
     trace: Optional["object"] = None,
+    use_index: bool = True,
 ) -> List[Finding]:
     """Run every rule and return findings ordered by position then rule id.
 
     When two rules of the *same CWE* match overlapping spans, only the
     earlier (more specific, per catalog order) finding is kept, so a single
     vulnerable line does not inflate the report.
+
+    When ``rules`` is a :class:`~repro.core.rules.base.RuleSet` (and
+    ``use_index`` is left on), one pass of its candidate index replaces
+    the per-rule literal checks: index-skipped rules never run, and
+    index-proven candidates skip their redundant literal re-check.  The
+    finding set is identical either way — ``use_index=False`` is the
+    ablation seam that pins this.
 
     With an enabled ``trace`` recorder every rule execution, guard
     verdict and match is additionally emitted as a structured span event
@@ -108,16 +174,60 @@ def run_rules(
     runs exactly the pre-tracing code.
     """
     findings: List[Finding] = []
+    index = _index_for(rules) if use_index else None
     if trace is not None and getattr(trace, "enabled", False):
-        findings = _run_rules_traced(rules, source, metrics, trace)
+        findings = _run_rules_traced(rules, source, metrics, trace, index)
     elif metrics is None or not metrics.enabled:
-        for rule in rules:
-            findings.extend(_match_rule_fast(rule, source))
-    else:
+        if index is None:
+            for rule in rules:
+                findings.extend(_match_rule_fast(rule, source))
+        else:
+            memo: Dict[Tuple[str, int], bool] = {}
+            for rule in index.lookup(source).candidates:
+                findings.extend(_match_candidate_fast(rule, source, memo))
+    elif index is None:
         for rule in rules:
             findings.extend(match_rule(rule, source, metrics))
+    else:
+        findings = _run_candidates_measured(source, metrics, index)
     findings.sort(key=lambda f: (f.span.start, f.span.end, f.rule_id))
     return _dedupe_same_cwe_overlaps(findings)
+
+
+def _run_candidates_measured(source: str, metrics: ScanMetrics, index) -> List[Finding]:
+    """The instrumented indexed path: same counters, one literal pass.
+
+    Index-skipped rules are still accounted (a call plus a prefilter
+    skip, exactly as the per-rule path would have recorded), and the
+    lookup itself feeds the ``index_candidates``/``index_skips``
+    counters.
+    """
+    lookup = index.lookup(source)
+    metrics.count("index_candidates", len(lookup.candidates))
+    metrics.count("index_skips", len(lookup.skipped))
+    for rule in lookup.skipped:
+        stats = metrics.rule_stats(rule.rule_id)
+        stats.calls += 1
+        stats.prefilter_skips += 1
+    findings: List[Finding] = []
+    memo: Dict[Tuple[str, int], bool] = {}
+    for rule in lookup.candidates:
+        start = clock()
+        stats = metrics.rule_stats(rule.rule_id)
+        stats.calls += 1
+        rule_findings: List[Finding] = []
+        if not _applies(rule, source, memo):
+            stats.prereq_skips += 1
+        else:
+            for match in rule.pattern.finditer(source):
+                if any(guard.vetoes(source, match) for guard in rule.all_guards()):
+                    stats.guard_vetoes += 1
+                    continue
+                rule_findings.append(_finding_for(rule, match))
+            stats.matches += len(rule_findings)
+        stats.time_s += clock() - start
+        findings.extend(rule_findings)
+    return findings
 
 
 def _run_rules_traced(
@@ -125,17 +235,21 @@ def _run_rules_traced(
     source: str,
     metrics: Optional[ScanMetrics],
     trace,
+    index=None,
 ) -> List[Finding]:
     """The traced matching path: events + provenance, same findings.
 
     Behavior-identical to the fast path (guard vetoes, prefilter and
     prerequisite skips produce the same finding set) but every decision
-    is recorded: a ``rule`` span per rule with its outcome, a
-    ``guard-decision`` event per guard per candidate match (all guards
-    are evaluated rather than short-circuiting, because the audit trail
-    names each verdict), and a :class:`Provenance` record attached to
-    every surviving finding.  Feeds ``metrics`` too when enabled, so a
-    traced scan still produces the aggregate counters.
+    is recorded: an ``index-lookup`` event with the candidate partition
+    (when an index is in play), a ``rule`` span per rule with its
+    outcome — index-skipped rules keep their span, with outcome
+    ``prefilter-skip`` — a ``guard-decision`` event per guard per
+    candidate match (all guards are evaluated rather than
+    short-circuiting, because the audit trail names each verdict), and a
+    :class:`Provenance` record attached to every surviving finding.
+    Feeds ``metrics`` too when enabled, so a traced scan still produces
+    the aggregate counters.
     """
     # Local import by design: the disabled hot path must not touch the
     # tracing modules (scripts/check_hot_path_isolation.py enforces it).
@@ -143,6 +257,20 @@ def _run_rules_traced(
 
     findings: List[Finding] = []
     record_metrics = metrics is not None and metrics.enabled
+    indexed_skips = None
+    if index is not None:
+        lookup = index.lookup(source)
+        indexed_skips = {rule.rule_id for rule in lookup.skipped}
+        trace.event(
+            "index-lookup",
+            "candidates",
+            candidates=len(lookup.candidates),
+            skipped=len(lookup.skipped),
+        )
+        if record_metrics:
+            metrics.count("index_candidates", len(lookup.candidates))
+            metrics.count("index_skips", len(lookup.skipped))
+    memo: Dict[Tuple[str, int], bool] = {}
     for rule in rules:
         start = clock()
         stats = metrics.rule_stats(rule.rule_id) if record_metrics else None
@@ -152,12 +280,18 @@ def _run_rules_traced(
         outcome = "no-match"
         rule_findings: List[Finding] = []
         vetoes = 0
-        literal = _prefilter_for(rule)
-        if literal is not None and literal not in source:
+        if indexed_skips is None:
+            literal = _prefilter_for(rule)
+            literal_missing = literal is not None and literal not in source
+        else:
+            # One index pass already decided literal presence for every
+            # rule; candidates skip the redundant substring re-check.
+            literal_missing = rule.rule_id in indexed_skips
+        if literal_missing:
             outcome = "prefilter-skip"
             if stats is not None:
                 stats.prefilter_skips += 1
-        elif not rule.applies_to(source):
+        elif not _applies(rule, source, memo):
             outcome = "prereq-skip"
             if stats is not None:
                 stats.prereq_skips += 1

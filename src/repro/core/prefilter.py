@@ -2,37 +2,81 @@
 
 Production pattern scanners (Semgrep, ripgrep-based tooling) avoid
 running every regex over every file by first checking for a literal
-substring the regex *must* contain.  This module derives such a required
-literal from a compiled pattern by walking its parse tree
+substring the regex *must* contain.  This module derives such required
+literals from a compiled pattern by walking its parse tree
 (:mod:`re._parser`):
 
-- in a concatenation, every member's requirement holds — take the longest
-  literal run;
+- in a concatenation, every member's requirement holds — *all* literal
+  runs are required (the candidate index uses the full conjunction; the
+  single-literal prefilter keeps the longest);
 - in a branch (alternation), a literal is required only if *every*
-  alternative requires one — take the shortest of the alternatives'
-  longest literals as a conservative bound (and only if all exist);
+  alternative requires one — take the longest common substring of the
+  alternatives' literals as a conservative bound (and only if all exist);
 - quantifiers with ``min == 0`` contribute nothing.
 
-The derivation is conservative: when in doubt it returns ``None`` and the
+The derivation is conservative: when in doubt it returns nothing and the
 engine simply runs the regex.  A property test pins the safety condition:
 prefiltered matching returns exactly the same findings.
+
+Three consumers with different appetites share the walk:
+
+- :func:`required_literal` — the single longest case-sensitive literal,
+  stored on each rule as its per-rule prefilter (``None`` for
+  ``IGNORECASE`` patterns, which a case-sensitive substring check cannot
+  model).
+- :func:`required_literals` — every useful literal as
+  :class:`LiteralRequirement` records, including *case-folded* literals
+  for ``IGNORECASE`` patterns (restricted to ASCII text, where
+  ``str.lower()`` models the regex engine's case-insensitivity exactly).
+  The candidate index (:mod:`repro.core.candidates`) matches these in a
+  single pass over each file.
+- :func:`required_literal_groups` — disjunctions: for a branch whose
+  every alternative guarantees a literal, one of those literals must
+  appear.  This is what makes alternation-shaped rules
+  (``(?:password|passwd|pwd)``) indexable at all.
 """
 
 from __future__ import annotations
 
 import re
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 try:  # Python 3.11+: re._parser; older: sre_parse
     from re import _parser as _sre_parse  # type: ignore[attr-defined]
 except ImportError:  # pragma: no cover - legacy fallback
     import sre_parse as _sre_parse  # type: ignore[no-redef]
 
-_MIN_USEFUL = 4  # literals shorter than this filter little
+_MIN_USEFUL = 4  # conjunction literals shorter than this filter little
+_GROUP_MIN = 3  # disjunction-group members may be slightly shorter
 
 
-def _literals_of(parsed) -> List[str]:
-    """Literal runs guaranteed to appear, for one parsed subpattern."""
+@dataclass(frozen=True)
+class LiteralRequirement:
+    """One substring every match of a pattern must contain.
+
+    ``folded`` requirements hold *case-insensitively*: ``text`` is
+    already lowercased and must be checked against a lowercased copy of
+    the source.  Folded requirements are only emitted for ASCII literals,
+    where ``str.lower()`` agrees exactly with the regex engine's
+    ``IGNORECASE`` semantics (Unicode has one-to-many case mappings —
+    ``'İ'.lower()`` grows a combining dot — that a substring check cannot
+    model, so non-ASCII literals are conservatively dropped).
+    """
+
+    text: str
+    folded: bool = False
+
+
+def _walk(parsed, groups: List[Tuple[str, ...]]) -> List[str]:
+    """Literal runs guaranteed to appear, for one parsed subpattern.
+
+    Also appends *disjunction groups* to ``groups``: for a branch whose
+    every alternative guarantees a literal, any match of the branch must
+    contain at least one of those literals — an OR-requirement the
+    candidate index can check even when the alternatives share no common
+    substring.
+    """
     runs: List[str] = []
     current: List[str] = []
 
@@ -53,26 +97,39 @@ def _literals_of(parsed) -> List[str]:
             minimum, _maximum, sub = argument
             flush()
             if minimum >= 1:
-                runs.extend(_literals_of(sub))
+                runs.extend(_walk(sub, groups))
             continue
         if name == "SUBPATTERN":
             sub = argument[-1]
             flush()
-            runs.extend(_literals_of(sub))
+            runs.extend(_walk(sub, groups))
             continue
         if name == "BRANCH":
+            # A literal run directly before the branch is contiguous with
+            # whichever alternative matches — sre_parse factors shared
+            # prefixes out ("password|passwd|pwd" parses as "p" +
+            # "assword|asswd|wd"), so gluing it back onto literal-leading
+            # alternatives recovers the full discriminating literals.
+            prefix = "".join(current)
             flush()
             _, alternatives = argument
             candidates: List[str] = []
             for alternative in alternatives:
-                longest = _longest(_literals_of(alternative))
+                # nested groups inside an alternative are not guaranteed
+                # to be traversed, so they go to a throwaway sink
+                options = _walk(alternative, [])
+                lead = _leading_run(alternative)
+                if prefix and lead:
+                    options.append(prefix + lead)
+                longest = _longest(options)
                 if longest is None:
                     candidates = []
                     break
                 candidates.append(longest)
             if candidates:
-                # the only text guaranteed across every alternative is a
-                # common substring of all the alternatives' literals
+                groups.append(tuple(candidates))
+                # the only *single* text guaranteed across every
+                # alternative is a common substring of their literals
                 common = candidates[0]
                 for candidate in candidates[1:]:
                     common = _longest_common_substring(common, candidate)
@@ -89,6 +146,21 @@ def _literals_of(parsed) -> List[str]:
     return [r for r in runs if r]
 
 
+def _literals_of(parsed) -> List[str]:
+    """Guaranteed literal runs only (disjunction groups discarded)."""
+    return _walk(parsed, [])
+
+
+def _leading_run(parsed) -> str:
+    """The literal run a subpattern starts with ('' when it doesn't)."""
+    chars: List[str] = []
+    for op, argument in parsed:
+        if str(op) != "LITERAL":
+            break
+        chars.append(chr(argument))
+    return "".join(chars)
+
+
 def _longest(literals: List[str]) -> Optional[str]:
     if not literals:
         return None
@@ -96,15 +168,39 @@ def _longest(literals: List[str]) -> Optional[str]:
 
 
 def _longest_common_substring(a: str, b: str) -> str:
-    """Longest contiguous substring shared by ``a`` and ``b``."""
-    best = ""
-    for i in range(len(a)):
-        for j in range(i + len(best) + 1, len(a) + 1):
-            if a[i:j] in b:
-                best = a[i:j]
-            else:
-                break
-    return best
+    """Longest contiguous substring shared by ``a`` and ``b``.
+
+    Standard O(len(a)·len(b)) dynamic program over match-run lengths
+    (the previous implementation probed every substring of ``a`` against
+    ``b`` and went roughly cubic on adversarial inputs).  Ties resolve to
+    the earliest occurrence in ``a``, matching the old behavior.
+    """
+    if not a or not b:
+        return ""
+    previous = [0] * (len(b) + 1)
+    best_length = 0
+    best_end = 0
+    for i, char_a in enumerate(a, start=1):
+        current = [0] * (len(b) + 1)
+        for j, char_b in enumerate(b, start=1):
+            if char_a == char_b:
+                length = previous[j - 1] + 1
+                current[j] = length
+                if length > best_length:
+                    best_length = length
+                    best_end = i
+        previous = current
+    return a[best_end - best_length : best_end]
+
+
+def _parse(pattern: "re.Pattern[str]"):
+    """The pattern's parse tree, or ``None`` for unmodelled patterns."""
+    if pattern.flags & re.LOCALE:
+        return None
+    try:
+        return _sre_parse.parse(pattern.pattern, pattern.flags & ~re.UNICODE)
+    except Exception:
+        return None
 
 
 def required_literal(pattern: "re.Pattern[str]") -> Optional[str]:
@@ -112,15 +208,82 @@ def required_literal(pattern: "re.Pattern[str]") -> Optional[str]:
 
     Returns ``None`` when no sufficiently long guaranteed literal exists
     or when the pattern uses flags/constructs the walker does not model
-    (conservatively: IGNORECASE disables prefiltering).
+    (conservatively: IGNORECASE disables the *case-sensitive* prefilter;
+    see :func:`required_literals` for the case-folded variant the
+    candidate index uses).
     """
     if pattern.flags & re.IGNORECASE:
         return None
-    try:
-        parsed = _sre_parse.parse(pattern.pattern, pattern.flags & ~re.UNICODE)
-    except Exception:
+    parsed = _parse(pattern)
+    if parsed is None:
         return None
     literal = _longest(_literals_of(parsed))
     if literal is None or len(literal) < _MIN_USEFUL:
         return None
     return literal
+
+
+def required_literals(pattern: "re.Pattern[str]") -> Tuple[LiteralRequirement, ...]:
+    """Every useful literal each match of ``pattern`` must contain.
+
+    Unlike :func:`required_literal` this returns the full conjunction —
+    a match must contain *all* of the returned literals — and it covers
+    ``IGNORECASE`` patterns by emitting lowercased ``folded``
+    requirements for ASCII literal runs.  Literals that are substrings
+    of a longer sibling are dropped (their presence is implied), as are
+    runs shorter than the usefulness floor.
+    """
+    parsed = _parse(pattern)
+    if parsed is None:
+        return ()
+    folded = bool(pattern.flags & re.IGNORECASE)
+    runs = [r for r in _literals_of(parsed) if len(r) >= _MIN_USEFUL]
+    if folded:
+        runs = [r.lower() for r in runs if r.isascii()]
+    # Deduplicate and drop substring-redundant runs, longest first so a
+    # kept literal can only be shadowed by an already-kept longer one.
+    kept: List[str] = []
+    for run in sorted(set(runs), key=lambda r: (-len(r), r)):
+        if not any(run in longer for longer in kept):
+            kept.append(run)
+    return tuple(LiteralRequirement(text=run, folded=folded) for run in kept)
+
+
+def required_literal_groups(
+    pattern: "re.Pattern[str]",
+) -> Tuple[Tuple[LiteralRequirement, ...], ...]:
+    """Disjunction groups: each group lists literals of which *one* must appear.
+
+    Derived from branches on the pattern's guaranteed path whose every
+    alternative carries a literal: a match necessarily takes one
+    alternative and therefore contains that alternative's literal.  This
+    covers alternation-shaped rules (``(?:password|passwd|pwd)``,
+    ``os\\.(?:execl|execv|spawnl)``) that the single-substring
+    conjunction cannot: their alternatives share no useful common
+    substring, so without groups they would run on every file.
+
+    A group is dropped whole when any member falls below the usefulness
+    floor or, for ``IGNORECASE`` patterns, is non-ASCII (the fold would
+    be unsound for that member, making the OR-check unable to vouch for
+    its matches).
+    """
+    parsed = _parse(pattern)
+    if parsed is None:
+        return ()
+    folded = bool(pattern.flags & re.IGNORECASE)
+    raw_groups: List[Tuple[str, ...]] = []
+    _walk(parsed, raw_groups)
+    groups: List[Tuple[LiteralRequirement, ...]] = []
+    for group in raw_groups:
+        members = list(group)
+        if any(len(member) < _GROUP_MIN for member in members):
+            continue
+        if folded:
+            if not all(member.isascii() for member in members):
+                continue
+            members = [member.lower() for member in members]
+        ordered = sorted(set(members), key=lambda m: (-len(m), m))
+        groups.append(
+            tuple(LiteralRequirement(text=member, folded=folded) for member in ordered)
+        )
+    return tuple(groups)

@@ -469,7 +469,7 @@ class ProjectScanner:
     ) -> List[_Analysis]:
         if jobs <= 1 or len(paths) < 2:
             return [self._analyze_one(path) for path in paths]
-        if processes and self._picklable():
+        if processes and self._prime_index() and self._picklable():
             from concurrent.futures import ProcessPoolExecutor
 
             chunksize = max(1, -(-len(paths) // (jobs * 4)))
@@ -483,6 +483,20 @@ class ProjectScanner:
 
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             return list(pool.map(self._analyze_one, paths))
+
+    def _prime_index(self) -> bool:
+        """Build the engine's candidate index before workers are forked.
+
+        The scanner is pickled once per worker; compiling the index here
+        ships the *built* index inside that pickle, so no worker pays the
+        compilation again.  Always returns True (it participates in the
+        ``_analyze_batch`` condition chain purely for ordering).
+        """
+        if getattr(self.engine, "use_index", False):
+            builder = getattr(getattr(self.engine, "rules", None), "candidate_index", None)
+            if builder is not None:
+                builder()
+        return True
 
     def _picklable(self) -> bool:
         """True when this scanner can be shipped to worker processes.

@@ -176,6 +176,7 @@ class RuleSet:
     def __init__(self, rules: Iterable[DetectionRule] = ()) -> None:
         self._rules: List[DetectionRule] = []
         self._by_id: Dict[str, DetectionRule] = {}
+        self._index = None
         for item in rules:
             self.add(item)
 
@@ -185,6 +186,22 @@ class RuleSet:
             raise DuplicateRuleError(f"duplicate rule id: {item.rule_id}")
         self._by_id[item.rule_id] = item
         self._rules.append(item)
+        self._index = None  # membership changed: rebuild on next lookup
+
+    def candidate_index(self):
+        """The set's candidate index, built on first use and cached.
+
+        One multi-literal pass over a source through this index yields
+        the exact candidate rule subset (see
+        :mod:`repro.core.candidates`).  Adding rules invalidates the
+        cache; a built index is plain data, so it travels with the set
+        through pickling into worker processes.
+        """
+        if self._index is None:
+            from repro.core.candidates import RuleIndex
+
+            self._index = RuleIndex(self._rules)
+        return self._index
 
     def extend(self, items: Iterable[DetectionRule]) -> None:
         """Register several rules."""

@@ -1,0 +1,48 @@
+"""Smoke-mode run of the candidate-index benchmark under the tier-1 suite.
+
+The full benchmark lives in ``benchmarks/bench_candidate_index.py`` and
+is sized for meaningful timings; this test imports it directly and runs
+a tiny corpus so every CI run still exercises the indexed-vs-naive
+comparison end to end (including the byte-identical-findings assertions
+inside the benchmark) and publishes the measured numbers as a build
+artifact (``benchmarks/output/candidate_index_smoke.txt``).
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "bench_candidate_index.py"
+)
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_candidate_index", _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.benchmark_smoke
+def test_candidate_index_benchmark_smoke(tmp_path):
+    bench = _load_bench_module()
+    results = bench.run_candidate_index_benchmark(
+        tmp_path, files=16, sections=4, repeats=1
+    )
+
+    # correctness invariants hold even at smoke scale: the benchmark
+    # itself asserts indexed and naive findings are byte-identical
+    assert results["findings"] > 0
+    assert results["index_rules"] == 85
+    assert results["index_candidates"] + results["index_skips"] == 16 * 85
+    # the index prunes hard on the clean-heavy corpus
+    assert results["candidate_fraction"] < 0.7
+
+    text = bench.format_report(results)
+    bench.OUTPUT_DIR.mkdir(exist_ok=True)
+    artifact = bench.OUTPUT_DIR / "candidate_index_smoke.txt"
+    artifact.write_text(text + "\n")
+    assert artifact.exists()
+    assert "project scan indexed" in text

@@ -5,7 +5,13 @@ import re
 
 import pytest
 
-from repro.core.prefilter import required_literal
+from repro.core.prefilter import (
+    LiteralRequirement,
+    _longest_common_substring,
+    required_literal,
+    required_literal_groups,
+    required_literals,
+)
 from repro.core.rules import extended_ruleset
 from repro.core.rules.javascript import javascript_ruleset
 
@@ -79,3 +85,132 @@ class TestSafety:
         rules = list(extended_ruleset())
         covered = sum(required_literal(r.pattern) is not None for r in rules)
         assert covered / len(rules) > 0.5
+
+
+def _reference_lcs(a: str, b: str) -> str:
+    """The pre-DP implementation, kept verbatim as the behavioral oracle."""
+    best = ""
+    for i in range(len(a)):
+        for j in range(i + len(best) + 1, len(a) + 1):
+            if a[i:j] in b:
+                best = a[i:j]
+            else:
+                break
+    return best
+
+
+class TestLongestCommonSubstring:
+    def test_known_cases(self):
+        assert _longest_common_substring("hashlib.md5(", "hashlib.sha1(") == "hashlib."
+        assert _longest_common_substring("abc", "xyz") == ""
+        assert _longest_common_substring("", "anything") == ""
+        assert _longest_common_substring("same", "same") == "same"
+
+    def test_tie_resolves_to_earliest_occurrence(self):
+        # "ab" and "cd" are both common, length 2 — the old scan kept the
+        # first one found in `a`, and the DP must agree.
+        assert _longest_common_substring("ab_cd", "ab~cd") == _reference_lcs(
+            "ab_cd", "ab~cd"
+        )
+
+    def test_matches_old_implementation_on_random_strings(self):
+        rng = random.Random(20260805)
+        for trial in range(300):
+            alphabet = "abcd" if trial % 2 else "ab"
+            a = "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, 30)))
+            b = "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, 30)))
+            assert _longest_common_substring(a, b) == _reference_lcs(a, b), (a, b)
+
+
+class TestMultiLiteralExtraction:
+    def test_concatenation_yields_full_conjunction(self):
+        reqs = required_literals(re.compile(r"subprocess\.call\(.*shell\s*=\s*True"))
+        texts = {r.text for r in reqs}
+        assert "subprocess.call(" in texts
+        assert "True" in texts
+        assert all(not r.folded for r in reqs)
+
+    def test_single_literal_agrees_with_required_literal(self):
+        pattern = re.compile(r"pickle\.loads\(")
+        assert {r.text for r in required_literals(pattern)} == {"pickle.loads("}
+
+    def test_substring_redundant_literals_dropped(self):
+        # "load(" is a substring of "yaml.load(" — only the longer literal
+        # survives (the shorter one's presence is implied).
+        reqs = required_literals(re.compile(r"yaml\.load\(.*load\("))
+        assert {r.text for r in reqs} == {"yaml.load("}
+
+    def test_short_runs_dropped(self):
+        reqs = required_literals(re.compile(r"ab\d+cdef"))
+        assert {r.text for r in reqs} == {"cdef"}
+
+    def test_ignorecase_emits_folded_lowercase(self):
+        reqs = required_literals(re.compile(r"SELECT\s+.*\s+FROM", re.IGNORECASE))
+        assert reqs
+        assert all(r.folded for r in reqs)
+        assert all(r.text == r.text.lower() for r in reqs)
+        assert {r.text for r in reqs} == {"select", "from"}
+
+    def test_ignorecase_non_ascii_literal_dropped(self):
+        # 'İ'.lower() has len 2: a case-insensitive substring check over
+        # lowered text would be unsound, so non-ASCII literals vanish.
+        reqs = required_literals(re.compile(r"İİİİ\d", re.IGNORECASE))
+        assert reqs == ()
+
+    def test_case_sensitive_literals_never_folded(self):
+        reqs = required_literals(re.compile(r"eval\("))
+        assert reqs == (LiteralRequirement(text="eval(", folded=False),)
+
+    def test_every_literal_is_required(self):
+        # safety: any string the pattern matches contains every literal
+        pattern = re.compile(r"hashlib\.md5\(.*\)|hashlib\.sha1\(.*\)")
+        reqs = required_literals(pattern)
+        assert reqs
+        probe = "x = hashlib.md5(data)"
+        assert pattern.search(probe)
+        for req in reqs:
+            assert req.text in probe
+
+
+class TestDisjunctionGroups:
+    def test_branch_yields_one_of_group(self):
+        groups = required_literal_groups(re.compile(r"(?:Markup|mark_safe)\("))
+        assert len(groups) == 1
+        assert {r.text for r in groups[0]} == {"Markup", "mark_safe"}
+
+    def test_factored_prefix_glued_back_on(self):
+        # sre_parse turns "password|passwd|pwd" into "p" + "assword|asswd|wd";
+        # the walker must reconstruct the full discriminating literals.
+        groups = required_literal_groups(re.compile(r"(?:password|passwd|pwd)\s*="))
+        assert len(groups) == 1
+        assert {r.text for r in groups[0]} == {"password", "passwd", "pwd"}
+
+    def test_group_dropped_when_member_below_floor(self):
+        groups = required_literal_groups(re.compile(r"(?:ElementTree|ET)\."))
+        assert groups == ()
+
+    def test_free_alternative_kills_group(self):
+        assert required_literal_groups(re.compile(r"(?:evil_call|\w+)x")) == ()
+
+    def test_optional_branch_not_guaranteed(self):
+        # a branch behind a min-0 quantifier may never be traversed
+        groups = required_literal_groups(re.compile(r"(?:alpha|beta)?\d"))
+        assert groups == ()
+
+    def test_ignorecase_groups_fold(self):
+        groups = required_literal_groups(
+            re.compile(r"(?:SELECT|INSERT)\s", re.IGNORECASE)
+        )
+        assert len(groups) == 1
+        assert all(r.folded for r in groups[0])
+        assert {r.text for r in groups[0]} == {"select", "insert"}
+
+    def test_group_members_are_individually_required(self):
+        # safety: every match contains at least one member of every group
+        pattern = re.compile(r"os\.(?:execl|execve|spawnl)\([^)]*\)")
+        groups = required_literal_groups(pattern)
+        assert groups
+        for probe in ("os.execl(a)", "os.execve(b, c)", "os.spawnl(d)"):
+            assert pattern.search(probe)
+            for group in groups:
+                assert any(r.text in probe for r in group), (probe, group)
