@@ -19,6 +19,12 @@ them:
    now consults) imports nothing from ``repro.observability`` at all —
    at module level or otherwise — so tracing symbols cannot leak into
    the hot path through it.
+4. Neither ``matching.py`` nor ``candidates.py`` imports
+   ``repro.core.verify`` — the Verifier stage runs strictly *after*
+   patch rendering (extra re-scans, ``compile()`` calls, binding
+   regexes) and must stay out of the per-rule detect loop; and
+   ``verify.py`` itself imports nothing from ``repro.observability``,
+   so verification cannot smuggle instrumentation back in either.
 
 Exit code 0 when clean, 1 with a report when violated.  Run from the
 repository root (CI does); takes an optional path to the repo root.
@@ -92,12 +98,37 @@ def main(argv: list[str]) -> int:
     # 3. The candidate index must not pull in observability at all —
     # comments/docstrings excepted, import statements anywhere included.
     candidates = root / "src" / "repro" / "core" / "candidates.py"
-    for number, line in enumerate(candidates.read_text().splitlines(), start=1):
+    candidates_source = candidates.read_text()
+    for number, line in enumerate(candidates_source.splitlines(), start=1):
         code = line.split("#", 1)[0]
         if "repro.observability" in code and ("import" in code or "from" in code):
             problems.append(
                 f"{candidates}:{number}: imports from repro.observability — "
                 "the candidate index is on the untraced hot path"
+            )
+
+    # 4. The Verifier stays off the hot detect path, both directions:
+    # matching.py/candidates.py never import repro.core.verify, and
+    # verify.py never imports repro.observability.
+    for path, text in ((matching, source), (candidates, candidates_source)):
+        for number, line in enumerate(text.splitlines(), start=1):
+            code = line.split("#", 1)[0]
+            if "repro.core.verify" in code and ("import" in code or "from" in code):
+                problems.append(
+                    f"{path}:{number}: imports repro.core.verify — the "
+                    "Verifier stage must stay out of the hot detect loop"
+                )
+    verify = root / "src" / "repro" / "core" / "verify.py"
+    # the module docstring documents this very rule; don't trip on prose
+    verify_source = re.sub(
+        r'^(?:"""|\'\'\')(?s:.*?)(?:"""|\'\'\')', "", verify.read_text(), count=1
+    )
+    for number, line in enumerate(verify_source.splitlines(), start=1):
+        code = line.split("#", 1)[0]
+        if "repro.observability" in code and ("import" in code or "from" in code):
+            problems.append(
+                f"{verify}: imports from repro.observability — "
+                "the Verifier must not carry instrumentation of its own"
             )
 
     if problems:
@@ -107,7 +138,8 @@ def main(argv: list[str]) -> int:
         return 1
     print("hot-path isolation ok: matching.py imports no tracing modules at "
           "module level; _match_rule_fast/_match_candidate_fast are "
-          "instrumentation-free; candidates.py imports no observability")
+          "instrumentation-free; candidates.py imports no observability; "
+          "verify.py stays off the hot detect path")
     return 0
 
 

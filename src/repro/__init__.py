@@ -30,6 +30,7 @@ Quickstart::
 """
 
 from repro.core import PatchitPy, PatchResult, default_ruleset
+from repro.core.verify import PatchVerdict, PatchVerifier
 from repro.core.cache import ScanCache
 from repro.core.project import FileResult, ProjectReport, ProjectScanner, scan_paths
 from repro.ide import LanguageServer, ServerTransport
@@ -65,7 +66,7 @@ from repro.types import (
     Span,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnalysisReport",
@@ -82,6 +83,8 @@ __all__ = [
     "NULL_TRACE",
     "Patch",
     "PatchResult",
+    "PatchVerdict",
+    "PatchVerifier",
     "ProjectReport",
     "ProjectScanner",
     "PatchTemplate",

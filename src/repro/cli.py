@@ -10,7 +10,10 @@ Exit-code contract (documented in ``--help`` and enforced by tests):
 
 - ``0`` — analysis ran and found nothing;
 - ``1`` — analysis ran and reported findings;
-- ``2`` — the tool could not run (bad arguments, unreadable input).
+- ``2`` — the tool could not run (bad arguments, unreadable input);
+- ``3`` — patching ran but some patches failed verification and were
+  reverted (only reachable with ``--patch``; ``--no-verify`` restores
+  the 0/1/2-only contract).
 """
 
 from __future__ import annotations
@@ -33,7 +36,8 @@ from repro.observability import (
 
 EXIT_CODE_CONTRACT = (
     "exit codes: 0 = no findings, 1 = findings reported, 2 = error "
-    "(bad arguments or unreadable input)"
+    "(bad arguments or unreadable input), 3 = unverified patches reverted "
+    "(--patch with verification on)"
 )
 
 
@@ -58,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --patch, rewrite the file instead of printing "
         "(rejected without --patch or combined with --lines)",
+    )
+    parser.add_argument(
+        "--verify",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --patch, verify every applied patch (re-scan, syntax "
+        "check, import-collision check) and revert patches that fail; "
+        "reverted patches exit with code 3 (--no-verify disables)",
     )
     parser.add_argument(
         "--extended",
@@ -227,6 +239,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         rules=extended_ruleset() if args.extended else None,
         metrics=collector,
         use_index=not args.no_index,
+        verify=args.verify,
     )
     if tracer is not None:
         findings = engine.detect(analyzed, trace=tracer)
@@ -243,12 +256,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.types import AnalysisReport
 
         report = AnalysisReport(tool="patchitpy", source=analyzed, findings=findings)
+        # With --patch the export carries the verifier's rulings too
+        # (patch_verdicts / invocation patchVerdicts), and a reverted
+        # patch still drives exit code 3.
+        result = (
+            engine.patch(analyzed, findings, trace=tracer)
+            if args.patch and findings
+            else None
+        )
+        if result is not None:
+            report.verdicts = result.verdicts
         if args.format == "sarif":
             print(dumps_sarif(report, artifact_uri=str(args.path), metrics=collector))
         else:
             print(dumps_plain(report, artifact_uri=str(args.path)))
         _emit_metrics(args, collector)
         _emit_trace(args, tracer)
+        if result is not None:
+            return _report_verdicts(result.verdicts)
         return 1 if findings else 0
 
     if not findings:
@@ -257,13 +282,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit_trace(args, tracer)
         return 0
 
+    # Patch before printing findings: the verifier's verdict is recorded
+    # into each finding's provenance, so --explain can show it.
+    result = engine.patch(analyzed, findings, trace=tracer) if args.patch else None
+
     for finding in findings:
         print(format_finding(finding, analyzed))
         if args.explain:
             print(render_explain(finding))
 
-    if args.patch:
-        result = engine.patch(analyzed, findings, trace=tracer)
+    exit_code = 1
+    if result is not None:
         if args.in_place:
             args.path.write_text(result.patched)
             print(f"patched {len(result.applied)} finding(s) in {args.path}")
@@ -275,9 +304,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"note: {len(result.unpatchable)} finding(s) have no automated patch",
                 file=sys.stderr,
             )
+        exit_code = _report_verdicts(result.verdicts)
     _emit_metrics(args, collector)
     _emit_trace(args, tracer)
-    return 1
+    return exit_code
+
+
+def _report_verdicts(verdicts: list) -> int:
+    """Print the verifier's rulings; exit 3 when any patch was rejected."""
+    unverified = [v for v in verdicts if not v.ok]
+    if verdicts:
+        verified = len(verdicts) - len(unverified)
+        print(
+            f"verification: {verified}/{len(verdicts)} patch(es) verified",
+            file=sys.stderr,
+        )
+    for verdict in unverified:
+        action = "reverted" if verdict.reverted else "rejected"
+        print(
+            f"  [{verdict.status}] {verdict.rule_id} {action}: {verdict.detail}",
+            file=sys.stderr,
+        )
+    return 3 if unverified else 1
 
 
 def _scan_directory(args: argparse.Namespace) -> int:
@@ -300,15 +348,26 @@ def _scan_directory(args: argparse.Namespace) -> int:
     engine = PatchitPy(
         rules=extended_ruleset() if args.extended else None,
         use_index=not args.no_index,
+        verify=args.verify,
     )
     scanner = ProjectScanner(
         engine=engine, metrics=collector, trace=tracer, slow_rule_budget_ms=budget
     )
+    unverified = 0
     if args.patch and args.in_place:
         report = scanner.patch_tree(args.path, use_cache=use_cache)
         print(report.summary())
         patched = [f for f in report.files if f.patched]
         print(f"patched {len(patched)} file(s) in place (.orig backups written)")
+        unverified = report.unverified_patches
+        for result in report.files:
+            for verdict in result.verdicts:
+                if not verdict.ok:
+                    print(
+                        f"  {result.path}: [{verdict.status}] {verdict.rule_id} "
+                        f"reverted: {verdict.detail}",
+                        file=sys.stderr,
+                    )
     else:
         report = scanner.scan(
             args.path, jobs=jobs, processes=jobs > 1, use_cache=use_cache
@@ -337,6 +396,8 @@ def _scan_directory(args: argparse.Namespace) -> int:
         print(f"HTML report written to {args.html}")
     _emit_metrics(args, report.metrics if report.metrics is not None else collector)
     _emit_trace(args, tracer)
+    if unverified:
+        return 3
     return 1 if report.vulnerable_files else 0
 
 

@@ -15,13 +15,17 @@ from repro.core.patcher import apply_patches
 from repro.core.project import ProjectReport, ProjectScanner, scan_paths
 from repro.core.sarif import dumps_plain, dumps_sarif, to_plain_json, to_sarif
 from repro.core.rules import DetectionRule, PatchTemplate, RuleSet, default_ruleset
+from repro.core.verify import PatchVerdict, PatchVerifier, finding_key
 
 __all__ = [
     "DetectionRule",
     "ImportManager",
     "PatchResult",
     "PatchTemplate",
+    "PatchVerdict",
+    "PatchVerifier",
     "PatchitPy",
+    "finding_key",
     "ProjectReport",
     "ProjectScanner",
     "RuleSet",

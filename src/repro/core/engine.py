@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 from repro.core.matching import run_rules
 from repro.core.patcher import apply_patches
 from repro.core.rules import RuleSet, default_ruleset
+from repro.core.verify import PatchVerdict, PatchVerifier, finding_key
 from repro.exceptions import ReproError
 from repro.observability.collector import NULL_METRICS, ScanMetrics, clock
 from repro.observability.provenance import (
@@ -35,6 +36,11 @@ class PatchResult:
     applied: List[Patch] = field(default_factory=list)
     skipped: List[Patch] = field(default_factory=list)
     unpatchable: List[Finding] = field(default_factory=list)
+    # One verdict per patch the verifier examined; empty when
+    # verification was disabled or nothing was applied.  Reverted patches
+    # keep their verdict here (with ``reverted=True``) even though they
+    # no longer appear in ``applied``.
+    verdicts: List[PatchVerdict] = field(default_factory=list)
 
     @property
     def changed(self) -> bool:
@@ -45,6 +51,16 @@ class PatchResult:
     def repair_attempted(self) -> bool:
         """True when at least one patch was applied."""
         return bool(self.applied)
+
+    @property
+    def unverified(self) -> List[PatchVerdict]:
+        """Verdicts of patches that failed verification (and were reverted)."""
+        return [v for v in self.verdicts if not v.ok]
+
+    @property
+    def verified(self) -> bool:
+        """True when every examined patch passed verification."""
+        return all(v.ok for v in self.verdicts)
 
 
 class PatchitPy:
@@ -76,6 +92,18 @@ class PatchitPy:
         (:class:`RuleSet` does), each detect consults one multi-literal
         pass instead of per-rule literal checks.  ``use_index=False`` is
         the ablation seam: identical findings, naive per-rule path.
+    verify:
+        When on (the default) every :meth:`patch` call runs the Verifier
+        stage (:mod:`repro.core.verify`) on its output and re-patches
+        with failing patches banned, up to ``max_verify_attempts`` times;
+        patches that cannot be verified are reverted instead of shipped.
+        ``verify=False`` restores the pre-1.5 apply-and-hope behaviour.
+    max_verify_attempts:
+        Bound on the verify → ban → re-patch loop.  Each failed attempt
+        bans at least one patch by finding identity, so the loop always
+        terminates; when the bound is hit (or banning cannot make
+        progress) the whole patch set is reverted and the original text
+        is returned unchanged.
     """
 
     def __init__(
@@ -86,15 +114,21 @@ class PatchitPy:
         metrics: Optional[ScanMetrics] = None,
         trace: Optional[TraceRecorder] = None,
         use_index: bool = True,
+        verify: bool = True,
+        max_verify_attempts: int = 3,
     ) -> None:
         if max_passes < 1:
             raise ValueError("max_passes must be >= 1")
+        if max_verify_attempts < 1:
+            raise ValueError("max_verify_attempts must be >= 1")
         self.rules = rules if rules is not None else default_ruleset()
         self.max_passes = max_passes
         self.prune_imports = prune_imports
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.trace = trace if trace is not None else NULL_TRACE
         self.use_index = use_index
+        self.verify = verify
+        self.max_verify_attempts = max_verify_attempts
 
     def _metrics(self, override: Optional[ScanMetrics]) -> ScanMetrics:
         return override if override is not None else self.metrics
@@ -219,35 +253,36 @@ class PatchitPy:
                     replacement=replacement,
                     new_imports=imports,
                     description=rule.patch.description,
+                    trigger_key=finding_key(source, finding.with_span(span)),
                 )
             )
         return patches
 
-    def patch(
+    def _patch_passes(
         self,
         source: str,
-        findings: Optional[Sequence[Finding]] = None,
-        metrics: Optional[ScanMetrics] = None,
-        trace: Optional[TraceRecorder] = None,
-    ) -> PatchResult:
-        """Phase 2: substitute safe alternatives for detected patterns.
+        initial: Sequence[Finding],
+        m: ScanMetrics,
+        t: TraceRecorder,
+        banned: frozenset = frozenset(),
+    ):
+        """One full fixpoint patching run, skipping ``banned`` findings.
 
-        Runs repeated passes until no patchable finding remains or
-        ``max_passes`` is reached; overlapping patches in one pass are
-        retried on the next pass against the updated text.
+        ``banned`` holds finding-identity keys (see
+        :func:`repro.core.verify.finding_key`) of patches the verifier
+        rejected on an earlier attempt; their patches are dropped at
+        render time so a re-run converges without them.  Returns
+        ``(patched, applied, skipped, passes, final_findings)``.
         """
-        m = self._metrics(metrics)
-        t = self._trace(trace)
-        start = clock() if m.enabled else 0.0
         current = source
         all_applied: List[Patch] = []
         last_skipped: List[Patch] = []
         passes = 0
-        pass_findings = (
-            list(findings) if findings is not None else self._detect_with(current, m, t)
-        )
+        pass_findings = list(initial)
         for _ in range(self.max_passes):
             patches = self.render_patches(current, pass_findings, t)
+            if banned:
+                patches = [p for p in patches if p.trigger_key not in banned]
             if not patches:
                 break
             passes += 1
@@ -265,7 +300,83 @@ class PatchitPy:
 
             current = prune_unused_imports(current)
         final_findings = self._detect_with(current, m, t)
+        return current, all_applied, last_skipped, passes, final_findings
+
+    def patch(
+        self,
+        source: str,
+        findings: Optional[Sequence[Finding]] = None,
+        metrics: Optional[ScanMetrics] = None,
+        trace: Optional[TraceRecorder] = None,
+        verify: Optional[bool] = None,
+    ) -> PatchResult:
+        """Phase 2: substitute safe alternatives for detected patterns.
+
+        Runs repeated passes until no patchable finding remains or
+        ``max_passes`` is reached; overlapping patches in one pass are
+        retried on the next pass against the updated text.
+
+        With verification on (the engine default, overridable per call
+        via ``verify=``), the Verifier stage then re-scans the output:
+        patches whose triggering finding survived, that introduced a new
+        finding, broke the syntax, or collide with an existing binding
+        are banned by finding identity and patching re-runs without them,
+        up to ``max_verify_attempts`` times.  If the loop cannot converge
+        on a fully verified patch set, *everything* is reverted — the
+        original text ships unchanged rather than an unproven edit.  All
+        examined patches keep their verdict in ``PatchResult.verdicts``.
+        """
+        m = self._metrics(metrics)
+        t = self._trace(trace)
+        do_verify = self.verify if verify is None else verify
+        start = clock() if m.enabled else 0.0
+        initial = (
+            list(findings) if findings is not None else self._detect_with(source, m, t)
+        )
+        banned: set = set()
+        reverted: List[PatchVerdict] = []
+        verdicts: List[PatchVerdict] = []
+        attempts = 0
+        verifier = (
+            PatchVerifier(lambda s: self._detect_with(s, NULL_METRICS))
+            if do_verify
+            else None
+        )
+        while True:
+            current, all_applied, last_skipped, passes, final_findings = (
+                self._patch_passes(source, initial, m, t, frozenset(banned))
+            )
+            if verifier is None or not all_applied:
+                verdicts = list(reverted)
+                break
+            attempts += 1
+            judged = verifier.verify(source, initial, current, all_applied, final_findings)
+            failing = [v for v in judged if not v.ok]
+            if not failing:
+                verdicts = list(reverted) + judged
+                break
+            new_bans = {v.trigger_key for v in failing if v.trigger_key} - banned
+            if new_bans and attempts < self.max_verify_attempts:
+                for v in failing:
+                    v.reverted = True
+                reverted.extend(failing)
+                banned |= new_bans
+                continue
+            # Cannot converge (ban made no progress, or attempts
+            # exhausted): revert the whole patch set.  Shipping the
+            # original unchanged is the only edit we can still prove
+            # safe — failing patches cannot be excised surgically once
+            # later spans have shifted around them.
+            for v in judged:
+                v.reverted = True
+            verdicts = list(reverted) + judged
+            current = source
+            all_applied = []
+            last_skipped = []
+            final_findings = list(initial)
+            break
         unpatchable = [f for f in final_findings if not f.fixable]
+        self._record_verdicts(source, initial, verdicts, attempts, m, t)
         if m.enabled:
             m.count("patch_calls")
             m.count("patch_passes", passes)
@@ -279,7 +390,48 @@ class PatchitPy:
             applied=all_applied,
             skipped=last_skipped,
             unpatchable=unpatchable,
+            verdicts=verdicts,
         )
+
+    def _record_verdicts(
+        self,
+        source: str,
+        initial: Sequence[Finding],
+        verdicts: Sequence[PatchVerdict],
+        attempts: int,
+        m: ScanMetrics,
+        t: TraceRecorder,
+    ) -> None:
+        """Propagate verdicts into metrics, trace events, and provenance."""
+        if not verdicts:
+            return
+        if m.enabled:
+            m.count("patch_verify_attempts", attempts)
+            for verdict in verdicts:
+                m.count("patch_verdict_" + verdict.status.replace("-", "_"))
+                if verdict.reverted:
+                    m.count("patches_reverted")
+                elif verdict.ok:
+                    m.count("patches_verified")
+        if t.enabled:
+            for verdict in verdicts:
+                t.event(
+                    "patch-verify",
+                    verdict.rule_id,
+                    status=verdict.status,
+                    attempts=attempts,
+                    reverted=verdict.reverted,
+                    detail=verdict.detail,
+                )
+        by_key = {v.trigger_key: v for v in verdicts if v.trigger_key}
+        for finding in initial:
+            provenance = finding.provenance
+            if provenance is None or getattr(provenance, "patch", None) is None:
+                continue
+            verdict = by_key.get(finding_key(source, finding))
+            if verdict is not None:
+                provenance.patch.verdict = verdict.status
+                provenance.patch.verdict_detail = verdict.detail
 
     # ------------------------------------------------------------ analyze
 
@@ -356,4 +508,5 @@ class PatchitPy:
             result = self.patch(source, findings, m, t)
             report.patches = result.applied
             report.patched_source = result.patched
+            report.verdicts = result.verdicts
         return report

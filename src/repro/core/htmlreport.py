@@ -71,6 +71,17 @@ def _provenance_details(provenance) -> str:
         if provenance.patch.imports:
             imports = ", ".join(provenance.patch.imports)
             items.append(f"<li>imports: <code>{html.escape(imports)}</code></li>")
+        if provenance.patch.verdict:
+            css = "pass" if provenance.patch.verdict == "verified" else "veto"
+            detail = (
+                f" — {html.escape(provenance.patch.verdict_detail)}"
+                if provenance.patch.verdict_detail
+                else ""
+            )
+            items.append(
+                f'<li>verdict: <span class="{css}">'
+                f"{html.escape(provenance.patch.verdict)}</span>{detail}</li>"
+            )
     return (
         '<details class="prov"><summary>provenance</summary><ul>'
         + "".join(items)
@@ -112,6 +123,24 @@ def render_html_report(report: ProjectReport, title: str = "PatchitPy scan repor
         '<div class="label">findings</div></div>',
         "</div>",
     ]
+
+    verdict_counts = report.verdict_counts()
+    if verdict_counts:
+        parts.append(
+            "<h2>Patch verdicts</h2><table><tr><th>verdict</th><th>count</th></tr>"
+        )
+        for status, count in verdict_counts.items():
+            css = "pass" if status == "verified" else "veto"
+            parts.append(
+                f'<tr><td><span class="{css}">{html.escape(status)}</span></td>'
+                f"<td>{count}</td></tr>"
+            )
+        parts.append("</table>")
+        if report.unverified_patches:
+            parts.append(
+                f"<p>{report.unverified_patches} patch(es) failed verification "
+                "and were reverted — their edits did not ship.</p>"
+            )
 
     by_cwe = report.findings_by_cwe()
     if by_cwe:

@@ -5,6 +5,13 @@ not import, the patch carries the needed import statements; this manager
 places them at the top of the file — after a module docstring and any
 ``from __future__`` imports, appended to the existing import block —
 mirroring the VS Code ``Position`` API placement described in §II-B.
+
+Import-shaped text inside string literals (a module docstring quoting
+``import os``, a triple-quoted SQL template) is never treated as an
+import: collection, insertion-point scanning, and pruning all consult a
+lightweight string-literal scanner first, so new imports are never
+spliced into the middle of a docstring and docstring lines are never
+"pruned" as dead imports.
 """
 
 from __future__ import annotations
@@ -17,16 +24,78 @@ _FROM_IMPORT_RE = re.compile(r"^from\s+(?P<module>[\w.]+)\s+import\s+(?P<names>[
 _PLAIN_IMPORT_RE = re.compile(r"^import\s+(?P<modules>[^#\n]+)")
 
 
+def string_spans(source: str) -> List[Tuple[int, int]]:
+    """Half-open ``[start, end)`` spans of string literals in ``source``.
+
+    A small state machine, not a full tokenizer: it tracks single- and
+    triple-quoted strings (prefixes and escapes included) and comments,
+    which is exactly enough to decide whether an import-shaped line sits
+    inside a literal.  An unterminated triple quote extends to the end of
+    the text — the conservative reading for generated, possibly
+    incomplete snippets.
+    """
+    spans: List[Tuple[int, int]] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "#":
+            newline = source.find("\n", i)
+            i = n if newline == -1 else newline + 1
+            continue
+        if ch in "\"'":
+            # include any immediately-preceding string prefix (r, b, f, u)
+            start = i
+            j = start - 1
+            while j >= 0 and source[j] in "rRbBuUfF":
+                j -= 1
+            # only a prefix if glued to the quote as part of a name-free token
+            if j < start - 1 and (j < 0 or not (source[j].isalnum() or source[j] == "_")):
+                start = j + 1
+            quote = source[i : i + 3] if source[i : i + 3] in ('"""', "'''") else ch
+            i += len(quote)
+            while i < n:
+                if source[i] == "\\":
+                    i += 2
+                    continue
+                if source.startswith(quote, i):
+                    i += len(quote)
+                    break
+                if len(quote) == 1 and source[i] == "\n":
+                    i += 1  # unterminated single-quoted string ends at EOL
+                    break
+                i += 1
+            spans.append((start, min(i, n)))
+            continue
+        i += 1
+    return spans
+
+
+def _offset_in_spans(offset: int, spans: Sequence[Tuple[int, int]]) -> bool:
+    return any(start <= offset < end for start, end in spans)
+
+
 class ImportManager:
     """Tracks the imports of a source file and inserts missing ones."""
 
     def __init__(self, source: str) -> None:
         self._source = source
-        self._existing = _collect_imports(source)
+        self._string_spans = string_spans(source)
+        self._existing = _collect_imports(source, self._string_spans)
 
     def has_import(self, statement: str) -> bool:
-        """True when ``statement`` (or a superset of it) is already present."""
-        kind, module, names = _parse_import(statement)
+        """True when ``statement`` (or a superset of it) is already present.
+
+        Multi-module statements (``import os, pickle``) are present only
+        when *every* module they name is.
+        """
+        try:
+            wanted = _parse_imports(statement)
+        except ValueError:
+            return False
+        return all(self._has_entry(kind, module, names) for kind, module, names in wanted)
+
+    def _has_entry(self, kind: str, module: str, names: frozenset) -> bool:
         for existing_kind, existing_module, existing_names in self._existing:
             if existing_module != module:
                 continue
@@ -58,10 +127,15 @@ class ImportManager:
         """Character offset where new imports belong.
 
         After the last top-level import when one exists; otherwise after
-        the module docstring; otherwise offset 0.
+        the module docstring; otherwise offset 0.  Import-shaped lines
+        inside string literals (e.g. a docstring quoting ``import os`` at
+        column 0) are not insertion anchors — splicing there would drop
+        the new imports into the middle of the literal.
         """
         last_import_end = -1
         for match in _IMPORT_LINE_RE.finditer(self._source):
+            if _offset_in_spans(match.start(), self._string_spans):
+                continue  # inside a string literal — not a real import
             line_start = self._source.rfind("\n", 0, match.start()) + 1
             if self._source[line_start : match.start()].strip():
                 continue  # indented (inside a function) — not top-level
@@ -84,20 +158,45 @@ class ImportManager:
         return 0
 
 
-def _collect_imports(source: str) -> List[Tuple[str, str, frozenset]]:
+def _collect_imports(
+    source: str, spans: Sequence[Tuple[int, int]] = ()
+) -> List[Tuple[str, str, frozenset]]:
     collected: List[Tuple[str, str, frozenset]] = []
-    for line in source.splitlines():
+    offset = 0
+    for line in source.splitlines(keepends=True):
+        start = offset
+        offset += len(line)
         cleaned = line.strip()
-        if cleaned.startswith(("import ", "from ")):
-            try:
-                collected.append(_parse_import(cleaned))
-            except ValueError:
-                continue
+        if not cleaned.startswith(("import ", "from ")):
+            continue
+        if spans and _offset_in_spans(start + line.find(cleaned[0]), spans):
+            continue  # import-shaped text inside a string literal
+        try:
+            collected.extend(_parse_imports(cleaned))
+        except ValueError:
+            continue
     return collected
 
 
-def _parse_import(statement: str) -> Tuple[str, str, frozenset]:
-    """Parse into ``(kind, module, names)``; raises ValueError if neither."""
+def _split_alias(part: str) -> Tuple[str, str]:
+    """``"module as alias"`` → ``(module, binding_name)``."""
+    target, _, alias = part.partition(" as ")
+    target = target.strip()
+    alias = alias.strip()
+    if alias:
+        return target, alias
+    return target, target.split(".")[0]
+
+
+def _parse_imports(statement: str) -> List[Tuple[str, str, frozenset]]:
+    """Parse into ``(kind, module, names)`` entries; ValueError if neither.
+
+    A ``from`` import yields one entry; a plain import yields **one entry
+    per module** — ``import os, pickle`` records both ``os`` and
+    ``pickle``, so membership checks and pruning see every module a
+    statement binds (keeping only the first was the pre-1.5 bug that made
+    ``has_import("import pickle")`` miss and duplicated inserts).
+    """
     from_match = _FROM_IMPORT_RE.match(statement)
     if from_match:
         names = frozenset(
@@ -105,16 +204,46 @@ def _parse_import(statement: str) -> Tuple[str, str, frozenset]:
             for name in from_match.group("names").split(",")
             if name.strip()
         )
-        return "from", from_match.group("module"), names
+        return [("from", from_match.group("module"), names)]
     plain_match = _PLAIN_IMPORT_RE.match(statement)
     if plain_match:
-        modules = frozenset(
-            module.strip().split(" as ")[0].strip()
-            for module in plain_match.group("modules").split(",")
-        )
-        # one tuple per statement; multi-module imports keep the first
-        module = sorted(modules)[0]
-        return "import", module, frozenset()
+        entries: List[Tuple[str, str, frozenset]] = []
+        for part in plain_match.group("modules").split(","):
+            if not part.strip():
+                continue
+            module, _binding = _split_alias(part.strip())
+            entries.append(("import", module, frozenset()))
+        if entries:
+            return entries
+    raise ValueError(f"not an import statement: {statement!r}")
+
+
+def import_bindings(statement: str) -> List[str]:
+    """The module-scope names an import statement binds.
+
+    ``import os.path as p, pickle`` binds ``p`` and ``pickle``;
+    ``from flask import Flask, request as req`` binds ``Flask`` and
+    ``req``.  Raises ``ValueError`` for non-import text.
+    """
+    from_match = _FROM_IMPORT_RE.match(statement)
+    if from_match:
+        bindings: List[str] = []
+        for part in from_match.group("names").split(","):
+            if not part.strip():
+                continue
+            _target, binding = _split_alias(part.strip())
+            bindings.append(binding)
+        return bindings
+    plain_match = _PLAIN_IMPORT_RE.match(statement)
+    if plain_match:
+        bindings = []
+        for part in plain_match.group("modules").split(","):
+            if not part.strip():
+                continue
+            _module, binding = _split_alias(part.strip())
+            bindings.append(binding)
+        if bindings:
+            return bindings
     raise ValueError(f"not an import statement: {statement!r}")
 
 
@@ -127,8 +256,6 @@ _NAME_RE_CACHE: dict = {}
 
 
 def _name_used(source: str, name: str) -> bool:
-    import re
-
     pattern = _NAME_RE_CACHE.get(name)
     if pattern is None:
         pattern = re.compile(rf"(?<![\w.]){re.escape(name)}(?![\w])")
@@ -141,30 +268,42 @@ def prune_unused_imports(source: str) -> str:
 
     After a safe substitution (e.g. ``pickle.loads`` → ``json.loads``) the
     original module import frequently becomes dead; pruning it keeps the
-    patched file lint-clean.  Only whole lines are removed, and a ``from``
-    import is kept if *any* of its names is still referenced.
+    patched file lint-clean.  Only whole lines are removed, a ``from``
+    import is kept if *any* of its names is still referenced, a plain
+    multi-module import (``import os, pickle``) is kept if *any* of its
+    bindings is still referenced, and two classes of line are never
+    pruned at all: ``from __future__ import ...`` (a compiler directive,
+    not a binding — removing it changes program semantics even when the
+    name is unreferenced) and import-shaped text inside string literals.
     """
+    spans = string_spans(source)
     lines = source.splitlines(keepends=True)
     kept = []
+    offset = 0
     for index, line in enumerate(lines):
+        line_start = offset
+        offset += len(line)
         stripped = line.strip()
         if not stripped.startswith(("import ", "from ")) or line[:1] in (" ", "\t"):
             kept.append(line)
             continue
+        if _offset_in_spans(line_start, spans):
+            kept.append(line)  # inside a string literal — not an import
+            continue
         try:
-            kind, module, names = _parse_import(stripped)
+            entries = _parse_imports(stripped)
+        except ValueError:
+            kept.append(line)
+            continue
+        if any(module == "__future__" for _kind, module, _names in entries):
+            kept.append(line)  # future imports are directives; always keep
+            continue
+        try:
+            bindings = import_bindings(stripped)
         except ValueError:
             kept.append(line)
             continue
         rest = "".join(lines[:index]) + "".join(lines[index + 1 :])
-        if kind == "import":
-            if " as " in stripped:
-                binding = stripped.split(" as ")[-1].strip()
-            else:
-                binding = stripped.split()[1].split(".")[0].split(",")[0]
-            used = _name_used(rest, binding)
-        else:
-            used = any(_name_used(rest, name) for name in names)
-        if used:
+        if any(_name_used(rest, binding) for binding in bindings):
             kept.append(line)
     return "".join(kept)

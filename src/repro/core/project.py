@@ -68,11 +68,20 @@ class FileResult:
     applied_patches: int = 0
     error: Optional[str] = None
     from_cache: bool = False
+    # Verifier verdicts (repro.core.verify.PatchVerdict) for every patch
+    # the engine examined for this file — recorded even when all patches
+    # were reverted and the file was left untouched.
+    verdicts: List = field(default_factory=list)
 
     @property
     def is_vulnerable(self) -> bool:
         """True when the file produced findings."""
         return bool(self.findings)
+
+    @property
+    def reverted_patches(self) -> int:
+        """Patches the verifier rejected and withdrew for this file."""
+        return sum(1 for v in self.verdicts if v.reverted)
 
 
 @dataclass
@@ -106,6 +115,26 @@ class ProjectReport:
         """Findings across all files."""
         return sum(len(f.findings) for f in self.files)
 
+    @property
+    def verified_patches(self) -> int:
+        """Applied patches that passed every verification check."""
+        return sum(
+            1 for f in self.files for v in f.verdicts if v.ok and not v.reverted
+        )
+
+    @property
+    def unverified_patches(self) -> int:
+        """Patches the verifier rejected (reverted, not shipped)."""
+        return sum(1 for f in self.files for v in f.verdicts if not v.ok)
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """Verdict status -> count across all files, most frequent first."""
+        counts: Dict[str, int] = {}
+        for result in self.files:
+            for verdict in result.verdicts:
+                counts[verdict.status] = counts.get(verdict.status, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
     def findings_by_cwe(self) -> Dict[str, int]:
         """CWE id -> finding count, most frequent first."""
         counts: Dict[str, int] = {}
@@ -127,6 +156,14 @@ class ProjectReport:
             lines.append(f"unreadable files: {len(errors)}")
         if self.cache_hits or self.cache_misses:
             lines.append(f"cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es)")
+        counts = self.verdict_counts()
+        if counts:
+            parts = ", ".join(f"{status}: {count}" for status, count in counts.items())
+            lines.append(f"patch verdicts: {parts}")
+            if self.unverified_patches:
+                lines.append(
+                    f"unverified patches reverted: {self.unverified_patches}"
+                )
         return "\n".join(lines)
 
 
@@ -393,11 +430,16 @@ class ProjectScanner:
                 metrics=m if m.enabled else None,
                 trace=t if t.enabled else None,
             )
+            # Verdicts are recorded before the unchanged-file short-circuit:
+            # a file whose every patch was reverted stays byte-identical on
+            # disk but must still report why nothing shipped.
+            result.verdicts = list(outcome.verdicts)
             if t.enabled:
                 t.end(
                     file_sid,
                     findings=len(result.findings),
                     applied=len(outcome.applied),
+                    reverted=result.reverted_patches,
                 )
             if m.enabled:
                 m.record_file(str(path), clock() - file_start)

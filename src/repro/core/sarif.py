@@ -74,7 +74,10 @@ def to_sarif(
     ``properties.provenance``, and an enabled ``metrics`` collector embeds
     its snapshot under ``runs[0].invocations[0].properties.metrics`` — so
     one SARIF file carries both the findings and the observability data
-    of the scan that produced them.
+    of the scan that produced them.  Reports from a verified patch run
+    additionally export every patch's verdict under
+    ``runs[0].invocations[0].properties.patchVerdicts``; reports without
+    verdicts keep their pre-1.5 shape byte for byte.
     """
     rules: List[Dict[str, object]] = []
     rule_index: Dict[str, int] = {}
@@ -139,15 +142,23 @@ def to_sarif(
             }
         ]
     if metrics is not None and getattr(metrics, "enabled", False):
-        invocation["properties"] = {"metrics": metrics.to_dict()}
+        invocation.setdefault("properties", {})["metrics"] = metrics.to_dict()
+    if report.verdicts:
+        invocation.setdefault("properties", {})["patchVerdicts"] = [
+            v.to_dict() for v in report.verdicts
+        ]
     if report.parse_failed or "properties" in invocation:
         run["invocations"] = [invocation]
     return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]}
 
 
 def to_plain_json(report: AnalysisReport, artifact_uri: str = "target.py") -> Dict[str, object]:
-    """Flat JSON shape for scripting pipelines."""
-    return {
+    """Flat JSON shape for scripting pipelines.
+
+    A ``patch_verdicts`` key appears only when the report carries
+    verifier verdicts, so detection-only output keeps its prior shape.
+    """
+    data: Dict[str, object] = {
         "tool": report.tool,
         "target": artifact_uri,
         "vulnerable": report.is_vulnerable,
@@ -169,6 +180,9 @@ def to_plain_json(report: AnalysisReport, artifact_uri: str = "target.py") -> Di
             for p in report.patches
         ],
     }
+    if report.verdicts:
+        data["patch_verdicts"] = [v.to_dict() for v in report.verdicts]
+    return data
 
 
 def dumps_sarif(

@@ -76,25 +76,42 @@ class GuardDecision:
 
 @dataclass
 class PatchProvenance:
-    """The rendered safe alternative for one finding."""
+    """The rendered safe alternative for one finding.
+
+    ``verdict`` is filled in by the Verifier stage when patch
+    verification runs: one of the :data:`repro.core.verify.VERDICT_STATUSES`
+    values, with ``verdict_detail`` explaining a non-``verified`` ruling.
+    Both serialize only when a verdict was recorded, so detection-only
+    and verification-off workflows keep their pre-1.5 JSON shape.
+    """
 
     description: str
     replacement: str
     imports: Tuple[str, ...] = ()
+    verdict: Optional[str] = None
+    verdict_detail: str = ""
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "description": self.description,
             "replacement": self.replacement,
             "imports": list(self.imports),
         }
+        if self.verdict is not None:
+            data["verdict"] = self.verdict
+            if self.verdict_detail:
+                data["verdict_detail"] = self.verdict_detail
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "PatchProvenance":
+        verdict = data.get("verdict")
         return cls(
             description=str(data.get("description", "")),
             replacement=str(data.get("replacement", "")),
             imports=tuple(data.get("imports", ())),
+            verdict=str(verdict) if verdict is not None else None,
+            verdict_detail=str(data.get("verdict_detail", "")),
         )
 
 
@@ -256,4 +273,9 @@ def render_explain(finding) -> str:
         lines.append(f"      replacement: `{_clip(provenance.patch.replacement, 120)}`")
         if provenance.patch.imports:
             lines.append(f"      imports: {', '.join(provenance.patch.imports)}")
+        if provenance.patch.verdict is not None:
+            line = f"      verdict: {provenance.patch.verdict}"
+            if provenance.patch.verdict_detail:
+                line += f" — {_clip(provenance.patch.verdict_detail, 100)}"
+            lines.append(line)
     return "\n".join(lines)

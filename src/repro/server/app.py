@@ -130,6 +130,12 @@ def analyze_payload(
     ``patches`` list is rendered against the *submitted* source (spans
     anchored to it) so IDE clients can apply the edits verbatim; the
     fully patched text additionally lands in ``patched_source``.
+
+    With the engine's verifier on (the default), patches the verifier
+    reverted are filtered out of ``patches`` — a client must never apply
+    an edit the verifier refused to ship — and every examined patch's
+    ruling appears in ``patch_verdicts``, with ``patches_reverted`` and
+    the aggregate ``verified`` flag alongside.
     """
     metrics = ScanMetrics()
     findings = engine.detect(source, metrics=metrics, trace=trace)
@@ -138,6 +144,8 @@ def analyze_payload(
         "findings": [f.to_dict() for f in findings],
     }
     if patch and findings:
+        result = engine.patch(source, findings, metrics=metrics, trace=trace)
+        reverted_keys = {v.trigger_key for v in result.verdicts if v.reverted}
         rendered = engine.render_patches(source, findings, trace=trace)
         payload["patches"] = [
             {
@@ -149,16 +157,22 @@ def analyze_payload(
                 "description": p.description,
             }
             for p in rendered
+            if p.trigger_key not in reverted_keys
         ]
-        result = engine.patch(source, findings, metrics=metrics, trace=trace)
         payload["patched_source"] = result.patched
         payload["patches_applied"] = len(result.applied)
         payload["unpatchable"] = len(result.unpatchable)
+        payload["patch_verdicts"] = [v.to_dict() for v in result.verdicts]
+        payload["patches_reverted"] = sum(1 for v in result.verdicts if v.reverted)
+        payload["verified"] = result.verified
     elif patch:
         payload["patches"] = []
         payload["patched_source"] = source
         payload["patches_applied"] = 0
         payload["unpatchable"] = 0
+        payload["patch_verdicts"] = []
+        payload["patches_reverted"] = 0
+        payload["verified"] = True
     if trace is not None and trace.enabled:
         payload["trace_events"] = list(trace.events)
     return payload, metrics.to_dict()

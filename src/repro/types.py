@@ -178,7 +178,11 @@ class Patch:
     ``replacement`` substitutes the text at ``span``; ``new_imports`` lists
     import statements the patched code additionally needs (inserted at the
     top of the file by the import manager, mirroring the VS Code Position
-    API usage described in §II-B of the paper).
+    API usage described in §II-B of the paper).  ``trigger_key`` is the
+    content-hash identity of the finding the patch answers (see
+    :func:`repro.core.verify.finding_key`) — stable across the offset
+    shifts later patches cause, it is how the verifier matches a patch
+    back to its triggering finding.
     """
 
     rule_id: str
@@ -187,6 +191,7 @@ class Patch:
     replacement: str
     new_imports: Tuple[str, ...] = ()
     description: str = ""
+    trigger_key: str = ""
 
     def is_noop(self) -> bool:
         """True when applying the patch would change nothing."""
@@ -219,6 +224,9 @@ class AnalysisReport:
     suggestions: list = field(default_factory=list)
     parse_failed: bool = False
     patched_source: Optional[str] = None
+    # Per-patch verification verdicts (repro.core.verify.PatchVerdict);
+    # empty when patching or verification was disabled.
+    verdicts: list = field(default_factory=list)
 
     @property
     def is_vulnerable(self) -> bool:

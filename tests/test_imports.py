@@ -1,6 +1,11 @@
 """Tests for the import manager (insertion + pruning)."""
 
-from repro.core.imports import ImportManager, insert_imports, prune_unused_imports
+from repro.core.imports import (
+    ImportManager,
+    import_bindings,
+    insert_imports,
+    prune_unused_imports,
+)
 
 
 class TestHasImport:
@@ -20,6 +25,29 @@ class TestHasImport:
     def test_aliased_import(self):
         manager = ImportManager("import numpy as np\n")
         assert manager.has_import("import numpy")
+
+    def test_multi_module_import_records_every_module(self):
+        # regression: "import os, pickle" used to record only "os"
+        manager = ImportManager("import os, pickle\n")
+        assert manager.has_import("import os")
+        assert manager.has_import("import pickle")
+        assert not manager.has_import("import json")
+
+    def test_multi_module_request_needs_all_modules(self):
+        manager = ImportManager("import os\n")
+        assert not manager.has_import("import os, pickle")
+        assert ImportManager("import os\nimport pickle\n").has_import(
+            "import os, pickle"
+        )
+
+    def test_no_duplicate_insert_for_multi_module_import(self):
+        source = "import os, pickle\n\npickle.loads(x)\n"
+        out = insert_imports(source, ["import pickle"])
+        assert out == source
+
+    def test_docstring_import_not_treated_as_import(self):
+        source = '"""Usage:\nimport os\n"""\n\nx = 1\n'
+        assert not ImportManager(source).has_import("import os")
 
 
 class TestInsertion:
@@ -61,6 +89,21 @@ class TestInsertion:
             "import re",
         ]
 
+    def test_insertion_skips_import_inside_docstring(self):
+        # regression: the MULTILINE scan used to anchor on the
+        # import-shaped line *inside* the docstring, splicing new
+        # imports into the middle of the literal
+        source = '"""Module doc.\nimport os\nmore prose\n"""\n\nx = 1\n'
+        out = insert_imports(source, ["import json"])
+        assert compile(out, "<t>", "exec")
+        assert out.index('"""\n') < out.index("import json")
+        assert "import os\nimport json" not in out
+
+    def test_insertion_after_real_import_with_docstring_decoy(self):
+        source = '"""doc\nimport os\n"""\nimport sys\n\nx = 1\n'
+        out = insert_imports(source, ["import json"])
+        assert "import sys\nimport json\n" in out
+
 
 class TestPruning:
     def test_dead_plain_import_removed(self):
@@ -93,3 +136,42 @@ class TestPruning:
         # "osmium" must not keep "import os" alive
         source = "import os\n\nosmium = 1\nprint(osmium)\n"
         assert "import os\n" not in prune_unused_imports(source)
+
+    def test_future_import_never_pruned(self):
+        # regression: future imports are compiler directives, not
+        # bindings — pruning one changes program semantics
+        source = "from __future__ import annotations\n\nx = 1\n"
+        assert prune_unused_imports(source) == source
+
+    def test_multi_module_import_kept_if_any_binding_used(self):
+        # regression: binding extraction saw only the first module
+        source = "import os, pickle\n\npickle.loads(x)\n"
+        assert "import os, pickle" in prune_unused_imports(source)
+
+    def test_multi_module_import_pruned_when_all_dead(self):
+        source = "import os, pickle\n\nprint('hi')\n"
+        assert "import os" not in prune_unused_imports(source)
+
+    def test_docstring_import_line_not_pruned(self):
+        source = '"""Example:\nimport os\n"""\n\nprint("hi")\n'
+        assert prune_unused_imports(source) == source
+
+
+class TestImportBindings:
+    def test_plain_multi_module_with_alias(self):
+        assert import_bindings("import os.path as p, pickle") == ["p", "pickle"]
+
+    def test_from_import_aliases(self):
+        assert import_bindings("from flask import Flask, request as req") == [
+            "Flask",
+            "req",
+        ]
+
+    def test_dotted_module_binds_first_component(self):
+        assert import_bindings("import urllib.request") == ["urllib"]
+
+    def test_non_import_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            import_bindings("x = 1")
