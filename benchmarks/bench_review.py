@@ -1,0 +1,178 @@
+"""Review-mode latency: a warm ``POST /v1/review`` must fit a bot's budget.
+
+The review endpoint exists so a PR bot can ask "what did this change
+introduce?" on every push.  That only works if the warm path — baseline
+findings served from the content-addressed :class:`~repro.cache.ScanCache`,
+only touched files rescanned — answers well inside an interactive budget.
+The acceptance gate of the review PR is pinned here: **warm review of the
+bench corpus completes in under 250 ms** (median).
+
+Setup mirrors how a bot sees a repository: a git repo with a committed
+baseline (several files, a couple of pre-existing findings), then an
+uncommitted change that introduces exactly one new finding.  We measure:
+
+- **cold review** — first ``POST /v1/review`` after server start: both
+  sides of every touched file are scanned and cached;
+- **warm review** — subsequent requests: every side is a cache hit, so
+  the server only parses the diff and re-classifies.
+
+Artifacts: ``review.txt`` (human table) and a BENCH JSON
+(``review.json``) uploaded by CI.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro import BackgroundServer, PatchitPyServer, ServerClient, ServerConfig
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+WARM_BUDGET_S = 0.250  # the review PR's acceptance gate
+
+# The committed baseline: pre-existing findings the review must suppress.
+BASELINE_FILES = {
+    "app.py": (
+        "import subprocess\n"
+        "import yaml\n"
+        "\n"
+        "\n"
+        "def load(data):\n"
+        "    return yaml.load(data)\n"
+        "\n"
+        "\n"
+        "def run(cmd):\n"
+        "    return subprocess.call(cmd, shell=True)\n"
+    ),
+    "util.py": (
+        "def helper(items):\n"
+        "    return sorted(items)\n"
+    ),
+    "clean.py": (
+        "VERSION = '1.0'\n"
+        "\n"
+        "\n"
+        "def describe():\n"
+        "    return VERSION\n"
+    ),
+}
+
+# The uncommitted change: shifts app.py's findings down (still
+# pre-existing) and introduces one genuinely new finding in util.py.
+CHANGED_FILES = {
+    "app.py": "# refreshed header\n" + BASELINE_FILES["app.py"],
+    "util.py": (
+        "import yaml\n"
+        "\n"
+        "\n"
+        "def helper(items):\n"
+        "    return sorted(items)\n"
+        "\n"
+        "\n"
+        "def parse(raw):\n"
+        "    return yaml.load(raw)\n"
+    ),
+}
+
+
+def _git(root: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", *args],
+        cwd=root,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "bench",
+            "GIT_AUTHOR_EMAIL": "bench@example.invalid",
+            "GIT_COMMITTER_NAME": "bench",
+            "GIT_COMMITTER_EMAIL": "bench@example.invalid",
+            "HOME": str(root),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+def _build_corpus(root: Path) -> None:
+    _git(root, "init", "-q")
+    for name, text in BASELINE_FILES.items():
+        (root / name).write_text(text)
+    _git(root, "add", "-A")
+    _git(root, "commit", "-q", "-m", "baseline")
+    for name, text in CHANGED_FILES.items():
+        (root / name).write_text(text)
+
+
+def run_review_benchmark(
+    work_dir: Path, warm_requests: int = 50
+) -> Dict[str, float]:
+    """Time cold vs warm ``POST /v1/review`` on the bench corpus."""
+    root = work_dir / "corpus"
+    root.mkdir()
+    _build_corpus(root)
+
+    server = PatchitPyServer(config=ServerConfig(port=0))
+    with BackgroundServer(server) as handle:
+        with ServerClient(port=handle.port) as client:
+            t0 = time.perf_counter()
+            first = client.review(str(root), base="HEAD")
+            cold_review_s = time.perf_counter() - t0
+            counts = first["counts"]
+            assert counts["introduced"] == 1, first
+            assert counts["pre-existing"] == 2, first
+
+            samples = []
+            for _ in range(warm_requests):
+                t0 = time.perf_counter()
+                payload = client.review(str(root), base="HEAD")
+                samples.append(time.perf_counter() - t0)
+                assert payload["counts"]["introduced"] == 1
+            warm_review_s = statistics.median(samples)
+            # warm requests hit the cache for every scanned side
+            assert payload["cache_misses"] == 0, payload
+
+    return {
+        "warm_requests": warm_requests,
+        "files_touched": len(CHANGED_FILES),
+        "cold_review_s": cold_review_s,
+        "warm_review_s": warm_review_s,
+        "warm_budget_s": WARM_BUDGET_S,
+        "warm_speedup": cold_review_s / warm_review_s,
+        "introduced": counts["introduced"],
+        "pre_existing": counts["pre-existing"],
+    }
+
+
+def format_report(results: Dict[str, float]) -> str:
+    return (
+        "Review-mode benchmark "
+        f"({results['files_touched']:.0f} touched files, "
+        f"{results['introduced']:.0f} introduced / "
+        f"{results['pre_existing']:.0f} pre-existing):\n"
+        f"  cold POST /v1/review: {results['cold_review_s'] * 1000:.1f}ms "
+        "(scans + caches both sides)\n"
+        f"  warm POST /v1/review: {results['warm_review_s'] * 1000:.2f}ms "
+        f"(median of {results['warm_requests']:.0f}, "
+        f"x{results['warm_speedup']:.1f} vs cold, budget "
+        f"{results['warm_budget_s'] * 1000:.0f}ms)"
+    )
+
+
+def test_review_benchmark(tmp_path):
+    """Full benchmark: records the warm-review latency as an artifact."""
+    results = run_review_benchmark(tmp_path)
+    text = format_report(results)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "review.txt"
+    path.write_text(text + "\n")
+    json_path = OUTPUT_DIR / "review.json"
+    json_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\n[artifacts written: {path}, {json_path}]")
+    print(text)
+    # the acceptance gate: warm review fits an interactive bot's budget
+    assert results["warm_review_s"] < WARM_BUDGET_S
+    assert results["warm_speedup"] > 1.0

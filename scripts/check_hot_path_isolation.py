@@ -25,6 +25,10 @@ them:
    regexes) and must stay out of the per-rule detect loop; and
    ``verify.py`` itself imports nothing from ``repro.observability``,
    so verification cannot smuggle instrumentation back in either.
+5. Neither ``matching.py`` nor ``candidates.py`` imports
+   ``repro.core.review`` — review mode (diff parsing, git subprocesses,
+   baseline classification) is an orchestration layer *above* the
+   engine; a plain scan must never pay for it, not even an import.
 
 Exit code 0 when clean, 1 with a report when violated.  Run from the
 repository root (CI does); takes an optional path to the repo root.
@@ -118,6 +122,14 @@ def main(argv: list[str]) -> int:
                     f"{path}:{number}: imports repro.core.verify — the "
                     "Verifier stage must stay out of the hot detect loop"
                 )
+            # 5. Review mode orchestrates the engine from above; the
+            # per-rule scan path must never reach up into it.
+            if "repro.core.review" in code and ("import" in code or "from" in code):
+                problems.append(
+                    f"{path}:{number}: imports repro.core.review — review "
+                    "mode is an orchestration layer and must stay off the "
+                    "hot detect path"
+                )
     verify = root / "src" / "repro" / "core" / "verify.py"
     # the module docstring documents this very rule; don't trip on prose
     verify_source = re.sub(
@@ -139,7 +151,7 @@ def main(argv: list[str]) -> int:
     print("hot-path isolation ok: matching.py imports no tracing modules at "
           "module level; _match_rule_fast/_match_candidate_fast are "
           "instrumentation-free; candidates.py imports no observability; "
-          "verify.py stays off the hot detect path")
+          "verify.py and review.py stay off the hot detect path")
     return 0
 
 

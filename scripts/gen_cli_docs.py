@@ -38,9 +38,12 @@ HEADER = """\
      Regenerate with: python scripts/gen_cli_docs.py
      CI enforces freshness via: python scripts/gen_cli_docs.py --check -->
 
-Two entry points share the `patchitpy` executable: the one-shot analyzer
-(the default mode) and the persistent scan server (`patchitpy serve`,
-see [docs/server.md](server.md) for operations).
+The `patchitpy` executable is subcommand-first: `scan` detects, `patch`
+detects-patches-verifies, `review` scans only what a change touched
+(see [docs/review.md](review.md)), and `serve` starts the persistent
+scan server (see [docs/server.md](server.md) for operations).  Legacy
+flat-flag invocations (`patchitpy file.py [--patch]`) are mapped onto
+the subcommands with a deprecation notice.
 """
 
 
@@ -79,10 +82,22 @@ def render_parser(parser: argparse.ArgumentParser, title: str) -> str:
     if parser.description:
         lines.append(" ".join(parser.description.split()))
         lines.append("")
+    subcommand_actions = [
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    ]
+    for action in subcommand_actions:
+        lines.append("| Subcommand | Description |")
+        lines.append("|---|---|")
+        for choice in action._choices_actions:
+            lines.append(
+                f"| `{parser.prog} {choice.dest}` | {_help_cell(choice)} |"
+            )
+        lines.append("")
     positionals = [
         a
         for a in parser._actions
-        if not a.option_strings and not isinstance(a, argparse._HelpAction)
+        if not a.option_strings
+        and not isinstance(a, (argparse._HelpAction, argparse._SubParsersAction))
     ]
     options = [
         a
@@ -110,12 +125,24 @@ def render_parser(parser: argparse.ArgumentParser, title: str) -> str:
     return "\n".join(lines)
 
 
+def _subparsers(parser: argparse.ArgumentParser):
+    """The subcommand name → parser mapping of a subcommand-first parser."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices
+    return {}
+
+
 def generate() -> str:
-    sections = [
-        HEADER,
-        render_parser(build_parser(), "patchitpy"),
-        render_parser(build_serve_parser(), "patchitpy serve"),
-    ]
+    top = build_parser()
+    sections = [HEADER, render_parser(top, "patchitpy")]
+    for name, sub in _subparsers(top).items():
+        if name == "serve":
+            # the serve stub only exists for discoverability; the daemon
+            # owns the real parser
+            continue
+        sections.append(render_parser(sub, f"patchitpy {name}"))
+    sections.append(render_parser(build_serve_parser(), "patchitpy serve"))
     return "\n".join(sections).rstrip() + "\n"
 
 

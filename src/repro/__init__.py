@@ -32,6 +32,7 @@ Quickstart::
 from repro.core import PatchitPy, PatchResult, default_ruleset
 from repro.core.verify import PatchVerdict, PatchVerifier
 from repro.core.cache import ScanCache
+from repro.core.review import ReviewFinding, ReviewReport, ReviewedFile, review
 from repro.core.project import FileResult, ProjectReport, ProjectScanner, scan_paths
 from repro.ide import LanguageServer, ServerTransport
 from repro.core.rules import DetectionRule, PatchTemplate, RuleSet, extended_ruleset
@@ -66,7 +67,7 @@ from repro.types import (
     Span,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AnalysisReport",
@@ -93,6 +94,9 @@ __all__ = [
     "Prompt",
     "PromptSource",
     "Provenance",
+    "ReviewFinding",
+    "ReviewReport",
+    "ReviewedFile",
     "RuleHealth",
     "RuleSet",
     "RuleStats",
@@ -109,5 +113,6 @@ __all__ = [
     "default_ruleset",
     "extended_ruleset",
     "render_explain",
+    "review",
     "scan_paths",
 ]

@@ -1,18 +1,32 @@
-"""Command-line interface: ``patchitpy`` — detect and patch Python files.
+"""Command-line interface: ``patchitpy`` — subcommand-first since 1.6.
 
-Mirrors the workflow the VS Code extension drives (§II-B): analyze a file
-(or a selected line range), report findings, and optionally apply patches
-in place or to stdout.  ``patchitpy serve`` instead starts the persistent
-scan server (see :mod:`repro.server.daemon`), which keeps a warm engine
-and open caches behind HTTP endpoints.
+The CLI is structured as true subcommands, one per workload::
+
+    patchitpy scan PATH       detect findings in a file or project tree
+    patchitpy patch PATH      detect, patch, and verify
+    patchitpy review [REVS]   diff-aware review: scan the commit, not the repo
+    patchitpy serve           the persistent scan server (repro.server.daemon)
+
+``scan`` and ``patch`` mirror the workflow the VS Code extension drives
+(§II-B): analyze a file (or a selected line range), report findings, and
+optionally apply patches in place or to stdout.  ``review`` takes a
+unified diff (stdin/file) or git revisions, scans only the touched
+files, and reports only what the change *introduced* (see
+:mod:`repro.core.review`).
+
+**Legacy spellings** (``patchitpy file.py [--patch]``, the pre-1.6 flat
+flag form) keep working: a shim maps them onto the new subcommands and
+prints a one-line deprecation notice to stderr.
 
 Exit-code contract (documented in ``--help`` and enforced by tests):
 
-- ``0`` — analysis ran and found nothing;
-- ``1`` — analysis ran and reported findings;
+- ``0`` — analysis ran and found nothing (for ``review``: the change
+  introduced nothing);
+- ``1`` — analysis ran and reported findings (``review``: introduced
+  findings);
 - ``2`` — the tool could not run (bad arguments, unreadable input);
 - ``3`` — patching ran but some patches failed verification and were
-  reverted (only reachable with ``--patch``; ``--no-verify`` restores
+  reverted (``patch`` / ``review --patch``; ``--no-verify`` restores
   the 0/1/2-only contract).
 """
 
@@ -37,44 +51,80 @@ from repro.observability import (
 EXIT_CODE_CONTRACT = (
     "exit codes: 0 = no findings, 1 = findings reported, 2 = error "
     "(bad arguments or unreadable input), 3 = unverified patches reverted "
-    "(--patch with verification on)"
+    "(patch mode with verification on)"
+)
+
+SUBCOMMANDS = ("scan", "patch", "review", "serve")
+
+_DEPRECATION_NOTICE = (
+    "patchitpy: flat-flag invocations are deprecated; use "
+    "'patchitpy {command} ...' (mapped automatically for now)"
 )
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the patchitpy argument parser."""
-    parser = argparse.ArgumentParser(
-        prog="patchitpy",
-        description="Pattern-based vulnerability detection and patching for Python.",
-        epilog=EXIT_CODE_CONTRACT
-        + "  Run 'patchitpy serve --help' for the persistent scan server.",
-    )
-    parser.add_argument(
-        "path", type=Path, help="Python file or project directory to analyze"
-    )
-    parser.add_argument(
-        "--patch",
-        action="store_true",
-        help="apply safe patches and print the patched file to stdout",
-    )
-    parser.add_argument(
-        "--in-place",
-        action="store_true",
-        help="with --patch, rewrite the file instead of printing "
-        "(rejected without --patch or combined with --lines)",
-    )
-    parser.add_argument(
-        "--verify",
-        action=argparse.BooleanOptionalAction,
-        default=True,
-        help="with --patch, verify every applied patch (re-scan, syntax "
-        "check, import-collision check) and revert patches that fail; "
-        "reverted patches exit with code 3 (--no-verify disables)",
-    )
+# ------------------------------------------------------------ shared flags
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--extended",
         action="store_true",
         help="use the extended rule catalog instead of the paper's 85 rules",
+    )
+    parser.add_argument(
+        "--no-index",
+        action="store_true",
+        help="disable the single-pass candidate index and fall back to "
+        "per-rule literal prefilters (ablation/debugging; findings are "
+        "identical either way)",
+    )
+
+
+def _add_observability_flags(
+    parser: argparse.ArgumentParser, with_budget: bool = True
+) -> None:
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print scan statistics: per-rule timing/match/prefilter-skip "
+        "counts, cache hit rate, and the slowest rules",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="export the metrics snapshot to FILE (Prometheus text format "
+        "for .prom/.txt suffixes, JSON otherwise)",
+    )
+    parser.add_argument(
+        "--top-rules",
+        type=int,
+        default=10,
+        metavar="N",
+        help="with --stats, size of the top-rules-by-time section (default 10)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a structured JSONL scan trace to FILE (one span event "
+        "per line: scan, file, rule, guard-decision, patch-render, "
+        "cache-lookup)",
+    )
+    if with_budget:
+        parser.add_argument(
+            "--slow-rule-budget-ms",
+            type=float,
+            default=DEFAULT_SLOW_RULE_BUDGET_MS,
+            metavar="MS",
+            help="directory mode with --stats/--metrics: flag rules spending "
+            "more than MS milliseconds on a single file in the rule-health "
+            f"section (default {DEFAULT_SLOW_RULE_BUDGET_MS:g}; 0 disables)",
+        )
+
+
+def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the ``scan`` and ``patch`` subcommands."""
+    parser.add_argument(
+        "path", type=Path, help="Python file or project directory to analyze"
     )
     parser.add_argument(
         "--lines",
@@ -111,60 +161,188 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory mode: delete the persistent cache before scanning",
     )
     parser.add_argument(
-        "--no-index",
-        action="store_true",
-        help="disable the single-pass candidate index and fall back to "
-        "per-rule literal prefilters (ablation/debugging; findings are "
-        "identical either way)",
-    )
-    parser.add_argument(
-        "--stats",
-        action="store_true",
-        help="print scan statistics: per-rule timing/match/prefilter-skip "
-        "counts, cache hit rate, and the slowest rules",
-    )
-    parser.add_argument(
-        "--metrics",
-        metavar="FILE",
-        help="export the metrics snapshot to FILE (Prometheus text format "
-        "for .prom/.txt suffixes, JSON otherwise)",
-    )
-    parser.add_argument(
-        "--top-rules",
-        type=int,
-        default=10,
-        metavar="N",
-        help="with --stats, size of the top-rules-by-time section (default 10)",
-    )
-    parser.add_argument(
-        "--trace",
-        metavar="FILE",
-        help="write a structured JSONL scan trace to FILE (one span event "
-        "per line: scan, file, rule, guard-decision, patch-render, "
-        "cache-lookup)",
-    )
-    parser.add_argument(
         "--explain",
         action="store_true",
         help="print each finding's provenance: prefilter, prerequisite and "
         "guard verdicts plus the rendered patch",
     )
+    _add_engine_flags(parser)
+    _add_observability_flags(parser)
+
+
+def _add_verify_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--slow-rule-budget-ms",
-        type=float,
-        default=DEFAULT_SLOW_RULE_BUDGET_MS,
-        metavar="MS",
-        help="directory mode with --stats/--metrics: flag rules spending "
-        "more than MS milliseconds on a single file in the rule-health "
-        f"section (default {DEFAULT_SLOW_RULE_BUDGET_MS:g}; 0 disables)",
+        "--verify",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="verify every applied patch (re-scan, syntax check, "
+        "import-collision check) and revert patches that fail; reverted "
+        "patches exit with code 3 (--no-verify disables)",
+    )
+
+
+# ------------------------------------------------------------- the parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the subcommand-first patchitpy argument parser.
+
+    ``serve`` is listed for discoverability but dispatched to
+    :func:`repro.server.daemon.main` before this parser runs (the daemon
+    owns its own parser, ``build_serve_parser``).
+    """
+    parser = argparse.ArgumentParser(
+        prog="patchitpy",
+        description="Pattern-based vulnerability detection and patching for Python.",
+        epilog=EXIT_CODE_CONTRACT,
+    )
+    subparsers = parser.add_subparsers(
+        dest="command",
+        metavar="{scan,patch,review,serve}",
+        title="subcommands",
+        required=True,
+    )
+
+    scan = subparsers.add_parser(
+        "scan",
+        help="detect vulnerable patterns in a file or project tree",
+        description="Detect vulnerable patterns in a Python file or project "
+        "directory and report the findings.",
+        epilog=EXIT_CODE_CONTRACT,
+    )
+    _add_analysis_flags(scan)
+    scan.set_defaults(patch=False, in_place=False, verify=True)
+
+    patch = subparsers.add_parser(
+        "patch",
+        help="detect, patch, and verify a file or project tree",
+        description="Detect vulnerable patterns, apply safe patches (printed "
+        "to stdout, or rewritten in place with --in-place), and verify every "
+        "patch before it ships.",
+        epilog=EXIT_CODE_CONTRACT,
+    )
+    _add_analysis_flags(patch)
+    patch.add_argument(
+        "--in-place",
+        action="store_true",
+        help="rewrite the file(s) instead of printing the patched text "
+        "(rejected when combined with --lines)",
+    )
+    _add_verify_flag(patch)
+    patch.set_defaults(patch=True)
+
+    review_cmd = subparsers.add_parser(
+        "review",
+        help="diff-aware review: scan the commit, not the repo",
+        description="Scan only what a change touched and report only the "
+        "findings it *introduced*: findings whose content-hash identity "
+        "already existed at the base revision are suppressed as "
+        "pre-existing, and baseline findings the change removed are "
+        "counted as fixed.  Takes git revisions ('BASE..HEAD', or 'BASE' "
+        "to review the worktree against it) or a unified diff "
+        "(--diff FILE, '-' for stdin).",
+        epilog="exit codes: 0 = nothing introduced, 1 = introduced findings "
+        "reported, 2 = error, 3 = unverified patches reverted "
+        "(--patch with verification on)",
+    )
+    review_cmd.add_argument(
+        "revisions",
+        nargs="?",
+        metavar="REVS",
+        help="git revisions to review: 'BASE..HEAD' compares two commits, "
+        "a single 'BASE' reviews the worktree against it "
+        "(e.g. HEAD~1..HEAD, or HEAD for uncommitted changes)",
+    )
+    review_cmd.add_argument(
+        "--diff",
+        metavar="FILE",
+        help="read a unified diff against the worktree from FILE "
+        "('-' reads stdin); no git required",
+    )
+    review_cmd.add_argument(
+        "--root",
+        type=Path,
+        default=Path("."),
+        metavar="DIR",
+        help="repository root the diff/revisions apply to (default: .)",
+    )
+    review_cmd.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format; sarif output carries baselineState and is "
+        "PR-annotation-ready",
+    )
+    review_cmd.add_argument(
+        "--include-preexisting",
+        action="store_true",
+        help="also report pre-existing and fixed findings "
+        "(suppressed by default: the change did not cause them)",
+    )
+    review_cmd.add_argument(
+        "--patch",
+        action="store_true",
+        help="patch (and verify) only the introduced findings and print "
+        "each patched file to stdout",
+    )
+    review_cmd.add_argument(
+        "--in-place",
+        action="store_true",
+        help="with --patch, rewrite the touched files instead of printing "
+        "(only when the review's head side is the worktree)",
+    )
+    review_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent scan result cache (a warm cache is "
+        "what makes reviews millisecond-fast)",
+    )
+    _add_verify_flag(review_cmd)
+    _add_engine_flags(review_cmd)
+    _add_observability_flags(review_cmd, with_budget=False)
+
+    subparsers.add_parser(
+        "serve",
+        help="start the persistent scan server (patchitpy serve --help)",
+        add_help=False,
     )
     return parser
 
 
+def _upgrade_legacy_argv(argv: List[str]) -> List[str]:
+    """Map pre-1.6 flat-flag invocations onto the subcommand form.
+
+    ``patchitpy file.py --patch`` becomes ``patchitpy patch file.py`` and
+    every other legacy spelling becomes ``patchitpy scan ...``; a
+    one-line deprecation notice goes to stderr.  Invocations that already
+    name a subcommand (or only ask for help/version) pass through
+    untouched.
+    """
+    if not argv:
+        return argv
+    head = argv[0]
+    if head in SUBCOMMANDS or head in ("-h", "--help"):
+        return argv
+    if head == "--serve":  # ancient spelling of the daemon dispatch
+        print(_DEPRECATION_NOTICE.format(command="serve"), file=sys.stderr)
+        return ["serve", *argv[1:]]
+    upgraded = [arg for arg in argv if arg != "--patch"]
+    if "--patch" in argv:
+        command = "patch"
+    else:
+        if "--in-place" in argv:  # pre-1.6 contract error, same wording
+            print("patchitpy: error: --in-place requires --patch", file=sys.stderr)
+            raise SystemExit(2)
+        command = "scan"
+        # --verify/--no-verify had no effect without --patch; the scan
+        # subcommand does not take them, so the shim drops them.
+        upgraded = [a for a in upgraded if a not in ("--verify", "--no-verify")]
+    print(_DEPRECATION_NOTICE.format(command=command), file=sys.stderr)
+    return [command, *upgraded]
+
+
 def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
     """Reject silently-ignored flag combinations (exit code 2)."""
-    if args.in_place and not args.patch:
-        parser.error("--in-place requires --patch")
     if args.in_place and args.lines:
         parser.error("--in-place cannot be combined with --lines "
                      "(a partial rewrite would corrupt the file)")
@@ -215,12 +393,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
         argv = sys.argv[1:]
+    argv = _upgrade_legacy_argv(list(argv))
     if argv and argv[0] == "serve":
         from repro.server.daemon import main as serve_main
 
         return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "review":
+        return _run_review(parser, args)
     _validate(parser, args)
 
     if args.path.is_dir():
@@ -256,7 +437,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.types import AnalysisReport
 
         report = AnalysisReport(tool="patchitpy", source=analyzed, findings=findings)
-        # With --patch the export carries the verifier's rulings too
+        # In patch mode the export carries the verifier's rulings too
         # (patch_verdicts / invocation patchVerdicts), and a reverted
         # patch still drives exit code 3.
         result = (
@@ -399,6 +580,134 @@ def _scan_directory(args: argparse.Namespace) -> int:
     if unverified:
         return 3
     return 1 if report.vulnerable_files else 0
+
+
+# ------------------------------------------------------------ review mode
+
+
+def _run_review(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """The ``patchitpy review`` subcommand (see :mod:`repro.core.review`)."""
+    from repro.core.review import ReviewError, patch_introduced, review
+
+    if args.diff and args.revisions:
+        parser.error("pass either git revisions or --diff, not both")
+    if not args.diff and not args.revisions:
+        parser.error("review needs git revisions ('BASE..HEAD' or 'BASE') "
+                     "or a unified diff (--diff FILE, '-' for stdin)")
+    if args.in_place and not args.patch:
+        parser.error("--in-place requires --patch")
+
+    diff_text: Optional[str] = None
+    base = head = None
+    if args.diff:
+        if args.diff == "-":
+            diff_text = sys.stdin.read()
+        else:
+            try:
+                diff_text = Path(args.diff).read_text()
+            except OSError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+    else:
+        base, sep, head = args.revisions.partition("..")
+        head = head or None if sep else None
+        if not base:
+            parser.error(f"invalid revisions spec: {args.revisions!r}")
+    if args.in_place and head is not None:
+        parser.error("--in-place needs the review's head side to be the "
+                     "worktree (a single 'BASE' revision or --diff)")
+
+    collector = ScanMetrics() if _wants_metrics(args) else None
+    tracer = TraceRecorder() if args.trace else None
+    engine = PatchitPy(
+        rules=extended_ruleset() if args.extended else None,
+        use_index=not args.no_index,
+        verify=args.verify,
+    )
+    try:
+        report = review(
+            args.root,
+            base=base,
+            head=head,
+            diff_text=diff_text,
+            engine=engine,
+            use_cache=not args.no_cache,
+            metrics=collector,
+            trace=tracer,
+        )
+    except ReviewError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "sarif":
+        from repro.core.sarif import dumps_review_sarif
+
+        print(
+            dumps_review_sarif(
+                report,
+                include_preexisting=args.include_preexisting,
+                metrics=collector,
+            )
+        )
+    elif args.format == "json":
+        import json
+
+        payload = report.to_dict()
+        if not args.include_preexisting:
+            payload["findings"] = [
+                item
+                for item in payload["findings"]
+                if item["status"] != "pre-existing"
+            ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        _print_review_text(report, include_preexisting=args.include_preexisting)
+
+    exit_code = 1 if report.introduced else 0
+    if args.patch and report.introduced:
+        try:
+            results = patch_introduced(report, engine, verify=args.verify)
+        except ReviewError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        verdicts: list = []
+        for path, result in sorted(results.items()):
+            verdicts.extend(result.verdicts)
+            if args.in_place:
+                target = Path(report.root) / path
+                target.write_text(result.patched)
+                print(f"patched {len(result.applied)} finding(s) in {target}")
+            else:
+                print(f"--- patched: {path} ---")
+                print(result.patched, end="")
+        exit_code = _report_verdicts(verdicts)
+    _emit_metrics(args, collector)
+    _emit_trace(args, tracer)
+    return exit_code
+
+
+def _print_review_text(report, include_preexisting: bool = False) -> None:
+    """Human-readable review rendering for the terminal."""
+    print(report.summary())
+    for item in report.introduced:
+        print(
+            f"  + {item.path}:{item.line} [{item.finding.cwe_id} "
+            f"{item.finding.rule_id}] {item.finding.message}"
+        )
+    if include_preexisting:
+        for item in report.pre_existing:
+            print(
+                f"  = {item.path}:{item.line} [{item.finding.cwe_id} "
+                f"{item.finding.rule_id}] {item.finding.message} (pre-existing)"
+            )
+        for item in report.fixed:
+            print(
+                f"  - {item.path}:{item.line} [{item.finding.cwe_id} "
+                f"{item.finding.rule_id}] {item.finding.message} (fixed)"
+            )
+    for reviewed in report.files:
+        if reviewed.error:
+            print(f"  ! {reviewed.path}: {reviewed.error}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,7 +13,15 @@ from repro.core.imports import ImportManager
 from repro.core.matching import match_rule, run_rules
 from repro.core.patcher import apply_patches
 from repro.core.project import ProjectReport, ProjectScanner, scan_paths
-from repro.core.sarif import dumps_plain, dumps_sarif, to_plain_json, to_sarif
+from repro.core.review import ReviewFinding, ReviewReport, ReviewedFile, review
+from repro.core.sarif import (
+    dumps_plain,
+    dumps_review_sarif,
+    dumps_sarif,
+    review_to_sarif,
+    to_plain_json,
+    to_sarif,
+)
 from repro.core.rules import DetectionRule, PatchTemplate, RuleSet, default_ruleset
 from repro.core.verify import PatchVerdict, PatchVerifier, finding_key
 
@@ -28,6 +36,12 @@ __all__ = [
     "finding_key",
     "ProjectReport",
     "ProjectScanner",
+    "ReviewFinding",
+    "ReviewReport",
+    "ReviewedFile",
+    "review",
+    "review_to_sarif",
+    "dumps_review_sarif",
     "RuleSet",
     "ScanCache",
     "scan_paths",

@@ -309,6 +309,8 @@ class PatchitPy:
         metrics: Optional[ScanMetrics] = None,
         trace: Optional[TraceRecorder] = None,
         verify: Optional[bool] = None,
+        exclude: frozenset = frozenset(),
+        verify_baseline: Optional[Sequence[Finding]] = None,
     ) -> PatchResult:
         """Phase 2: substitute safe alternatives for detected patterns.
 
@@ -325,6 +327,15 @@ class PatchitPy:
         on a fully verified patch set, *everything* is reverted — the
         original text ships unchanged rather than an unproven edit.  All
         examined patches keep their verdict in ``PatchResult.verdicts``.
+
+        ``exclude`` holds finding-identity keys (see
+        :func:`repro.core.verify.finding_key`) that must never be patched
+        — the review workflow passes the pre-existing identities here so
+        only what a change introduced is rewritten.  ``verify_baseline``
+        overrides the verifier's identity baseline of ``source`` (it
+        defaults to the findings being patched); pass the *full* finding
+        set of ``source`` when patching a subset, so a deliberately
+        unpatched finding is not mistaken for a regression.
         """
         m = self._metrics(metrics)
         t = self._trace(trace)
@@ -333,7 +344,7 @@ class PatchitPy:
         initial = (
             list(findings) if findings is not None else self._detect_with(source, m, t)
         )
-        banned: set = set()
+        banned: set = set(exclude)
         reverted: List[PatchVerdict] = []
         verdicts: List[PatchVerdict] = []
         attempts = 0
@@ -350,7 +361,12 @@ class PatchitPy:
                 verdicts = list(reverted)
                 break
             attempts += 1
-            judged = verifier.verify(source, initial, current, all_applied, final_findings)
+            identity_baseline = (
+                verify_baseline if verify_baseline is not None else initial
+            )
+            judged = verifier.verify(
+                source, identity_baseline, current, all_applied, final_findings
+            )
             failing = [v for v in judged if not v.ok]
             if not failing:
                 verdicts = list(reverted) + judged
@@ -482,24 +498,19 @@ class PatchitPy:
         patch: bool = True,
         metrics: Optional[ScanMetrics] = None,
         trace: Optional[TraceRecorder] = None,
-        apply_patches_flag: Optional[bool] = None,
+        **legacy: Optional[bool],
     ) -> AnalysisReport:
         """Full detect(+patch) pipeline returning a consolidated report.
 
         ``patch=False`` stops after detection.  Every finding in the
         report carries a provenance record — recorded inline when tracing
-        is enabled, reconstructed post hoc otherwise.  The pre-1.1
-        spelling ``apply_patches_flag=`` still works but emits a
-        ``DeprecationWarning``; it will be removed in 2.0.
+        is enabled, reconstructed post hoc otherwise.  ``patch=`` is the
+        only supported switch; the pre-1.1 spelling ``apply_patches_flag=``
+        is accepted solely to warn (``DeprecationWarning``, removal in
+        2.0) before being folded into ``patch``.
         """
-        if apply_patches_flag is not None:
-            warnings.warn(
-                "PatchitPy.analyze(apply_patches_flag=...) is deprecated; "
-                "use analyze(patch=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            patch = apply_patches_flag
+        if legacy:
+            patch = self._fold_legacy_patch_kwarg(legacy, patch)
         m = self._metrics(metrics)
         t = self._trace(trace)
         findings = self._ensure_provenance(source, self._detect_with(source, m, t))
@@ -510,3 +521,23 @@ class PatchitPy:
             report.patched_source = result.patched
             report.verdicts = result.verdicts
         return report
+
+    @staticmethod
+    def _fold_legacy_patch_kwarg(legacy: dict, patch: bool) -> bool:
+        """Deprecation shim: map ``apply_patches_flag=`` onto ``patch=``."""
+        unknown = set(legacy) - {"apply_patches_flag"}
+        if unknown:
+            name = sorted(unknown)[0]
+            raise TypeError(
+                f"analyze() got an unexpected keyword argument {name!r}"
+            )
+        value = legacy["apply_patches_flag"]
+        if value is None:
+            return patch
+        warnings.warn(
+            "PatchitPy.analyze(apply_patches_flag=...) is deprecated; "
+            "use analyze(patch=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return bool(value)

@@ -175,14 +175,116 @@ def to_plain_json(report: AnalysisReport, artifact_uri: str = "target.py") -> Di
             }
             for f in report.findings
         ],
-        "patches_applied": [
-            {"rule": p.rule_id, "cwe": p.cwe_id, "description": p.description}
-            for p in report.patches
-        ],
+        # canonical Patch shape (repro.types.Patch.to_dict) — the same
+        # wire form the server payload uses
+        "patches_applied": [p.to_dict() for p in report.patches],
     }
     if report.verdicts:
         data["patch_verdicts"] = [v.to_dict() for v in report.verdicts]
     return data
+
+
+def review_to_sarif(
+    review_report,
+    tool_version: str = "1.0.0",
+    include_preexisting: bool = False,
+    metrics=None,
+) -> Dict[str, object]:
+    """Render a :class:`repro.core.review.ReviewReport` as SARIF 2.1.0.
+
+    The output is PR-annotation-ready: every result carries
+    ``baselineState`` (``new`` for introduced, ``unchanged`` for
+    pre-existing, ``absent`` for fixed) and is pinned to the line number
+    of the side it lives on — the new side for everything an annotation
+    should show.  By default only introduced findings are emitted, which
+    is what a review bot posts; ``include_preexisting=True`` adds the
+    suppressed pre-existing and fixed results for full-context tooling.
+    """
+    from repro.core.review import SARIF_BASELINE_STATES, STATUS_INTRODUCED
+
+    rules: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    results: List[Dict[str, object]] = []
+
+    for item in review_report.findings:
+        if item.status != STATUS_INTRODUCED and not include_preexisting:
+            continue
+        finding = item.finding
+        if finding.rule_id not in rule_index:
+            rule_index[finding.rule_id] = len(rules)
+            rules.append(_rule_metadata(finding))
+        properties: Dict[str, object] = {
+            "cwe": finding.cwe_id,
+            "confidence": str(finding.confidence),
+            "fixable": finding.fixable,
+            "reviewStatus": item.status,
+        }
+        if item.hunk is not None:
+            properties["hunk"] = [item.hunk[0], item.hunk[1]]
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": rule_index[finding.rule_id],
+                "level": _LEVELS[finding.severity],
+                "message": {"text": finding.message},
+                "baselineState": SARIF_BASELINE_STATES[item.status],
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": item.path},
+                            "region": {
+                                "startLine": item.line,
+                                "snippet": {"text": finding.snippet},
+                            },
+                        }
+                    }
+                ],
+                "properties": properties,
+            }
+        )
+
+    run: Dict[str, object] = {
+        "tool": {
+            "driver": {
+                "name": "patchitpy-review",
+                "version": tool_version,
+                "informationUri": "https://github.com/dessertlab/PatchitPy",
+                "rules": rules,
+            }
+        },
+        "results": results,
+    }
+    invocation: Dict[str, object] = {
+        "executionSuccessful": True,
+        "properties": {
+            "review": {
+                "base": review_report.base,
+                "head": review_report.head,
+                "counts": review_report.counts(),
+                "cache_hits": review_report.cache_hits,
+                "cache_misses": review_report.cache_misses,
+            }
+        },
+    }
+    if metrics is not None and getattr(metrics, "enabled", False):
+        invocation["properties"]["metrics"] = metrics.to_dict()
+    run["invocations"] = [invocation]
+    return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]}
+
+
+def dumps_review_sarif(
+    review_report, include_preexisting: bool = False, metrics=None
+) -> str:
+    """Review SARIF log as a JSON string."""
+    return json.dumps(
+        review_to_sarif(
+            review_report,
+            include_preexisting=include_preexisting,
+            metrics=metrics,
+        ),
+        indent=2,
+        sort_keys=True,
+    )
 
 
 def dumps_sarif(

@@ -12,6 +12,7 @@ worker pool — and serves the paper's IDE-extension request shape
 ``POST /v1/analyze``      one snippet → findings (+ patches when asked)
 ``POST /v1/batch``        N snippets fanned across the worker pool
 ``POST /v1/scan``         a project tree, incremental through the open cache
+``POST /v1/review``       a diff or two git revisions → introduced findings
 ``GET /healthz``          liveness/readiness (reports ``draining``)
 ``GET /metrics``          Prometheus text format (the PR 2/3 exporter)
 ========================  =====================================================
@@ -57,6 +58,8 @@ from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 from repro.core.cache import ScanCache
 from repro.core.engine import PatchitPy
 from repro.core.project import ProjectScanner
+from repro.core.review import ReviewError, review
+from repro.core.sarif import review_to_sarif
 from repro.observability.collector import ScanMetrics, clock
 from repro.observability.exporters import to_prometheus
 from repro.observability.trace import TraceRecorder
@@ -147,17 +150,10 @@ def analyze_payload(
         result = engine.patch(source, findings, metrics=metrics, trace=trace)
         reverted_keys = {v.trigger_key for v in result.verdicts if v.reverted}
         rendered = engine.render_patches(source, findings, trace=trace)
+        # canonical Patch wire shape (repro.types.Patch.to_dict), shared
+        # with the plain-JSON exporter
         payload["patches"] = [
-            {
-                "rule_id": p.rule_id,
-                "cwe_id": p.cwe_id,
-                "span": [p.span.start, p.span.end],
-                "replacement": p.replacement,
-                "imports": list(p.new_imports),
-                "description": p.description,
-            }
-            for p in rendered
-            if p.trigger_key not in reverted_keys
+            p.to_dict() for p in rendered if p.trigger_key not in reverted_keys
         ]
         payload["patched_source"] = result.patched
         payload["patches_applied"] = len(result.applied)
@@ -208,6 +204,7 @@ class PatchitPyServer:
             ("POST", "/v1/analyze"): self._handle_analyze,
             ("POST", "/v1/batch"): self._handle_batch,
             ("POST", "/v1/scan"): self._handle_scan,
+            ("POST", "/v1/review"): self._handle_review,
         }
 
     # ----------------------------------------------------------- lifecycle
@@ -608,6 +605,95 @@ class PatchitPyServer:
                 "duration_ms": round((clock() - started) * 1000.0, 3),
             }
         )
+
+    async def _handle_review(self, request: Request) -> Response:
+        """Diff-aware review: scan only what a change touched.
+
+        Body: ``{"root": ..., "base": ...?, "head": ...?, "diff": ...?,
+        "include_preexisting": bool?, "sarif": bool?, "use_cache": bool?,
+        "trace": bool?, "deadline_ms": ...?}`` — either ``diff`` (a
+        unified diff against the worktree at ``root``) or ``base``
+        (optionally with ``head``) git revisions.  The baseline scan is
+        served from the server-held open cache for ``root``, so a warm
+        repo reviews in milliseconds; per-request metrics fold into the
+        lifetime collector and ``trace`` returns the recorder's events,
+        exactly as ``/v1/analyze`` does.
+        """
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        raw_root = body.get("root")
+        if not isinstance(raw_root, str) or not raw_root:
+            raise HttpError(400, "review requests need a string 'root' field")
+        root = Path(raw_root)
+        if not root.is_dir():
+            raise HttpError(400, f"review root is not a directory: {root}")
+        diff_text = body.get("diff")
+        base = body.get("base")
+        head = body.get("head")
+        if diff_text is None and base is None:
+            raise HttpError(
+                400, "review requests need either 'diff' or 'base' (+'head')"
+            )
+        if diff_text is not None and base is not None:
+            raise HttpError(400, "pass either 'diff' or git revisions, not both")
+        for name, value in (("diff", diff_text), ("base", base), ("head", head)):
+            if value is not None and not isinstance(value, str):
+                raise HttpError(400, f"'{name}' must be a string")
+        include_preexisting = bool(body.get("include_preexisting", False))
+        want_sarif = bool(body.get("sarif", False))
+        use_cache = bool(body.get("use_cache", True))
+        deadline = self._deadline_s(body)
+        started = clock()
+
+        collector = ScanMetrics()
+        trace = TraceRecorder() if body.get("trace") else None
+        cache = self._cache_for(root) if use_cache else None
+
+        def run_review():
+            return review(
+                root,
+                base=base,
+                head=head,
+                diff_text=diff_text,
+                engine=self.engine,
+                use_cache=use_cache,
+                cache=cache,
+                metrics=collector,
+                trace=trace,
+            )
+
+        # Reviews run on the loop's default thread executor for the same
+        # reason tree scans do: they hold the server's open cache and
+        # must not starve snippet analyses in the pool.
+        self._acquire_slots(1)
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(None, run_review)
+        future.add_done_callback(lambda _f: self._release_slot())
+        try:
+            report = await self._await_deadline(future, deadline)
+        except asyncio.TimeoutError:
+            raise HttpError(
+                504, f"review missed its deadline of {deadline * 1000.0:g}ms"
+            )
+        except ReviewError as error:
+            raise HttpError(400, str(error))
+        self.metrics.merge(collector)
+        payload = report.to_dict()
+        if not include_preexisting:
+            payload["findings"] = [
+                item for item in payload["findings"]
+                if item["status"] != "pre-existing"
+            ]
+        payload["clean"] = report.clean
+        payload["duration_ms"] = round((clock() - started) * 1000.0, 3)
+        if want_sarif:
+            payload["sarif"] = review_to_sarif(
+                report, include_preexisting=include_preexisting
+            )
+        if trace is not None and trace.enabled:
+            payload["trace_events"] = list(trace.events)
+        return Response.json_response(payload)
 
     def _cache_for(self, root: Path) -> ScanCache:
         """The open, shared cache for a scan root (created on first use)."""

@@ -171,6 +171,40 @@ class ServerClient:
             payload["deadline_ms"] = deadline_ms
         return self._request("POST", "/v1/batch", payload)
 
+    def review(
+        self,
+        root: str,
+        base: Optional[str] = None,
+        head: Optional[str] = None,
+        diff: Optional[str] = None,
+        include_preexisting: bool = False,
+        sarif: bool = False,
+        use_cache: bool = True,
+        trace: bool = False,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """``POST /v1/review`` — diff-aware review on the warm daemon.
+
+        Pass either ``diff`` (a unified diff against the worktree at
+        ``root``) or ``base`` (optionally with ``head``) git revisions.
+        """
+        payload: Dict[str, Any] = {"root": root, "use_cache": use_cache}
+        if diff is not None:
+            payload["diff"] = diff
+        if base is not None:
+            payload["base"] = base
+        if head is not None:
+            payload["head"] = head
+        if include_preexisting:
+            payload["include_preexisting"] = True
+        if sarif:
+            payload["sarif"] = True
+        if trace:
+            payload["trace"] = True
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self._request("POST", "/v1/review", payload)
+
     def scan(
         self,
         root: str,

@@ -197,6 +197,41 @@ class Patch:
         """True when applying the patch would change nothing."""
         return self.span.length == 0 and not self.replacement and not self.new_imports
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (see :meth:`from_dict`).
+
+        This is the one wire shape for patches: the server payload and
+        the plain-JSON exporter both build on it.  ``description`` and
+        ``trigger_key`` appear only when set, so minimal patches keep a
+        minimal serialized form.
+        """
+        data: dict = {
+            "rule_id": self.rule_id,
+            "cwe_id": self.cwe_id,
+            "span": [self.span.start, self.span.end],
+            "replacement": self.replacement,
+            "imports": list(self.new_imports),
+        }
+        if self.description:
+            data["description"] = self.description
+        if self.trigger_key:
+            data["trigger_key"] = self.trigger_key
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Patch":
+        """Inverse of :meth:`to_dict` (raises on malformed input)."""
+        start, end = data["span"]
+        return cls(
+            rule_id=data["rule_id"],
+            cwe_id=data.get("cwe_id", ""),
+            span=Span(int(start), int(end)),
+            replacement=data["replacement"],
+            new_imports=tuple(data.get("imports", ())),
+            description=data.get("description", ""),
+            trigger_key=data.get("trigger_key", ""),
+        )
+
 
 @dataclass(frozen=True)
 class SuggestionComment:
@@ -240,6 +275,62 @@ class AnalysisReport:
     def findings_for(self, cwe_id: str) -> list:
         """Findings carrying the given CWE id."""
         return [f for f in self.findings if f.cwe_id == cwe_id]
+
+    def to_dict(self) -> dict:
+        """Canonical JSON shape of a report (see :meth:`from_dict`).
+
+        The single serialization path for analysis results: the SARIF /
+        plain-JSON exporters and the server payload all derive their
+        patch and verdict sections from this helper instead of building
+        dicts ad hoc.  ``patched_source`` appears only when patching ran.
+        """
+        data: dict = {
+            "tool": self.tool,
+            "source": self.source,
+            "parse_failed": self.parse_failed,
+            "findings": [f.to_dict() for f in self.findings],
+            "patches": [p.to_dict() for p in self.patches],
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+        if self.suggestions:
+            data["suggestions"] = [
+                {
+                    "rule_id": s.rule_id,
+                    "cwe_id": s.cwe_id,
+                    "line": s.line,
+                    "comment": s.comment,
+                }
+                for s in self.suggestions
+            ]
+        if self.patched_source is not None:
+            data["patched_source"] = self.patched_source
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisReport":
+        """Inverse of :meth:`to_dict` (raises on malformed input)."""
+        # Imported lazily: repro.types must stay importable without
+        # pulling the verifier (and its engine dependencies) in.
+        from repro.core.verify import PatchVerdict
+
+        return cls(
+            tool=data.get("tool", "patchitpy"),
+            source=data.get("source", ""),
+            findings=[Finding.from_dict(item) for item in data.get("findings", ())],
+            patches=[Patch.from_dict(item) for item in data.get("patches", ())],
+            suggestions=[
+                SuggestionComment(
+                    rule_id=item["rule_id"],
+                    cwe_id=item.get("cwe_id", ""),
+                    line=int(item["line"]),
+                    comment=item.get("comment", ""),
+                )
+                for item in data.get("suggestions", ())
+            ],
+            parse_failed=bool(data.get("parse_failed", False)),
+            patched_source=data.get("patched_source"),
+            verdicts=[PatchVerdict.from_dict(item) for item in data.get("verdicts", ())],
+        )
 
 
 class GeneratorName(enum.Enum):

@@ -400,9 +400,11 @@ class TestCliIntegration:
     def test_verify_flag_parses(self):
         from repro.cli import build_parser
 
-        args = build_parser().parse_args(["x.py", "--no-verify"])
+        args = build_parser().parse_args(["patch", "x.py", "--no-verify"])
         assert args.verify is False
-        assert build_parser().parse_args(["x.py"]).verify is True
+        assert build_parser().parse_args(["patch", "x.py"]).verify is True
+        # scan never patches, so verification is structurally on-but-moot
+        assert build_parser().parse_args(["scan", "x.py"]).verify is True
 
     def test_sarif_export_carries_verdicts_and_exit_code(
         self, tmp_path: Path, monkeypatch, capsys
