@@ -9,11 +9,18 @@ regressed into pure overhead and the PR should not merge.
 Usage::
 
     python scripts/check_bench_regression.py \
-        [benchmarks/output/candidate_index.json] [--min-speedup 1.0]
+        [benchmarks/output/candidate_index.json] [--min-speedup 1.0] \
+        [--server-artifact benchmarks/output/server.json]
 
 The default floor of 1.0 only demands "no slower"; the benchmark's own
 assertions already require a strict win at full scale, so this gate is
 the belt to that suspender on noisy CI runners.
+
+With ``--server-artifact`` the gate additionally reads the server BENCH
+JSON (``benchmarks/bench_server.py``) and fails when the warm-analyze
+*p95* does not beat the cold CLI median — the observability layer (PR 8
+histograms, rolling windows, request accounting) must not erode the
+daemon's tail-latency win, not just its median.
 """
 
 from __future__ import annotations
@@ -48,6 +55,14 @@ def main(argv: list[str]) -> int:
         default=1.0,
         help="fail when any gated speedup is below this ratio (default 1.0)",
     )
+    parser.add_argument(
+        "--server-artifact",
+        type=Path,
+        default=None,
+        metavar="JSON",
+        help="also gate the server BENCH JSON: warm-analyze p95 must beat "
+        "the cold CLI median",
+    )
     args = parser.parse_args(argv[1:])
 
     if not args.artifact.exists():
@@ -71,13 +86,49 @@ def main(argv: list[str]) -> int:
                 "— the indexed path lost to the naive per-rule prefilters"
             )
 
+    server_note = ""
+    if args.server_artifact is not None:
+        if not args.server_artifact.exists():
+            problems.append(f"server artifact not found: {args.server_artifact}")
+        else:
+            try:
+                server = json.loads(args.server_artifact.read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                server = None
+                problems.append(
+                    f"unreadable server artifact {args.server_artifact}: {error}"
+                )
+            if server is not None:
+                p95 = server.get("warm_analyze_p95_s")
+                cold = server.get("cold_cli_s")
+                if not isinstance(p95, (int, float)) or not isinstance(
+                    cold, (int, float)
+                ):
+                    problems.append(
+                        "warm_analyze_p95_s/cold_cli_s: missing from server "
+                        "artifact (re-run benchmarks/bench_server.py)"
+                    )
+                elif p95 >= cold:
+                    problems.append(
+                        f"warm_analyze_p95_s: {p95 * 1000:.2f}ms does not beat "
+                        f"the cold CLI median of {cold * 1000:.2f}ms — request "
+                        "accounting has eroded the daemon's tail-latency win"
+                    )
+                else:
+                    server_note = (
+                        f", warm p95 {p95 * 1000:.2f}ms < cold {cold * 1000:.1f}ms"
+                    )
+
     if problems:
         print(f"bench regression gate FAILED ({args.artifact}):")
         for problem in problems:
             print(f"  {problem}")
         return 1
     gated = ", ".join(f"{key}=x{results[key]:.2f}" for key in GATED_SPEEDUPS)
-    print(f"bench regression gate ok: {gated} (floor x{args.min_speedup:.2f})")
+    print(
+        f"bench regression gate ok: {gated} "
+        f"(floor x{args.min_speedup:.2f}){server_note}"
+    )
     return 0
 
 

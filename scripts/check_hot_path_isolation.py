@@ -29,6 +29,14 @@ them:
    ``repro.core.review`` — review mode (diff parsing, git subprocesses,
    baseline classification) is an orchestration layer *above* the
    engine; a plain scan must never pay for it, not even an import.
+6. The latency-histogram layer (PR 8) stays decoupled in both
+   directions: ``repro/observability/histogram.py`` imports nothing
+   from ``repro`` at all (stdlib only, so it can never drag engine code
+   into a metrics consumer), and ``repro/observability/collector.py``
+   has no *module-level* import of it — ``matching.py`` imports the
+   collector at module level, so a module-level histogram import there
+   would put histogram.py on the untraced hot path.  The hot-loop token
+   check also covers ``histogram``/``observe``.
 
 Exit code 0 when clean, 1 with a report when violated.  Run from the
 repository root (CI does); takes an optional path to the repo root.
@@ -45,7 +53,7 @@ FORBIDDEN_MODULE_IMPORTS = (
     "repro.observability.provenance",
 )
 
-HOT_LOOP_TOKENS = ("trace", "provenance", "span_id", "metrics")
+HOT_LOOP_TOKENS = ("trace", "provenance", "span_id", "metrics", "histogram", "observe")
 
 HOT_LOOP_FUNCTIONS = ("_match_rule_fast", "_match_candidate_fast")
 
@@ -143,6 +151,32 @@ def main(argv: list[str]) -> int:
                 "the Verifier must not carry instrumentation of its own"
             )
 
+    # 6. The histogram layer is stdlib-only, and the collector defers
+    # its import to the functions that need it — matching.py imports
+    # the collector at module level, so a module-level histogram import
+    # in collector.py would land on every untraced scan's import path.
+    histogram = root / "src" / "repro" / "observability" / "histogram.py"
+    histogram_source = re.sub(
+        r'^(?:"""|\'\'\')(?s:.*?)(?:"""|\'\'\')', "", histogram.read_text(), count=1
+    )
+    for number, line in enumerate(histogram_source.splitlines(), start=1):
+        code = line.split("#", 1)[0]
+        if ("import" in code or "from" in code) and re.search(r"\brepro\b", code):
+            problems.append(
+                f"{histogram}:{number}: imports from repro — the histogram "
+                "primitives must stay stdlib-only"
+            )
+    collector = root / "src" / "repro" / "observability" / "collector.py"
+    for number, line in enumerate(collector.read_text().splitlines(), start=1):
+        if not line.startswith(("import ", "from ")):
+            continue  # indented = function-local (or TYPE_CHECKING) = fine
+        if "repro.observability.histogram" in line:
+            problems.append(
+                f"{collector}:{number}: module-level import of "
+                "repro.observability.histogram — matching.py imports the "
+                "collector, so this lands on the untraced hot path"
+            )
+
     if problems:
         print("hot-path isolation violated:")
         for problem in problems:
@@ -151,7 +185,8 @@ def main(argv: list[str]) -> int:
     print("hot-path isolation ok: matching.py imports no tracing modules at "
           "module level; _match_rule_fast/_match_candidate_fast are "
           "instrumentation-free; candidates.py imports no observability; "
-          "verify.py and review.py stay off the hot detect path")
+          "verify.py and review.py stay off the hot detect path; "
+          "histogram.py is stdlib-only and collector.py defers its import")
     return 0
 
 

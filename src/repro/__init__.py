@@ -45,9 +45,11 @@ from repro.server import (
 )
 from repro.observability import (
     DEFAULT_SLOW_RULE_BUDGET_MS,
+    LatencyHistogram,
     NULL_METRICS,
     NULL_TRACE,
     Provenance,
+    RollingWindow,
     RuleHealth,
     RuleStats,
     ScanMetrics,
@@ -67,7 +69,7 @@ from repro.types import (
     Span,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AnalysisReport",
@@ -80,6 +82,7 @@ __all__ = [
     "Finding",
     "GeneratorName",
     "LanguageServer",
+    "LatencyHistogram",
     "NULL_METRICS",
     "NULL_TRACE",
     "Patch",
@@ -97,6 +100,7 @@ __all__ = [
     "ReviewFinding",
     "ReviewReport",
     "ReviewedFile",
+    "RollingWindow",
     "RuleHealth",
     "RuleSet",
     "RuleStats",

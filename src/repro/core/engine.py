@@ -170,9 +170,11 @@ class PatchitPy:
             self.rules, source, m if m.enabled else None, t, use_index=self.use_index
         )
         if m.enabled:
+            elapsed = clock() - start
             m.count("detect_calls")
             m.count("findings", len(findings))
-            m.add_time("detect_time_s", clock() - start)
+            m.add_time("detect_time_s", elapsed)
+            m.observe("phase_seconds/detect", elapsed)
         return findings
 
     def is_vulnerable(self, source: str) -> bool:
@@ -364,9 +366,14 @@ class PatchitPy:
             identity_baseline = (
                 verify_baseline if verify_baseline is not None else initial
             )
+            verify_started = clock() if m.enabled else 0.0
             judged = verifier.verify(
                 source, identity_baseline, current, all_applied, final_findings
             )
+            if m.enabled:
+                verify_elapsed = clock() - verify_started
+                m.add_time("verify_time_s", verify_elapsed)
+                m.observe("phase_seconds/verify", verify_elapsed)
             failing = [v for v in judged if not v.ok]
             if not failing:
                 verdicts = list(reverted) + judged
@@ -394,12 +401,14 @@ class PatchitPy:
         unpatchable = [f for f in final_findings if not f.fixable]
         self._record_verdicts(source, initial, verdicts, attempts, m, t)
         if m.enabled:
+            elapsed = clock() - start
             m.count("patch_calls")
             m.count("patch_passes", passes)
             m.count("patches_applied", len(all_applied))
             m.count("patches_skipped", len(last_skipped))
             m.count("findings_unpatchable", len(unpatchable))
-            m.add_time("patch_time_s", clock() - start)
+            m.add_time("patch_time_s", elapsed)
+            m.observe("phase_seconds/patch", elapsed)
         return PatchResult(
             original=source,
             patched=current,
@@ -429,6 +438,12 @@ class PatchitPy:
                     m.count("patches_reverted")
                 elif verdict.ok:
                     m.count("patches_verified")
+                # verdict-aware rule health: a template whose patches
+                # chronically fail verification surfaces per rule, with
+                # one concrete failing ruling as the exemplar.
+                m.health_for(verdict.rule_id).note_verdict(
+                    verdict.status, verdict.detail, ok=verdict.ok
+                )
         if t.enabled:
             for verdict in verdicts:
                 t.event(

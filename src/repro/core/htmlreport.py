@@ -183,16 +183,23 @@ def render_html_report(report: ProjectReport, title: str = "PatchitPy scan repor
         parts.append(
             "<h2>Rule health</h2>"
             "<table><tr><th>rule</th><th>budget breaches</th>"
-            "<th>worst file</th><th>worst ms</th></tr>"
+            "<th>worst file</th><th>worst ms</th>"
+            "<th>verified</th><th>unverified</th><th>exemplar</th></tr>"
         )
         for rule_id in sorted(health):
             entry = health[rule_id]
+            verdicts = getattr(entry, "verdicts", {})
+            unverified = entry.unverified() if hasattr(entry, "unverified") else 0
+            exemplar = getattr(entry, "failing_exemplar", "")
             parts.append(
                 "<tr>"
                 f"<td><code>{html.escape(rule_id)}</code></td>"
                 f"<td>{entry.breaches}</td>"
                 f"<td><code>{html.escape(entry.worst_file)}</code></td>"
                 f"<td>{entry.worst_ms:.1f}</td>"
+                f"<td>{verdicts.get('verified', 0)}</td>"
+                f"<td>{unverified}</td>"
+                f"<td><code>{html.escape(exemplar[:120])}</code></td>"
                 "</tr>"
             )
         parts.append("</table>")

@@ -94,7 +94,9 @@ def match_rule(
                 continue
             findings.append(_finding_for(rule, match))
         stats.matches += len(findings)
-    stats.time_s += clock() - start
+    elapsed = clock() - start
+    stats.time_s += elapsed
+    metrics.observe("rule_seconds/" + rule.rule_id, elapsed)
     return findings
 
 
@@ -321,7 +323,9 @@ def _run_rules_traced(
                 stats.matches += len(rule_findings)
         trace.end(sid, outcome=outcome, matches=len(rule_findings), vetoes=vetoes)
         if stats is not None:
-            stats.time_s += clock() - start
+            elapsed = clock() - start
+            stats.time_s += elapsed
+            metrics.observe("rule_seconds/" + rule.rule_id, elapsed)
         findings.extend(rule_findings)
     return findings
 

@@ -394,7 +394,7 @@ class ProjectScanner:
                 if t.enabled:
                     t.event("file", str(path), error=error, findings=0)
                 if m.enabled:
-                    m.record_file(str(path), clock() - file_start)
+                    m.time_file(str(path), clock() - file_start)
                 continue
             file_sid = t.begin("file", str(path)) if t.enabled else ""
             cached = cache.lookup(digest) if cache is not None else None
@@ -422,7 +422,7 @@ class ProjectScanner:
                 if cache is not None and stat is not None:
                     cache.remember_stat(path, stat, digest)
                 if m.enabled:
-                    m.record_file(str(path), clock() - file_start)
+                    m.time_file(str(path), clock() - file_start)
                 continue
             outcome = self.engine.patch(
                 source,
@@ -442,7 +442,7 @@ class ProjectScanner:
                     reverted=result.reverted_patches,
                 )
             if m.enabled:
-                m.record_file(str(path), clock() - file_start)
+                m.time_file(str(path), clock() - file_start)
             if outcome.patched == source:
                 continue
             try:
@@ -596,7 +596,7 @@ class ProjectScanner:
             if buffer is not None:
                 buffer.event("file", str(path), error=error, findings=0)
             if snapshot is not None:
-                snapshot.record_file(str(path), clock() - start)
+                snapshot.time_file(str(path), clock() - start)
             # undecodable content is still cacheable by its raw digest
             if digest is not None and stat is not None:
                 return result, digest, (stat.st_mtime_ns, stat.st_size), snapshot, buffer
@@ -612,7 +612,7 @@ class ProjectScanner:
         else:
             result.findings = self.engine.detect(source)
         if snapshot is not None:
-            snapshot.record_file(str(path), clock() - start)
+            snapshot.time_file(str(path), clock() - start)
             if self.slow_rule_budget_ms is not None:
                 snapshot.flag_slow_rules(str(path), self.slow_rule_budget_ms)
         assert stat is not None and digest is not None

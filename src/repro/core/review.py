@@ -766,7 +766,9 @@ def review(
         m.count("review_fixed", counts[STATUS_FIXED])
         m.count("review_cache_hits", report.cache_hits)
         m.count("review_cache_misses", report.cache_misses)
-        m.add_time("review_time_s", clock() - started)
+        elapsed = clock() - started
+        m.add_time("review_time_s", elapsed)
+        m.observe("phase_seconds/review", elapsed)
         report.metrics = m
     return report
 

@@ -7,7 +7,7 @@ often the literal prefilter actually skips a regex pass, what the warm
 cache hit rate is — these are the numbers every tuning decision needs.
 DeVAIC-style per-rule breakdowns are a first-class output here too.
 
-The subsystem has four halves:
+The subsystem has five halves:
 
 - :mod:`repro.observability.collector` — :class:`ScanMetrics`, a
   pickle-safe counter/timer collector threaded through matching, the
@@ -30,9 +30,19 @@ The subsystem has four halves:
   per-finding audit trail (prefilter literal, prerequisite and guard
   verdicts, matched span, rendered patch) behind the CLI ``--explain``
   flag, rendered by :func:`render_explain`.
+- :mod:`repro.observability.histogram` — :class:`LatencyHistogram`
+  (fixed log-spaced buckets shared by every instance, so merge is an
+  exact key-wise integer sum — associative, commutative, pickle-safe)
+  and :class:`RollingWindow` (a ring of per-interval slots the scan
+  daemon rotates in O(1) to answer "p99 over the last minute" for
+  ``/statusz``).  Stdlib-only by lint
+  (``scripts/check_hot_path_isolation.py``), and imported lazily by the
+  collector so the untraced hot path never loads it.
 - :mod:`repro.observability.exporters` — plain-JSON and Prometheus
-  text-format exporters plus the human ``--stats`` summary (with its
-  *top rules by time* and *rule health* sections).
+  text-format exporters (counters, per-rule families, and proper
+  ``*_bucket``/``_sum``/``_count`` histogram families) plus the human
+  ``--stats`` summary (with its *top rules by time*, *latency
+  percentiles* and *rule health* sections).
 """
 
 from repro.observability.collector import (
@@ -49,6 +59,12 @@ from repro.observability.exporters import (
     metrics_to_dict,
     to_prometheus,
 )
+from repro.observability.histogram import (
+    BUCKET_BOUNDS,
+    LatencyHistogram,
+    RollingWindow,
+    WindowSnapshot,
+)
 from repro.observability.provenance import (
     GuardDecision,
     PatchProvenance,
@@ -63,19 +79,23 @@ from repro.observability.trace import (
 )
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "DEFAULT_SLOW_RULE_BUDGET_MS",
     "GuardDecision",
+    "LatencyHistogram",
     "NULL_METRICS",
     "NULL_TRACE",
     "NullScanMetrics",
     "NullTraceRecorder",
     "PatchProvenance",
     "Provenance",
+    "RollingWindow",
     "RuleHealth",
     "RuleStats",
     "ScanMetrics",
     "TRACE_SCHEMA_VERSION",
     "TraceRecorder",
+    "WindowSnapshot",
     "dumps_json",
     "format_stats",
     "metrics_to_dict",

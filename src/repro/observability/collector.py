@@ -23,8 +23,11 @@ Design constraints, in priority order:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # the untraced hot path must never import histogram.py
+    from repro.observability.histogram import LatencyHistogram
 
 __all__ = [
     "DEFAULT_SLOW_RULE_BUDGET_MS",
@@ -90,24 +93,43 @@ class RuleStats:
 
 @dataclass
 class RuleHealth:
-    """Slow-rule watchdog record for one rule.
+    """Per-rule health record: slow-rule watchdog plus patch verdicts.
 
     ``breaches`` counts per-file executions that exceeded the configured
     wall-time budget; ``worst_ms``/``worst_file`` pin the most pathological
     exemplar so a regression report can name the exact file that made a
-    regex blow up.  The worst-exemplar fold is a max (ties broken toward
-    the lexicographically smaller path), so merging worker snapshots in
-    any order yields the same record.
+    regex blow up.  ``verdicts`` folds the verifier's per-patch rulings
+    (``verified`` / ``regressed`` / ``syntax-broken`` /
+    ``import-collision``) for the rule's patch template, and
+    ``failing_exemplar`` keeps one concrete failing ruling so a template
+    whose patches chronically fail verification surfaces with evidence,
+    not just a count.  Every fold is a sum or a deterministic extremum
+    (worst-ms max with lexicographic tie-break; lexicographically
+    smallest failing exemplar), so merging worker snapshots in any order
+    yields the same record.
     """
 
     breaches: int = 0
     worst_ms: float = 0.0
     worst_file: str = ""
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    failing_exemplar: str = ""
 
     def note(self, path: str, ms: float) -> None:
         """Record one budget breach of ``ms`` milliseconds on ``path``."""
         self.breaches += 1
         self._consider(path, ms)
+
+    def note_verdict(self, status: str, detail: str = "", ok: bool = True) -> None:
+        """Fold one patch-verifier ruling for this rule's template."""
+        self.verdicts[status] = self.verdicts.get(status, 0) + 1
+        if not ok:
+            exemplar = f"[{status}] {detail}" if detail else f"[{status}]"
+            self._consider_exemplar(exemplar)
+
+    def unverified(self) -> int:
+        """Rulings other than ``verified`` — the chronic-failure signal."""
+        return sum(n for status, n in self.verdicts.items() if status != "verified")
 
     def _consider(self, path: str, ms: float) -> None:
         if ms > self.worst_ms or (
@@ -116,18 +138,33 @@ class RuleHealth:
             self.worst_ms = ms
             self.worst_file = path
 
+    def _consider_exemplar(self, exemplar: str) -> None:
+        # min() of the non-empty candidates: deterministic under any
+        # merge order, unlike "first seen".
+        if exemplar and (not self.failing_exemplar or exemplar < self.failing_exemplar):
+            self.failing_exemplar = exemplar
+
     def merge(self, other: "RuleHealth") -> None:
-        """Fold another record in (breach sum, deterministic worst max)."""
+        """Fold another record in (sums + deterministic extrema)."""
         self.breaches += other.breaches
         if other.worst_file:
             self._consider(other.worst_file, other.worst_ms)
+        for status, n in other.verdicts.items():
+            self.verdicts[status] = self.verdicts.get(status, 0) + n
+        self._consider_exemplar(other.failing_exemplar)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "breaches": self.breaches,
             "worst_ms": self.worst_ms,
             "worst_file": self.worst_file,
         }
+        # only-when-set keeps pre-1.7 snapshot shapes byte-stable
+        if self.verdicts:
+            data["verdicts"] = dict(sorted(self.verdicts.items()))
+        if self.failing_exemplar:
+            data["failing_exemplar"] = self.failing_exemplar
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RuleHealth":
@@ -135,13 +172,18 @@ class RuleHealth:
             breaches=int(data.get("breaches", 0)),
             worst_ms=float(data.get("worst_ms", 0.0)),
             worst_file=str(data.get("worst_file", "")),
+            verdicts={
+                str(status): int(n)
+                for status, n in data.get("verdicts", {}).items()
+            },
+            failing_exemplar=str(data.get("failing_exemplar", "")),
         )
 
 
 class ScanMetrics:
     """Mutable metrics accumulator for one scan (or one slice of one).
 
-    Five tables, all plain data:
+    Six tables, all plain data:
 
     - ``rules``   — rule id → :class:`RuleStats`
     - ``counters``— event name → int (``detect_calls``, ``cache_hits``,
@@ -150,7 +192,13 @@ class ScanMetrics:
       ``patch_time_s``, ``scan_time_s``, ``file_time_s``, …)
     - ``files``   — file path → analysis duration in seconds
     - ``rule_health`` — rule id → :class:`RuleHealth` (slow-rule
-      watchdog: budget breaches and the worst-file exemplar)
+      watchdog breaches, worst-file exemplar, patch-verdict counts)
+    - ``durations`` — histogram name →
+      :class:`~repro.observability.histogram.LatencyHistogram`; names
+      follow a ``family`` or ``family/label`` convention
+      (``phase_seconds/detect``, ``rule_seconds/<rule-id>``,
+      ``server_request_seconds/<endpoint>``, ``file_seconds``) that the
+      Prometheus exporter turns into labelled histogram families
 
     Instrumented code never assumes a key exists; every accessor
     get-or-creates, so a collector that saw no traffic exports empty
@@ -165,6 +213,7 @@ class ScanMetrics:
         self.timers: Dict[str, float] = {}
         self.files: Dict[str, float] = {}
         self.rule_health: Dict[str, RuleHealth] = {}
+        self.durations: Dict[str, "LatencyHistogram"] = {}
 
     # -------------------------------------------------------- recording
 
@@ -187,6 +236,41 @@ class ScanMetrics:
         """Record one file's analysis duration (summed on re-analysis)."""
         self.files[path] = self.files.get(path, 0.0) + seconds
         self.add_time("file_time_s", seconds)
+
+    def time_file(self, path: str, seconds: float) -> None:
+        """Record one file's duration: files table plus the
+        ``file_seconds`` histogram (one observation per analyzed file,
+        so per-file latency quantiles survive the worker-snapshot
+        merge).  :meth:`merge` folds the histograms key-wise and replays
+        ``files`` through :meth:`record_file` only, so nothing double
+        counts."""
+        self.record_file(path, seconds)
+        self.observe("file_seconds", seconds)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration into the named latency histogram.
+
+        Unlike :meth:`add_time` (a lossy sum), this keeps the
+        distribution, so quantiles survive the merge.  The histogram
+        module is imported lazily: the disabled collector never calls
+        this, and the untraced hot path must stay import-free of it
+        (``scripts/check_hot_path_isolation.py``).
+        """
+        histogram = self.durations.get(name)
+        if histogram is None:
+            from repro.observability.histogram import LatencyHistogram
+
+            histogram = self.durations[name] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def histogram_for(self, name: str) -> "LatencyHistogram":
+        """The (created-on-first-use) histogram for a duration family."""
+        histogram = self.durations.get(name)
+        if histogram is None:
+            from repro.observability.histogram import LatencyHistogram
+
+            histogram = self.durations[name] = LatencyHistogram()
+        return histogram
 
     def health_for(self, rule_id: str) -> RuleHealth:
         """The (created-on-first-use) watchdog record for a rule id."""
@@ -239,6 +323,8 @@ class ScanMetrics:
             self.record_file(path, seconds)
         for rule_id, health in other.rule_health.items():
             self.health_for(rule_id).merge(health)
+        for name, histogram in other.durations.items():
+            self.histogram_for(name).merge(histogram)
         return self
 
     # -------------------------------------------------------- reading
@@ -275,6 +361,9 @@ class ScanMetrics:
             "rule_health": {
                 rule_id: h.to_dict() for rule_id, h in sorted(self.rule_health.items())
             },
+            "durations": {
+                name: h.to_dict() for name, h in sorted(self.durations.items())
+            },
         }
 
     @classmethod
@@ -287,6 +376,11 @@ class ScanMetrics:
         metrics.files.update(data.get("files", {}))
         for rule_id, raw in data.get("rule_health", {}).items():
             metrics.rule_health[rule_id] = RuleHealth.from_dict(raw)
+        if data.get("durations"):
+            from repro.observability.histogram import LatencyHistogram
+
+            for name, raw in data["durations"].items():
+                metrics.durations[name] = LatencyHistogram.from_dict(raw)
         return metrics
 
     def snapshot(self) -> "ScanMetrics":
@@ -333,6 +427,14 @@ class NullScanMetrics(ScanMetrics):
 
     def record_file(self, path: str, seconds: float) -> None:
         pass
+
+    def observe(self, name: str, seconds: float) -> None:
+        pass
+
+    def histogram_for(self, name: str):
+        from repro.observability.histogram import LatencyHistogram
+
+        return LatencyHistogram()  # throwaway: never retained
 
     def merge(self, other: Optional[ScanMetrics]) -> "NullScanMetrics":
         return self

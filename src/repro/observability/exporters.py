@@ -4,24 +4,43 @@ Three output shapes:
 
 - :func:`metrics_to_dict` / :func:`dumps_json` — the plain-JSON snapshot
   (the format the benchmark artifacts embed);
-- :func:`to_prometheus` — Prometheus text exposition format, one gauge
-  family per counter/timer plus labelled per-rule families, for scrape
-  endpoints and pushgateways;
+- :func:`to_prometheus` — Prometheus text exposition format: one gauge
+  family per counter/timer, labelled per-rule families, and proper
+  histogram families (``*_bucket``/``*_sum``/``*_count`` with cumulative
+  ``le`` labels) for every latency distribution the collector holds;
 - :func:`format_stats` — the human ``--stats`` summary, including the
-  *top rules by time* table and the cache hit rate.
+  *top rules by time* table, phase latency percentiles, and the cache
+  hit rate.
 """
 
 from __future__ import annotations
 
 import json
 import re
-from typing import List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.observability.collector import ScanMetrics
+from repro.observability.histogram import LatencyHistogram
 
 __all__ = ["dumps_json", "format_stats", "metrics_to_dict", "to_prometheus"]
 
 _PROM_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Duration-family → label-name mapping for the ``family/label`` keys in
+#: ``ScanMetrics.durations`` (see the collector docstring); families not
+#: listed here get a generic ``label`` label.
+_HISTOGRAM_LABELS = {
+    "server_request_seconds": "endpoint",
+    "phase_seconds": "phase",
+    "rule_seconds": "rule",
+}
+
+_HISTOGRAM_HELP = {
+    "server_request_seconds": "Request latency by endpoint.",
+    "phase_seconds": "Wall time by pipeline phase.",
+    "rule_seconds": "Per-file wall time by detection rule.",
+    "file_seconds": "Per-file analysis latency.",
+}
 
 
 def metrics_to_dict(metrics: ScanMetrics) -> dict:
@@ -40,6 +59,53 @@ def _prom_name(name: str) -> str:
 
 def _prom_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _grouped_histograms(
+    durations: Mapping[str, LatencyHistogram],
+) -> Dict[str, List[Tuple[Optional[str], LatencyHistogram]]]:
+    """Group ``family/label`` duration keys into Prometheus families.
+
+    Keys split on the *first* slash only, so a label value may itself
+    contain slashes; keys without a slash become unlabelled families.
+    """
+    grouped: Dict[str, List[Tuple[Optional[str], LatencyHistogram]]] = {}
+    for name, histogram in sorted(durations.items()):
+        family, sep, label = name.partition("/")
+        grouped.setdefault(family, []).append((label if sep else None, histogram))
+    return grouped
+
+
+def histogram_families(
+    durations: Mapping[str, LatencyHistogram], prefix: str = "patchitpy"
+) -> List[str]:
+    """Prometheus histogram exposition lines for a durations table.
+
+    Each family emits the full ``<name>_bucket`` series with cumulative
+    ``le`` labels (``+Inf`` always present and equal to ``_count``),
+    plus the exact ``_sum`` and ``_count`` samples — the shape
+    ``histogram_quantile()`` expects.
+    """
+    lines: List[str] = []
+    for family, entries in sorted(_grouped_histograms(durations).items()):
+        metric = f"{prefix}_{_prom_name(family)}"
+        label_name = _prom_name(_HISTOGRAM_LABELS.get(family, "label"))
+        help_text = _HISTOGRAM_HELP.get(
+            family, "Latency distribution from a patchitpy process."
+        )
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} histogram")
+        for label, histogram in entries:
+            if label is None:
+                pair = ""
+            else:
+                pair = f'{label_name}="{_prom_label(label)}",'
+            for le, cumulative in histogram.cumulative_buckets():
+                lines.append(f'{metric}_bucket{{{pair}le="{le}"}} {cumulative}')
+            suffix = f"{{{pair[:-1]}}}" if label is not None else ""
+            lines.append(f"{metric}_sum{suffix} {histogram.sum_s:.9f}")
+            lines.append(f"{metric}_count{suffix} {histogram.count}")
+    return lines
 
 
 def to_prometheus(
@@ -107,6 +173,8 @@ def to_prometheus(
         lines.append(f"# HELP {metric} Files where the rule exceeded the slow-rule budget.")
         lines.append(f"# TYPE {metric} counter")
         for rule_id in sorted(health):
+            if not health[rule_id].breaches and health[rule_id].verdicts:
+                continue  # verdict-only record: not a watchdog breach
             lines.append(
                 f'{metric}{{rule="{_prom_label(rule_id)}"}} {health[rule_id].breaches}'
             )
@@ -115,10 +183,27 @@ def to_prometheus(
         lines.append(f"# TYPE {metric} gauge")
         for rule_id in sorted(health):
             entry = health[rule_id]
+            if not entry.worst_file and not entry.breaches:
+                continue  # verdict-only record: no watchdog exemplar yet
             lines.append(
                 f'{metric}{{rule="{_prom_label(rule_id)}",'
                 f'file="{_prom_label(entry.worst_file)}"}} {entry.worst_ms:.3f}'
             )
+        if any(entry.verdicts for entry in health.values()):
+            metric = f"{prefix}_rule_patch_verdicts"
+            lines.append(
+                f"# HELP {metric} Patch-verifier rulings for the rule's template."
+            )
+            lines.append(f"# TYPE {metric} counter")
+            for rule_id in sorted(health):
+                for status, n in sorted(health[rule_id].verdicts.items()):
+                    lines.append(
+                        f'{metric}{{rule="{_prom_label(rule_id)}",'
+                        f'status="{_prom_label(status)}"}} {n}'
+                    )
+
+    if metrics.durations:
+        lines.extend(histogram_families(metrics.durations, prefix=prefix))
 
     for name, value in sorted((extra_gauges or {}).items()):
         metric = f"{prefix}_{_prom_name(name)}"
@@ -193,19 +278,55 @@ def format_stats(metrics: ScanMetrics, top: int = 10) -> str:
                 f"{stats.guard_vetoes:>7}"
             )
 
+    percentile_keys = [
+        key
+        for key in sorted(metrics.durations)
+        if not key.startswith("rule_seconds/")
+    ]
+    shown = [
+        (key, metrics.durations[key])
+        for key in percentile_keys
+        if metrics.durations[key].count
+    ]
+    if shown:
+        lines.append("  latency percentiles (ms):")
+        lines.append(
+            f"    {'distribution':<28} {'n':>7} {'p50':>9} {'p95':>9} {'p99':>9}"
+        )
+        for key, histogram in shown:
+            p50, p95, p99 = histogram.quantiles((0.5, 0.95, 0.99))
+            lines.append(
+                f"    {key:<28} {histogram.count:>7} "
+                f"{(p50 or 0.0) * 1000.0:>9.2f} {(p95 or 0.0) * 1000.0:>9.2f} "
+                f"{(p99 or 0.0) * 1000.0:>9.2f}"
+            )
+
     health = getattr(metrics, "rule_health", {})
     if health:
         total_breaches = sum(entry.breaches for entry in health.values())
-        lines.append(
-            f"  rule health: {len(health)} rule(s) over budget, "
+        total_unverified = sum(entry.unverified() for entry in health.values())
+        over_budget = sum(1 for entry in health.values() if entry.breaches)
+        summary = (
+            f"  rule health: {over_budget} rule(s) over budget, "
             f"{total_breaches} breach(es)"
         )
+        if total_unverified:
+            summary += f", {total_unverified} unverified patch(es)"
+        lines.append(summary)
         for rule_id in sorted(health):
             entry = health[rule_id]
-            lines.append(
-                f"    {rule_id:<28} {entry.breaches:>3} breach(es), "
-                f"worst {entry.worst_ms:.1f}ms on {entry.worst_file}"
-            )
+            if entry.breaches or entry.worst_file:
+                lines.append(
+                    f"    {rule_id:<28} {entry.breaches:>3} breach(es), "
+                    f"worst {entry.worst_ms:.1f}ms on {entry.worst_file}"
+                )
+            if entry.verdicts:
+                verdict_bits = ", ".join(
+                    f"{status}={n}" for status, n in sorted(entry.verdicts.items())
+                )
+                lines.append(f"    {rule_id:<28} verdicts: {verdict_bits}")
+            if entry.failing_exemplar:
+                lines.append(f"    {rule_id:<28} exemplar: {entry.failing_exemplar}")
 
     if len(lines) == 1:
         lines.append("  (no metrics recorded)")

@@ -1,0 +1,330 @@
+"""Latency distribution primitives: fixed-bucket histograms, rolling windows.
+
+The sum-and-count timers :class:`~repro.observability.collector.ScanMetrics`
+has carried since PR 2 answer "how much time did detect burn?" but not the
+question an operator of the scan daemon actually asks: "what is warm
+``/v1/analyze`` p99 over the last five minutes?".  Percentiles need
+distributions, and distributions that survive this codebase's constraints
+must be:
+
+- **Fixed-bucket.**  Every :class:`LatencyHistogram` shares one global
+  log-spaced bucket layout (:data:`BUCKET_BOUNDS`), so merging two
+  histograms is a plain key-wise sum of integer bucket counts — no
+  re-binning, no approximation drift.  Merge is therefore associative
+  and commutative *exactly* (the counts are ints), which is what lets
+  per-file worker snapshots fold back in completion order and what a
+  future sharded fleet's front door needs to aggregate across workers.
+- **Pickle-safe plain data.**  A histogram is a sparse dict of ints plus
+  three scalars; it crosses the ``ProcessPoolExecutor`` boundary inside
+  ``ScanMetrics`` snapshots and serializes losslessly through
+  ``to_dict``/``from_dict`` (the JSON wire shape the daemon merges).
+- **Import-free of the hot path.**  This module imports nothing from
+  ``repro.core`` (and nothing beyond the stdlib), and the untraced scan
+  path never imports it — ``scripts/check_hot_path_isolation.py``
+  enforces both directions.
+
+:class:`RollingWindow` builds the second half of the operator story on
+top: a ring of per-interval histogram/counter slots (default 60 × 5 s)
+that the daemon rotates in O(1) per request, so ``/statusz`` can report
+1-minute and 5-minute rates and percentiles without unbounded memory and
+without ever scanning request history.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "LatencyHistogram",
+    "RollingWindow",
+    "WindowSnapshot",
+]
+
+#: Shared upper bucket bounds in seconds (the Prometheus ``le`` values):
+#: 50 µs doubling every second bucket (factor √2) up to ~148 s, which
+#: spans a prefilter-skipped rule (µs) through a cold tree scan (minutes)
+#: with ~±20 % relative quantile error.  Values beyond the last bound
+#: land in the implicit ``+Inf`` bucket.
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(5e-05 * 2 ** (i / 2.0) for i in range(44))
+
+#: Index of the ``+Inf`` bucket (one past the last finite bound).
+INF_BUCKET = len(BUCKET_BOUNDS)
+
+
+def bucket_index(seconds: float) -> int:
+    """The bucket a duration falls into (``le`` semantics: value ≤ bound)."""
+    if seconds <= 0.0:
+        return 0
+    if seconds > BUCKET_BOUNDS[-1]:
+        return INF_BUCKET
+    return bisect_left(BUCKET_BOUNDS, seconds)
+
+
+@dataclass
+class LatencyHistogram:
+    """A mergeable fixed-bucket latency histogram (counts + sum + max).
+
+    ``buckets`` maps bucket index → observation count and stays sparse: a
+    histogram that only ever saw sub-millisecond durations carries a
+    handful of entries, not the full 45-bucket layout.  ``sum_s`` and
+    ``count`` make the Prometheus ``_sum``/``_count`` series exact even
+    though per-observation values are bucketed; ``max_s`` bounds quantile
+    interpolation inside the open-ended ``+Inf`` bucket.
+    """
+
+    buckets: Dict[int, int] = field(default_factory=dict)
+    count: int = 0
+    sum_s: float = 0.0
+    max_s: float = 0.0
+
+    # -------------------------------------------------------- recording
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration."""
+        index = bucket_index(seconds)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.sum_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def merge(self, other: Optional["LatencyHistogram"]) -> "LatencyHistogram":
+        """Fold ``other`` in (key-wise bucket sum); returns ``self``.
+
+        Exactly associative and commutative on ``buckets``/``count``/
+        ``max_s`` (integer sums and a max), so any grouping of worker
+        snapshots yields identical quantiles.
+        """
+        if other is None:
+            return self
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.count += other.count
+        self.sum_s += other.sum_s
+        if other.max_s > self.max_s:
+            self.max_s = other.max_s
+        return self
+
+    # ---------------------------------------------------------- reading
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile in seconds (``None`` when empty).
+
+        Walks the cumulative bucket counts and interpolates linearly
+        inside the target bucket; the ``+Inf`` bucket interpolates up to
+        ``max_s``.  Exact bucket bounds are returned at the bucket
+        edges, so two histograms with identical bucket counts report
+        identical quantiles regardless of the raw values they saw.
+        """
+        if self.count == 0:
+            return None
+        q = min(1.0, max(0.0, q))
+        target = q * self.count
+        cumulative = 0
+        for index in sorted(self.buckets):
+            n = self.buckets[index]
+            previous = cumulative
+            cumulative += n
+            if cumulative >= target:
+                lower = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                if index >= INF_BUCKET:
+                    upper = max(self.max_s, lower)
+                else:
+                    upper = BUCKET_BOUNDS[index]
+                if n == 0:  # pragma: no cover - sparse dict never stores 0
+                    return upper
+                return lower + (upper - lower) * (target - previous) / n
+        return max(self.max_s, BUCKET_BOUNDS[-1])  # pragma: no cover
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99)) -> List[Optional[float]]:
+        """Several quantiles at once (the p50/p95/p99 convenience)."""
+        return [self.quantile(q) for q in qs]
+
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean in seconds (exact, from ``sum_s``)."""
+        return self.sum_s / self.count if self.count else None
+
+    def cumulative_buckets(self) -> List[Tuple[str, int]]:
+        """``(le, cumulative_count)`` pairs for Prometheus exposition.
+
+        Emits every finite bound up to the highest populated bucket plus
+        the mandatory ``+Inf`` bucket, so the series is cumulative, the
+        ``le`` values strictly increase, and ``+Inf`` equals ``count`` —
+        the exposition-format invariants the conformance tests pin.
+        """
+        highest = max(self.buckets) if self.buckets else -1
+        pairs: List[Tuple[str, int]] = []
+        cumulative = 0
+        for index in range(min(highest, INF_BUCKET - 1) + 1):
+            cumulative += self.buckets.get(index, 0)
+            pairs.append((format_le(BUCKET_BOUNDS[index]), cumulative))
+        pairs.append(("+Inf", self.count))
+        return pairs
+
+    # ---------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (bucket keys stringified for JSON)."""
+        return {
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+            "count": self.count,
+            "sum_s": self.sum_s,
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        return cls(
+            buckets={int(i): int(n) for i, n in data.get("buckets", {}).items()},
+            count=int(data.get("count", 0)),
+            sum_s=float(data.get("sum_s", 0.0)),
+            max_s=float(data.get("max_s", 0.0)),
+        )
+
+
+def format_le(bound: float) -> str:
+    """A stable, repr-round-trippable rendering of an ``le`` bound."""
+    return repr(bound)
+
+
+class _WindowSlot:
+    """One interval's worth of histograms and counters in the ring."""
+
+    __slots__ = ("epoch", "histograms", "counters")
+
+    def __init__(self) -> None:
+        self.epoch = -1
+        self.histograms: Dict[str, LatencyHistogram] = {}
+        self.counters: Dict[str, int] = {}
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.histograms = {}
+        self.counters = {}
+
+
+@dataclass
+class WindowSnapshot:
+    """The merged view of every ring slot inside one horizon."""
+
+    histograms: Dict[str, LatencyHistogram]
+    counters: Dict[str, int]
+    horizon_s: float
+
+    def rate(self, name: str) -> float:
+        """Events per second for a counter over the horizon."""
+        if self.horizon_s <= 0:
+            return 0.0
+        return self.counters.get(name, 0) / self.horizon_s
+
+    def total(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def quantile(self, name: str, q: float) -> Optional[float]:
+        histogram = self.histograms.get(name)
+        return histogram.quantile(q) if histogram is not None else None
+
+
+class RollingWindow:
+    """A ring of per-interval histogram/counter slots.
+
+    ``slots`` × ``interval_s`` bounds both memory and look-back (the
+    default 60 × 5 s ring covers five minutes); recording is O(1) — the
+    slot for *now* is located by integer division and lazily reset when
+    its epoch has lapped, so there is no timer thread and no per-request
+    allocation beyond the histograms themselves.  ``clock`` is
+    injectable for tests; production uses ``time.monotonic``.
+
+    Not thread-safe by design: the daemon records from its event loop
+    only.  (``ScanMetrics`` stays the cross-process aggregation story;
+    the window is a single-process operator view.)
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 5.0,
+        slots: int = 60,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if slots < 1:
+            raise ValueError("need at least one slot")
+        self.interval_s = float(interval_s)
+        self._clock = clock
+        self._ring = [_WindowSlot() for _ in range(slots)]
+
+    @property
+    def slots(self) -> int:
+        return len(self._ring)
+
+    @property
+    def capacity_s(self) -> float:
+        """The longest horizon the ring can honestly cover."""
+        return self.interval_s * len(self._ring)
+
+    # -------------------------------------------------------- recording
+
+    def _slot(self, now: Optional[float]) -> _WindowSlot:
+        at = self._clock() if now is None else now
+        epoch = int(at // self.interval_s)
+        slot = self._ring[epoch % len(self._ring)]
+        if slot.epoch != epoch:
+            slot.reset(epoch)
+        return slot
+
+    def observe(self, name: str, seconds: float, now: Optional[float] = None) -> None:
+        """Record one duration under ``name`` in the current slot."""
+        slot = self._slot(now)
+        histogram = slot.histograms.get(name)
+        if histogram is None:
+            histogram = slot.histograms[name] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def count(self, name: str, n: int = 1, now: Optional[float] = None) -> None:
+        """Add ``n`` to a counter in the current slot."""
+        slot = self._slot(now)
+        slot.counters[name] = slot.counters.get(name, 0) + n
+
+    # ---------------------------------------------------------- reading
+
+    def window(self, horizon_s: float, now: Optional[float] = None) -> WindowSnapshot:
+        """Merge every live slot younger than ``horizon_s`` seconds.
+
+        The horizon is capped at ring capacity; slots whose epoch has
+        lapped (stale data the ring has not yet overwritten) are
+        excluded, so an idle server reports zero rates rather than
+        five-minute-old traffic.
+        """
+        at = self._clock() if now is None else now
+        horizon_s = min(horizon_s, self.capacity_s)
+        current_epoch = int(at // self.interval_s)
+        spanned = max(1, int(round(horizon_s / self.interval_s)))
+        oldest = current_epoch - spanned + 1
+        histograms: Dict[str, LatencyHistogram] = {}
+        counters: Dict[str, int] = {}
+        for slot in self._ring:
+            if not (oldest <= slot.epoch <= current_epoch):
+                continue
+            for name, histogram in slot.histograms.items():
+                merged = histograms.get(name)
+                if merged is None:
+                    merged = histograms[name] = LatencyHistogram()
+                merged.merge(histogram)
+            for name, value in slot.counters.items():
+                counters[name] = counters.get(name, 0) + value
+        return WindowSnapshot(
+            histograms=histograms, counters=counters, horizon_s=horizon_s
+        )
+
+    def names(self) -> Iterable[str]:
+        """Every histogram name currently present in any live slot."""
+        seen = set()
+        for slot in self._ring:
+            if slot.epoch >= 0:
+                seen.update(slot.histograms)
+        return sorted(seen)

@@ -15,6 +15,7 @@ worker pool — and serves the paper's IDE-extension request shape
 ``POST /v1/review``       a diff or two git revisions → introduced findings
 ``GET /healthz``          liveness/readiness (reports ``draining``)
 ``GET /metrics``          Prometheus text format (the PR 2/3 exporter)
+``GET /statusz``          self-contained HTML operator dashboard
 ========================  =====================================================
 
 Robustness contract (exercised by ``tests/test_server.py``):
@@ -38,14 +39,23 @@ Observability is threaded through the existing layer, not re-invented:
 each request runs against a fresh per-request :class:`ScanMetrics`
 snapshot that is merged into the server-lifetime collector (the same
 associative fold the process-pool scanner uses), every response carries
-an ``X-Patchitpy-Trace-Id``, and ``/metrics`` is the PR 2/3 Prometheus
-exporter over the lifetime collector plus point-in-time server gauges.
+an ``X-Patchitpy-Trace-Id`` (honouring a caller-supplied ``X-Trace-Id``
+so IDE plugins can correlate their own logs), and ``/metrics`` is the
+PR 2/3 Prometheus exporter over the lifetime collector plus
+point-in-time server gauges.  PR 8 adds the latency layer: every
+request's wall time lands in a per-endpoint ``LatencyHistogram`` on the
+lifetime collector (scraped as proper Prometheus histogram families)
+*and* in a :class:`~repro.observability.histogram.RollingWindow` so
+``/statusz`` can answer "p99 over the last minute" without request
+history; ``--access-log`` emits one structured JSON line per request.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import pickle
+import re
 import sys
 import threading
 import time
@@ -62,7 +72,9 @@ from repro.core.review import ReviewError, review
 from repro.core.sarif import review_to_sarif
 from repro.observability.collector import ScanMetrics, clock
 from repro.observability.exporters import to_prometheus
+from repro.observability.histogram import RollingWindow
 from repro.observability.trace import TraceRecorder
+from repro.server.statusz import render_statusz
 from repro.server.http11 import (
     HttpError,
     Request,
@@ -74,6 +86,11 @@ from repro.server.http11 import (
 __all__ = ["BackgroundServer", "PatchitPyServer", "ServerConfig"]
 
 _Handler = Callable[[Request], Awaitable[Response]]
+
+#: Shape a caller-supplied ``X-Trace-Id`` must match to be honoured —
+#: anything else (empty, over-long, control characters that could forge
+#: log lines) falls back to a server-generated id.
+_TRACE_ID_OK = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
 @dataclass
@@ -100,6 +117,11 @@ class ServerConfig:
     idle_timeout_s: float = 120.0
     drain_timeout_s: float = 10.0
     access_log: bool = False
+    #: Rolling-SLO-window geometry: ``window_slots`` ring slots of
+    #: ``window_interval_s`` seconds each (default 60 × 5 s = 5 minutes
+    #: of look-back for the /statusz rates and percentiles).
+    window_interval_s: float = 5.0
+    window_slots: int = 60
 
 
 # One engine per pool worker, installed by the initializer so the 85
@@ -186,6 +208,11 @@ class PatchitPyServer:
         self.config = config if config is not None else ServerConfig()
         #: Server-lifetime metrics — per-request snapshots merge in here.
         self.metrics = ScanMetrics()
+        #: Rolling SLO windows for /statusz (rates + recent percentiles).
+        self.window = RollingWindow(
+            interval_s=self.config.window_interval_s,
+            slots=self.config.window_slots,
+        )
         self._caches: Dict[Path, ScanCache] = {}
         self._pool: Optional[Executor] = None
         self._pool_kind = "none"
@@ -201,6 +228,7 @@ class PatchitPyServer:
         self._routes: Dict[Tuple[str, str], _Handler] = {
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/statusz"): self._handle_statusz,
             ("POST", "/v1/analyze"): self._handle_analyze,
             ("POST", "/v1/batch"): self._handle_batch,
             ("POST", "/v1/scan"): self._handle_scan,
@@ -311,7 +339,11 @@ class PatchitPyServer:
                     break
                 if request is None:
                     break
-                trace_id = uuid.uuid4().hex[:16]
+                supplied = request.headers.get("x-trace-id", "")
+                if _TRACE_ID_OK.match(supplied):
+                    trace_id = supplied
+                else:
+                    trace_id = uuid.uuid4().hex[:16]
                 started = clock()
                 self._inflight += 1
                 assert self._idle is not None
@@ -352,20 +384,50 @@ class PatchitPyServer:
             except (ConnectionError, OSError, RuntimeError):
                 pass
 
+    def _endpoint_label(self, request: Request) -> str:
+        """A bounded-cardinality endpoint label for histograms/windows.
+
+        Known routes label as their path; anything else (typo'd paths,
+        scanners probing the port) collapses into ``other`` so a hostile
+        client cannot mint unbounded label values.
+        """
+        if any(path == request.path for _, path in self._routes):
+            return request.path
+        return "other"
+
     def _account(
         self, request: Request, response: Response, trace_id: str, seconds: float
     ) -> None:
-        """Fold one request into the lifetime collector and access log."""
+        """Fold one request into the lifetime collector, the rolling SLO
+        windows, and (when enabled) the structured access log."""
         m = self.metrics
         m.count("server_requests")
         m.count(f"server_responses_{response.status // 100}xx")
         m.add_time("server_request_time_s", seconds)
+        endpoint = self._endpoint_label(request)
+        m.observe("server_request_seconds/" + endpoint, seconds)
+        phases: Dict[str, float] = getattr(response, "phases", None) or {}
+        for phase, spent in phases.items():
+            m.observe("phase_seconds/" + phase, spent)
+        window = self.window
+        window.count("requests/" + endpoint)
+        window.observe("latency/" + endpoint, seconds)
+        window.count(f"responses/{response.status // 100}xx")
+        if response.status in (429, 504):
+            window.count(f"responses/{response.status}")
         if self.config.access_log:
-            print(
-                f"[{trace_id}] {request.method} {request.path} "
-                f"{response.status} {seconds * 1000.0:.1f}ms",
-                file=sys.stderr,
-            )
+            record: Dict[str, Any] = {
+                "trace_id": trace_id,
+                "method": request.method,
+                "path": request.path,
+                "status": response.status,
+                "bytes": len(response.body),
+                "duration_ms": round(seconds * 1000.0, 3),
+            }
+            for phase, spent in sorted(phases.items()):
+                record[phase + "_ms"] = round(spent * 1000.0, 3)
+            record.update(getattr(response, "access", None) or {})
+            print(json.dumps(record, sort_keys=True), file=sys.stderr)
 
     async def _dispatch(self, request: Request) -> Response:
         handler = self._routes.get((request.method, request.path))
@@ -375,7 +437,17 @@ class PatchitPyServer:
             raise HttpError(404, f"no such endpoint: {request.path}")
         if self.draining and request.path.startswith("/v1/"):
             raise HttpError(503, "server is draining", headers={"Retry-After": "1"})
-        return await handler(request)
+        handler_started = clock()
+        response = await handler(request)
+        # Response is a plain dataclass, so handlers hang phase timings
+        # off it (``phases``) for _account to fold; the handler phase is
+        # always present, queue_wait only where a handler measured one.
+        phases = getattr(response, "phases", None)
+        if phases is None:
+            phases = {}
+            response.phases = phases  # type: ignore[attr-defined]
+        phases.setdefault("handler", clock() - handler_started)
+        return response
 
     # ------------------------------------------------------------- workers
 
@@ -461,6 +533,9 @@ class PatchitPyServer:
         }
         return Response.text_response(to_prometheus(self.metrics, extra_gauges=gauges))
 
+    async def _handle_statusz(self, request: Request) -> Response:
+        return Response.html_response(render_statusz(self))
+
     async def _handle_analyze(self, request: Request) -> Response:
         body = request.json()
         if not isinstance(body, dict):
@@ -492,8 +567,19 @@ class PatchitPyServer:
                 504, f"analysis missed its deadline of {deadline * 1000.0:g}ms"
             )
         self.metrics.merge(ScanMetrics.from_dict(snapshot))
-        payload["duration_ms"] = round((clock() - started) * 1000.0, 3)
-        return Response.json_response(payload)
+        elapsed = clock() - started
+        payload["duration_ms"] = round(elapsed * 1000.0, 3)
+        response = Response.json_response(payload)
+        # Queue wait = elapsed wall minus the work the engine accounted
+        # for in its own timers.  An idle pool makes this ~0; a saturated
+        # one makes it the time the snippet sat behind other units.
+        timers = snapshot.get("timers", {})
+        work_s = sum(
+            timers.get(name, 0.0)
+            for name in ("detect_time_s", "patch_time_s", "verify_time_s")
+        )
+        response.phases = {"queue_wait": max(0.0, elapsed - work_s)}  # type: ignore[attr-defined]
+        return response
 
     async def _handle_batch(self, request: Request) -> Response:
         body = request.json()
@@ -583,7 +669,7 @@ class PatchitPyServer:
                 504, f"scan missed its deadline of {deadline * 1000.0:g}ms"
             )
         self.metrics.merge(collector)
-        return Response.json_response(
+        response = Response.json_response(
             {
                 "root": str(report.root),
                 "files_scanned": report.scanned_count,
@@ -605,6 +691,12 @@ class PatchitPyServer:
                 "duration_ms": round((clock() - started) * 1000.0, 3),
             }
         )
+        # Cache efficiency travels to the access log with the request.
+        response.access = {  # type: ignore[attr-defined]
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+        }
+        return response
 
     async def _handle_review(self, request: Request) -> Response:
         """Diff-aware review: scan only what a change touched.
@@ -693,7 +785,12 @@ class PatchitPyServer:
             )
         if trace is not None and trace.enabled:
             payload["trace_events"] = list(trace.events)
-        return Response.json_response(payload)
+        response = Response.json_response(payload)
+        response.access = {  # type: ignore[attr-defined]
+            "cache_hits": collector.counters.get("cache_hits", 0),
+            "cache_misses": collector.counters.get("cache_misses", 0),
+        }
+        return response
 
     def _cache_for(self, root: Path) -> ScanCache:
         """The open, shared cache for a scan root (created on first use)."""

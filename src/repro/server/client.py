@@ -84,13 +84,22 @@ class ServerClient:
         return self._conn
 
     def _request(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        trace_id: Optional[str] = None,
     ) -> Any:
         body = None
         headers = {"Connection": "keep-alive"}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if trace_id is not None:
+            # The daemon echoes a well-formed caller id back as
+            # X-Patchitpy-Trace-Id and stamps it on the access log, so a
+            # plugin can correlate its own logs with the server's.
+            headers["X-Trace-Id"] = trace_id
         conn = self._connection()
         try:
             conn.request(method, path, body=body, headers=headers)
@@ -141,12 +150,17 @@ class ServerClient:
         """``GET /metrics`` — Prometheus text exposition."""
         return self._request("GET", "/metrics")
 
+    def statusz(self) -> str:
+        """``GET /statusz`` — the HTML operator dashboard, as text."""
+        return self._request("GET", "/statusz")
+
     def analyze(
         self,
         source: str,
         patch: bool = False,
         trace: bool = False,
         deadline_ms: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """``POST /v1/analyze`` — findings (and patches) for one snippet."""
         payload: Dict[str, Any] = {"source": source, "patch": patch}
@@ -154,13 +168,14 @@ class ServerClient:
             payload["trace"] = True
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
-        return self._request("POST", "/v1/analyze", payload)
+        return self._request("POST", "/v1/analyze", payload, trace_id=trace_id)
 
     def batch(
         self,
         sources: List[str],
         patch: bool = False,
         deadline_ms: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """``POST /v1/batch`` — N snippets through the worker pool."""
         payload: Dict[str, Any] = {
@@ -169,7 +184,7 @@ class ServerClient:
         }
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
-        return self._request("POST", "/v1/batch", payload)
+        return self._request("POST", "/v1/batch", payload, trace_id=trace_id)
 
     def review(
         self,
@@ -182,6 +197,7 @@ class ServerClient:
         use_cache: bool = True,
         trace: bool = False,
         deadline_ms: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """``POST /v1/review`` — diff-aware review on the warm daemon.
 
@@ -203,7 +219,7 @@ class ServerClient:
             payload["trace"] = True
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
-        return self._request("POST", "/v1/review", payload)
+        return self._request("POST", "/v1/review", payload, trace_id=trace_id)
 
     def scan(
         self,
@@ -211,6 +227,7 @@ class ServerClient:
         jobs: int = 1,
         use_cache: bool = True,
         deadline_ms: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """``POST /v1/scan`` — incremental project scan on the daemon."""
         payload: Dict[str, Any] = {
@@ -220,4 +237,4 @@ class ServerClient:
         }
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
-        return self._request("POST", "/v1/scan", payload)
+        return self._request("POST", "/v1/scan", payload, trace_id=trace_id)

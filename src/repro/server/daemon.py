@@ -31,8 +31,8 @@ def build_serve_parser() -> argparse.ArgumentParser:
         description=(
             "Run the persistent scan server: one warm engine, an open "
             "result cache per scan root, and a reusable worker pool "
-            "behind POST /v1/analyze, /v1/batch, /v1/scan plus "
-            "GET /healthz and /metrics."
+            "behind POST /v1/analyze, /v1/batch, /v1/scan, /v1/review "
+            "plus GET /healthz, /metrics, and the /statusz dashboard."
         ),
         epilog=(
             "exit codes: 0 = clean shutdown (SIGTERM/SIGINT drain), "
@@ -105,8 +105,24 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--access-log",
         action="store_true",
-        help="log one line per request (trace id, method, path, status, "
-        "duration) to stderr",
+        help="emit one structured JSON log line per request (trace id, "
+        "method, path, status, bytes, durations by phase) to stderr",
+    )
+    parser.add_argument(
+        "--window-interval-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="rolling SLO window slot width in seconds; /statusz rates and "
+        "percentiles aggregate over these slots (default 5)",
+    )
+    parser.add_argument(
+        "--window-slots",
+        type=int,
+        default=60,
+        metavar="N",
+        help="number of rolling-window slots; slots x interval bounds the "
+        "/statusz look-back (default 60, i.e. 5 minutes)",
     )
     return parser
 
@@ -123,6 +139,8 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         max_body_bytes=max(1, args.max_body_bytes),
         drain_timeout_s=max(0.0, args.drain_timeout_s),
         access_log=args.access_log,
+        window_interval_s=max(0.1, args.window_interval_s),
+        window_slots=max(1, args.window_slots),
     )
 
 

@@ -119,6 +119,15 @@ class Response:
         )
 
     @classmethod
+    def html_response(cls, html: str, status: int = 200) -> "Response":
+        """An HTML body response (the ``/statusz`` dashboard)."""
+        return cls(
+            status=status,
+            body=html.encode("utf-8"),
+            content_type="text/html; charset=utf-8",
+        )
+
+    @classmethod
     def from_error(cls, error: HttpError) -> "Response":
         """The JSON error body for a raised :class:`HttpError`."""
         return cls.json_response(

@@ -1,0 +1,199 @@
+"""The ``/statusz`` operator dashboard — one self-contained HTML page.
+
+Site-reliability tooling scrapes ``/metrics``; a human debugging a
+misbehaving daemon wants one page they can open in a browser with no
+Grafana between them and the process.  :func:`render_statusz` builds
+that page from state the server already holds — the rolling SLO windows
+(request rates, error rates, and latency percentiles over the last
+minute and five minutes), the lifetime collector (cache hit ratio,
+rule-health table with patch-verdict counts), and the point-in-time
+process gauges (worker-pool saturation, queue depth, uptime).
+
+Everything is inlined: no external CSS, no JavaScript beyond a
+``<meta http-equiv="refresh">`` tag, so the page renders from ``curl``
+output, behind an SSH tunnel, or in an air-gapped environment.  The
+renderer only reads server state; it never mutates the collector or the
+windows, so hitting ``/statusz`` in a loop cannot skew the numbers it
+reports (beyond the request accounting every endpoint shares).
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import List, Optional
+
+__all__ = ["render_statusz"]
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 1.5em; color: #1a1a2e; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.4em; }
+table { border-collapse: collapse; margin-top: 0.5em; }
+th, td { border: 1px solid #c8c8d4; padding: 0.25em 0.7em; text-align: right; }
+th { background: #eef0f6; } td.name, th.name { text-align: left; }
+td.bad { color: #b00020; font-weight: 600; }
+.muted { color: #6b6b7b; font-size: 0.9em; }
+"""
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    return "-" if seconds is None else f"{seconds * 1000.0:.1f}"
+
+
+def _fmt_rate(per_second: float) -> str:
+    return f"{per_second:.2f}"
+
+
+def render_statusz(server) -> str:
+    """The dashboard HTML for one :class:`PatchitPyServer` instance.
+
+    Duck-typed against the server (``metrics``, ``window``, ``config``,
+    and the liveness gauges) so tests can render from a stub.
+    """
+    cfg = server.config
+    metrics = server.metrics
+    one_minute = server.window.window(60.0)
+    five_minutes = server.window.window(300.0)
+    uptime_s = time.monotonic() - server._started_at if server._started_at else 0.0
+
+    from repro import __version__
+
+    out: List[str] = [
+        "<!doctype html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        '<meta http-equiv="refresh" content="5">',
+        "<title>patchitpy /statusz</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>patchitpy server &mdash; statusz</h1>",
+        '<p class="muted">'
+        f"version {html.escape(__version__)} &middot; "
+        f"uptime {uptime_s:.0f}s &middot; "
+        f"pool {html.escape(server._pool_kind)}&times;{max(1, cfg.jobs)} &middot; "
+        f"rolling windows {server.window.slots}&times;{server.window.interval_s:g}s "
+        "&middot; auto-refreshes every 5s</p>",
+    ]
+
+    # ---- saturation: queue + in-flight against capacity -----------------
+    depth = max(1, cfg.queue_depth)
+    saturation = server._pending / depth
+    out.append("<h2>Saturation</h2><table>")
+    out.append(
+        "<tr><th class=name>gauge</th><th>value</th><th>capacity</th></tr>"
+    )
+    cells = "bad" if saturation >= 0.8 else ""
+    out.append(
+        f'<tr><td class=name>analysis queue</td><td class="{cells}">'
+        f"{server._pending}</td><td>{depth}</td></tr>"
+    )
+    out.append(
+        f"<tr><td class=name>in-flight requests</td>"
+        f"<td>{server._inflight}</td><td>&mdash;</td></tr>"
+    )
+    out.append(
+        f"<tr><td class=name>open caches</td>"
+        f"<td>{len(server._caches)}</td><td>&mdash;</td></tr>"
+    )
+    out.append("</table>")
+
+    # ---- request rates and latency percentiles per endpoint -------------
+    endpoints = sorted(
+        {
+            name.partition("/")[2]
+            for name in set(one_minute.counters) | set(five_minutes.counters)
+            if name.startswith("requests/")
+        }
+        | {
+            name.partition("/")[2]
+            for name in set(one_minute.histograms) | set(five_minutes.histograms)
+            if name.startswith("latency/")
+        }
+    )
+    out.append("<h2>Endpoints (rolling windows)</h2><table>")
+    out.append(
+        "<tr><th class=name>endpoint</th><th>req/s 1m</th><th>req/s 5m</th>"
+        "<th>p50 ms 5m</th><th>p95 ms 5m</th><th>p99 ms 5m</th></tr>"
+    )
+    if not endpoints:
+        out.append(
+            '<tr><td class=name colspan="6">no requests in the window yet</td></tr>'
+        )
+    for endpoint in endpoints:
+        latency = five_minutes.histograms.get("latency/" + endpoint)
+        p50 = latency.quantile(0.5) if latency else None
+        p95 = latency.quantile(0.95) if latency else None
+        p99 = latency.quantile(0.99) if latency else None
+        out.append(
+            f"<tr><td class=name>{html.escape(endpoint)}</td>"
+            f"<td>{_fmt_rate(one_minute.rate('requests/' + endpoint))}</td>"
+            f"<td>{_fmt_rate(five_minutes.rate('requests/' + endpoint))}</td>"
+            f"<td>{_fmt_ms(p50)}</td><td>{_fmt_ms(p95)}</td>"
+            f"<td>{_fmt_ms(p99)}</td></tr>"
+        )
+    out.append("</table>")
+
+    # ---- SLO counters: error / backpressure / deadline rates ------------
+    out.append("<h2>Errors and shed load (rolling windows)</h2><table>")
+    out.append(
+        "<tr><th class=name>class</th><th>per s, 1m</th><th>per s, 5m</th>"
+        "<th>total 5m</th></tr>"
+    )
+    for label, key in (
+        ("5xx responses", "responses/5xx"),
+        ("4xx responses", "responses/4xx"),
+        ("429 backpressure", "responses/429"),
+        ("504 deadline missed", "responses/504"),
+    ):
+        total = five_minutes.total(key)
+        cells = "bad" if total and key in ("responses/5xx",) else ""
+        out.append(
+            f"<tr><td class=name>{label}</td>"
+            f"<td>{_fmt_rate(one_minute.rate(key))}</td>"
+            f"<td>{_fmt_rate(five_minutes.rate(key))}</td>"
+            f'<td class="{cells}">{total}</td></tr>'
+        )
+    out.append("</table>")
+
+    # ---- lifetime cache efficiency --------------------------------------
+    out.append("<h2>Cache (lifetime)</h2>")
+    rate = metrics.cache_hit_rate()
+    hits = metrics.counters.get("cache_hits", 0)
+    misses = metrics.counters.get("cache_misses", 0)
+    if rate is None:
+        out.append('<p class="muted">no cache traffic yet</p>')
+    else:
+        out.append(
+            f"<p>{hits} hit(s) / {misses} miss(es) &mdash; "
+            f"hit ratio <b>{rate:.1%}</b></p>"
+        )
+
+    # ---- rule health: watchdog breaches + patch verdicts ----------------
+    out.append("<h2>Rule health (lifetime)</h2>")
+    health = metrics.rule_health
+    if not health:
+        out.append('<p class="muted">no slow rules or patch verdicts recorded</p>')
+    else:
+        out.append("<table>")
+        out.append(
+            "<tr><th class=name>rule</th><th>breaches</th><th>worst ms</th>"
+            "<th>verified</th><th>unverified</th><th class=name>exemplar</th></tr>"
+        )
+        for rule_id in sorted(health):
+            entry = health[rule_id]
+            unverified = entry.unverified()
+            cells = "bad" if unverified else ""
+            out.append(
+                f"<tr><td class=name>{html.escape(rule_id)}</td>"
+                f"<td>{entry.breaches}</td><td>{entry.worst_ms:.1f}</td>"
+                f"<td>{entry.verdicts.get('verified', 0)}</td>"
+                f'<td class="{cells}">{unverified}</td>'
+                f"<td class=name>{html.escape(entry.failing_exemplar or entry.worst_file or '')}</td></tr>"
+            )
+        out.append("</table>")
+
+    out.append(
+        '<p class="muted">machine-readable twins: '
+        '<a href="/metrics">/metrics</a> (Prometheus) and '
+        '<a href="/healthz">/healthz</a> (JSON)</p>'
+    )
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"

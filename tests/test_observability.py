@@ -177,6 +177,7 @@ class TestMerge:
             "timers": {},
             "files": {},
             "rule_health": {},
+            "durations": {},
         }
 
 
@@ -263,6 +264,7 @@ class TestDisabledCollector:
             "timers": {},
             "files": {},
             "rule_health": {},
+            "durations": {},
         }
 
     def test_null_collector_pickles_to_singleton(self):

@@ -127,6 +127,97 @@ class TestEndpointRoundTrips:
         assert trace_id and len(trace_id) == 16
 
 
+class TestObservabilityEndpoints:
+    def _raw(self, client, method, path, headers=None, body=None):
+        conn = client._connection()
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response, response.read()
+
+    def test_caller_trace_id_is_echoed(self, running_server):
+        _, client = running_server
+        response, _ = self._raw(
+            client, "GET", "/healthz", headers={"X-Trace-Id": "ide-session.42"}
+        )
+        assert response.getheader("X-Patchitpy-Trace-Id") == "ide-session.42"
+
+    def test_malformed_trace_id_is_replaced(self, running_server):
+        _, client = running_server
+        response, _ = self._raw(
+            client, "GET", "/healthz", headers={"X-Trace-Id": "bad id with spaces!"}
+        )
+        echoed = response.getheader("X-Patchitpy-Trace-Id")
+        assert echoed != "bad id with spaces!"
+        assert len(echoed) == 16
+
+    def test_trace_id_echoed_on_error_responses(self, running_server):
+        _, client = running_server
+        response, _ = self._raw(
+            client, "GET", "/no/such/path", headers={"X-Trace-Id": "err-trace-1"}
+        )
+        assert response.status == 404
+        assert response.getheader("X-Patchitpy-Trace-Id") == "err-trace-1"
+
+    def test_statusz_serves_html_dashboard(self, running_server):
+        _, client = running_server
+        client.analyze(VULN)  # guarantee at least one datapoint in the window
+        response, body = self._raw(client, "GET", "/statusz")
+        assert response.status == 200
+        assert response.getheader("Content-Type").startswith("text/html")
+        html = body.decode("utf-8")
+        assert html.startswith("<!doctype html>")
+        assert "/v1/analyze" in html
+        assert "p95" in html
+
+    def test_client_statusz_helper(self, running_server):
+        _, client = running_server
+        assert "statusz" in client.statusz()
+
+    def test_metrics_exposes_latency_histogram_families(self, running_server):
+        _, client = running_server
+        client.analyze(VULN)
+        text = client.metrics_text()
+        assert "# TYPE patchitpy_server_request_seconds histogram" in text
+        assert 'patchitpy_server_request_seconds_bucket{endpoint="/v1/analyze",le="+Inf"}' in text
+        assert "patchitpy_server_request_seconds_count" in text
+        assert "# TYPE patchitpy_phase_seconds histogram" in text
+
+    def test_access_log_emits_one_json_line_per_request(self, capfd):
+        server = PatchitPyServer(config=ServerConfig(port=0, access_log=True))
+        with BackgroundServer(server) as handle:
+            with ServerClient(port=handle.port) as client:
+                client.analyze(VULN, trace_id="log-line-test")
+        lines = [
+            line
+            for line in capfd.readouterr().err.splitlines()
+            if line.startswith("{")
+        ]
+        records = [json.loads(line) for line in lines]
+        mine = [r for r in records if r.get("trace_id") == "log-line-test"]
+        assert len(mine) == 1
+        record = mine[0]
+        assert record["method"] == "POST"
+        assert record["path"] == "/v1/analyze"
+        assert record["status"] == 200
+        assert record["bytes"] > 0
+        assert record["duration_ms"] >= 0
+        assert "handler_ms" in record and "queue_wait_ms" in record
+
+    def test_rolling_window_counts_requests(self, running_server):
+        server, client = running_server
+        before = server.window.window(300.0).total("requests//v1/analyze")
+        client.analyze(SAFE)
+        snap = server.window.window(300.0)
+        assert snap.total("requests//v1/analyze") == before + 1
+        assert snap.quantile("latency//v1/analyze", 0.5) is not None
+
+    def test_window_geometry_is_configurable(self):
+        config = ServerConfig(port=0, window_interval_s=1.0, window_slots=7)
+        server = PatchitPyServer(config=config)
+        assert server.window.slots == 7
+        assert server.window.capacity_s == pytest.approx(7.0)
+
+
 class TestErrorHandling:
     def test_unknown_path_is_404(self, running_server):
         _, client = running_server
