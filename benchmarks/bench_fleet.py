@@ -1,0 +1,162 @@
+"""E13 — the fleet's reason to exist: shards that share their work.
+
+A single daemon's throughput tops out at its pool; the fleet's claims
+are different and this benchmark pins both:
+
+- **throughput scaling** — the same mixed workload pushed through a
+  1-worker fleet and a 2-worker fleet; ``scaling_ratio`` is the
+  2-worker items/s over the 1-worker items/s.  On a many-core box this
+  approaches 2.0; the CI container is 1-CPU, so the regression gate
+  (``scripts/check_bench_regression.py --fleet-artifact``) only pins a
+  lenient floor proving the router adds no collapse — the real claim on
+  1 CPU is the second one;
+- **cross-worker warm hits** — worker A scans a snippet; the benchmark
+  then asks worker B (directly, on its own loopback port, bypassing the
+  ring) for the same bytes and requires ``from_cache: true``: the
+  shared content-addressed tier turned A's work into B's hit.
+  ``cross_worker_hit`` is the hard gate — it is what makes re-hashing
+  after a worker death cheap instead of a re-scan storm.
+
+Artifacts: ``fleet.txt`` (human table) and ``fleet.json`` (the BENCH
+JSON the CI gate reads).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro import BackgroundFleet, FleetConfig, FleetRouter, ServerClient
+from repro.core.cache import hash_source
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+SNIPPETS: List[str] = [
+    "import pickle\n\ndata%d = pickle.loads(blob%d)\n" % (i, i) for i in range(8)
+] + [
+    "import subprocess\n\nsubprocess.call(cmd%d, shell=True)\n" % i
+    for i in range(8)
+] + ["result%d = value%d + 1\n" % (i, i) for i in range(8)]
+
+
+def _fleet_config(workers: int) -> FleetConfig:
+    return FleetConfig(
+        port=0,
+        workers=workers,
+        tenant_rate=1_000_000.0,
+        tenant_burst=1_000_000.0,
+        health_interval_s=0.5,
+    )
+
+
+def _push_workload(client: ServerClient, rounds: int) -> Dict[str, float]:
+    """Drive ``rounds`` batches of the mixed workload; return timings."""
+    # one discarded warmup round primes every worker's engine and caches
+    warmup = client.batch(SNIPPETS)
+    assert warmup["failed"] == 0
+    walls = []
+    items = 0
+    for round_index in range(rounds):
+        # unique per round so the shared cache cannot absorb the work —
+        # this measures analysis throughput, not cache bandwidth
+        payload = [
+            source.replace("\n", "  # r%d\n" % round_index, 1)
+            for source in SNIPPETS
+        ]
+        t0 = time.perf_counter()
+        result = client.batch(payload)
+        walls.append(time.perf_counter() - t0)
+        assert result["failed"] == 0
+        items += result["count"]
+    total = sum(walls)
+    return {
+        "rounds": float(rounds),
+        "items": float(items),
+        "wall_s": total,
+        "items_per_s": items / total if total else 0.0,
+        "batch_median_s": statistics.median(walls),
+    }
+
+
+def run_fleet_benchmark(rounds: int = 4) -> Dict[str, float]:
+    """Throughput at 1 and 2 workers, plus the cross-worker hit probe."""
+    results: Dict[str, float] = {"rounds": float(rounds)}
+
+    with BackgroundFleet(FleetRouter(_fleet_config(1))) as fleet:
+        with ServerClient(port=fleet.port) as client:
+            one = _push_workload(client, rounds)
+    results["one_worker_items_per_s"] = one["items_per_s"]
+    results["one_worker_batch_median_s"] = one["batch_median_s"]
+
+    with BackgroundFleet(FleetRouter(_fleet_config(2))) as fleet:
+        router = fleet.router
+        with ServerClient(port=fleet.port) as client:
+            two = _push_workload(client, rounds)
+
+            # ---- cross-worker warm hit, measured directly -------------
+            probe = "import pickle\n\ncross_probe = pickle.loads(wire)\n"
+            owner_id = router.ring.route(hash_source(probe))
+            cold = client.analyze(probe)
+            assert cold["vulnerable"] is True
+            assert not cold.get("from_cache", False)
+            other = next(
+                worker
+                for worker_id, worker in router.workers.items()
+                if worker_id != owner_id
+            )
+            # ask the NON-owner worker directly on its own port: its only
+            # possible source for these bytes is the shared tier
+            with ServerClient(port=other.port) as direct:
+                t0 = time.perf_counter()
+                sibling = direct.analyze(probe)
+                results["cross_worker_lookup_s"] = time.perf_counter() - t0
+            cross_hit = bool(sibling.get("from_cache", False))
+            assert sibling["findings"] == cold["findings"]
+
+    results["two_worker_items_per_s"] = two["items_per_s"]
+    results["two_worker_batch_median_s"] = two["batch_median_s"]
+    results["scaling_ratio"] = (
+        two["items_per_s"] / one["items_per_s"] if one["items_per_s"] else 0.0
+    )
+    results["cross_worker_hit"] = 1.0 if cross_hit else 0.0
+    results["workload_items"] = float(len(SNIPPETS))
+    return results
+
+
+def format_report(results: Dict[str, float]) -> str:
+    return (
+        "Fleet benchmark "
+        f"({results['workload_items']:.0f}-item mixed workload, "
+        f"{results['rounds']:.0f} rounds):\n"
+        f"  1 worker : {results['one_worker_items_per_s']:.1f} items/s "
+        f"(median batch {results['one_worker_batch_median_s'] * 1000:.1f}ms)\n"
+        f"  2 workers: {results['two_worker_items_per_s']:.1f} items/s "
+        f"(median batch {results['two_worker_batch_median_s'] * 1000:.1f}ms)\n"
+        f"  scaling  : x{results['scaling_ratio']:.2f} "
+        "(approaches x2 with 2+ free cores; 1-CPU CI only gates a floor)\n"
+        f"  shared tier: cross-worker warm hit "
+        f"{'served' if results['cross_worker_hit'] else 'MISSED'} in "
+        f"{results['cross_worker_lookup_s'] * 1000:.1f}ms"
+    )
+
+
+def test_fleet_benchmark():
+    """Full benchmark: scaling + shared-tier numbers as an artifact."""
+    results = run_fleet_benchmark()
+    text = format_report(results)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "fleet.txt"
+    path.write_text(text + "\n")
+    json_path = OUTPUT_DIR / "fleet.json"
+    json_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\n[artifacts written: {path}, {json_path}]")
+    print(text)
+    # Hard gate: the shared tier works — the non-owner worker served
+    # bytes it never scanned as a warm hit.
+    assert results["cross_worker_hit"] == 1.0
+    # Soft floor: adding a worker must not collapse throughput (the CI
+    # box is 1-CPU, so near-2x is only reachable on real hardware).
+    assert results["scaling_ratio"] > 0.5

@@ -21,6 +21,14 @@ JSON (``benchmarks/bench_server.py``) and fails when the warm-analyze
 *p95* does not beat the cold CLI median — the observability layer (PR 8
 histograms, rolling windows, request accounting) must not erode the
 daemon's tail-latency win, not just its median.
+
+With ``--fleet-artifact`` the gate also reads the fleet BENCH JSON
+(``benchmarks/bench_fleet.py``) and fails when ``cross_worker_hit`` is
+not 1 (the shared cache tier must turn one worker's scan into its
+sibling's warm hit) or when ``scaling_ratio`` falls below
+``--min-fleet-scaling`` (default 0.5 — a lenient floor because the CI
+container is 1-CPU; it proves the router adds no throughput collapse,
+while real multi-core scaling is documented in docs/fleet.md).
 """
 
 from __future__ import annotations
@@ -62,6 +70,21 @@ def main(argv: list[str]) -> int:
         metavar="JSON",
         help="also gate the server BENCH JSON: warm-analyze p95 must beat "
         "the cold CLI median",
+    )
+    parser.add_argument(
+        "--fleet-artifact",
+        type=Path,
+        default=None,
+        metavar="JSON",
+        help="also gate the fleet BENCH JSON: cross_worker_hit must be 1 "
+        "and scaling_ratio must clear --min-fleet-scaling",
+    )
+    parser.add_argument(
+        "--min-fleet-scaling",
+        type=float,
+        default=0.5,
+        help="fail when the 2-worker/1-worker throughput ratio is below "
+        "this floor (default 0.5; lenient because CI is 1-CPU)",
     )
     args = parser.parse_args(argv[1:])
 
@@ -119,6 +142,47 @@ def main(argv: list[str]) -> int:
                         f", warm p95 {p95 * 1000:.2f}ms < cold {cold * 1000:.1f}ms"
                     )
 
+    fleet_note = ""
+    if args.fleet_artifact is not None:
+        if not args.fleet_artifact.exists():
+            problems.append(f"fleet artifact not found: {args.fleet_artifact}")
+        else:
+            try:
+                fleet = json.loads(args.fleet_artifact.read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                fleet = None
+                problems.append(
+                    f"unreadable fleet artifact {args.fleet_artifact}: {error}"
+                )
+            if fleet is not None:
+                hit = fleet.get("cross_worker_hit")
+                scaling = fleet.get("scaling_ratio")
+                if not isinstance(hit, (int, float)) or not isinstance(
+                    scaling, (int, float)
+                ):
+                    problems.append(
+                        "cross_worker_hit/scaling_ratio: missing from fleet "
+                        "artifact (re-run benchmarks/bench_fleet.py)"
+                    )
+                else:
+                    if hit != 1:
+                        problems.append(
+                            "cross_worker_hit: a worker did not serve its "
+                            "sibling's scan from the shared cache tier — "
+                            "re-hash after a worker death would re-scan"
+                        )
+                    if scaling < args.min_fleet_scaling:
+                        problems.append(
+                            f"scaling_ratio: x{scaling:.3f} is below the "
+                            f"x{args.min_fleet_scaling:.2f} floor — adding a "
+                            "worker collapsed fleet throughput"
+                        )
+                    if hit == 1 and scaling >= args.min_fleet_scaling:
+                        fleet_note = (
+                            f", fleet scaling x{scaling:.2f} with the "
+                            "cross-worker warm hit served"
+                        )
+
     if problems:
         print(f"bench regression gate FAILED ({args.artifact}):")
         for problem in problems:
@@ -127,7 +191,7 @@ def main(argv: list[str]) -> int:
     gated = ", ".join(f"{key}=x{results[key]:.2f}" for key in GATED_SPEEDUPS)
     print(
         f"bench regression gate ok: {gated} "
-        f"(floor x{args.min_speedup:.2f}){server_note}"
+        f"(floor x{args.min_speedup:.2f}){server_note}{fleet_note}"
     )
     return 0
 

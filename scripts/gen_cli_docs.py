@@ -28,6 +28,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.cli import build_parser  # noqa: E402
 from repro.server.daemon import build_serve_parser  # noqa: E402
+from repro.server.fleet import build_fleet_parser  # noqa: E402
 
 OUTPUT = REPO_ROOT / "docs" / "cli.md"
 
@@ -40,10 +41,12 @@ HEADER = """\
 
 The `patchitpy` executable is subcommand-first: `scan` detects, `patch`
 detects-patches-verifies, `review` scans only what a change touched
-(see [docs/review.md](review.md)), and `serve` starts the persistent
-scan server (see [docs/server.md](server.md) for operations).  Legacy
-flat-flag invocations (`patchitpy file.py [--patch]`) are mapped onto
-the subcommands with a deprecation notice.
+(see [docs/review.md](review.md)), `serve` starts the persistent scan
+server (see [docs/server.md](server.md) for operations), and `fleet`
+starts a sharded multi-worker deployment behind one front door (see
+[docs/fleet.md](fleet.md)).  Legacy flat-flag invocations
+(`patchitpy file.py [--patch]`) are mapped onto the subcommands with a
+deprecation notice.
 """
 
 
@@ -137,12 +140,13 @@ def generate() -> str:
     top = build_parser()
     sections = [HEADER, render_parser(top, "patchitpy")]
     for name, sub in _subparsers(top).items():
-        if name == "serve":
-            # the serve stub only exists for discoverability; the daemon
-            # owns the real parser
+        if name in ("serve", "fleet"):
+            # these stubs only exist for discoverability; the daemon and
+            # the fleet own the real parsers
             continue
         sections.append(render_parser(sub, f"patchitpy {name}"))
     sections.append(render_parser(build_serve_parser(), "patchitpy serve"))
+    sections.append(render_parser(build_fleet_parser(), "patchitpy fleet"))
     return "\n".join(sections).rstrip() + "\n"
 
 

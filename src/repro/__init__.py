@@ -37,7 +37,10 @@ from repro.core.project import FileResult, ProjectReport, ProjectScanner, scan_p
 from repro.ide import LanguageServer, ServerTransport
 from repro.core.rules import DetectionRule, PatchTemplate, RuleSet, extended_ruleset
 from repro.server import (
+    BackgroundFleet,
     BackgroundServer,
+    FleetConfig,
+    FleetRouter,
     PatchitPyServer,
     ServerClient,
     ServerConfig,
@@ -69,10 +72,11 @@ from repro.types import (
     Span,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AnalysisReport",
+    "BackgroundFleet",
     "BackgroundServer",
     "CodeSample",
     "Confidence",
@@ -80,6 +84,8 @@ __all__ = [
     "DetectionRule",
     "FileResult",
     "Finding",
+    "FleetConfig",
+    "FleetRouter",
     "GeneratorName",
     "LanguageServer",
     "LatencyHistogram",

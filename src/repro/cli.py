@@ -6,6 +6,8 @@ The CLI is structured as true subcommands, one per workload::
     patchitpy patch PATH      detect, patch, and verify
     patchitpy review [REVS]   diff-aware review: scan the commit, not the repo
     patchitpy serve           the persistent scan server (repro.server.daemon)
+    patchitpy fleet           a sharded scan fleet behind one front door
+                              (repro.server.fleet)
 
 ``scan`` and ``patch`` mirror the workflow the VS Code extension drives
 (§II-B): analyze a file (or a selected line range), report findings, and
@@ -54,7 +56,7 @@ EXIT_CODE_CONTRACT = (
     "(patch mode with verification on)"
 )
 
-SUBCOMMANDS = ("scan", "patch", "review", "serve")
+SUBCOMMANDS = ("scan", "patch", "review", "serve", "fleet")
 
 _DEPRECATION_NOTICE = (
     "patchitpy: flat-flag invocations are deprecated; use "
@@ -187,9 +189,10 @@ def _add_verify_flag(parser: argparse.ArgumentParser) -> None:
 def build_parser() -> argparse.ArgumentParser:
     """Construct the subcommand-first patchitpy argument parser.
 
-    ``serve`` is listed for discoverability but dispatched to
-    :func:`repro.server.daemon.main` before this parser runs (the daemon
-    owns its own parser, ``build_serve_parser``).
+    ``serve`` and ``fleet`` are listed for discoverability but dispatched
+    to :func:`repro.server.daemon.main` / :func:`repro.server.fleet.main`
+    before this parser runs (each owns its own parser,
+    ``build_serve_parser`` / ``build_fleet_parser``).
     """
     parser = argparse.ArgumentParser(
         prog="patchitpy",
@@ -198,7 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(
         dest="command",
-        metavar="{scan,patch,review,serve}",
+        metavar="{scan,patch,review,serve,fleet}",
         title="subcommands",
         required=True,
     )
@@ -306,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="start the persistent scan server (patchitpy serve --help)",
         add_help=False,
     )
+    subparsers.add_parser(
+        "fleet",
+        help="start a sharded scan fleet behind one front door "
+        "(patchitpy fleet --help)",
+        add_help=False,
+    )
     return parser
 
 
@@ -398,6 +407,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.server.daemon import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        from repro.server.fleet import main as fleet_main
+
+        return fleet_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "review":

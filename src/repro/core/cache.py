@@ -36,6 +36,35 @@ idempotent (it persists once and turns every later mutation into a
 no-op), so belt-and-braces shutdown paths can close the same cache from
 several places without double-writing.
 
+**Concurrent-open contract (cross-process).**  Two processes may open
+the same cache root at once; the store must never be corrupted by it.
+Two guarantees hold in *every* mode:
+
+- each process stages its snapshot in a per-PID temp file and publishes
+  it with ``os.replace``, so a reader never observes a half-written
+  index — the worst outcome of an unsynchronized concurrent save is
+  last-writer-wins, losing the other process's *new* entries but never
+  producing an unparseable store;
+- loads of a corrupt, foreign-schema, or foreign-fingerprint store
+  degrade to an empty table, never to an exception.
+
+Opening with ``shared=True`` upgrades last-writer-wins to a real shared
+tier (the fleet's cross-worker result cache, ``docs/fleet.md``):
+
+- :meth:`save` becomes a read-merge-write transaction serialized by an
+  ``fcntl.flock`` exclusive lock on ``scan-cache.lock`` — the
+  single-writer guard — so concurrent savers union their entries
+  instead of clobbering each other (in-memory entries win over disk on
+  digest collision, which is harmless: same digest + same fingerprint
+  means the same verdict);
+- :meth:`lookup` misses consult the store file's ``(mtime_ns, size)``
+  and re-read it when another process has published since our last
+  load, so worker B serves a warm hit for bytes worker A scanned
+  moments ago without any network protocol between them.
+
+On platforms without ``fcntl`` (Windows) the flock guard degrades to
+the atomic-replace contract above: never corrupt, possibly lossy.
+
 Findings round-trip through :meth:`~repro.types.Finding.to_dict`, which
 includes any attached provenance record — so a traced scan's audit
 trails survive into warm scans, and ``--explain`` on a fully-cached scan
@@ -45,6 +74,7 @@ without provenance (untraced scans) keep the pre-1.2 entry shape.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -52,12 +82,18 @@ import shutil
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+try:  # POSIX single-writer guard for the shared tier
+    import fcntl
+except ImportError:  # pragma: no cover - Windows: atomic replace only
+    fcntl = None  # type: ignore[assignment]
 
 from repro.types import Finding
 
 CACHE_DIR_NAME = ".patchitpy-cache"
 CACHE_FILE_NAME = "scan-cache.json"
+CACHE_LOCK_NAME = "scan-cache.lock"
 CACHE_SCHEMA_VERSION = 1
 
 # Entries beyond this are dropped (oldest-inserted first) at save time so
@@ -94,6 +130,11 @@ class ScanCache:
     fingerprint:
         The active ruleset fingerprint; a persisted store written under a
         different fingerprint is ignored and overwritten on save.
+    shared:
+        Opt into the cross-process shared tier: saves become flock-guarded
+        read-merge-write transactions and lookup misses re-read a store
+        another process has published since our last load (see the module
+        docstring's concurrent-open contract).
     """
 
     def __init__(
@@ -101,15 +142,21 @@ class ScanCache:
         root: Path,
         fingerprint: str,
         max_entries: int = DEFAULT_MAX_ENTRIES,
+        shared: bool = False,
     ) -> None:
         self.root = Path(root)
         self.fingerprint = fingerprint
         self.max_entries = max_entries
+        self.shared = shared
         self.hits = 0
         self.misses = 0
         self.stale_hints = 0
+        self.refreshes = 0
         self._entries: Dict[str, dict] = {}
         self._stat_hints: Dict[str, dict] = {}
+        #: ``(mtime_ns, size)`` of the store file as of our last read —
+        #: the shared tier's cheap "has anyone published?" probe.
+        self._store_state: Optional[Tuple[int, int]] = None
         self._dirty = False
         self._closed = False
         # Reentrant: save() runs under the lock and close() calls save().
@@ -126,12 +173,23 @@ class ScanCache:
     def cache_file(self) -> Path:
         return self.cache_dir / CACHE_FILE_NAME
 
+    @property
+    def lock_file(self) -> Path:
+        return self.cache_dir / CACHE_LOCK_NAME
+
     # ------------------------------------------------------------ lookup
 
     def lookup(self, digest: str) -> Optional[CachedResult]:
-        """Stored result for a content digest, or ``None`` on a miss."""
+        """Stored result for a content digest, or ``None`` on a miss.
+
+        In shared mode a miss first checks whether another process has
+        published a newer store and, if so, folds it in and retries —
+        the cross-worker warm-hit path.
+        """
         with self._lock:
             entry = self._entries.get(digest)
+            if entry is None and self.shared and self.refresh():
+                entry = self._entries.get(digest)
             if entry is None:
                 self.misses += 1
                 return None
@@ -198,46 +256,126 @@ class ScanCache:
 
     # ------------------------------------------------------- persistence
 
-    def _load(self) -> None:
+    def _store_stat(self) -> Optional[Tuple[int, int]]:
+        """``(mtime_ns, size)`` of the store file, or ``None`` if absent."""
+        try:
+            stat = os.stat(self.cache_file)
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _read_store(self) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+        """Parse the persisted store into ``(entries, stat_hints)``.
+
+        Corruption, a foreign schema, or a foreign ruleset fingerprint
+        all degrade to empty tables — a cache must never raise.
+        """
         try:
             raw = json.loads(self.cache_file.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            return
+            return {}, {}
         if not isinstance(raw, dict):
-            return
+            return {}, {}
         if raw.get("schema") != CACHE_SCHEMA_VERSION:
-            return
+            return {}, {}
         if raw.get("fingerprint") != self.fingerprint:
-            return  # ruleset changed: every stored verdict is suspect
+            return {}, {}  # ruleset changed: every stored verdict is suspect
         entries = raw.get("entries")
         hints = raw.get("stat_hints")
-        if isinstance(entries, dict):
+        return (
+            entries if isinstance(entries, dict) else {},
+            hints if isinstance(hints, dict) else {},
+        )
+
+    def _load(self) -> None:
+        self._store_state = self._store_stat()
+        entries, hints = self._read_store()
+        if entries:
             self._entries = entries
-        if isinstance(hints, dict):
+        if hints:
             self._stat_hints = hints
 
+    def _merge_disk(self) -> None:
+        """Fold the on-disk store into memory; in-memory entries win.
+
+        The preference is safe, not just convenient: a digest collision
+        under one fingerprint means both sides hold the same verdict, and
+        our copy may additionally be dirty (not yet persisted).
+        """
+        disk_entries, disk_hints = self._read_store()
+        for digest, entry in disk_entries.items():
+            self._entries.setdefault(digest, entry)
+        for path, hint in disk_hints.items():
+            self._stat_hints.setdefault(path, hint)
+
+    def refresh(self) -> bool:
+        """Shared tier: pick up entries another process has published.
+
+        Compares the store file's ``(mtime_ns, size)`` against what we
+        last read and re-reads on change.  Returns True when a newer
+        store was folded in.  No-op outside shared mode.
+        """
+        if not self.shared:
+            return False
+        with self._lock:
+            current = self._store_stat()
+            if current == self._store_state:
+                return False
+            self._merge_disk()
+            self._store_state = current
+            self.refreshes += 1
+            return True
+
+    @contextlib.contextmanager
+    def _writer_lock(self) -> Iterator[None]:
+        """The flock single-writer guard (shared mode on POSIX only)."""
+        if not self.shared or fcntl is None:
+            yield
+            return
+        with open(self.lock_file, "a+b") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
     def save(self) -> bool:
-        """Persist the store atomically; returns False when skipped/failed."""
+        """Persist the store atomically; returns False when skipped/failed.
+
+        Shared mode turns this into a read-merge-write transaction under
+        the flock single-writer guard, so two processes saving the same
+        root union their entries instead of clobbering each other.  The
+        staged snapshot always goes through a per-PID temp file plus
+        ``os.replace``, so even unsynchronized writers (default mode, or
+        platforms without ``fcntl``) can only lose entries, never corrupt
+        the index.
+        """
         with self._lock:
             if not self._dirty:
                 return False
-            if len(self._entries) > self.max_entries:
-                overflow = len(self._entries) - self.max_entries
-                for digest in list(self._entries)[:overflow]:
-                    del self._entries[digest]
-            payload = {
-                "schema": CACHE_SCHEMA_VERSION,
-                "fingerprint": self.fingerprint,
-                "entries": self._entries,
-                "stat_hints": self._stat_hints,
-            }
             try:
                 self.cache_dir.mkdir(parents=True, exist_ok=True)
-                tmp = self.cache_file.with_suffix(".json.tmp")
-                tmp.write_text(
-                    json.dumps(payload, separators=(",", ":")), encoding="utf-8"
-                )
-                os.replace(tmp, self.cache_file)
+                with self._writer_lock():
+                    if self.shared:
+                        # Re-read under the exclusive lock: another writer
+                        # may have published since our last refresh.
+                        self._merge_disk()
+                    if len(self._entries) > self.max_entries:
+                        overflow = len(self._entries) - self.max_entries
+                        for digest in list(self._entries)[:overflow]:
+                            del self._entries[digest]
+                    payload = {
+                        "schema": CACHE_SCHEMA_VERSION,
+                        "fingerprint": self.fingerprint,
+                        "entries": self._entries,
+                        "stat_hints": self._stat_hints,
+                    }
+                    tmp = self.cache_file.with_suffix(f".json.tmp{os.getpid()}")
+                    tmp.write_text(
+                        json.dumps(payload, separators=(",", ":")), encoding="utf-8"
+                    )
+                    os.replace(tmp, self.cache_file)
+                    self._store_state = self._store_stat()
             except OSError:
                 return False
             self._dirty = False

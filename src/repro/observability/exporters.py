@@ -31,6 +31,7 @@ _PROM_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
 #: listed here get a generic ``label`` label.
 _HISTOGRAM_LABELS = {
     "server_request_seconds": "endpoint",
+    "fleet_request_seconds": "endpoint",
     "phase_seconds": "phase",
     "rule_seconds": "rule",
 }

@@ -10,18 +10,33 @@ Layering:
 - :mod:`repro.server.daemon` — the ``patchitpy serve`` argument parser
   and foreground process glue (signals, event loop);
 - :mod:`repro.server.client` — a stdlib keep-alive JSON client
-  (:class:`ServerClient`), over TCP or a unix socket.
+  (:class:`ServerClient`), over TCP or a unix socket;
+- :mod:`repro.server.router` — fleet routing primitives: the
+  consistent-hash ring and per-tenant token-bucket quotas;
+- :mod:`repro.server.fleet` — ``patchitpy fleet``:
+  :class:`FleetRouter`, the sharded front door that supervises N daemon
+  workers behind one port (:class:`BackgroundFleet` embeds one);
+- :mod:`repro.server.fleetz` — the fleet-wide ``/statusz`` page.
 
-See ``docs/server.md`` for the operational guide.
+See ``docs/server.md`` (single daemon) and ``docs/fleet.md`` (sharded
+fleet) for the operational guides.
 """
 
 from repro.server.app import BackgroundServer, PatchitPyServer, ServerConfig
 from repro.server.client import ServerClient, ServerError
+from repro.server.fleet import BackgroundFleet, FleetConfig, FleetRouter
+from repro.server.router import HashRing, TenantQuotas, TokenBucket
 
 __all__ = [
+    "BackgroundFleet",
     "BackgroundServer",
+    "FleetConfig",
+    "FleetRouter",
+    "HashRing",
     "PatchitPyServer",
     "ServerClient",
     "ServerConfig",
     "ServerError",
+    "TenantQuotas",
+    "TokenBucket",
 ]

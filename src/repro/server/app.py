@@ -65,7 +65,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
-from repro.core.cache import ScanCache
+from repro.core.cache import ScanCache, hash_source
 from repro.core.engine import PatchitPy
 from repro.core.project import ProjectScanner
 from repro.core.review import ReviewError, review
@@ -76,12 +76,15 @@ from repro.observability.histogram import RollingWindow
 from repro.observability.trace import TraceRecorder
 from repro.server.statusz import render_statusz
 from repro.server.http11 import (
+    ChunkedResponse,
     HttpError,
     Request,
     Response,
     read_request,
+    write_chunked_response,
     write_response,
 )
+from repro.types import Finding
 
 __all__ = ["BackgroundServer", "PatchitPyServer", "ServerConfig"]
 
@@ -122,6 +125,13 @@ class ServerConfig:
     #: of look-back for the /statusz rates and percentiles).
     window_interval_s: float = 5.0
     window_slots: int = 60
+    #: Directory of the cross-process shared snippet-result cache (the
+    #: fleet's content-addressed tier, ``docs/fleet.md``).  When set, the
+    #: server opens a :class:`ScanCache` in shared mode there: every
+    #: ``/v1/analyze`` and ``/v1/batch`` snippet is keyed by its SHA-256
+    #: digest, hits skip the detect pass entirely, and misses are
+    #: written through so sibling workers can serve them.
+    shared_cache_dir: Optional[str] = None
 
 
 # One engine per pool worker, installed by the initializer so the 85
@@ -168,7 +178,23 @@ def analyze_payload(
         "vulnerable": bool(findings),
         "findings": [f.to_dict() for f in findings],
     }
-    if patch and findings:
+    if patch:
+        _apply_patch_fields(engine, source, findings, payload, metrics, trace)
+    if trace is not None and trace.enabled:
+        payload["trace_events"] = list(trace.events)
+    return payload, metrics.to_dict()
+
+
+def _apply_patch_fields(
+    engine: PatchitPy,
+    source: str,
+    findings: List[Finding],
+    payload: dict,
+    metrics: ScanMetrics,
+    trace: Optional[TraceRecorder] = None,
+) -> None:
+    """Render the patch-mode payload fields for already-detected findings."""
+    if findings:
         result = engine.patch(source, findings, metrics=metrics, trace=trace)
         reverted_keys = {v.trigger_key for v in result.verdicts if v.reverted}
         rendered = engine.render_patches(source, findings, trace=trace)
@@ -183,7 +209,7 @@ def analyze_payload(
         payload["patch_verdicts"] = [v.to_dict() for v in result.verdicts]
         payload["patches_reverted"] = sum(1 for v in result.verdicts if v.reverted)
         payload["verified"] = result.verified
-    elif patch:
+    else:
         payload["patches"] = []
         payload["patched_source"] = source
         payload["patches_applied"] = 0
@@ -191,9 +217,34 @@ def analyze_payload(
         payload["patch_verdicts"] = []
         payload["patches_reverted"] = 0
         payload["verified"] = True
-    if trace is not None and trace.enabled:
-        payload["trace_events"] = list(trace.events)
+
+
+def cached_payload(
+    engine: PatchitPy, source: str, findings: List[Finding], patch: bool
+) -> Tuple[dict, dict]:
+    """Shape the analyze payload from shared-cache findings — no detect.
+
+    The cross-worker cache stores *findings* (the expensive part of the
+    pipeline); patch rendering, when asked for, still runs against the
+    submitted source so the returned edits anchor to it exactly as a
+    cold analysis would.  ``from_cache`` marks the payload so clients,
+    tests, and the fleet bench can observe the hit.
+    """
+    metrics = ScanMetrics()
+    payload: dict = {
+        "vulnerable": bool(findings),
+        "findings": [f.to_dict() for f in findings],
+        "from_cache": True,
+    }
+    if patch:
+        _apply_patch_fields(engine, source, findings, payload, metrics)
     return payload, metrics.to_dict()
+
+
+def _store_snippet(cache: ScanCache, digest: str, findings: List[Finding]) -> None:
+    """Write one snippet verdict through to the shared tier (executor)."""
+    cache.store(digest, findings)
+    cache.save()
 
 
 class PatchitPyServer:
@@ -214,6 +265,8 @@ class PatchitPyServer:
             slots=self.config.window_slots,
         )
         self._caches: Dict[Path, ScanCache] = {}
+        #: The cross-process shared snippet cache (fleet tier), or None.
+        self._snippet_cache: Optional[ScanCache] = None
         self._pool: Optional[Executor] = None
         self._pool_kind = "none"
         self._uses_process_pool = False
@@ -228,6 +281,7 @@ class PatchitPyServer:
         self._routes: Dict[Tuple[str, str], _Handler] = {
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/v1/metrics.json"): self._handle_metrics_json,
             ("GET", "/statusz"): self._handle_statusz,
             ("POST", "/v1/analyze"): self._handle_analyze,
             ("POST", "/v1/batch"): self._handle_batch,
@@ -251,6 +305,12 @@ class PatchitPyServer:
         self._idle.set()
         self._stopped = asyncio.Event()
         self.engine.warmup()
+        if self.config.shared_cache_dir:
+            shared_root = Path(self.config.shared_cache_dir)
+            shared_root.mkdir(parents=True, exist_ok=True)
+            self._snippet_cache = ScanCache(
+                shared_root, self.engine.rules.fingerprint(), shared=True
+            )
         self._pool, self._pool_kind = self._build_pool()
         if self.config.unix_socket:
             self._asyncio_server = await asyncio.start_unix_server(
@@ -317,6 +377,8 @@ class PatchitPyServer:
             self._pool.shutdown(wait=False)
         for cache in self._caches.values():
             cache.close()
+        if self._snippet_cache is not None:
+            self._snippet_cache.close()
         self._stopped.set()
 
     # ---------------------------------------------------------- connection
@@ -360,8 +422,26 @@ class PatchitPyServer:
                     self._inflight -= 1
                     if self._inflight == 0:
                         self._idle.set()
-                self._account(request, response, trace_id, clock() - started)
                 keep = request.keep_alive and not self.draining
+                if isinstance(response, ChunkedResponse):
+                    # Streaming: the head goes out now, the chunks as the
+                    # producer yields them; accounting runs after the last
+                    # chunk so the recorded duration covers the stream.
+                    try:
+                        await write_chunked_response(
+                            writer,
+                            response,
+                            keep,
+                            extra_headers={"X-Patchitpy-Trace-Id": trace_id},
+                        )
+                    except (ConnectionError, OSError):
+                        self._account(request, response, trace_id, clock() - started)
+                        break
+                    self._account(request, response, trace_id, clock() - started)
+                    if not keep:
+                        break
+                    continue
+                self._account(request, response, trace_id, clock() - started)
                 try:
                     await write_response(
                         writer,
@@ -482,6 +562,48 @@ class PatchitPyServer:
         future.add_done_callback(lambda _f: self._release_slot())
         return future
 
+    def _submit_unit(self, source: str, patch: bool) -> "asyncio.Future":
+        """Cache-aware snippet submission (slot already acquired).
+
+        With the shared tier open, the snippet is keyed by its SHA-256
+        digest: a hit skips detection entirely (patch rendering, when
+        asked, runs from the cached findings on the default executor),
+        and a miss is analyzed normally then written through so sibling
+        workers can serve it.  Without a shared cache this is exactly
+        :meth:`_submit_analysis`.
+        """
+        cache = self._snippet_cache
+        if cache is None:
+            return self._submit_analysis(source, patch)
+        loop = asyncio.get_running_loop()
+        digest = hash_source(source)
+        hit = cache.lookup(digest)
+        if hit is not None and hit.error is None:
+            self.metrics.count("cache_hits")
+            self.metrics.count("snippet_cache_hits")
+            future = loop.run_in_executor(
+                None, cached_payload, self.engine, source, hit.findings, patch
+            )
+            future.add_done_callback(lambda _f: self._release_slot())
+            return future
+        self.metrics.count("cache_misses")
+        self.metrics.count("snippet_cache_misses")
+        future = self._submit_analysis(source, patch)
+
+        def _write_through(completed: "asyncio.Future") -> None:
+            if completed.cancelled() or completed.exception() is not None:
+                return
+            payload, _snapshot = completed.result()
+            findings = [
+                Finding.from_dict(raw) for raw in payload.get("findings", [])
+            ]
+            # store + save off the event loop: the shared-mode save takes
+            # the flock writer lock and rewrites the store file
+            loop.run_in_executor(None, _store_snippet, cache, digest, findings)
+
+        future.add_done_callback(_write_through)
+        return future
+
     def _release_slot(self) -> None:
         self._pending = max(0, self._pending - 1)
 
@@ -519,6 +641,7 @@ class PatchitPyServer:
                 "inflight": self._inflight,
                 "requests_total": self.metrics.counters.get("server_requests", 0),
                 "open_caches": len(self._caches),
+                "shared_cache": self._snippet_cache is not None,
             },
             status=503 if self.draining else 200,
         )
@@ -532,6 +655,30 @@ class PatchitPyServer:
             "server_open_caches": float(len(self._caches)),
         }
         return Response.text_response(to_prometheus(self.metrics, extra_gauges=gauges))
+
+    async def _handle_metrics_json(self, request: Request) -> Response:
+        """The lifetime collector as mergeable JSON — the fleet's feed.
+
+        ``/metrics`` is for Prometheus scrapes; this endpoint returns the
+        :meth:`ScanMetrics.to_dict` snapshot (histograms included) so the
+        fleet router can fold per-worker collectors with the exact
+        associative merge and re-export fleet-wide quantiles that match
+        what a single process would have reported.
+        """
+        return Response.json_response(
+            {
+                "metrics": self.metrics.to_dict(),
+                "gauges": {
+                    "server_uptime_seconds": time.monotonic() - self._started_at,
+                    "server_inflight_requests": float(self._inflight),
+                    "server_queued_units": float(self._pending),
+                    "server_queue_capacity": float(self.config.queue_depth),
+                    "server_open_caches": float(len(self._caches)),
+                },
+                "pool": self._pool_kind,
+                "draining": self.draining,
+            }
+        )
 
     async def _handle_statusz(self, request: Request) -> Response:
         return Response.html_response(render_statusz(self))
@@ -559,7 +706,7 @@ class PatchitPyServer:
             future.add_done_callback(lambda _f: self._release_slot())
         else:
             self._acquire_slots(1)
-            future = self._submit_analysis(source, patch)
+            future = self._submit_unit(source, patch)
         try:
             payload, snapshot = await self._await_deadline(future, deadline)
         except asyncio.TimeoutError:
@@ -589,6 +736,7 @@ class PatchitPyServer:
         if not isinstance(items, list) or not items:
             raise HttpError(400, "batch requests need a non-empty 'items' list")
         patch = bool(body.get("patch", False))
+        stream = bool(body.get("stream", False))
         deadline = self._deadline_s(body)
         started = clock()
 
@@ -601,7 +749,9 @@ class PatchitPyServer:
             ids.append(item.get("id", index))
 
         self._acquire_slots(len(sources))
-        futures = [self._submit_analysis(source, patch) for source in sources]
+        futures = [self._submit_unit(source, patch) for source in sources]
+        if stream:
+            return self._stream_batch(ids, futures, deadline, started)
         gathered = asyncio.gather(*futures, return_exceptions=True)
         try:
             outcomes = await self._await_deadline(gathered, deadline)
@@ -632,6 +782,78 @@ class PatchitPyServer:
                 "duration_ms": round((clock() - started) * 1000.0, 3),
             }
         )
+
+    def _stream_batch(
+        self,
+        ids: List[Any],
+        futures: List["asyncio.Future"],
+        deadline: Optional[float],
+        started: float,
+    ) -> ChunkedResponse:
+        """``/v1/batch`` with ``"stream": true`` — NDJSON as work finishes.
+
+        Each completed item becomes one newline-terminated JSON line the
+        moment its analysis lands (completion order, not submission
+        order — clients correlate by ``id``), followed by a final
+        ``{"done": true, ...}`` summary line.  A missed deadline turns
+        every still-pending item into an error line instead of failing
+        the whole response: by then the head and earlier results are
+        already on the wire.
+        """
+
+        async def produce() -> "asyncio.AsyncIterator[bytes]":  # pragma: no branch
+            loop = asyncio.get_running_loop()
+            pending: Dict["asyncio.Future", Any] = {
+                asyncio.ensure_future(future): item_id
+                for future, item_id in zip(futures, ids)
+            }
+            deadline_at = None if deadline is None else loop.time() + deadline
+            count = 0
+            failed = 0
+            while pending:
+                timeout = (
+                    None if deadline_at is None else max(0.0, deadline_at - loop.time())
+                )
+                done, _ = await asyncio.wait(
+                    set(pending), timeout=timeout, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not done:  # deadline expired with work still queued
+                    for future, item_id in pending.items():
+                        future.cancel()
+                        count += 1
+                        failed += 1
+                        line = {
+                            "id": item_id,
+                            "error": (
+                                "batch item missed its deadline of "
+                                f"{(deadline or 0.0) * 1000.0:g}ms"
+                            ),
+                        }
+                        yield (json.dumps(line, sort_keys=True) + "\n").encode("utf-8")
+                    self.metrics.count("server_stream_deadline_drops", len(pending))
+                    break
+                for future in done:
+                    item_id = pending.pop(future)
+                    count += 1
+                    try:
+                        payload, snapshot = future.result()
+                    except BaseException as error:  # noqa: BLE001 - per-item error line
+                        failed += 1
+                        line = {"id": item_id, "error": str(error)}
+                    else:
+                        self.metrics.merge(ScanMetrics.from_dict(snapshot))
+                        payload["id"] = item_id
+                        line = payload
+                    yield (json.dumps(line, sort_keys=True) + "\n").encode("utf-8")
+            summary = {
+                "done": True,
+                "count": count,
+                "failed": failed,
+                "duration_ms": round((clock() - started) * 1000.0, 3),
+            }
+            yield (json.dumps(summary, sort_keys=True) + "\n").encode("utf-8")
+
+        return ChunkedResponse(chunks=produce())
 
     async def _handle_scan(self, request: Request) -> Response:
         body = request.json()

@@ -17,7 +17,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["ServerClient", "ServerError"]
 
@@ -51,8 +51,10 @@ class ServerClient:
     """Keep-alive JSON client for one running daemon.
 
     Exactly one of ``port`` (with optional ``host``) or ``unix_socket``
-    selects the transport.  Usable as a context manager; ``close()`` is
-    otherwise explicit.
+    selects the transport.  ``tenant``, when set, is stamped on every
+    request as ``X-Tenant`` — against a fleet front door it selects the
+    per-tenant quota bucket (a single daemon ignores it).  Usable as a
+    context manager; ``close()`` is otherwise explicit.
     """
 
     def __init__(
@@ -61,6 +63,7 @@ class ServerClient:
         port: Optional[int] = None,
         unix_socket: Optional[str] = None,
         timeout: float = 60.0,
+        tenant: Optional[str] = None,
     ) -> None:
         if (port is None) == (unix_socket is None):
             raise ValueError("pass exactly one of port= or unix_socket=")
@@ -68,6 +71,7 @@ class ServerClient:
         self._port = port
         self._unix_socket = unix_socket
         self._timeout = timeout
+        self._tenant = tenant
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------ plumbing
@@ -100,9 +104,38 @@ class ServerClient:
             # X-Patchitpy-Trace-Id and stamps it on the access log, so a
             # plugin can correlate its own logs with the server's.
             headers["X-Trace-Id"] = trace_id
+        status, content_type, raw = self.forward(
+            method, path, body=body, headers=headers
+        )
+        if "json" in content_type:
+            decoded: Any = json.loads(raw.decode("utf-8")) if raw else {}
+        else:
+            decoded = raw.decode("utf-8")
+        if status >= 400:
+            raise ServerError(status, decoded)
+        return decoded
+
+    def forward(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, str, bytes]:
+        """One raw round trip: ``(status, content type, body bytes)``.
+
+        Unlike the typed endpoint helpers this never raises
+        :class:`ServerError` — error *statuses* come back as data, which
+        is what a proxy (the fleet router) needs to pass a worker's 4xx
+        or 5xx through to the client verbatim.  Transport failures still
+        raise after one reconnect retry.
+        """
+        merged = {"Connection": "keep-alive", **(headers or {})}
+        if self._tenant is not None:
+            merged.setdefault("X-Tenant", self._tenant)
         conn = self._connection()
         try:
-            conn.request(method, path, body=body, headers=headers)
+            conn.request(method, path, body=body, headers=merged)
             response = conn.getresponse()
             raw = response.read()
         except (http.client.HTTPException, ConnectionError, OSError):
@@ -110,17 +143,11 @@ class ServerClient:
             # is retried once on a fresh connection before giving up.
             self.close()
             conn = self._connection()
-            conn.request(method, path, body=body, headers=headers)
+            conn.request(method, path, body=body, headers=merged)
             response = conn.getresponse()
             raw = response.read()
-        content_type = response.getheader("Content-Type", "")
-        if "json" in content_type:
-            decoded: Any = json.loads(raw.decode("utf-8")) if raw else {}
-        else:
-            decoded = raw.decode("utf-8")
-        if response.status >= 400:
-            raise ServerError(response.status, decoded)
-        return decoded
+        content_type = response.getheader("Content-Type", "") or ""
+        return response.status, content_type, raw
 
     def close(self) -> None:
         if self._conn is not None:
@@ -149,6 +176,10 @@ class ServerClient:
     def metrics_text(self) -> str:
         """``GET /metrics`` — Prometheus text exposition."""
         return self._request("GET", "/metrics")
+
+    def metrics_json(self) -> Dict[str, Any]:
+        """``GET /v1/metrics.json`` — the mergeable collector snapshot."""
+        return self._request("GET", "/v1/metrics.json")
 
     def statusz(self) -> str:
         """``GET /statusz`` — the HTML operator dashboard, as text."""
@@ -185,6 +216,60 @@ class ServerClient:
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
         return self._request("POST", "/v1/batch", payload, trace_id=trace_id)
+
+    def batch_stream(
+        self,
+        sources: List[str],
+        patch: bool = False,
+        deadline_ms: Optional[float] = None,
+        trace_id: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """``POST /v1/batch`` with ``stream=true`` — yields NDJSON lines.
+
+        Items arrive in completion order (correlate by ``id``); the last
+        yielded object is the ``{"done": true, ...}`` summary.
+        ``http.client`` decodes the chunked framing transparently, so
+        each yield is one complete JSON object.
+        """
+        payload: Dict[str, Any] = {
+            "items": [{"id": i, "source": s} for i, s in enumerate(sources)],
+            "patch": patch,
+            "stream": True,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        body = json.dumps(payload).encode("utf-8")
+        headers = {
+            "Connection": "keep-alive",
+            "Content-Type": "application/json",
+        }
+        if trace_id is not None:
+            headers["X-Trace-Id"] = trace_id
+        if self._tenant is not None:
+            headers["X-Tenant"] = self._tenant
+        conn = self._connection()
+        try:
+            conn.request("POST", "/v1/batch", body=body, headers=headers)
+            response = conn.getresponse()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            self.close()
+            conn = self._connection()
+            conn.request("POST", "/v1/batch", body=body, headers=headers)
+            response = conn.getresponse()
+        if response.status >= 400:
+            raw = response.read()
+            try:
+                decoded: Any = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, ValueError):
+                decoded = raw.decode("utf-8", "replace")
+            raise ServerError(response.status, decoded)
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            line = line.strip()
+            if line:
+                yield json.loads(line.decode("utf-8"))
 
     def review(
         self,

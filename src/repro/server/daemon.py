@@ -15,8 +15,10 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import signal
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.server.app import PatchitPyServer, ServerConfig
@@ -98,6 +100,21 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "before stopping anyway (default 10)",
     )
     parser.add_argument(
+        "--shared-cache",
+        metavar="DIR",
+        help="open the cross-process shared snippet cache at DIR: analyze "
+        "and batch results are keyed by content digest and written "
+        "through, so fleet siblings serve each other's warm hits "
+        "(see docs/fleet.md)",
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="after binding, write the actual listening port to PATH — how "
+        "a supervisor (patchitpy fleet) learns the port when --port 0 "
+        "picked a free one",
+    )
+    parser.add_argument(
         "--extended",
         action="store_true",
         help="serve the extended rule catalog instead of the paper's 85 rules",
@@ -141,11 +158,19 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         access_log=args.access_log,
         window_interval_s=max(0.1, args.window_interval_s),
         window_slots=max(1, args.window_slots),
+        shared_cache_dir=args.shared_cache,
     )
 
 
-async def _serve(server: PatchitPyServer) -> None:
+async def _serve(server: PatchitPyServer, port_file: Optional[str] = None) -> None:
     await server.start()
+    if port_file and server.port is not None:
+        # Written post-bind so a supervisor polling the file always reads
+        # a live port; the temp+replace keeps the read atomic.
+        target = Path(port_file)
+        tmp = target.with_suffix(target.suffix + f".tmp{os.getpid()}")
+        tmp.write_text(f"{server.port}\n", encoding="utf-8")
+        os.replace(tmp, target)
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):
         try:
@@ -180,7 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     engine = PatchitPy(rules=extended_ruleset() if args.extended else None)
     server = PatchitPyServer(engine=engine, config=config_from_args(args))
     try:
-        asyncio.run(_serve(server))
+        asyncio.run(_serve(server, port_file=args.port_file))
     except OSError as error:
         print(f"error: cannot start server: {error}", file=sys.stderr)
         return 2

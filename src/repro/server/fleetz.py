@@ -1,0 +1,195 @@
+"""The fleet's ``/statusz`` — one page for the whole shard set.
+
+A single daemon's ``/statusz`` (:mod:`repro.server.statusz`) answers
+"is this process healthy"; the fleet page answers the operator's next
+question: "is the *fleet* healthy, and if not, which shard".  It renders
+the worker table (state, port, pid, restarts, requests served), the
+router's rolling request/latency windows, per-tenant quota rejections,
+and the fleet-wide lifetime cache ratio from the exact-merged worker
+collectors.
+
+Same construction rules as the single-server page: inline CSS, no
+JavaScript beyond a meta refresh, renders from ``curl`` output.  The
+renderer is duck-typed against :class:`~repro.server.fleet.FleetRouter`
+(``worker_table``, ``window``, ``quotas``, ``config``) so tests can
+drive it from a stub.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import List, Optional
+
+__all__ = ["render_fleet_statusz"]
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 1.5em; color: #1a1a2e; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.4em; }
+table { border-collapse: collapse; margin-top: 0.5em; }
+th, td { border: 1px solid #c8c8d4; padding: 0.25em 0.7em; text-align: right; }
+th { background: #eef0f6; } td.name, th.name { text-align: left; }
+td.bad { color: #b00020; font-weight: 600; }
+td.ok { color: #00691c; font-weight: 600; }
+.muted { color: #6b6b7b; font-size: 0.9em; }
+"""
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    return "-" if seconds is None else f"{seconds * 1000.0:.1f}"
+
+
+def _fmt_rate(per_second: float) -> str:
+    return f"{per_second:.2f}"
+
+
+def render_fleet_statusz(router, merged_metrics) -> str:
+    """The dashboard HTML for one :class:`FleetRouter` instance.
+
+    ``merged_metrics`` is the fleet-wide :class:`ScanMetrics` (worker
+    collectors exact-merged with the router's own) the caller already
+    gathered — the renderer never talks to workers itself.
+    """
+    cfg = router.config
+    one_minute = router.window.window(60.0)
+    five_minutes = router.window.window(300.0)
+    uptime_s = (
+        time.monotonic() - router._started_at if router._started_at else 0.0
+    )
+
+    from repro import __version__
+
+    rows = router.worker_table()
+    up = sum(1 for row in rows if row["state"] == "up")
+
+    out: List[str] = [
+        "<!doctype html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        '<meta http-equiv="refresh" content="5">',
+        "<title>patchitpy fleet /statusz</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        "<h1>patchitpy fleet &mdash; statusz</h1>",
+        '<p class="muted">'
+        f"version {html.escape(__version__)} &middot; "
+        f"uptime {uptime_s:.0f}s &middot; "
+        f"{up}/{len(rows)} workers up &middot; "
+        f"jobs per worker {max(1, cfg.jobs)} &middot; "
+        f"ring replicas {cfg.replicas} &middot; auto-refreshes every 5s</p>",
+    ]
+
+    # ---- worker table ----------------------------------------------------
+    out.append("<h2>Workers</h2><table>")
+    out.append(
+        "<tr><th class=name>worker</th><th class=name>state</th><th>port</th>"
+        "<th>pid</th><th>restarts</th><th>requests served</th>"
+        "<th class=name>last failure</th></tr>"
+    )
+    for row in rows:
+        state = str(row["state"])
+        cells = "ok" if state == "up" else "bad"
+        out.append(
+            f"<tr><td class=name>{html.escape(str(row['id']))}</td>"
+            f'<td class="name {cells}">{html.escape(state)}</td>'
+            f"<td>{row['port'] if row['port'] is not None else '-'}</td>"
+            f"<td>{row['pid'] if row['pid'] is not None else '-'}</td>"
+            f"<td>{row['restarts']}</td><td>{row['proxied']}</td>"
+            f"<td class=name>{html.escape(str(row['reason'] or ''))}</td></tr>"
+        )
+    out.append("</table>")
+
+    # ---- front-door rates and latency percentiles ------------------------
+    endpoints = sorted(
+        {
+            name.partition("/")[2]
+            for name in set(one_minute.counters) | set(five_minutes.counters)
+            if name.startswith("requests/")
+        }
+        | {
+            name.partition("/")[2]
+            for name in set(one_minute.histograms) | set(five_minutes.histograms)
+            if name.startswith("latency/")
+        }
+    )
+    out.append("<h2>Front door (rolling windows)</h2><table>")
+    out.append(
+        "<tr><th class=name>endpoint</th><th>req/s 1m</th><th>req/s 5m</th>"
+        "<th>p50 ms 5m</th><th>p95 ms 5m</th><th>p99 ms 5m</th></tr>"
+    )
+    if not endpoints:
+        out.append(
+            '<tr><td class=name colspan="6">no requests in the window yet</td></tr>'
+        )
+    for endpoint in endpoints:
+        latency = five_minutes.histograms.get("latency/" + endpoint)
+        p50 = latency.quantile(0.5) if latency else None
+        p95 = latency.quantile(0.95) if latency else None
+        p99 = latency.quantile(0.99) if latency else None
+        out.append(
+            f"<tr><td class=name>{html.escape(endpoint)}</td>"
+            f"<td>{_fmt_rate(one_minute.rate('requests/' + endpoint))}</td>"
+            f"<td>{_fmt_rate(five_minutes.rate('requests/' + endpoint))}</td>"
+            f"<td>{_fmt_ms(p50)}</td><td>{_fmt_ms(p95)}</td>"
+            f"<td>{_fmt_ms(p99)}</td></tr>"
+        )
+    out.append("</table>")
+
+    # ---- shed load: quota rejections by tenant ---------------------------
+    out.append("<h2>Quota rejections by tenant (lifetime)</h2>")
+    rejections = router.quotas.snapshot_rejections()
+    if not rejections:
+        out.append('<p class="muted">no requests shed by quota yet</p>')
+    else:
+        out.append("<table>")
+        out.append("<tr><th class=name>tenant</th><th>rejections</th></tr>")
+        for tenant in sorted(rejections):
+            out.append(
+                f"<tr><td class=name>{html.escape(tenant)}</td>"
+                f"<td class=bad>{rejections[tenant]}</td></tr>"
+            )
+        out.append("</table>")
+
+    # ---- error budget at the front door ----------------------------------
+    out.append("<h2>Errors and shed load (rolling windows)</h2><table>")
+    out.append(
+        "<tr><th class=name>class</th><th>per s, 1m</th><th>per s, 5m</th>"
+        "<th>total 5m</th></tr>"
+    )
+    for label, key in (
+        ("5xx responses", "responses/5xx"),
+        ("4xx responses", "responses/4xx"),
+        ("429 quota shed", "responses/429"),
+        ("503 no workers", "responses/503"),
+        ("504 deadline missed", "responses/504"),
+    ):
+        total = five_minutes.total(key)
+        cells = "bad" if total and key in ("responses/5xx", "responses/503") else ""
+        out.append(
+            f"<tr><td class=name>{label}</td>"
+            f"<td>{_fmt_rate(one_minute.rate(key))}</td>"
+            f"<td>{_fmt_rate(five_minutes.rate(key))}</td>"
+            f'<td class="{cells}">{total}</td></tr>'
+        )
+    out.append("</table>")
+
+    # ---- fleet-wide cache efficiency (exact merge of all workers) --------
+    out.append("<h2>Cache, fleet-wide (lifetime)</h2>")
+    rate = merged_metrics.cache_hit_rate()
+    hits = merged_metrics.counters.get("cache_hits", 0)
+    misses = merged_metrics.counters.get("cache_misses", 0)
+    shared_hits = merged_metrics.counters.get("snippet_cache_hits", 0)
+    if rate is None:
+        out.append('<p class="muted">no cache traffic yet</p>')
+    else:
+        out.append(
+            f"<p>{hits} hit(s) / {misses} miss(es) &mdash; "
+            f"hit ratio <b>{rate:.1%}</b> &middot; "
+            f"{shared_hits} served from the shared snippet tier</p>"
+        )
+
+    out.append(
+        '<p class="muted">machine-readable twins: '
+        '<a href="/metrics">/metrics</a> (fleet-merged Prometheus) and '
+        '<a href="/healthz">/healthz</a> (JSON worker table)</p>'
+    )
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"

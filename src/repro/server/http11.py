@@ -10,12 +10,15 @@ from HTTP is small and this module implements exactly that:
   slow or hostile client cannot pin a connection open or balloon memory;
 - response serialization with correct ``Content-Length`` framing and
   explicit keep-alive control;
+- chunked *response* streaming (:class:`ChunkedResponse` /
+  :func:`write_chunked_response`) so ``/v1/batch`` can emit per-item
+  results as they complete instead of buffering the whole batch;
 - a typed :class:`HttpError` that handlers raise and the connection loop
   turns into the matching status response.
 
-No chunked transfer, no TLS, no HTTP/2: the daemon sits on loopback or a
-unix socket behind whatever real ingress the deployment already has
-(see ``docs/server.md``).
+No chunked *request* bodies, no TLS, no HTTP/2: the daemon sits on
+loopback or a unix socket behind whatever real ingress the deployment
+already has (see ``docs/server.md``).
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, AsyncIterator, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
 #: Reason phrases for every status the daemon emits.
@@ -135,6 +138,24 @@ class Response:
             status=error.status,
             headers=error.headers,
         )
+
+
+@dataclass
+class ChunkedResponse:
+    """A streaming response: head now, body chunks as they are produced.
+
+    ``chunks`` is an async iterator of byte strings; each non-empty item
+    becomes one ``Transfer-Encoding: chunked`` frame on the wire, so a
+    client sees results the moment the producer yields them.  ``body``
+    stays empty — it exists so accounting code written against
+    :class:`Response` (``len(response.body)``) keeps working.
+    """
+
+    chunks: AsyncIterator[bytes]
+    status: int = 200
+    content_type: str = "application/x-ndjson"
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
 
 
 async def read_request(
@@ -249,3 +270,41 @@ async def write_response(
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
     writer.write(response.body)
     await writer.drain()
+
+
+async def write_chunked_response(
+    writer: asyncio.StreamWriter,
+    response: ChunkedResponse,
+    keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> int:
+    """Stream a :class:`ChunkedResponse` onto the wire; returns body bytes.
+
+    The head goes out before the first chunk is awaited, so a client
+    blocked on slow analysis still sees headers (and its trace id)
+    immediately.  Chunked framing self-delimits, so keep-alive works the
+    same as with ``Content-Length`` responses.  Empty chunks are skipped:
+    a zero-length frame would terminate the stream early.
+    """
+    reason = REASONS.get(response.status, "Unknown")
+    headers = {
+        "Content-Type": response.content_type,
+        "Transfer-Encoding": "chunked",
+        "Connection": "keep-alive" if keep_alive else "close",
+        **response.headers,
+        **(extra_headers or {}),
+    }
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    head.extend(f"{name}: {value}" for name, value in headers.items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+    sent = 0
+    async for chunk in response.chunks:
+        if not chunk:
+            continue
+        writer.write(f"{len(chunk):X}\r\n".encode("latin-1") + chunk + b"\r\n")
+        sent += len(chunk)
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+    return sent

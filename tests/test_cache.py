@@ -318,3 +318,123 @@ class TestScanCacheLifecycle:
         # deltas, not the cache's lifetime totals
         assert warm.cache_hits == 2 and warm.cache_misses == 0
         cache.close()
+
+
+def _finding(rule_id="PIT-A08-01"):
+    return Finding(
+        rule_id=rule_id,
+        cwe_id="CWE-502",
+        message="pickle.loads on untrusted data",
+        span=Span(15, 27),
+        snippet="pickle.loads",
+        severity=Severity.HIGH,
+        confidence=Confidence.HIGH,
+        fixable=True,
+    )
+
+
+class TestSharedCacheTier:
+    """The cross-process concurrent-open contract (``shared=True``).
+
+    These tests simulate two fleet workers by holding two independently
+    constructed ``ScanCache`` instances open on the same directory —
+    which is exactly what two daemon processes do, minus the address
+    spaces.  The contract under test: saves merge instead of clobber,
+    and lookups refresh from disk on miss, so an entry stored by one
+    opener becomes a hit for its sibling without either restarting.
+    """
+
+    def test_miss_refreshes_from_a_siblings_save(self, tmp_path):
+        writer = ScanCache(tmp_path, "fp", shared=True)
+        reader = ScanCache(tmp_path, "fp", shared=True)
+        writer.store("digest-shared", [_finding()])
+        assert writer.save()
+        entry = reader.lookup("digest-shared")
+        assert entry is not None and entry.findings == [_finding()]
+        assert reader.refreshes == 1
+        assert reader.hits == 1 and reader.misses == 0
+
+    def test_unshared_cache_never_refreshes(self, tmp_path):
+        writer = ScanCache(tmp_path, "fp", shared=True)
+        reader = ScanCache(tmp_path, "fp")  # plain single-owner mode
+        writer.store("digest-x", [_finding()])
+        assert writer.save()
+        assert reader.lookup("digest-x") is None
+        assert reader.refreshes == 0
+
+    def test_true_miss_probes_but_stays_a_miss(self, tmp_path):
+        writer = ScanCache(tmp_path, "fp", shared=True)
+        reader = ScanCache(tmp_path, "fp", shared=True)
+        writer.store("digest-present", [_finding()])
+        assert writer.save()
+        assert reader.lookup("digest-absent") is None
+        assert reader.misses == 1
+
+    def test_refresh_is_cheap_when_store_is_unchanged(self, tmp_path):
+        writer = ScanCache(tmp_path, "fp", shared=True)
+        reader = ScanCache(tmp_path, "fp", shared=True)
+        writer.store("d1", [_finding()])
+        assert writer.save()
+        assert reader.lookup("missing-1") is None
+        assert reader.lookup("missing-2") is None
+        # the (mtime_ns, size) probe noticed nothing new the second time
+        assert reader.refreshes == 1
+
+    def test_saves_merge_instead_of_clobbering(self, tmp_path):
+        a = ScanCache(tmp_path, "fp", shared=True)
+        b = ScanCache(tmp_path, "fp", shared=True)
+        a.store("digest-a", [_finding("PIT-A08-01")])
+        b.store("digest-b", [_finding("PIT-A03-01")])
+        assert a.save()
+        assert b.save()  # must fold a's entry in, not overwrite it
+        fresh = ScanCache(tmp_path, "fp", shared=True)
+        assert fresh.lookup("digest-a") is not None
+        assert fresh.lookup("digest-b") is not None
+
+    def test_in_memory_entry_wins_the_merge(self, tmp_path):
+        a = ScanCache(tmp_path, "fp", shared=True)
+        b = ScanCache(tmp_path, "fp", shared=True)
+        a.store("digest-dup", [_finding("PIT-A08-01")])
+        assert a.save()
+        b.store("digest-dup", [_finding("PIT-A03-01")])
+        assert b.save()
+        fresh = ScanCache(tmp_path, "fp", shared=True)
+        entry = fresh.lookup("digest-dup")
+        assert entry is not None
+        assert entry.findings[0].rule_id == "PIT-A03-01"
+
+    def test_writer_lock_file_is_created(self, tmp_path):
+        cache = ScanCache(tmp_path, "fp", shared=True)
+        cache.store("d", [_finding()])
+        assert cache.save()
+        assert cache.lock_file.exists()
+
+    def test_cross_process_write_through(self, tmp_path):
+        """A real second process stores an entry; this process hits it."""
+        import subprocess
+        import sys
+        import textwrap
+
+        reader = ScanCache(tmp_path, "fp", shared=True)
+        assert reader.lookup("digest-proc") is None
+        script = textwrap.dedent(
+            f"""
+            from pathlib import Path
+            from repro.core.cache import ScanCache
+            from repro.types import Confidence, Finding, Severity, Span
+            cache = ScanCache(Path({str(tmp_path)!r}), "fp", shared=True)
+            cache.store("digest-proc", [Finding(
+                rule_id="PIT-A08-01", cwe_id="CWE-502", message="m",
+                span=Span(0, 1), snippet="s", severity=Severity.HIGH,
+                confidence=Confidence.HIGH, fixable=True)])
+            assert cache.save()
+            """
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run(
+            [sys.executable, "-c", script], check=True, env=env, timeout=60
+        )
+        entry = reader.lookup("digest-proc")
+        assert entry is not None and entry.findings[0].rule_id == "PIT-A08-01"
