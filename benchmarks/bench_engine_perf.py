@@ -1,16 +1,169 @@
 """E10 — engine performance: throughput scaling with rule count and
-corpus size (the 'lightweight' claim of §II-B)."""
+corpus size (the 'lightweight' claim of §II-B), plus the warm
+single-file latency benchmark for the three dispatch tiers.
+
+``run_engine_perf_benchmark`` times the grouped tier (``PatchitPy()``,
+default) against the indexed tier (``use_grouped=False``, the PR 5
+path) and the naive tier (``use_index=False``) on the clean-heavy
+corpus from :mod:`bench_candidate_index`, records warm per-``detect``
+latency quantiles through :class:`~repro.observability.LatencyHistogram`,
+asserts the three tiers produce byte-identical findings, and writes
+``benchmarks/output/engine_perf.{txt,json}``; CI uploads the JSON and
+``scripts/check_bench_regression.py --engine-artifact`` gates on
+``grouped_vs_indexed_speedup``.  Like the candidate-index benchmark it
+is importable without pytest so the tier-1 suite runs it in smoke mode
+(tests/test_groupcompile.py).
+"""
 
 from __future__ import annotations
 
-from conftest import write_artifact
+import importlib.util
+import json
+import time
+from pathlib import Path
+from typing import Dict
 
 from repro.core import PatchitPy
 from repro.core.rules import RuleSet, default_ruleset, extended_ruleset
+from repro.observability import LatencyHistogram
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
 
 def _subset(rules, count):
     return RuleSet(list(rules)[:count])
+
+
+def _candidate_bench():
+    """The sibling candidate-index benchmark module (corpus generator).
+
+    Loaded by path so this works both under pytest (benchmarks/ rootdir)
+    and when the tier-1 suite imports this module from tests/.
+    """
+    path = Path(__file__).resolve().parent / "bench_candidate_index.py"
+    spec = importlib.util.spec_from_file_location("bench_candidate_index", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_engine_perf_benchmark(
+    files: int = 120, sections: int = 10, repeats: int = 3
+) -> Dict[str, float]:
+    """Warm single-file latency across the three dispatch tiers.
+
+    Returns a BENCH dict with best-of totals, per-``detect`` latency
+    quantiles (p50/p95/p99 seconds) for the grouped and indexed tiers,
+    the ``grouped_vs_indexed_speedup`` headline the CI gate reads, and
+    the grouped tier's cache/fold counters.  Asserts the three tiers'
+    findings are byte-identical over the whole corpus first — the
+    speedup is only meaningful if the tiers agree.
+    """
+    sources = _candidate_bench()._sources(files, sections)
+
+    grouped = PatchitPy()
+    indexed = PatchitPy(use_grouped=False)
+    naive = PatchitPy(use_index=False)
+    for engine in (grouped, indexed, naive):
+        engine.warmup()
+
+    findings = 0
+    for source in sources:
+        from_grouped = [f.to_dict() for f in grouped.detect(source)]
+        assert from_grouped == [f.to_dict() for f in indexed.detect(source)]
+        assert from_grouped == [f.to_dict() for f in naive.detect(source)]
+        findings += len(from_grouped)
+
+    def _timed_pass(engine, histogram=None):
+        clock = time.perf_counter
+        if histogram is None:
+            t0 = clock()
+            for source in sources:
+                engine.detect(source)
+            return clock() - t0
+        t0 = clock()
+        for source in sources:
+            started = clock()
+            engine.detect(source)
+            histogram.observe(clock() - started)
+        return clock() - t0
+
+    def _best_of(engine, histogram=None):
+        return min(_timed_pass(engine, histogram) for _ in range(repeats))
+
+    # The equivalence sweep above already warmed every engine (plan
+    # memo, candidate index, regex caches); these passes are all-warm.
+    grouped_hist = LatencyHistogram()
+    indexed_hist = LatencyHistogram()
+    grouped_total = _best_of(grouped, grouped_hist)
+    indexed_total = _best_of(indexed, indexed_hist)
+    naive_total = _best_of(naive)
+
+    cache = grouped.rules.candidate_index().grouped_stats()
+    index = grouped.rules.candidate_index()
+    grouped_p50, grouped_p95, grouped_p99 = grouped_hist.quantiles((0.5, 0.95, 0.99))
+    indexed_p50, indexed_p95, indexed_p99 = indexed_hist.quantiles((0.5, 0.95, 0.99))
+    return {
+        "files": files,
+        "findings": findings,
+        "grouped_total_s": grouped_total,
+        "indexed_total_s": indexed_total,
+        "naive_total_s": naive_total,
+        "grouped_vs_indexed_speedup": indexed_total / grouped_total,
+        "grouped_vs_naive_speedup": naive_total / grouped_total,
+        "grouped_p50_s": grouped_p50,
+        "grouped_p95_s": grouped_p95,
+        "grouped_p99_s": grouped_p99,
+        "indexed_p50_s": indexed_p50,
+        "indexed_p95_s": indexed_p95,
+        "indexed_p99_s": indexed_p99,
+        "grouped_cache_hits": cache["hits"],
+        "grouped_cache_misses": cache["misses"],
+        "plan_hits": cache["plan_hits"],
+        "plan_misses": cache["plan_misses"],
+        "fold_computes": index.fold_computes,
+        "fold_reuses": index.fold_reuses,
+    }
+
+
+def format_engine_perf_report(results: Dict[str, float]) -> str:
+    return (
+        f"Engine warm single-file latency ({results['files']:.0f} files, "
+        f"{results['findings']:.0f} findings, best-of totals):\n"
+        f"  grouped tier : {results['grouped_total_s'] * 1000:7.1f}ms  "
+        f"p50 {results['grouped_p50_s'] * 1e6:6.0f}us  "
+        f"p95 {results['grouped_p95_s'] * 1e6:6.0f}us\n"
+        f"  indexed tier : {results['indexed_total_s'] * 1000:7.1f}ms  "
+        f"p50 {results['indexed_p50_s'] * 1e6:6.0f}us  "
+        f"p95 {results['indexed_p95_s'] * 1e6:6.0f}us\n"
+        f"  naive tier   : {results['naive_total_s'] * 1000:7.1f}ms\n"
+        f"  grouped vs indexed: x{results['grouped_vs_indexed_speedup']:.2f}"
+        f"   grouped vs naive: x{results['grouped_vs_naive_speedup']:.2f}\n"
+        f"  grouped caches: {results['grouped_cache_misses']:.0f} compiled / "
+        f"{results['grouped_cache_hits']:.0f} reused, plan memo "
+        f"{results['plan_hits']:.0f} hits / {results['plan_misses']:.0f} misses, "
+        f"fold {results['fold_reuses']:.0f} reuses"
+    )
+
+
+def test_engine_perf_benchmark():
+    """Full benchmark: records the three-tier numbers as an artifact.
+
+    The acceptance claim of the grouped-dispatch PR: the warm grouped
+    tier beats the PR 5 indexed tier by at least x1.5 on the
+    clean-heavy corpus.
+    """
+    results = run_engine_perf_benchmark(files=120, sections=10)
+    text = format_engine_perf_report(results)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "engine_perf.txt"
+    path.write_text(text + "\n")
+    json_path = OUTPUT_DIR / "engine_perf.json"
+    json_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\n[artifacts written: {path}, {json_path}]")
+    print(text)
+    assert results["grouped_vs_indexed_speedup"] >= 1.5
+    assert results["grouped_vs_naive_speedup"] >= 1.5
 
 
 def test_detection_throughput_85_rules(flat_samples, benchmark):
@@ -42,7 +195,7 @@ def test_patch_throughput(flat_samples, benchmark):
 
 
 def test_scaling_artifact(flat_samples, artifact_dir, benchmark):
-    import time
+    from conftest import write_artifact
 
     def measure():
         rows = []
@@ -100,7 +253,7 @@ def test_extension_selection_latency(benchmark):
 
 def test_prefilter_ablation(flat_samples, artifact_dir, benchmark):
     """Literal prefiltering on/off (the production-scanner optimization)."""
-    import time
+    from conftest import write_artifact
 
     from repro.core import PatchitPy, matching
 

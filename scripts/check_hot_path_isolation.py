@@ -29,7 +29,12 @@ them:
    ``repro.core.review`` — review mode (diff parsing, git subprocesses,
    baseline classification) is an orchestration layer *above* the
    engine; a plain scan must never pay for it, not even an import.
-6. The latency-histogram layer (PR 8) stays decoupled in both
+6. ``repro/core/groupcompile.py`` (grouped-alternation dispatch, the
+   tier the untraced scan runs first) imports nothing from ``repro``
+   at all — stdlib only, like histogram.py: it sits inside the match
+   loop and must never drag observability or any other repro machinery
+   onto the hot path.
+7. The latency-histogram layer (PR 8) stays decoupled in both
    directions: ``repro/observability/histogram.py`` imports nothing
    from ``repro`` at all (stdlib only, so it can never drag engine code
    into a metrics consumer), and ``repro/observability/collector.py``
@@ -64,11 +69,18 @@ def _function_body(source: str, name: str) -> str:
     lines = source.splitlines()
     body: list[str] = []
     inside = False
+    in_signature = False
     for line in lines:
         if line.startswith(f"def {name}("):
             inside = True
+            # A multi-line signature continues until the ":" that closes
+            # it; parameter names there are interface, not loop code.
+            in_signature = not line.rstrip().endswith(":")
             continue
         if inside:
+            if in_signature:
+                in_signature = not line.rstrip().endswith(":")
+                continue
             if line and not line.startswith((" ", "\t", ")")):
                 break
             body.append(line.split("#", 1)[0])
@@ -151,7 +163,22 @@ def main(argv: list[str]) -> int:
                 "the Verifier must not carry instrumentation of its own"
             )
 
-    # 6. The histogram layer is stdlib-only, and the collector defers
+    # 6. Grouped dispatch runs inside the match loop; stdlib-only, so
+    # it can never pull instrumentation (or anything else) onto the
+    # untraced hot path.
+    groupcompile = root / "src" / "repro" / "core" / "groupcompile.py"
+    groupcompile_source = re.sub(
+        r'^(?:"""|\'\'\')(?s:.*?)(?:"""|\'\'\')', "", groupcompile.read_text(), count=1
+    )
+    for number, line in enumerate(groupcompile_source.splitlines(), start=1):
+        code = line.split("#", 1)[0]
+        if ("import" in code or "from" in code) and re.search(r"\brepro\b", code):
+            problems.append(
+                f"{groupcompile}:{number}: imports from repro — grouped "
+                "dispatch must stay stdlib-only"
+            )
+
+    # 7. The histogram layer is stdlib-only, and the collector defers
     # its import to the functions that need it — matching.py imports
     # the collector at module level, so a module-level histogram import
     # in collector.py would land on every untraced scan's import path.
@@ -186,7 +213,8 @@ def main(argv: list[str]) -> int:
           "module level; _match_rule_fast/_match_candidate_fast are "
           "instrumentation-free; candidates.py imports no observability; "
           "verify.py and review.py stay off the hot detect path; "
-          "histogram.py is stdlib-only and collector.py defers its import")
+          "groupcompile.py and histogram.py are stdlib-only and "
+          "collector.py defers its import")
     return 0
 
 

@@ -72,7 +72,7 @@ from repro.types import (
     Span,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AnalysisReport",

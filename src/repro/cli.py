@@ -80,6 +80,13 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "per-rule literal prefilters (ablation/debugging; findings are "
         "identical either way)",
     )
+    parser.add_argument(
+        "--no-grouped",
+        action="store_true",
+        help="disable grouped-alternation dispatch and run every index "
+        "candidate per-rule (ablation/debugging; findings are identical "
+        "either way)",
+    )
 
 
 def _add_observability_flags(
@@ -433,6 +440,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         rules=extended_ruleset() if args.extended else None,
         metrics=collector,
         use_index=not args.no_index,
+        use_grouped=not args.no_grouped,
         verify=args.verify,
     )
     if tracer is not None:
@@ -542,6 +550,7 @@ def _scan_directory(args: argparse.Namespace) -> int:
     engine = PatchitPy(
         rules=extended_ruleset() if args.extended else None,
         use_index=not args.no_index,
+        use_grouped=not args.no_grouped,
         verify=args.verify,
     )
     scanner = ProjectScanner(
@@ -635,6 +644,7 @@ def _run_review(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
     engine = PatchitPy(
         rules=extended_ruleset() if args.extended else None,
         use_index=not args.no_index,
+        use_grouped=not args.no_grouped,
         verify=args.verify,
     )
     try:

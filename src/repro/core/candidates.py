@@ -31,15 +31,30 @@ against a lowercased copy of the source).  The fold is only trusted for
 ASCII sources, where ``str.lower()`` agrees exactly with the regex
 engine's case-insensitivity; a non-ASCII source simply promotes every
 folded-requirement rule to candidate (correct, never fast-and-wrong).
+The lowered copy is computed at most once per lookup and cached in a
+single slot keyed by source identity, so repeated scans of the same
+text (multi-pass patching, warm server snippets, verifier re-checks)
+reuse it — the ``fold_computes``/``fold_reuses`` counters make the
+reuse observable.
+
+A lookup also carries a bitmask of the candidate positions; the mask
+keys the grouped-alternation cache (:meth:`RuleIndex.grouped_for`), so
+distinct sources that select the same candidate subset share one
+compiled :class:`~repro.core.groupcompile.GroupedAlternation`.
 """
 
 from __future__ import annotations
 
 import re
 from collections import deque
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.core.groupcompile import (
+    GroupedAlternation,
+    GroupedCache,
+    catalog_fingerprint,
+)
 from repro.core.prefilter import required_literal_groups, required_literals
 
 __all__ = ["AhoCorasick", "IndexLookup", "RuleIndex"]
@@ -249,11 +264,13 @@ class IndexLookup:
 
     ``candidates`` must run (every required literal present, or no
     requirement derivable); ``skipped`` provably cannot match (at least
-    one required literal absent).
+    one required literal absent).  ``mask`` sets bit *i* iff catalog
+    position *i* is a candidate — the grouped-alternation cache key.
     """
 
     candidates: List["object"]
     skipped: List["object"]
+    mask: int = field(default=0)
 
 
 class RuleIndex:
@@ -318,6 +335,24 @@ class RuleIndex:
         self._exact_scanner = _TrieScanner(self.exact_literals)
         self._folded_scanner = _TrieScanner(self.folded_literals)
         self._folded_all = (1 << len(self.folded_literals)) - 1
+        self._fingerprint: Optional[str] = None
+        self._grouped = GroupedCache()
+        # Single-slot fold cache: (source, lowered) as one tuple so a
+        # concurrent replacement can never pair one source's key with
+        # another's lowered copy.  Counters are best-effort (a lost
+        # increment under threads is acceptable for observability).
+        self._fold_slot: Optional[Tuple[str, str]] = None
+        self.fold_computes = 0
+        self.fold_reuses = 0
+        # Bounded per-source memo of grouped dispatch plans (FIFO, plain
+        # dict: every operation is a single atomic dict op under the
+        # GIL, so no lock — and no lock means the index still pickles
+        # into worker processes unchanged).  Only rule *selection* is
+        # memoized, never findings; matching always runs live.
+        self._plan_memo: Dict[str, Tuple[Tuple[object, ...], int, Optional[str]]] = {}
+        self._plan_maxsize = 256
+        self.plan_hits = 0
+        self.plan_misses = 0
 
     @property
     def rules(self) -> Tuple["object", ...]:
@@ -342,7 +377,14 @@ class RuleIndex:
         folded_found = 0
         if self.folded_literals:
             if source.isascii():
-                lowered = source.lower()
+                slot = self._fold_slot
+                if slot is not None and (slot[0] is source or slot[0] == source):
+                    lowered = slot[1]
+                    self.fold_reuses += 1
+                else:
+                    lowered = source.lower()
+                    self._fold_slot = (source, lowered)
+                    self.fold_computes += 1
                 if reference:
                     folded_found = _mask_of(self.folded_automaton.present(lowered))
                 else:
@@ -355,6 +397,8 @@ class RuleIndex:
                 folded_found = self._folded_all
         candidates: List[object] = []
         skipped: List[object] = []
+        mask = 0
+        bit = 1
         for rule, exact_mask, folded_mask, groups in self._entries:
             if (
                 exact_mask & exact_found == exact_mask
@@ -365,9 +409,74 @@ class RuleIndex:
                 )
             ):
                 candidates.append(rule)
+                mask |= bit
             else:
                 skipped.append(rule)
-        return IndexLookup(candidates=candidates, skipped=skipped)
+            bit <<= 1
+        return IndexLookup(candidates=candidates, skipped=skipped, mask=mask)
+
+    @property
+    def fingerprint(self) -> str:
+        """Catalog fingerprint keying the grouped-alternation cache.
+
+        Computed lazily on first use; a concurrent first computation is
+        benign (both threads derive the same digest).
+        """
+        if self._fingerprint is None:
+            self._fingerprint = catalog_fingerprint(self._rules)
+        return self._fingerprint
+
+    def grouped_for(self, lookup: IndexLookup) -> GroupedAlternation:
+        """The grouped-alternation plan for one lookup's candidate set.
+
+        Memoized per ``(catalog fingerprint, candidate mask)``: distinct
+        sources selecting the same candidate subset share one compiled
+        plan, so a warm engine pays grouped compilation once per mask.
+        """
+        return self._grouped.get_or_build(
+            self.fingerprint, lookup.mask, lookup.candidates
+        )
+
+    def grouped_plan(
+        self, source: str
+    ) -> Tuple[Tuple[object, ...], int, Optional[str]]:
+        """``(dispatch, cleared, first_hit_rule_id)`` for one source, memoized.
+
+        The grouped tier's warm entry point: the candidate lookup, the
+        grouped compilation *and* the bucket probes are all pure
+        functions of ``(catalog, source)``, so the resulting dispatch
+        selection is memoized per source in a bounded FIFO.  A warm
+        repeat — multi-pass patching re-detecting the same text at
+        fixpoint, the verifier re-scanning, the scan daemon serving a
+        seen snippet — collapses the whole selection to one dict probe.
+        Only the *selection* is cached: the dispatched rules still run
+        live every call, so findings stay byte-identical by
+        construction.  Keys hold source strings, hence the small bound.
+        """
+        memo = self._plan_memo
+        entry = memo.get(source)
+        if entry is not None:
+            self.plan_hits += 1
+            return entry
+        lookup = self.lookup(source)
+        plan = self.grouped_for(lookup).plan(source)
+        entry = (tuple(plan[0]), plan[1], plan[2])
+        if len(memo) >= self._plan_maxsize:
+            try:  # FIFO eviction; best-effort under concurrent clears
+                memo.pop(next(iter(memo)), None)
+            except (StopIteration, RuntimeError):  # pragma: no cover
+                pass
+        memo[source] = entry
+        self.plan_misses += 1
+        return entry
+
+    def grouped_stats(self) -> Dict[str, int]:
+        """Cache counters of the grouped tier (compilation and plan memo)."""
+        stats = self._grouped.stats()
+        stats["plan_hits"] = self.plan_hits
+        stats["plan_misses"] = self.plan_misses
+        stats["plan_size"] = len(self._plan_memo)
+        return stats
 
     def describe(self) -> Dict[str, int]:
         """Size counters for benchmarks and reports."""

@@ -92,6 +92,14 @@ class PatchitPy:
         (:class:`RuleSet` does), each detect consults one multi-literal
         pass instead of per-rule literal checks.  ``use_index=False`` is
         the ablation seam: identical findings, naive per-rule path.
+    use_grouped:
+        When on (the default, and only effective with ``use_index``),
+        each candidate set's patterns additionally run as one grouped
+        alternation (:mod:`repro.core.groupcompile`): a combined regex
+        with no match clears its member rules outright, and only on a
+        hit do the members take per-rule dispatch.  Identical findings
+        either way — ``use_grouped=False`` is the ablation seam pinning
+        the grouped tier independently of the index tier.
     verify:
         When on (the default) every :meth:`patch` call runs the Verifier
         stage (:mod:`repro.core.verify`) on its output and re-patches
@@ -116,6 +124,7 @@ class PatchitPy:
         use_index: bool = True,
         verify: bool = True,
         max_verify_attempts: int = 3,
+        use_grouped: bool = True,
     ) -> None:
         if max_passes < 1:
             raise ValueError("max_passes must be >= 1")
@@ -127,6 +136,7 @@ class PatchitPy:
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.trace = trace if trace is not None else NULL_TRACE
         self.use_index = use_index
+        self.use_grouped = use_grouped
         self.verify = verify
         self.max_verify_attempts = max_verify_attempts
 
@@ -164,10 +174,20 @@ class PatchitPy:
         m = self._metrics(metrics)
         t = self._trace(trace)
         if not m.enabled and not t.enabled:
-            return run_rules(self.rules, source, use_index=self.use_index)
+            return run_rules(
+                self.rules,
+                source,
+                use_index=self.use_index,
+                use_grouped=self.use_grouped,
+            )
         start = clock()
         findings = run_rules(
-            self.rules, source, m if m.enabled else None, t, use_index=self.use_index
+            self.rules,
+            source,
+            m if m.enabled else None,
+            t,
+            use_index=self.use_index,
+            use_grouped=self.use_grouped,
         )
         if m.enabled:
             elapsed = clock() - start
@@ -184,17 +204,27 @@ class PatchitPy:
     def warmup(self) -> int:
         """Prime the engine so the first real request pays no lazy costs.
 
-        Builds the candidate index (when in use) and runs one probe
-        detect, so a long-lived process (the scan daemon) pays the index
+        Builds the candidate index (when in use) and runs probe detects,
+        so a long-lived process (the scan daemon) pays the index
         compilation and module-level matcher setup once at startup — the
-        built index then serves every request.  Returns the number of
-        rules primed.
+        built index then serves every request.  The probes also prime
+        the grouped-alternation cache for the masks clean code most
+        often selects (comment-only and plain-import sources), so the
+        compiled plans pickle into worker processes along with the
+        index.  Returns the number of rules primed.
         """
         if self.use_index:
             builder = getattr(self.rules, "candidate_index", None)
             if builder is not None:
                 builder()
         self.detect("# patchitpy warmup probe\n")
+        self.detect(
+            "import os\n"
+            "\n"
+            "\n"
+            "def handler(event):\n"
+            "    return os.path.join(event['root'], event['name'])\n"
+        )
         return len(self.rules)
 
     # -------------------------------------------------------------- patch

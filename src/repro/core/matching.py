@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.rules.base import DetectionRule
 from repro.observability.collector import ScanMetrics, clock
-from repro.types import Finding, Span
+from repro.types import Finding, LineIndex, Span
 
 
 def _prefilter_for(rule: DetectionRule) -> Optional[str]:
@@ -65,7 +65,10 @@ def _applies(
 
 
 def match_rule(
-    rule: DetectionRule, source: str, metrics: Optional[ScanMetrics] = None
+    rule: DetectionRule,
+    source: str,
+    metrics: Optional[ScanMetrics] = None,
+    lines: Optional[LineIndex] = None,
 ) -> List[Finding]:
     """All non-vetoed matches of ``rule`` in ``source`` as findings.
 
@@ -74,10 +77,11 @@ def match_rule(
     optimization production scanners use.  With an enabled ``metrics``
     collector the call also records per-rule wall time, match count, and
     how each skip/veto mechanism fired; without one the uninstrumented
-    fast path runs.
+    fast path runs.  ``lines`` optionally shares one per-source
+    :class:`~repro.types.LineIndex` across rules for line-scope guards.
     """
     if metrics is None or not metrics.enabled:
-        return _match_rule_fast(rule, source)
+        return _match_rule_fast(rule, source, lines)
     start = clock()
     stats = metrics.rule_stats(rule.rule_id)
     stats.calls += 1
@@ -89,7 +93,9 @@ def match_rule(
         stats.prereq_skips += 1
     else:
         for match in rule.pattern.finditer(source):
-            if any(guard.vetoes(source, match) for guard in rule.all_guards()):
+            if any(
+                guard.vetoes(source, match, lines) for guard in rule.all_guards()
+            ):
                 stats.guard_vetoes += 1
                 continue
             findings.append(_finding_for(rule, match))
@@ -100,7 +106,9 @@ def match_rule(
     return findings
 
 
-def _match_rule_fast(rule: DetectionRule, source: str) -> List[Finding]:
+def _match_rule_fast(
+    rule: DetectionRule, source: str, lines: Optional[LineIndex] = None
+) -> List[Finding]:
     """The metrics-free hot path (identical behavior, no bookkeeping)."""
     findings: List[Finding] = []
     literal = _prefilter_for(rule)
@@ -109,7 +117,7 @@ def _match_rule_fast(rule: DetectionRule, source: str) -> List[Finding]:
     if not rule.applies_to(source):
         return findings
     for match in rule.pattern.finditer(source):
-        if any(guard.vetoes(source, match) for guard in rule.all_guards()):
+        if any(guard.vetoes(source, match, lines) for guard in rule.all_guards()):
             continue
         findings.append(_finding_for(rule, match))
     return findings
@@ -119,6 +127,7 @@ def _match_candidate_fast(
     rule: DetectionRule,
     source: str,
     memo: Dict[Tuple[str, int], bool],
+    lines: Optional[LineIndex] = None,
 ) -> List[Finding]:
     """Hot path for an index-proven candidate (no literal re-check).
 
@@ -130,7 +139,7 @@ def _match_candidate_fast(
     if not _applies(rule, source, memo):
         return findings
     for match in rule.pattern.finditer(source):
-        if any(guard.vetoes(source, match) for guard in rule.all_guards()):
+        if any(guard.vetoes(source, match, lines) for guard in rule.all_guards()):
             continue
         findings.append(_finding_for(rule, match))
     return findings
@@ -155,6 +164,7 @@ def run_rules(
     metrics: Optional[ScanMetrics] = None,
     trace: Optional["object"] = None,
     use_index: bool = True,
+    use_grouped: bool = True,
 ) -> List[Finding]:
     """Run every rule and return findings ordered by position then rule id.
 
@@ -165,55 +175,101 @@ def run_rules(
     When ``rules`` is a :class:`~repro.core.rules.base.RuleSet` (and
     ``use_index`` is left on), one pass of its candidate index replaces
     the per-rule literal checks: index-skipped rules never run, and
-    index-proven candidates skip their redundant literal re-check.  The
-    finding set is identical either way — ``use_index=False`` is the
-    ablation seam that pins this.
+    index-proven candidates skip their redundant literal re-check.  On
+    top of that, ``use_grouped`` (the default) runs the candidate set's
+    grouped alternation (:mod:`repro.core.groupcompile`) first: a bucket
+    whose combined regex finds nothing clears every member without a
+    per-rule pass; a bucket with a hit sends its members to exactly the
+    per-rule dispatch they always ran.  The whole selection is memoized
+    per source (:meth:`~repro.core.candidates.RuleIndex.grouped_plan`),
+    so a warm repeat skips even the lookup.  The finding set is identical
+    across all three tiers — ``use_index=False`` / ``use_grouped=False``
+    are the ablation seams that pin this.
 
     With an enabled ``trace`` recorder every rule execution, guard
     verdict and match is additionally emitted as a structured span event
     and each surviving finding carries a full provenance record; the
-    tracing machinery is imported only on that path, so the disabled scan
-    runs exactly the pre-tracing code.
+    traced path bypasses grouped dispatch on purpose — its job is the
+    complete per-rule audit trail.  The tracing machinery is imported
+    only on that path, so the disabled scan runs exactly the pre-tracing
+    code.
     """
     findings: List[Finding] = []
     index = _index_for(rules) if use_index else None
+    lines = LineIndex(source)
     if trace is not None and getattr(trace, "enabled", False):
         findings = _run_rules_traced(rules, source, metrics, trace, index)
     elif metrics is None or not metrics.enabled:
         if index is None:
             for rule in rules:
-                findings.extend(_match_rule_fast(rule, source))
+                findings.extend(_match_rule_fast(rule, source, lines))
         else:
+            if use_grouped:
+                # The memoized grouped tier: lookup, grouped compilation
+                # and bucket probes collapse to one dict hit on a warm
+                # repeat (selection only — matching below runs live).
+                dispatch = index.grouped_plan(source)[0]
+            else:
+                dispatch = index.lookup(source).candidates
             memo: Dict[Tuple[str, int], bool] = {}
-            for rule in index.lookup(source).candidates:
-                findings.extend(_match_candidate_fast(rule, source, memo))
+            for rule in dispatch:
+                findings.extend(_match_candidate_fast(rule, source, memo, lines))
     elif index is None:
         for rule in rules:
-            findings.extend(match_rule(rule, source, metrics))
+            findings.extend(match_rule(rule, source, metrics, lines))
     else:
-        findings = _run_candidates_measured(source, metrics, index)
+        findings = _run_candidates_measured(
+            source, metrics, index, use_grouped, lines
+        )
     findings.sort(key=lambda f: (f.span.start, f.span.end, f.rule_id))
     return _dedupe_same_cwe_overlaps(findings)
 
 
-def _run_candidates_measured(source: str, metrics: ScanMetrics, index) -> List[Finding]:
+def _run_candidates_measured(
+    source: str,
+    metrics: ScanMetrics,
+    index,
+    use_grouped: bool = True,
+    lines: Optional[LineIndex] = None,
+) -> List[Finding]:
     """The instrumented indexed path: same counters, one literal pass.
 
     Index-skipped rules are still accounted (a call plus a prefilter
     skip, exactly as the per-rule path would have recorded), and the
     lookup itself feeds the ``index_candidates``/``index_skips``
-    counters.
+    counters.  With grouped dispatch on, rules a combined-alternation
+    bucket proves matchless are cleared — accounted as a call plus the
+    ``grouped_cleared`` aggregate (they can have no matches by
+    construction) — and only the surviving dispatch list pays per-rule
+    time.  ``index_fold_reuse`` surfaces the lookup's fold-cache reuse.
     """
+    fold_before = getattr(index, "fold_reuses", 0)
     lookup = index.lookup(source)
+    fold_reused = getattr(index, "fold_reuses", 0) - fold_before
+    if fold_reused > 0:
+        metrics.count("index_fold_reuse", fold_reused)
     metrics.count("index_candidates", len(lookup.candidates))
     metrics.count("index_skips", len(lookup.skipped))
     for rule in lookup.skipped:
         stats = metrics.rule_stats(rule.rule_id)
         stats.calls += 1
         stats.prefilter_skips += 1
+    if use_grouped:
+        dispatch, cleared, hit_rule = index.grouped_for(lookup).plan(source)
+        metrics.count("grouped_cleared", cleared)
+        metrics.count("grouped_dispatch", len(dispatch))
+        if hit_rule is not None:
+            metrics.count("grouped_hits", 1)
+        if cleared:
+            live = {id(rule) for rule in dispatch}
+            for rule in lookup.candidates:
+                if id(rule) not in live:
+                    metrics.rule_stats(rule.rule_id).calls += 1
+    else:
+        dispatch = lookup.candidates
     findings: List[Finding] = []
     memo: Dict[Tuple[str, int], bool] = {}
-    for rule in lookup.candidates:
+    for rule in dispatch:
         start = clock()
         stats = metrics.rule_stats(rule.rule_id)
         stats.calls += 1
@@ -222,7 +278,9 @@ def _run_candidates_measured(source: str, metrics: ScanMetrics, index) -> List[F
             stats.prereq_skips += 1
         else:
             for match in rule.pattern.finditer(source):
-                if any(guard.vetoes(source, match) for guard in rule.all_guards()):
+                if any(
+                    guard.vetoes(source, match, lines) for guard in rule.all_guards()
+                ):
                     stats.guard_vetoes += 1
                     continue
                 rule_findings.append(_finding_for(rule, match))

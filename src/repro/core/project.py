@@ -527,13 +527,20 @@ class ProjectScanner:
             return list(pool.map(self._analyze_one, paths))
 
     def _prime_index(self) -> bool:
-        """Build the engine's candidate index before workers are forked.
+        """Warm the engine's caches before workers are forked.
 
-        The scanner is pickled once per worker; compiling the index here
-        ships the *built* index inside that pickle, so no worker pays the
-        compilation again.  Always returns True (it participates in the
-        ``_analyze_batch`` condition chain purely for ordering).
+        The scanner is pickled once per worker; a full ``warmup()`` here
+        ships the *built* candidate index — and the grouped-alternation
+        plans its probes compiled — inside that pickle, so no worker
+        pays the compilation again.  Engines without ``warmup`` (custom
+        subclasses) fall back to building just the index.  Always
+        returns True (it participates in the ``_analyze_batch``
+        condition chain purely for ordering).
         """
+        warm = getattr(self.engine, "warmup", None)
+        if warm is not None:
+            warm()
+            return True
         if getattr(self.engine, "use_index", False):
             builder = getattr(getattr(self.engine, "rules", None), "candidate_index", None)
             if builder is not None:

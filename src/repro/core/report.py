@@ -7,16 +7,25 @@ annotated listings; this module renders those from an
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.cwe import get_cwe, owasp_category_for
 from repro.exceptions import UnknownCWEError
-from repro.types import AnalysisReport, Finding, line_of_offset
+from repro.types import AnalysisReport, Finding, LineIndex
 
 
-def format_finding(finding: Finding, source: str) -> str:
-    """One-line summary: ``line 12 [CWE-089 SQL Injection] message``."""
-    line = line_of_offset(source, finding.span.start)
+def format_finding(
+    finding: Finding, source: str, lines: Optional[LineIndex] = None
+) -> str:
+    """One-line summary: ``line 12 [CWE-089 SQL Injection] message``.
+
+    ``lines`` lets callers rendering many findings share one
+    :class:`~repro.types.LineIndex` instead of re-scanning the source
+    per finding; omitted, a throwaway index preserves the old behavior.
+    """
+    if lines is None:
+        lines = LineIndex(source)
+    line = lines.line_of(finding.span.start)
     try:
         cwe_name = get_cwe(finding.cwe_id).name
     except UnknownCWEError:
@@ -38,8 +47,9 @@ def render_report(report: AnalysisReport) -> str:
         lines.append("no vulnerable patterns detected")
         return "\n".join(lines)
     lines.append(f"{len(report.findings)} finding(s):")
+    line_index = LineIndex(report.source)
     for finding in report.findings:
-        lines.append("  " + format_finding(finding, report.source))
+        lines.append("  " + format_finding(finding, report.source, line_index))
     if report.patches:
         lines.append(f"{len(report.patches)} patch(es) applied:")
         for patch in report.patches:

@@ -54,7 +54,7 @@ from repro.core.verify import finding_key
 from repro.exceptions import ReproError
 from repro.observability.collector import NULL_METRICS, ScanMetrics, clock
 from repro.observability.trace import NULL_TRACE, TraceRecorder
-from repro.types import Finding, line_of_offset
+from repro.types import Finding, LineIndex
 
 __all__ = [
     "FileDiff",
@@ -598,13 +598,14 @@ class _Reviewer:
         # pre-existing; identity counts are consumed so N+1 occurrences of
         # the same text against N baseline ones leave exactly one introduced.
         remaining = Counter(base_keys)
+        head_lines = LineIndex(new_source or "")
         for finding, key in zip(head_findings, head_keys):
             if remaining.get(key, 0) > 0:
                 remaining[key] -= 1
                 status = STATUS_PRE_EXISTING
             else:
                 status = STATUS_INTRODUCED
-            line = line_of_offset(new_source or "", min(finding.span.start, len(new_source or "")))
+            line = head_lines.line_of(min(finding.span.start, len(new_source or "")))
             classified.append(
                 ReviewFinding(
                     path=diff.path,
@@ -619,11 +620,12 @@ class _Reviewer:
         # Baseline side: identities with no surviving head occurrence are
         # fixed (anchored to the old source; no new-side line exists).
         available = Counter(head_keys)
+        base_lines = LineIndex(old_source or "")
         for finding, key in zip(base_findings, base_keys):
             if available.get(key, 0) > 0:
                 available[key] -= 1
                 continue
-            line = line_of_offset(old_source or "", min(finding.span.start, len(old_source or "")))
+            line = base_lines.line_of(min(finding.span.start, len(old_source or "")))
             classified.append(
                 ReviewFinding(
                     path=diff.path,

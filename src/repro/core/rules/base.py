@@ -60,12 +60,24 @@ class Guard:
     scope: str = "match"  # "match" (the matched text), "line", or "file"
     description: str = ""
 
-    def vetoes(self, source: str, match: "re.Match[str]") -> bool:
-        """True when the guard suppresses this match."""
+    def vetoes(
+        self, source: str, match: "re.Match[str]", lines=None
+    ) -> bool:
+        """True when the guard suppresses this match.
+
+        ``lines`` optionally passes the caller's shared
+        :class:`~repro.types.LineIndex` for ``source`` so line-scope
+        guards reuse one line table across every rule and match of a
+        scan instead of re-deriving the line per veto check.
+        """
         if self.scope == "match":
             return bool(self.pattern.search(match.group(0)))
         if self.scope == "line":
-            return bool(self.pattern.search(_line_containing(source, match.start())))
+            if lines is not None:
+                line = lines.line_text(match.start())
+            else:
+                line = _line_containing(source, match.start())
+            return bool(self.pattern.search(line))
         if self.scope == "file":
             return bool(self.pattern.search(source))
         raise RuleError(f"unknown guard scope: {self.scope}")

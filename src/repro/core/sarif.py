@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from repro.cwe import get_cwe, owasp_category_for
 from repro.exceptions import UnknownCWEError
-from repro.types import AnalysisReport, Finding, Severity, line_of_offset
+from repro.types import AnalysisReport, Finding, LineIndex, Severity
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = (
@@ -82,12 +82,13 @@ def to_sarif(
     rules: List[Dict[str, object]] = []
     rule_index: Dict[str, int] = {}
     results: List[Dict[str, object]] = []
+    lines = LineIndex(report.source)
 
     for finding in report.findings:
         if finding.rule_id not in rule_index:
             rule_index[finding.rule_id] = len(rules)
             rules.append(_rule_metadata(finding))
-        start_line = line_of_offset(report.source, finding.span.start)
+        start_line = lines.line_of(finding.span.start)
         properties: Dict[str, object] = {
             "cwe": finding.cwe_id,
             "confidence": str(finding.confidence),
@@ -158,6 +159,7 @@ def to_plain_json(report: AnalysisReport, artifact_uri: str = "target.py") -> Di
     A ``patch_verdicts`` key appears only when the report carries
     verifier verdicts, so detection-only output keeps its prior shape.
     """
+    lines = LineIndex(report.source)
     data: Dict[str, object] = {
         "tool": report.tool,
         "target": artifact_uri,
@@ -167,7 +169,7 @@ def to_plain_json(report: AnalysisReport, artifact_uri: str = "target.py") -> Di
                 "rule": f.rule_id,
                 "cwe": f.cwe_id,
                 "message": f.message,
-                "line": line_of_offset(report.source, f.span.start),
+                "line": lines.line_of(f.span.start),
                 "severity": str(f.severity),
                 "confidence": str(f.confidence),
                 "fixable": f.fixable,

@@ -9,6 +9,7 @@ reports that bundle them together.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Tuple
 
@@ -70,6 +71,79 @@ def line_of_offset(source: str, offset: int) -> int:
     if offset < 0 or offset > len(source):
         raise ValueError(f"offset {offset} outside source of length {len(source)}")
     return source.count("\n", 0, offset) + 1
+
+
+class LineIndex:
+    """Shared line-offset index for one source string.
+
+    Report rendering, SARIF export, review annotation, and guard checks
+    all ask "which line holds offset X?" — re-deriving the answer with
+    ``source.count("\\n", 0, offset)`` costs O(len(source)) per query
+    and goes quadratic on finding-dense files.  A ``LineIndex`` is built
+    once per source and shared: :meth:`line_of` scans lazily on first
+    use (one pass building the line-start table), then answers every
+    later query by bisection; :meth:`line_bounds`/:meth:`line_text`
+    use C-level ``rfind``/``find`` and never force the build, so a
+    single-query source pays no table at all.
+
+    Semantics exactly match :func:`line_of_offset`: lines are separated
+    by ``"\\n"`` only (``"\\r"`` is ordinary text, so ``"\\r\\n"``
+    terminators leave the ``"\\r"`` at the end of :meth:`line_text`),
+    offsets from 0 to ``len(source)`` inclusive are valid, and the
+    property tests pin the agreement on adversarial inputs.
+    """
+
+    __slots__ = ("source", "_starts")
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._starts: Optional[list] = None
+
+    def _build(self) -> list:
+        starts = self._starts
+        if starts is None:
+            starts = [0]
+            find = self.source.find
+            position = find("\n")
+            while position != -1:
+                starts.append(position + 1)
+                position = find("\n", position + 1)
+            self._starts = starts
+        return starts
+
+    def __len__(self) -> int:
+        """Number of lines (an empty source still has line 1)."""
+        return len(self._build())
+
+    def line_of(self, offset: int) -> int:
+        """1-based line number holding character ``offset``."""
+        if offset < 0 or offset > len(self.source):
+            raise ValueError(
+                f"offset {offset} outside source of length {len(self.source)}"
+            )
+        return bisect_right(self._build(), offset)
+
+    def line_bounds(self, offset: int) -> Tuple[int, int]:
+        """``(start, end)`` offsets of the line holding ``offset``.
+
+        ``end`` excludes the terminating newline; for the last line it
+        is ``len(source)``.
+        """
+        if offset < 0 or offset > len(self.source):
+            raise ValueError(
+                f"offset {offset} outside source of length {len(self.source)}"
+            )
+        source = self.source
+        start = source.rfind("\n", 0, offset) + 1
+        end = source.find("\n", offset)
+        if end == -1:
+            end = len(source)
+        return start, end
+
+    def line_text(self, offset: int) -> str:
+        """The full text of the line holding ``offset`` (no newline)."""
+        start, end = self.line_bounds(offset)
+        return self.source[start:end]
 
 
 @dataclass(frozen=True)

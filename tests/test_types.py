@@ -1,6 +1,8 @@
 """Unit tests for the core datatypes."""
 
 import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
 
 from repro.types import (
     AnalysisReport,
@@ -8,6 +10,7 @@ from repro.types import (
     Confidence,
     Finding,
     GeneratorName,
+    LineIndex,
     Patch,
     Prompt,
     PromptSource,
@@ -64,6 +67,91 @@ class TestLineOfOffset:
     def test_out_of_range(self):
         with pytest.raises(ValueError):
             line_of_offset("abc", 10)
+
+
+# Newline-dense text, so the generated offsets actually cross line
+# boundaries; "\r" is deliberately included because the index treats it
+# as ordinary text (only "\n" separates lines).
+_LINEY = st.text(alphabet="ab\n\r", max_size=60)
+
+
+class TestLineIndex:
+    def test_matches_line_of_offset_on_simple_source(self):
+        source = "abc\ndef\n"
+        index = LineIndex(source)
+        for offset in range(len(source) + 1):
+            assert index.line_of(offset) == line_of_offset(source, offset)
+
+    def test_empty_source_has_one_line(self):
+        index = LineIndex("")
+        assert len(index) == 1
+        assert index.line_of(0) == 1
+        assert index.line_text(0) == ""
+
+    def test_out_of_range_rejected(self):
+        index = LineIndex("abc")
+        with pytest.raises(ValueError):
+            index.line_of(10)
+        with pytest.raises(ValueError):
+            index.line_bounds(-1)
+
+    def test_line_text_keeps_carriage_return(self):
+        # "\r\n" terminators: "\r" is ordinary text on its line
+        index = LineIndex("one\r\ntwo\r\n")
+        assert index.line_text(0) == "one\r"
+        assert index.line_text(5) == "two\r"
+
+    def test_bounds_do_not_force_the_start_table(self):
+        index = LineIndex("a\nb\nc")
+        assert index.line_bounds(2) == (2, 3)
+        assert index._starts is None  # rfind/find path, no table built
+        assert index.line_of(2) == 2
+        assert index._starts is not None
+
+    @given(_LINEY, st.integers(min_value=0, max_value=60))
+    @settings(max_examples=200, deadline=None)
+    @example("", 0)
+    @example("no trailing newline", 5)
+    @example("a\r\nb\r\n", 3)
+    @example("\r", 1)
+    @example("\n\n\n", 2)
+    def test_line_of_agrees_with_count(self, source, offset):
+        offset = min(offset, len(source))
+        index = LineIndex(source)
+        # the naive oracles the index replaces
+        assert index.line_of(offset) == source.count("\n", 0, offset) + 1
+        assert index.line_of(offset) == line_of_offset(source, offset)
+
+    @given(_LINEY, st.integers(min_value=0, max_value=60))
+    @settings(max_examples=200, deadline=None)
+    @example("", 0)
+    @example("tail", 4)
+    @example("a\r\nb", 2)
+    def test_line_text_agrees_with_split(self, source, offset):
+        offset = min(offset, len(source))
+        index = LineIndex(source)
+        expected = source.split("\n")[index.line_of(offset) - 1]
+        assert index.line_text(offset) == expected
+        start, end = index.line_bounds(offset)
+        assert source[start:end] == expected
+        assert start <= offset <= end + 1  # offset may sit on the newline
+
+    @given(_LINEY)
+    @settings(max_examples=100, deadline=None)
+    @example("")
+    @example("a\nb\nc")
+    def test_length_counts_split_lines(self, source):
+        assert len(LineIndex(source)) == len(source.split("\n"))
+
+    @given(_LINEY, st.integers(min_value=0, max_value=60))
+    @settings(max_examples=100, deadline=None)
+    def test_built_and_unbuilt_paths_agree(self, source, offset):
+        offset = min(offset, len(source))
+        unbuilt = LineIndex(source)
+        bounds_first = unbuilt.line_bounds(offset)  # rfind/find, no table
+        built = LineIndex(source)
+        built.line_of(offset)  # forces the start table
+        assert built.line_bounds(offset) == bounds_first
 
 
 class TestMergeSpans:
